@@ -1,0 +1,59 @@
+//! Ablation: block pointers on vs off (paper Section 6's design choice).
+//!
+//! With pointers, migration caused by load balancing is deferred past the
+//! pointer stabilization time and duplicate moves are avoided; without
+//! them, every balance move copies data immediately. The paper argues the
+//! pointer optimization roughly halves balancing traffic on Harvard —
+//! this ablation measures both sides, plus the availability cost of the
+//! temporary 2-copy windows pointers create.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{availability_fixture, AVAIL_WARMUP_DAYS};
+use d2_core::{AvailabilitySim, ClusterConfig, SystemKind};
+use d2_sim::{FailureTrace, SimTime};
+use d2_workload::split_tasks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let (trace, base, model) = availability_fixture();
+    let tasks =
+        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+    let failures =
+        FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
+
+    println!("\nAblation: block pointers on/off (D2, Harvard workload)");
+    println!(
+        "{:>10}  {:>14}  {:>12}  {:>14}  {:>10}",
+        "pointers", "unavailability", "migrated(MB)", "ptrs-installed", "moves"
+    );
+    for use_pointers in [true, false] {
+        let cfg = ClusterConfig { use_pointers, ..base };
+        let mut sim =
+            AvailabilitySim::build(SystemKind::D2, &cfg, &trace, AVAIL_WARMUP_DAYS);
+        let report = sim.run(&trace, &tasks, &failures);
+        let s = sim.cluster.stats;
+        println!(
+            "{:>10}  {:>14.2e}  {:>12.1}  {:>14}  {:>10}",
+            use_pointers,
+            report.task_unavailability(),
+            s.migration_bytes as f64 / 1e6,
+            s.pointers_installed,
+            s.balance_moves
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_pointers");
+    g.sample_size(10);
+    let cfg = ClusterConfig { use_pointers: false, ..base };
+    g.bench_function("no_pointer_availability_run", |bencher| {
+        bencher.iter(|| {
+            let mut sim = AvailabilitySim::build(SystemKind::D2, &cfg, &trace, 0.02);
+            sim.run(&trace, &tasks, &failures)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

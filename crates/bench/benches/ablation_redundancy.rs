@@ -1,0 +1,67 @@
+//! Ablation beyond the paper's figures: how D2's task availability
+//! responds to the redundancy scheme —
+//!
+//! - replication r = 3 (the paper's availability runs),
+//! - replication r = 4 (the paper notes zero D2 failures at r = 4),
+//! - 2-of-4 erasure coding (the alternative Section 3 discusses:
+//!   same 4-successor group, half the storage),
+//! - hybrid placement r = 3 + 1 hashed safeguard replica (the paper's
+//!   Section 11 future work, implemented here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{availability_fixture, AVAIL_WARMUP_DAYS};
+use d2_core::{AvailabilitySim, ClusterConfig, SystemKind};
+use d2_sim::{FailureTrace, SimTime};
+use d2_workload::split_tasks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let (trace, base, model) = availability_fixture();
+    let tasks =
+        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+    let failures =
+        FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
+
+    let variants: Vec<(&str, ClusterConfig)> = vec![
+        ("replication r=3", ClusterConfig { replicas: 3, ..base }),
+        ("replication r=4", ClusterConfig { replicas: 4, ..base }),
+        ("erasure 2-of-4", ClusterConfig { replicas: 4, erasure_k: Some(2), ..base }),
+        (
+            "hybrid r=3 + 1 hashed",
+            ClusterConfig { replicas: 3, hybrid_hash_replicas: 1, ..base },
+        ),
+    ];
+
+    println!("\nAblation: D2 task unavailability by redundancy scheme");
+    println!(
+        "{:>24}  {:>14}  {:>12}  {:>10}",
+        "scheme", "unavailability", "failed-tasks", "stored(MB)"
+    );
+    for (label, cfg) in &variants {
+        let mut sim =
+            AvailabilitySim::build(SystemKind::D2, cfg, &trace, AVAIL_WARMUP_DAYS);
+        let stored: u64 = sim.cluster.total_load_bytes().iter().sum();
+        let report = sim.run(&trace, &tasks, &failures);
+        println!(
+            "{label:>24}  {:>14.2e}  {:>12}  {:>10.1}",
+            report.task_unavailability(),
+            report.failed_tasks,
+            stored as f64 / 1e6
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_redundancy");
+    g.sample_size(10);
+    let quick_cfg = ClusterConfig { replicas: 4, erasure_k: Some(2), ..base };
+    g.bench_function("erasure_availability_run", |bencher| {
+        bencher.iter(|| {
+            let mut sim = AvailabilitySim::build(SystemKind::D2, &quick_cfg, &trace, 0.02);
+            sim.run(&trace, &tasks, &failures)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

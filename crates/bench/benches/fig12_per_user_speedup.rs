@@ -1,0 +1,33 @@
+//! Figure 12: per-user speedup breakdown at the largest configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, REPORT_SCALE};
+use d2_core::SystemKind;
+use d2_experiments::perf_suite::{self, SuiteConfig};
+use d2_experiments::fig12;
+
+fn bench(c: &mut Criterion) {
+    let trace = harvard(REPORT_SCALE);
+    let largest = *REPORT_SCALE.perf_sizes().last().unwrap();
+    let cfg = SuiteConfig {
+        sizes: vec![largest],
+        kbps: vec![1500],
+        measure_groups: 200,
+        seed: 7,
+        warmup_days: REPORT_SCALE.warmup_days(),
+        systems: vec![SystemKind::D2, SystemKind::Traditional],
+        ..SuiteConfig::default()
+    };
+    let suite = perf_suite::run(&trace, &cfg);
+    println!("\n{}", fig12::from_suite(&suite, largest, 1500).render());
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("per_user_extraction", |bencher| {
+        bencher.iter(|| fig12::from_suite(&suite, largest, 1500))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

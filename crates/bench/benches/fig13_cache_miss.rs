@@ -1,0 +1,37 @@
+//! Figure 13: mean lookup-cache miss rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, REPORT_SCALE};
+use d2_experiments::perf_suite::{self, SuiteConfig};
+use d2_experiments::fig13;
+
+fn bench(c: &mut Criterion) {
+    let trace = harvard(REPORT_SCALE);
+    let cfg = SuiteConfig {
+        sizes: REPORT_SCALE.perf_sizes(),
+        kbps: vec![1500],
+        measure_groups: 150,
+        seed: 7,
+        warmup_days: REPORT_SCALE.warmup_days(),
+        ..SuiteConfig::default()
+    };
+    let suite = perf_suite::run(&trace, &cfg);
+    println!("\n{}", fig13::from_suite(&suite).render());
+
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    let small = SuiteConfig {
+        sizes: vec![16],
+        kbps: vec![1500],
+        measure_groups: 40,
+        warmup_days: 0.02,
+        ..SuiteConfig::default()
+    };
+    g.bench_function("miss_rate_sweep", |bencher| {
+        bencher.iter(|| fig13::from_suite(&perf_suite::run(&trace, &small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

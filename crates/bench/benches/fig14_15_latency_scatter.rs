@@ -1,0 +1,31 @@
+//! Figures 14/15: access-group latency scatter vs both baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, REPORT_SCALE};
+use d2_experiments::perf_suite::{self, SuiteConfig};
+use d2_experiments::fig14_15;
+
+fn bench(c: &mut Criterion) {
+    let trace = harvard(REPORT_SCALE);
+    let largest = *REPORT_SCALE.perf_sizes().last().unwrap();
+    let cfg = SuiteConfig {
+        sizes: vec![largest],
+        kbps: vec![1500],
+        measure_groups: 200,
+        seed: 7,
+        warmup_days: REPORT_SCALE.warmup_days(),
+        ..SuiteConfig::default()
+    };
+    let suite = perf_suite::run(&trace, &cfg);
+    println!("\n{}", fig14_15::from_suite(&suite, largest, 1500).render());
+
+    let mut g = c.benchmark_group("fig14_15");
+    g.sample_size(10);
+    g.bench_function("scatter_extraction", |bencher| {
+        bencher.iter(|| fig14_15::from_suite(&suite, largest, 1500))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

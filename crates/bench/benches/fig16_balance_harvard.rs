@@ -1,0 +1,32 @@
+//! Figure 16: load imbalance over time on the Harvard workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, REPORT_SCALE};
+use d2_experiments::balance_sim::BalanceSystem;
+use d2_experiments::fig16_17::{self, ALL_SYSTEMS};
+use d2_sim::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let trace = harvard(REPORT_SCALE);
+    let cfg = REPORT_SCALE.cluster(7);
+    let warmup = SimTime::from_secs_f64(REPORT_SCALE.warmup_days() * 86_400.0 * 2.0);
+    let fig = fig16_17::fig16(&trace, &cfg, &ALL_SYSTEMS, warmup);
+    println!("\n{}", fig.render());
+    for sys in ALL_SYSTEMS {
+        if let Some(tail) = fig.tail_mean(sys, 0.3) {
+            println!("tail imbalance {:>18}: {tail:.3}", sys.label());
+        }
+    }
+
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("harvard_balance_run", |bencher| {
+        bencher.iter(|| {
+            fig16_17::fig16(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

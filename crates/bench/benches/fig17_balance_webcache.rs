@@ -1,0 +1,31 @@
+//! Figure 17: load imbalance over time on the Webcache workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{web, REPORT_SCALE};
+use d2_experiments::balance_sim::BalanceSystem;
+use d2_experiments::fig16_17::{self, ALL_SYSTEMS};
+use d2_sim::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let trace = web(REPORT_SCALE);
+    let cfg = REPORT_SCALE.cluster(7);
+    let fig = fig16_17::fig17(&trace, &cfg, &ALL_SYSTEMS, SimTime::from_secs(3600));
+    println!("\n{}", fig.render());
+    for sys in ALL_SYSTEMS {
+        if let Some(tail) = fig.tail_mean(sys, 0.3) {
+            println!("tail imbalance {:>18}: {tail:.3}", sys.label());
+        }
+    }
+
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("webcache_balance_run", |bencher| {
+        bencher.iter(|| {
+            fig16_17::fig17(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 3: locality analysis across the three workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, hp, web, REPORT_SCALE};
+use d2_experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    let h = harvard(REPORT_SCALE);
+    let b = hp();
+    let w = web(REPORT_SCALE);
+    // Paper: 250 MB per node; scaled to 2 MiB so the quick traces still
+    // span hundreds of nodes.
+    let fig = fig3::run(&h, &b, &w, 2 << 20);
+    println!("\n{}", fig.render());
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("locality_analysis", |bencher| {
+        bencher.iter(|| fig3::run(&h, &b, &w, 2 << 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7: task unavailability per system and inter-arrival threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{availability_fixture, AVAIL_WARMUP_DAYS};
+use d2_experiments::fig7;
+use d2_sim::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let (trace, cfg, model) = availability_fixture();
+    let inters = [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+    let fig = fig7::run(&trace, &cfg, &model, &inters, 3, AVAIL_WARMUP_DAYS, 100);
+    println!("\n{}", fig.render());
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("availability_trial", |bencher| {
+        bencher.iter(|| fig7::run(&trace, &cfg, &model, &inters[..1], 1, 0.02, 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

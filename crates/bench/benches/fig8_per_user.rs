@@ -1,0 +1,29 @@
+//! Figure 8: ranked per-user unavailability (inter = 5 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{availability_fixture, AVAIL_WARMUP_DAYS};
+use d2_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    let (trace, cfg, model) = availability_fixture();
+    let fig = fig8::run(&trace, &cfg, &model, AVAIL_WARMUP_DAYS, 101);
+    println!("\n{}", fig.render());
+    for s in &fig.series {
+        println!(
+            "{:>18}: {} of {} users affected",
+            s.system.label(),
+            s.affected(),
+            s.ranked.len()
+        );
+    }
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("per_user_availability", |bencher| {
+        bencher.iter(|| fig8::run(&trace, &cfg, &model, 0.02, 101))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

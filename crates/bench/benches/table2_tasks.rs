@@ -1,0 +1,29 @@
+//! Table 2: mean blocks/files/nodes per task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, REPORT_SCALE};
+use d2_experiments::table2;
+use d2_sim::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let trace = harvard(REPORT_SCALE);
+    let cfg = REPORT_SCALE.cluster(7);
+    let inters = [
+        SimTime::from_secs(1),
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+        SimTime::from_secs(60),
+    ];
+    let table = table2::run(&trace, &cfg, &inters, REPORT_SCALE.warmup_days());
+    println!("\n{}", table.render());
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("task_profile", |bencher| {
+        bencher.iter(|| table2::run(&trace, &cfg, &inters[..1], 0.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

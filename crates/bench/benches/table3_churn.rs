@@ -1,0 +1,20 @@
+//! Table 3: daily write/remove churn ratios for Harvard and Webcache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, web, REPORT_SCALE};
+use d2_experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let h = harvard(REPORT_SCALE);
+    let w = web(REPORT_SCALE);
+    let table = table3::run(&h, &w);
+    println!("\n{}", table.render());
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("churn_ratios", |bencher| bencher.iter(|| table3::run(&h, &w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 4: write traffic vs load-balancing traffic per day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2_bench::{harvard, web, REPORT_SCALE};
+use d2_experiments::table4;
+use d2_sim::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let h = harvard(REPORT_SCALE);
+    let w = web(REPORT_SCALE);
+    let cfg = REPORT_SCALE.cluster(7);
+    let warmup = SimTime::from_secs_f64(REPORT_SCALE.warmup_days() * 86_400.0 * 2.0);
+    let table = table4::run(&h, &w, &cfg, warmup);
+    println!("\n{}", table.render());
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("migration_accounting", |bencher| {
+        bencher.iter(|| table4::run(&h, &w, &cfg, SimTime::from_secs(3600)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

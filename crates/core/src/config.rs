@@ -1,0 +1,89 @@
+//! Cluster configuration with the paper's defaults.
+
+use d2_ring::BalanceConfig;
+use d2_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by every cluster simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Replicas per block (paper: 3 in the availability runs, 4 in the
+    /// performance runs).
+    pub replicas: usize,
+    /// RNG seed (node placement, balance probes).
+    pub seed: u64,
+    /// Load-balancing probe interval (paper: 10 minutes).
+    pub probe_interval: SimTime,
+    /// Pointer stabilization time (paper: 1 hour).
+    pub pointer_stabilization: SimTime,
+    /// Per-node bandwidth budget for migration / regeneration traffic
+    /// (paper: 750 kbps).
+    pub migration_kbps: u64,
+    /// Lookup-cache entry TTL (paper: 1.25 hours).
+    pub cache_ttl: SimTime,
+    /// Delayed-removal window (paper: 30 s).
+    pub remove_delay: SimTime,
+    /// Karger–Ruhl threshold configuration (paper: t = 4).
+    pub balance: BalanceConfig,
+    /// Successor-list length for routing tables.
+    pub successors: usize,
+    /// Whether the load balancer uses block pointers to defer migration
+    /// (Section 6). Disable for the ablation in Table 4's discussion.
+    pub use_pointers: bool,
+    /// Erasure coding (paper Section 3's discussed alternative to whole-
+    /// block replication): `Some(k)` stores `replicas` fragments of
+    /// `len/k` bytes on the replica group and requires any `k` of them to
+    /// reconstruct a block. `None` (default) is whole-block replication.
+    pub erasure_k: Option<usize>,
+    /// Hybrid replica placement (the paper's Section 11 future work):
+    /// additionally store this many safeguard replicas at a *hashed* twin
+    /// key, combining locality-preserving and consistent-hashing
+    /// placement. 0 (default) disables it.
+    pub hybrid_hash_replicas: usize,
+    /// Per-node storage capacity in bytes. When a write would overflow a
+    /// replica, the block is *diverted*: the full node keeps a pointer and
+    /// the data lands on the nearest successor with space — "as in PAST,
+    /// pointers can be used to divert blocks from full nodes to those with
+    /// space" (Section 6). `None` (default) means unlimited.
+    pub node_capacity_bytes: Option<u64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 64,
+            replicas: 3,
+            seed: 1,
+            probe_interval: SimTime::from_secs(600),
+            pointer_stabilization: SimTime::from_secs(3600),
+            migration_kbps: 750,
+            cache_ttl: SimTime::from_secs(4500),
+            remove_delay: SimTime::from_secs(30),
+            balance: BalanceConfig::default(),
+            successors: 4,
+            use_pointers: true,
+            erasure_k: None,
+            hybrid_hash_replicas: 0,
+            node_capacity_bytes: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.probe_interval, SimTime::from_secs(600));
+        assert_eq!(c.pointer_stabilization, SimTime::from_secs(3600));
+        assert_eq!(c.migration_kbps, 750);
+        assert_eq!(c.cache_ttl, SimTime::from_secs(4500));
+        assert_eq!(c.remove_delay, SimTime::from_secs(30));
+        assert!((c.balance.threshold - 4.0).abs() < 1e-9);
+        assert!(c.use_pointers);
+    }
+}

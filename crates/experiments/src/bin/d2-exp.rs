@@ -1,0 +1,213 @@
+//! Command-line experiment runner: regenerate any of the paper's tables
+//! and figures by name.
+//!
+//! ```text
+//! d2-exp <experiment> [--scale quick|full] [--seed N]
+//!
+//! experiments:
+//!   fig3 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14-15
+//!   table3 table4 fig16 fig17 all
+//! ```
+
+use d2_core::SystemKind;
+use d2_experiments::fig16_17::ALL_SYSTEMS;
+use d2_experiments::perf_suite::{self, SuiteConfig};
+use d2_experiments::{
+    fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9, table2, table3,
+    table4, Scale,
+};
+use d2_sim::{FailureModel, SimTime};
+use d2_workload::{HarvardTrace, HpConfig, HpTrace, WebTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Ctx {
+    scale: Scale,
+    seed: u64,
+    harvard: HarvardTrace,
+    web: WebTrace,
+    hp: HpTrace,
+}
+
+impl Ctx {
+    fn new(scale: Scale, seed: u64) -> Ctx {
+        let harvard = HarvardTrace::generate(&scale.harvard(), &mut StdRng::seed_from_u64(seed));
+        let web = WebTrace::generate(&scale.web(), &mut StdRng::seed_from_u64(seed));
+        let hp = HpTrace::generate(
+            &HpConfig { apps: 8, days: 1.0, disk_blocks: 600_000, ..HpConfig::default() },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        Ctx { scale, seed, harvard, web, hp }
+    }
+
+    fn suite(&self, systems: Vec<SystemKind>, kbps: Vec<u64>) -> perf_suite::SuiteResult {
+        let cfg = SuiteConfig {
+            sizes: self.scale.perf_sizes(),
+            kbps,
+            measure_groups: 150,
+            seed: self.seed,
+            warmup_days: self.scale.warmup_days(),
+            systems,
+            ..SuiteConfig::default()
+        };
+        perf_suite::run(&self.harvard, &cfg)
+    }
+
+    fn failure_model(&self) -> FailureModel {
+        FailureModel {
+            duration_secs: self.harvard.config.days * 86_400.0,
+            ..FailureModel::default()
+        }
+    }
+
+    fn balance_warmup(&self) -> SimTime {
+        SimTime::from_secs_f64(self.scale.warmup_days() * 86_400.0 * 2.0)
+    }
+}
+
+fn run_one(name: &str, ctx: &Ctx) -> bool {
+    let cfg = ctx.scale.cluster(ctx.seed);
+    match name {
+        "fig3" => {
+            println!("{}", fig3::run(&ctx.harvard, &ctx.hp, &ctx.web, 2 << 20).render());
+        }
+        "table2" => {
+            let inters = [
+                SimTime::from_secs(1),
+                SimTime::from_secs(5),
+                SimTime::from_secs(15),
+                SimTime::from_secs(60),
+            ];
+            println!(
+                "{}",
+                table2::run(&ctx.harvard, &cfg, &inters, ctx.scale.warmup_days()).render()
+            );
+        }
+        "fig7" => {
+            let inters =
+                [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+            let fig = fig7::run(
+                &ctx.harvard,
+                &cfg,
+                &ctx.failure_model(),
+                &inters,
+                ctx.scale.trials(),
+                ctx.scale.warmup_days(),
+                99,
+            );
+            println!("{}", fig.render());
+        }
+        "fig8" => {
+            let fig = fig8::run(
+                &ctx.harvard,
+                &cfg,
+                &ctx.failure_model(),
+                ctx.scale.warmup_days(),
+                42,
+            );
+            println!("{}", fig.render());
+        }
+        "fig9" => {
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![1500],
+            );
+            println!("{}", fig9::from_suite(&suite).render());
+        }
+        "fig10" => {
+            let suite =
+                ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500, 384]);
+            println!("{}", fig10::from_suite(&suite, SystemKind::Traditional).render());
+        }
+        "fig11" => {
+            let suite =
+                ctx.suite(vec![SystemKind::D2, SystemKind::TraditionalFile], vec![1500, 384]);
+            println!("{}", fig11::from_suite(&suite).render());
+        }
+        "fig12" => {
+            let largest = *ctx.scale.perf_sizes().last().unwrap();
+            let suite =
+                ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500]);
+            println!("{}", fig12::from_suite(&suite, largest, 1500).render());
+        }
+        "fig13" => {
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![1500],
+            );
+            println!("{}", fig13::from_suite(&suite).render());
+        }
+        "fig14-15" | "fig14" | "fig15" => {
+            let largest = *ctx.scale.perf_sizes().last().unwrap();
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![1500],
+            );
+            println!("{}", fig14_15::from_suite(&suite, largest, 1500).render());
+        }
+        "table3" => {
+            println!("{}", table3::run(&ctx.harvard, &ctx.web).render());
+        }
+        "table4" => {
+            println!(
+                "{}",
+                table4::run(&ctx.harvard, &ctx.web, &cfg, ctx.balance_warmup()).render()
+            );
+        }
+        "fig16" => {
+            let fig = fig16_17::fig16(&ctx.harvard, &cfg, &ALL_SYSTEMS, ctx.balance_warmup());
+            println!("{}", fig.render());
+        }
+        "fig17" => {
+            let fig =
+                fig16_17::fig17(&ctx.web, &cfg, &ALL_SYSTEMS, SimTime::from_secs(3600));
+            println!("{}", fig.render());
+        }
+        _ => return false,
+    }
+    true
+}
+
+const ALL: [&str; 14] = [
+    "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14-15",
+    "table3", "table4", "fig16", "fig17",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("full") => Scale::Full,
+                    _ => Scale::Quick,
+                };
+            }
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: d2-exp <experiment>... [--scale quick|full] [--seed N]");
+        eprintln!("experiments: {} all", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let ctx = Ctx::new(scale, seed);
+    for name in &names {
+        if name == "all" {
+            for n in ALL {
+                println!("==> {n}");
+                run_one(n, &ctx);
+            }
+        } else if !run_one(name, &ctx) {
+            eprintln!("unknown experiment: {name}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 10: average speedup of D2 over the traditional DHT, across
+//! system sizes, access bandwidths (1500 / 384 kbps), and seq/para modes.
+//!
+//! Paper shape: seq speedup grows with system size (≥ 1.9× at 1,000
+//! nodes); para speedup is smaller, and at 384 kbps D2 *loses* to the
+//! traditional DHT at small sizes (parallelism over more nodes beats
+//! lookup savings when per-node bandwidth is scarce) before winning again
+//! at the largest size.
+
+use crate::fig9::mode_label;
+use crate::perf_suite::SuiteResult;
+use crate::report::{fmt, render_table};
+use d2_core::{Parallelism, SystemKind};
+
+/// One speedup point.
+#[derive(Clone, Debug)]
+pub struct SpeedupPoint {
+    /// System size.
+    pub size: usize,
+    /// Access bandwidth (kbps).
+    pub kbps: u64,
+    /// Replay mode.
+    pub mode: Parallelism,
+    /// Geometric-mean speedup (> 1 means D2 is faster).
+    pub speedup: f64,
+}
+
+/// The full figure (also reused by Figure 11 with a different baseline).
+#[derive(Clone, Debug)]
+pub struct SpeedupFigure {
+    /// Baseline system the speedup is measured against.
+    pub baseline: SystemKind,
+    /// All points.
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupFigure {
+    /// The speedup for one configuration.
+    pub fn value(&self, size: usize, kbps: u64, mode: Parallelism) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.size == size && p.kbps == kbps && p.mode == mode)
+            .map(|p| p.speedup)
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.size.to_string(),
+                    p.kbps.to_string(),
+                    mode_label(p.mode).to_string(),
+                    fmt(p.speedup),
+                ]
+            })
+            .collect();
+        render_table(
+            &format!("Speedup of D2 over {}", self.baseline.label()),
+            &["nodes", "kbps", "mode", "speedup"],
+            &rows,
+        )
+    }
+}
+
+/// Extracts a speedup figure from a suite run against `baseline`.
+pub fn from_suite(suite: &SuiteResult, baseline: SystemKind) -> SpeedupFigure {
+    let mut points = Vec::new();
+    let mut combos: Vec<(usize, u64, Parallelism)> = suite
+        .cells
+        .keys()
+        .filter(|(s, _, _, _)| *s == SystemKind::D2)
+        .map(|&(_, size, kbps, mode)| (size, kbps, mode))
+        .collect();
+    combos.sort_by_key(|&(s, k, m)| (s, k, mode_label(m)));
+    combos.dedup();
+    for (size, kbps, mode) in combos {
+        if let Some(speedup) = suite.speedup(SystemKind::D2, baseline, size, kbps, mode) {
+            points.push(SpeedupPoint { size, kbps, mode, speedup });
+        }
+    }
+    SpeedupFigure { baseline, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_suite::{self, SuiteConfig};
+    use crate::Scale;
+    use d2_workload::HarvardTrace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seq_speedups_exceed_one() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![24],
+            kbps: vec![1500],
+            measure_groups: 80,
+            systems: vec![SystemKind::D2, SystemKind::Traditional],
+            ..SuiteConfig::default()
+        };
+        let suite = perf_suite::run(&trace, &cfg);
+        let fig = from_suite(&suite, SystemKind::Traditional);
+        let seq = fig.value(24, 1500, Parallelism::Seq).unwrap();
+        assert!(seq > 1.0, "seq speedup {seq} should exceed 1");
+        // Para exists too (may be below seq).
+        assert!(fig.value(24, 1500, Parallelism::Para).is_some());
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 11: average speedup of D2 over the **traditional-file** DHT.
+//!
+//! Paper shape: comparable seq speedup to Figure 10 at small sizes, but —
+//! unlike against the traditional DHT — the speedup does not grow much
+//! with system size, because the traditional-file DHT's cache miss rate
+//! is also size-stable (users' file working sets are small).
+
+use crate::fig10::{from_suite as speedup_from_suite, SpeedupFigure};
+use crate::perf_suite::SuiteResult;
+use d2_core::SystemKind;
+
+/// Extracts Figure 11 (speedup vs traditional-file) from a suite run.
+pub fn from_suite(suite: &SuiteResult) -> SpeedupFigure {
+    speedup_from_suite(suite, SystemKind::TraditionalFile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_suite::{self, SuiteConfig};
+    use crate::Scale;
+    use d2_core::Parallelism;
+    use d2_workload::HarvardTrace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn d2_beats_traditional_file_in_seq() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![24],
+            kbps: vec![1500],
+            measure_groups: 80,
+            systems: vec![SystemKind::D2, SystemKind::TraditionalFile],
+            ..SuiteConfig::default()
+        };
+        let suite = perf_suite::run(&trace, &cfg);
+        let fig = from_suite(&suite);
+        assert_eq!(fig.baseline, SystemKind::TraditionalFile);
+        let seq = fig.value(24, 1500, Parallelism::Seq).unwrap();
+        assert!(seq > 1.0, "seq speedup over traditional-file {seq} should exceed 1");
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 13: mean lookup-cache miss rate per system, size, and mode.
+//!
+//! Paper shape: D2 holds a low (~13% seq) miss rate independent of system
+//! size; the traditional DHT starts high (~47%) and grows with size; the
+//! traditional-file DHT sits between the two and stays size-stable.
+
+use crate::fig9::mode_label;
+use crate::perf_suite::SuiteResult;
+use crate::report::{fmt, render_table};
+use d2_core::{Parallelism, SystemKind};
+
+/// One measured miss rate.
+#[derive(Clone, Debug)]
+pub struct Fig13Point {
+    /// System.
+    pub system: SystemKind,
+    /// System size.
+    pub size: usize,
+    /// Replay mode.
+    pub mode: Parallelism,
+    /// Lookup-cache miss rate in [0, 1].
+    pub miss_rate: f64,
+}
+
+/// The full figure.
+#[derive(Clone, Debug)]
+pub struct Fig13 {
+    /// All points.
+    pub points: Vec<Fig13Point>,
+}
+
+impl Fig13 {
+    /// The miss rate for one configuration.
+    pub fn value(&self, system: SystemKind, size: usize, mode: Parallelism) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.system == system && p.size == size && p.mode == mode)
+            .map(|p| p.miss_rate)
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.system.label().to_string(),
+                    p.size.to_string(),
+                    mode_label(p.mode).to_string(),
+                    fmt(p.miss_rate),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figure 13: mean lookup cache miss rate",
+            &["system", "nodes", "mode", "miss rate"],
+            &rows,
+        )
+    }
+}
+
+/// Extracts Figure 13 from a suite run (first bandwidth swept).
+pub fn from_suite(suite: &SuiteResult) -> Fig13 {
+    let mut points = Vec::new();
+    for (&(system, size, _kbps, mode), report) in &suite.cells {
+        if points
+            .iter()
+            .any(|p: &Fig13Point| p.system == system && p.size == size && p.mode == mode)
+        {
+            continue;
+        }
+        points.push(Fig13Point { system, size, mode, miss_rate: report.cache_miss_rate() });
+    }
+    points.sort_by_key(|p| (p.system.label(), p.size, mode_label(p.mode)));
+    Fig13 { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_suite::{self, SuiteConfig};
+    use crate::Scale;
+    use d2_workload::HarvardTrace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn d2_miss_rate_below_traditional() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![16, 32],
+            kbps: vec![1500],
+            measure_groups: 80,
+            ..SuiteConfig::default()
+        };
+        let suite = perf_suite::run(&trace, &cfg);
+        let fig = from_suite(&suite);
+        for &size in &[16usize, 32] {
+            let d2 = fig.value(SystemKind::D2, size, Parallelism::Seq).unwrap();
+            let trad = fig.value(SystemKind::Traditional, size, Parallelism::Seq).unwrap();
+            assert!(d2 < trad, "size {size}: d2 {d2} vs traditional {trad}");
+        }
+        // Traditional miss rate grows with size; D2's stays flat-ish.
+        let trad_small = fig.value(SystemKind::Traditional, 16, Parallelism::Seq).unwrap();
+        let trad_big = fig.value(SystemKind::Traditional, 32, Parallelism::Seq).unwrap();
+        assert!(
+            trad_big >= trad_small * 0.9,
+            "traditional miss rate should not shrink with size: {trad_small} -> {trad_big}"
+        );
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Figures 14 and 15: scatter of access-group completion times, D2 vs
+//! the traditional DHT (Fig. 14) and vs the traditional-file DHT
+//! (Fig. 15), in seq and para modes.
+//!
+//! Paper shape: the weight of the distribution lies above the diagonal
+//! (D2 faster); in para mode more points dip below, but no group that
+//! takes > 5 s under D2 completes much faster under the baselines.
+
+use crate::fig9::mode_label;
+use crate::perf_suite::SuiteResult;
+use crate::report::render_table;
+use d2_core::{Parallelism, SystemKind};
+
+/// A scatter data set for one (baseline, mode).
+#[derive(Clone, Debug)]
+pub struct Scatter {
+    /// Baseline system (x-axis).
+    pub baseline: SystemKind,
+    /// Replay mode.
+    pub mode: Parallelism,
+    /// `(baseline latency, d2 latency)` per access group, seconds.
+    pub pairs: Vec<(f64, f64)>,
+}
+
+impl Scatter {
+    /// Fraction of groups above the diagonal (faster under D2).
+    pub fn fraction_above_diagonal(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().filter(|(base, d2)| base > d2).count() as f64
+            / self.pairs.len() as f64
+    }
+
+    /// Latency-weighted fraction: total baseline seconds spent in groups
+    /// where D2 wins (the "weight of the distribution" the paper eyes).
+    pub fn weight_above_diagonal(&self) -> f64 {
+        let total: f64 = self.pairs.iter().map(|(b, _)| b).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.pairs.iter().filter(|(b, d)| b > d).map(|(b, _)| b).sum::<f64>() / total
+    }
+
+    /// Summary of the slow tail: among groups slower than `threshold`
+    /// seconds under either system, the fraction where D2 is faster.
+    pub fn slow_tail_d2_wins(&self, threshold: f64) -> f64 {
+        let tail: Vec<&(f64, f64)> =
+            self.pairs.iter().filter(|(b, d)| *b > threshold || *d > threshold).collect();
+        if tail.is_empty() {
+            return 1.0;
+        }
+        tail.iter().filter(|(b, d)| b >= d).count() as f64 / tail.len() as f64
+    }
+}
+
+/// Both figures' data.
+#[derive(Clone, Debug)]
+pub struct Fig14And15 {
+    /// One scatter per (baseline, mode).
+    pub scatters: Vec<Scatter>,
+}
+
+impl Fig14And15 {
+    /// The scatter for a configuration.
+    pub fn scatter(&self, baseline: SystemKind, mode: Parallelism) -> Option<&Scatter> {
+        self.scatters.iter().find(|s| s.baseline == baseline && s.mode == mode)
+    }
+
+    /// Renders summary statistics (the full point cloud is available via
+    /// [`Scatter::pairs`]).
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .scatters
+            .iter()
+            .map(|s| {
+                vec![
+                    s.baseline.label().to_string(),
+                    mode_label(s.mode).to_string(),
+                    s.pairs.len().to_string(),
+                    format!("{:.2}", s.fraction_above_diagonal()),
+                    format!("{:.2}", s.weight_above_diagonal()),
+                    format!("{:.2}", s.slow_tail_d2_wins(5.0)),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figures 14/15: access-group latency scatter summaries (D2 vs baseline)",
+            &["baseline", "mode", "groups", "frac>diag", "weight>diag", "slow-tail-wins"],
+            &rows,
+        )
+    }
+}
+
+/// Extracts both scatters from a suite run at one configuration.
+pub fn from_suite(suite: &SuiteResult, size: usize, kbps: u64) -> Fig14And15 {
+    let mut scatters = Vec::new();
+    for baseline in [SystemKind::Traditional, SystemKind::TraditionalFile] {
+        for mode in [Parallelism::Seq, Parallelism::Para] {
+            let pairs = suite.latency_pairs(SystemKind::D2, baseline, size, kbps, mode);
+            if !pairs.is_empty() {
+                scatters.push(Scatter { baseline, mode, pairs });
+            }
+        }
+    }
+    Fig14And15 { scatters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_suite::{self, SuiteConfig};
+    use crate::Scale;
+    use d2_workload::HarvardTrace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weight_of_distribution_above_diagonal_in_seq() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![24],
+            kbps: vec![1500],
+            measure_groups: 120,
+            ..SuiteConfig::default()
+        };
+        let suite = perf_suite::run(&trace, &cfg);
+        let fig = from_suite(&suite, 24, 1500);
+        let seq = fig.scatter(SystemKind::Traditional, Parallelism::Seq).unwrap();
+        assert!(
+            seq.weight_above_diagonal() > 0.5,
+            "weight above diagonal {} should exceed 0.5",
+            seq.weight_above_diagonal()
+        );
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Figures 16 and 17: storage load imbalance (normalized standard
+//! deviation of node load) over time, for the Harvard (Fig. 16) and
+//! Webcache (Fig. 17) workloads, across four systems: traditional-file,
+//! traditional, D2, and Traditional+Merc.
+//!
+//! Paper shape: traditional-file is the worst (whole files on single
+//! nodes under a 4-orders-of-magnitude size distribution); D2 tracks
+//! Traditional+Merc closely — i.e. it gives up little balance by
+//! abandoning consistent hashing — and stays at or below the traditional
+//! DHT most of the time.
+
+use crate::balance_sim::{self, BalanceRun, BalanceSystem, ChurnStream};
+use crate::report::render_table;
+use d2_core::ClusterConfig;
+use d2_workload::{HarvardTrace, WebTrace};
+
+/// Which workload a figure covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceWorkload {
+    /// Figure 16.
+    Harvard,
+    /// Figure 17.
+    Webcache,
+}
+
+/// The imbalance-over-time figure for one workload.
+#[derive(Clone, Debug)]
+pub struct ImbalanceFigure {
+    /// Which workload.
+    pub workload: BalanceWorkload,
+    /// One run per system.
+    pub runs: Vec<BalanceRun>,
+}
+
+impl ImbalanceFigure {
+    /// The run for one system.
+    pub fn run_for(&self, system: BalanceSystem) -> Option<&BalanceRun> {
+        self.runs.iter().find(|r| r.system == system)
+    }
+
+    /// Mean imbalance of the last `frac` of each run's samples (the
+    /// converged regime the paper's plots settle into).
+    pub fn tail_mean(&self, system: BalanceSystem, frac: f64) -> Option<f64> {
+        let run = self.run_for(system)?;
+        let pts = run.imbalance.points();
+        if pts.is_empty() {
+            return None;
+        }
+        let start = ((1.0 - frac) * pts.len() as f64) as usize;
+        let tail = &pts[start.min(pts.len() - 1)..];
+        Some(tail.iter().map(|(_, v)| v).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Renders a down-sampled series table.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for run in &self.runs {
+            for (t, v) in run.imbalance.downsample(12) {
+                rows.push(vec![
+                    run.system.label().to_string(),
+                    format!("{:.1}h", t.as_secs_f64() / 3600.0),
+                    format!("{v:.3}"),
+                ]);
+            }
+        }
+        let title = match self.workload {
+            BalanceWorkload::Harvard => "Figure 16: load imbalance over time (Harvard)",
+            BalanceWorkload::Webcache => "Figure 17: load imbalance over time (Webcache)",
+        };
+        render_table(title, &["system", "time", "norm-stddev"], &rows)
+    }
+}
+
+/// All four systems, matching the paper's lines.
+pub const ALL_SYSTEMS: [BalanceSystem; 4] = [
+    BalanceSystem::TraditionalFile,
+    BalanceSystem::Traditional,
+    BalanceSystem::D2,
+    BalanceSystem::TraditionalMerc,
+];
+
+fn run_workload(
+    workload: BalanceWorkload,
+    streams: &dyn Fn(BalanceSystem) -> ChurnStream,
+    cfg: &ClusterConfig,
+    systems: &[BalanceSystem],
+    warmup: d2_sim::SimTime,
+) -> ImbalanceFigure {
+    let runs = systems
+        .iter()
+        .map(|&s| balance_sim::run(s, cfg, &streams(s), warmup))
+        .collect();
+    ImbalanceFigure { workload, runs }
+}
+
+/// Runs Figure 16 (Harvard).
+pub fn fig16(
+    trace: &HarvardTrace,
+    cfg: &ClusterConfig,
+    systems: &[BalanceSystem],
+    warmup: d2_sim::SimTime,
+) -> ImbalanceFigure {
+    run_workload(
+        BalanceWorkload::Harvard,
+        &|s: BalanceSystem| balance_sim::harvard_churn(trace, s.system_kind()),
+        cfg,
+        systems,
+        warmup,
+    )
+}
+
+/// Runs Figure 17 (Webcache).
+pub fn fig17(
+    trace: &WebTrace,
+    cfg: &ClusterConfig,
+    systems: &[BalanceSystem],
+    warmup: d2_sim::SimTime,
+) -> ImbalanceFigure {
+    run_workload(
+        BalanceWorkload::Webcache,
+        &|s: BalanceSystem| balance_sim::webcache_churn(trace, s.system_kind()),
+        cfg,
+        systems,
+        warmup,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harvard_imbalance_ordering() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = Scale::Quick.cluster(3);
+        let fig = fig16(&trace, &cfg, &ALL_SYSTEMS, d2_sim::SimTime::from_secs(6 * 3600));
+        let d2 = fig.tail_mean(BalanceSystem::D2, 0.3).unwrap();
+        let tf = fig.tail_mean(BalanceSystem::TraditionalFile, 0.3).unwrap();
+        let merc = fig.tail_mean(BalanceSystem::TraditionalMerc, 0.3).unwrap();
+        // Traditional-file is the worst; D2 lands near Traditional+Merc.
+        assert!(d2 < tf, "d2 {d2} should beat traditional-file {tf}");
+        assert!(
+            d2 < merc * 4.0 + 0.3,
+            "d2 {d2} should be in Traditional+Merc's neighbourhood {merc}"
+        );
+        assert!(!fig.render().is_empty());
+    }
+
+    #[test]
+    fn webcache_run_completes_with_volatile_imbalance() {
+        let trace = WebTrace::generate(
+            &Scale::Quick.web(),
+            &mut rand::rngs::StdRng::seed_from_u64(6),
+        );
+        let cfg = Scale::Quick.cluster(3);
+        let fig = fig17(
+            &trace,
+            &cfg,
+            &[BalanceSystem::D2, BalanceSystem::Traditional],
+            d2_sim::SimTime::from_secs(3600),
+        );
+        let d2 = fig.run_for(BalanceSystem::D2).unwrap();
+        assert!(!d2.imbalance.is_empty());
+        // The cache starts empty, so early imbalance is extreme and must
+        // come down once balancing kicks in.
+        let early = d2.imbalance.points()[0].1;
+        let late = fig.tail_mean(BalanceSystem::D2, 0.25).unwrap();
+        assert!(
+            late < early || early == 0.0,
+            "imbalance should fall from cold start: early {early}, late {late}"
+        );
+    }
+}

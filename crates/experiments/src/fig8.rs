@@ -1,0 +1,129 @@
+//! Figure 8: unavailability experienced by individual users, ranked by
+//! decreasing unavailability (inter = 5 s). D2's failures affect fewer
+//! users, each more deeply — the trade-off Section 4.3 discusses.
+
+use crate::report::{fmt, render_table};
+use d2_core::{AvailabilitySim, ClusterConfig, SystemKind};
+use d2_sim::{FailureModel, FailureTrace, SimTime};
+use d2_workload::{split_tasks, HarvardTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ranked per-user unavailability for one system.
+#[derive(Clone, Debug)]
+pub struct Fig8Series {
+    /// System measured.
+    pub system: SystemKind,
+    /// `(user, unavailability)`, worst first; zero-unavailability users
+    /// included at the tail.
+    pub ranked: Vec<(u32, f64)>,
+}
+
+impl Fig8Series {
+    /// Users with nonzero unavailability (the points the paper plots).
+    pub fn affected(&self) -> usize {
+        self.ranked.iter().filter(|(_, u)| *u > 0.0).count()
+    }
+}
+
+/// The full figure.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// One series per system.
+    pub series: Vec<Fig8Series>,
+}
+
+impl Fig8 {
+    /// Renders the ranked points.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for s in &self.series {
+            for (rank, (user, unavail)) in
+                s.ranked.iter().filter(|(_, u)| *u > 0.0).enumerate()
+            {
+                rows.push(vec![
+                    s.system.label().to_string(),
+                    rank.to_string(),
+                    format!("u{user}"),
+                    fmt(*unavail),
+                ]);
+            }
+            rows.push(vec![
+                s.system.label().to_string(),
+                "-".into(),
+                format!("({} affected users)", s.affected()),
+                "".into(),
+            ]);
+        }
+        render_table(
+            "Figure 8: per-user task unavailability, ranked (inter = 5s)",
+            &["system", "rank", "user", "unavailability"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the Figure 8 experiment (single trial, inter = 5 s).
+pub fn run(
+    trace: &HarvardTrace,
+    cfg: &ClusterConfig,
+    failure_model: &FailureModel,
+    warmup_days: f64,
+    failure_seed: u64,
+) -> Fig8 {
+    let failures = FailureTrace::generate(
+        cfg.nodes,
+        failure_model,
+        &mut StdRng::seed_from_u64(failure_seed),
+    );
+    let tasks =
+        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+    let mut series = Vec::new();
+    for system in [SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile] {
+        let mut sim = AvailabilitySim::build(system, cfg, trace, warmup_days);
+        let report = sim.run(trace, &tasks, &failures);
+        series.push(Fig8Series { system, ranked: report.ranked_user_unavailability() });
+    }
+    Fig8 { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fewer_users_affected_under_d2() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let cfg = Scale::Quick.cluster(3);
+        let model = FailureModel {
+            mttf_secs: 86_400.0,
+            mttr_secs: 4.0 * 3600.0,
+            correlated_events: 3.0,
+            correlated_fraction: 0.2,
+            correlated_mttr_secs: 2.0 * 3600.0,
+            duration_secs: trace.config.days * 86_400.0,
+        };
+        let fig = run(&trace, &cfg, &model, 0.05, 42);
+        assert_eq!(fig.series.len(), 3);
+        let d2 = fig.series.iter().find(|s| s.system == SystemKind::D2).unwrap();
+        let trad =
+            fig.series.iter().find(|s| s.system == SystemKind::Traditional).unwrap();
+        assert!(
+            d2.affected() <= trad.affected(),
+            "d2 affects {} users vs traditional {}",
+            d2.affected(),
+            trad.affected()
+        );
+        // Rankings are sorted descending.
+        for s in &fig.series {
+            for w in s.ranked.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 9: average DHT lookup messages per node vs system size, for
+//! the seq and para replay modes.
+//!
+//! Paper shape: traditional lookup traffic *grows* with system size
+//! (cache miss rate rises); D2 and traditional-file traffic *shrink*
+//! (miss rates stay flat while nodes multiply), with D2 well below both.
+
+use crate::perf_suite::SuiteResult;
+use crate::report::{fmt, render_table};
+use d2_core::{Parallelism, SystemKind};
+
+/// Mode label helper shared by the Section 9 figures.
+pub fn mode_label(mode: Parallelism) -> &'static str {
+    match mode {
+        Parallelism::Seq => "seq",
+        Parallelism::Para => "para",
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct Fig9Point {
+    /// System.
+    pub system: SystemKind,
+    /// System size (nodes).
+    pub size: usize,
+    /// Replay mode.
+    pub mode: Parallelism,
+    /// Lookup messages per node.
+    pub msgs_per_node: f64,
+}
+
+/// The full figure.
+#[derive(Clone, Debug)]
+pub struct Fig9 {
+    /// All measured points.
+    pub points: Vec<Fig9Point>,
+}
+
+impl Fig9 {
+    /// The value for one configuration.
+    pub fn value(&self, system: SystemKind, size: usize, mode: Parallelism) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.system == system && p.size == size && p.mode == mode)
+            .map(|p| p.msgs_per_node)
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.system.label().to_string(),
+                    p.size.to_string(),
+                    mode_label(p.mode).to_string(),
+                    fmt(p.msgs_per_node),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figure 9: DHT lookup messages per node",
+            &["system", "nodes", "mode", "msgs/node"],
+            &rows,
+        )
+    }
+}
+
+/// Extracts Figure 9 from a suite run (uses the first bandwidth swept).
+pub fn from_suite(suite: &SuiteResult) -> Fig9 {
+    let mut points = Vec::new();
+    for (&(system, size, _kbps, mode), report) in &suite.cells {
+        // One point per (system, size, mode): keep the first bandwidth.
+        if points
+            .iter()
+            .any(|p: &Fig9Point| p.system == system && p.size == size && p.mode == mode)
+        {
+            continue;
+        }
+        points.push(Fig9Point {
+            system,
+            size,
+            mode,
+            msgs_per_node: report.lookup_messages_per_node(),
+        });
+    }
+    points.sort_by_key(|p| (p.system.label(), p.size, mode_label(p.mode)));
+    Fig9 { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_suite::{self, SuiteConfig};
+    use crate::Scale;
+    use d2_workload::HarvardTrace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn d2_sends_far_fewer_lookup_messages() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![16],
+            kbps: vec![1500],
+            measure_groups: 80,
+            ..SuiteConfig::default()
+        };
+        let suite = perf_suite::run(&trace, &cfg);
+        let fig = from_suite(&suite);
+        let d2 = fig.value(SystemKind::D2, 16, Parallelism::Seq).unwrap();
+        let trad = fig.value(SystemKind::Traditional, 16, Parallelism::Seq).unwrap();
+        assert!(
+            d2 < trad / 2.0,
+            "d2 msgs/node {d2} should be far below traditional {trad}"
+        );
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! The shared Section 9 testbed driver behind Figures 9–15.
+//!
+//! One [`run`] call sweeps system kind × system size × access bandwidth ×
+//! parallelism mode over a single Harvard trace, warming each user's
+//! lookup cache from the trace prefix before measuring the suffix — the
+//! paper's methodology of simulating cache content "from the beginning of
+//! the workload to the start of the time period" (Section 9.1).
+
+use d2_core::{ClusterConfig, Parallelism, PerfConfig, PerfReport, PerfSim, SystemKind};
+use d2_sim::{geometric_mean, SimTime};
+use d2_workload::{split_access_groups, HarvardTrace, Task};
+use std::collections::HashMap;
+
+/// One measured configuration.
+pub type CellKey = (SystemKind, usize, u64, Parallelism);
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// System sizes (node counts) to sweep.
+    pub sizes: Vec<usize>,
+    /// Access-link bandwidths in kbps (paper: 1500 and 384).
+    pub kbps: Vec<u64>,
+    /// Parallelism modes to measure.
+    pub modes: Vec<Parallelism>,
+    /// Systems to measure.
+    pub systems: Vec<SystemKind>,
+    /// Replicas per block (paper: 4 in the performance runs).
+    pub replicas: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of access groups measured (from the end of the trace).
+    pub measure_groups: usize,
+    /// Days of balance warm-up before measuring.
+    pub warmup_days: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            sizes: vec![16, 32],
+            kbps: vec![1500, 384],
+            modes: vec![Parallelism::Seq, Parallelism::Para],
+            systems: vec![
+                SystemKind::D2,
+                SystemKind::Traditional,
+                SystemKind::TraditionalFile,
+            ],
+            replicas: 4,
+            seed: 11,
+            measure_groups: 200,
+            warmup_days: 0.1,
+        }
+    }
+}
+
+/// Results of a sweep.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Report per measured configuration.
+    pub cells: HashMap<CellKey, PerfReport>,
+    /// The measured access groups (aligned with each report's latencies).
+    pub groups: Vec<Task>,
+}
+
+impl SuiteResult {
+    /// The report for a configuration.
+    pub fn cell(
+        &self,
+        system: SystemKind,
+        size: usize,
+        kbps: u64,
+        mode: Parallelism,
+    ) -> Option<&PerfReport> {
+        self.cells.get(&(system, size, kbps, mode))
+    }
+
+    /// Overall speedup of `num` over `base` for one configuration: the
+    /// geometric mean over users of each user's geometric-mean per-group
+    /// ratio `base_latency / num_latency` (Section 9.3's metric).
+    pub fn speedup(
+        &self,
+        num: SystemKind,
+        base: SystemKind,
+        size: usize,
+        kbps: u64,
+        mode: Parallelism,
+    ) -> Option<f64> {
+        let per_user = self.per_user_speedup(num, base, size, kbps, mode)?;
+        let means: Vec<f64> = per_user.values().copied().collect();
+        Some(geometric_mean(&means))
+    }
+
+    /// Per-user geometric-mean speedups of `num` over `base`.
+    pub fn per_user_speedup(
+        &self,
+        num: SystemKind,
+        base: SystemKind,
+        size: usize,
+        kbps: u64,
+        mode: Parallelism,
+    ) -> Option<HashMap<u32, f64>> {
+        let a = self.cell(base, size, kbps, mode)?;
+        let b = self.cell(num, size, kbps, mode)?;
+        let mut ratios: HashMap<u32, Vec<f64>> = HashMap::new();
+        for ((&user, &base_lat), &num_lat) in a
+            .group_users
+            .iter()
+            .zip(&a.group_latencies)
+            .zip(&b.group_latencies)
+        {
+            if base_lat > 0.0 && num_lat > 0.0 {
+                ratios.entry(user).or_default().push(base_lat / num_lat);
+            }
+        }
+        Some(
+            ratios
+                .into_iter()
+                .map(|(u, rs)| (u, geometric_mean(&rs)))
+                .collect(),
+        )
+    }
+
+    /// Per-group latency pairs `(base, num)` for the scatter plots
+    /// (Figures 14–15).
+    pub fn latency_pairs(
+        &self,
+        num: SystemKind,
+        base: SystemKind,
+        size: usize,
+        kbps: u64,
+        mode: Parallelism,
+    ) -> Vec<(f64, f64)> {
+        let (Some(a), Some(b)) =
+            (self.cell(base, size, kbps, mode), self.cell(num, size, kbps, mode))
+        else {
+            return vec![];
+        };
+        a.group_latencies
+            .iter()
+            .zip(&b.group_latencies)
+            .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+            .map(|(&x, &y)| (x, y))
+            .collect()
+    }
+}
+
+/// Runs the sweep.
+pub fn run(trace: &HarvardTrace, cfg: &SuiteConfig) -> SuiteResult {
+    let groups = split_access_groups(&trace.accesses, SimTime::from_secs(1));
+    let measure_start = groups.len().saturating_sub(cfg.measure_groups);
+    let (warm, measure) = groups.split_at(measure_start);
+
+    let mut cells = HashMap::new();
+    for &system in &cfg.systems {
+        for &size in &cfg.sizes {
+            let ccfg = ClusterConfig {
+                nodes: size,
+                replicas: cfg.replicas,
+                seed: cfg.seed,
+                ..ClusterConfig::default()
+            };
+            let pcfg = PerfConfig::default();
+            let mut base = PerfSim::build(system, &ccfg, &pcfg, trace, cfg.warmup_days);
+            base.warm_caches(trace, warm);
+            for &kbps in &cfg.kbps {
+                for &mode in &cfg.modes {
+                    let mut sim = base.clone();
+                    sim.set_access_kbps(kbps);
+                    let report = sim.run(trace, measure, mode);
+                    cells.insert((system, size, kbps, mode), report);
+                }
+            }
+        }
+    }
+    SuiteResult { cells, groups: measure.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rand::SeedableRng;
+
+    fn quick_suite() -> (HarvardTrace, SuiteResult) {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let cfg = SuiteConfig {
+            sizes: vec![16],
+            kbps: vec![1500],
+            measure_groups: 80,
+            ..SuiteConfig::default()
+        };
+        let result = run(&trace, &cfg);
+        (trace, result)
+    }
+
+    #[test]
+    fn suite_produces_all_cells() {
+        let (_trace, result) = quick_suite();
+        assert_eq!(result.cells.len(), 3 * 1 * 1 * 2);
+        for report in result.cells.values() {
+            assert_eq!(report.group_latencies.len(), result.groups.len());
+        }
+    }
+
+    #[test]
+    fn d2_speedup_over_traditional_in_seq() {
+        let (_trace, result) = quick_suite();
+        let s = result
+            .speedup(SystemKind::D2, SystemKind::Traditional, 16, 1500, Parallelism::Seq)
+            .unwrap();
+        assert!(s > 1.0, "seq speedup should exceed 1, got {s}");
+    }
+
+    #[test]
+    fn latency_pairs_nonempty() {
+        let (_trace, result) = quick_suite();
+        let pairs = result.latency_pairs(
+            SystemKind::D2,
+            SystemKind::Traditional,
+            16,
+            1500,
+            Parallelism::Seq,
+        );
+        assert!(!pairs.is_empty());
+        for (a, b) in pairs {
+            assert!(a > 0.0 && b > 0.0);
+        }
+    }
+}

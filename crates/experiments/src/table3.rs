@@ -1,0 +1,190 @@
+//! Table 3: per-day data churn — bytes written (`W_i`) and removed
+//! (`R_i`) relative to the bytes present at the start of the day (`T_i`)
+//! — for the Harvard and Webcache workloads.
+//!
+//! Paper shape: Harvard writes and removes 10–22% of its data per day;
+//! Webcache churns its entire contents daily (ratios ≈ 1, with cold-start
+//! spikes).
+
+use crate::balance_sim::webcache_intervals;
+use crate::report::render_table;
+use d2_sim::SimTime;
+use d2_workload::{HarvardTrace, WebTrace};
+
+/// Per-day churn ratios for one workload.
+#[derive(Clone, Debug)]
+pub struct ChurnRatios {
+    /// Workload label.
+    pub workload: String,
+    /// `W_i / T_i` per day.
+    pub write_ratio: Vec<f64>,
+    /// `R_i / T_i` per day.
+    pub remove_ratio: Vec<f64>,
+}
+
+/// The full table.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// One entry per workload.
+    pub workloads: Vec<ChurnRatios>,
+}
+
+impl Table3 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let days = self.workloads.iter().map(|w| w.write_ratio.len()).max().unwrap_or(0);
+        let mut header: Vec<String> = vec!["ratio".into()];
+        header.extend((1..=days).map(|d| format!("day{d}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        let fmt_ratio = |r: &f64| {
+            if r.is_nan() {
+                // The cache was empty at the day's start (cold start):
+                // the ratio is undefined, as on the paper's first day.
+                "-".to_string()
+            } else {
+                format!("{r:.2}")
+            }
+        };
+        for w in &self.workloads {
+            let mut row = vec![format!("{} W/T", w.workload)];
+            row.extend(w.write_ratio.iter().map(fmt_ratio));
+            row.resize(days + 1, String::new());
+            rows.push(row);
+            let mut row = vec![format!("{} R/T", w.workload)];
+            row.extend(w.remove_ratio.iter().map(fmt_ratio));
+            row.resize(days + 1, String::new());
+            rows.push(row);
+        }
+        render_table("Table 3: daily churn (bytes written/removed vs stored)", &header_refs, &rows)
+    }
+}
+
+/// Computes Harvard's churn ratios straight from the trace.
+pub fn harvard_ratios(trace: &HarvardTrace) -> ChurnRatios {
+    let writes = trace.write_bytes_by_day();
+    let removes = trace.removed_bytes_by_day();
+    let stored = trace.stored_bytes_by_day();
+    let ratio = |num: &[u64]| -> Vec<f64> {
+        num.iter()
+            .zip(&stored)
+            .map(|(&n, &t)| n as f64 / t.max(1) as f64)
+            .collect()
+    };
+    ChurnRatios {
+        workload: "Harvard".into(),
+        write_ratio: ratio(&writes),
+        remove_ratio: ratio(&removes),
+    }
+}
+
+/// Computes Webcache churn ratios from the cached-interval model.
+pub fn webcache_ratios(trace: &WebTrace) -> ChurnRatios {
+    let days = trace.config.days.ceil() as usize;
+    let mut written = vec![0u64; days];
+    let mut removed = vec![0u64; days];
+    let mut stored = vec![0u64; days];
+    for (obj, intervals) in webcache_intervals(trace) {
+        let size = trace.objects[obj as usize].size;
+        for (start, end) in intervals {
+            let sd = (start.as_secs() / 86_400) as usize;
+            let ed = (end.as_secs() / 86_400) as usize;
+            if sd < days {
+                written[sd] += size;
+            }
+            if ed < days {
+                removed[ed] += size;
+            }
+            // Present at the start of every day strictly inside the
+            // interval.
+            for d in (sd + 1)..=ed.min(days.saturating_sub(1)) {
+                let day_start = SimTime::from_secs(d as u64 * 86_400);
+                if start <= day_start && day_start < end {
+                    stored[d] += size;
+                }
+            }
+        }
+    }
+    let ratio = |num: &[u64]| -> Vec<f64> {
+        num.iter()
+            .zip(&stored)
+            .map(|(&n, &t)| if t == 0 { f64::NAN } else { n as f64 / t as f64 })
+            .collect()
+    };
+    ChurnRatios {
+        workload: "Webcache".into(),
+        write_ratio: ratio(&written),
+        remove_ratio: ratio(&removed),
+    }
+}
+
+/// Builds Table 3 from both workloads.
+pub fn run(harvard: &HarvardTrace, web: &WebTrace) -> Table3 {
+    Table3 { workloads: vec![harvard_ratios(harvard), webcache_ratios(web)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use d2_workload::{HarvardConfig, WebConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn harvard_ratios_in_paper_band() {
+        let trace = HarvardTrace::generate(
+            &HarvardConfig { days: 4.0, ..Scale::Quick.harvard() },
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let r = harvard_ratios(&trace);
+        // Skip the final (partially generated) day.
+        for d in 0..r.write_ratio.len() - 1 {
+            assert!(
+                (0.03..0.6).contains(&r.write_ratio[d]),
+                "day {d} W/T {} out of band",
+                r.write_ratio[d]
+            );
+            assert!(
+                r.remove_ratio[d] < 0.6,
+                "day {d} R/T {} out of band",
+                r.remove_ratio[d]
+            );
+        }
+    }
+
+    #[test]
+    fn webcache_churns_roughly_everything_daily() {
+        let trace = WebTrace::generate(
+            &WebConfig { days: 4.0, ..Scale::Quick.web() },
+            &mut rand::rngs::StdRng::seed_from_u64(6),
+        );
+        let r = webcache_ratios(&trace);
+        // After the cold-start day, removal churn is near-total: most data
+        // present at a day's start is gone by its end (paper: R/T ≈ 1).
+        for d in 1..r.remove_ratio.len() - 1 {
+            assert!(
+                r.remove_ratio[d] > 0.4,
+                "day {d} webcache R/T {} should be large",
+                r.remove_ratio[d]
+            );
+        }
+        // Webcache W/T exceeds Harvard-like steady ratios.
+        assert!(r.write_ratio[1] > 0.3, "day-1 W/T {}", r.write_ratio[1]);
+    }
+
+    #[test]
+    fn renders() {
+        let harvard = HarvardTrace::generate(
+            &HarvardConfig { days: 2.0, ..Scale::Quick.harvard() },
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+        );
+        let web = WebTrace::generate(
+            &WebConfig { days: 2.0, ..Scale::Quick.web() },
+            &mut rand::rngs::StdRng::seed_from_u64(8),
+        );
+        let t = run(&harvard, &web);
+        let text = t.render();
+        assert!(text.contains("Harvard W/T"));
+        assert!(text.contains("Webcache R/T"));
+    }
+}

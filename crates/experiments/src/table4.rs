@@ -1,0 +1,136 @@
+//! Table 4: mean per-day write traffic (`W_i`) vs load-balancing
+//! (migration) traffic (`L_i`) for D2 on the Harvard and Webcache
+//! workloads, in MB.
+//!
+//! Paper shape: for Harvard, total migration ≈ 50% of total writes ("for
+//! every 2 bytes written, 1 byte is migrated later"); for Webcache the
+//! two are comparable (migration slightly above writes).
+
+use crate::balance_sim::{self, BalanceRun, BalanceSystem};
+use crate::report::render_table;
+use d2_core::ClusterConfig;
+use d2_types::SystemKind;
+use d2_workload::{HarvardTrace, WebTrace};
+
+/// Per-day W/L traffic for one workload.
+#[derive(Clone, Debug)]
+pub struct Table4Rows {
+    /// Workload label.
+    pub workload: String,
+    /// Write MB per day.
+    pub write_mb: Vec<f64>,
+    /// Migration MB per day.
+    pub balance_mb: Vec<f64>,
+}
+
+impl Table4Rows {
+    /// Total write MB.
+    pub fn total_write(&self) -> f64 {
+        self.write_mb.iter().sum()
+    }
+
+    /// Total migration MB.
+    pub fn total_balance(&self) -> f64 {
+        self.balance_mb.iter().sum()
+    }
+
+    /// Migration as a fraction of writes (paper: ≈ 0.5 for Harvard,
+    /// ≈ 1.2 for Webcache).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.total_balance() / self.total_write().max(1e-9)
+    }
+}
+
+/// The full table.
+#[derive(Clone, Debug)]
+pub struct Table4 {
+    /// One entry per workload.
+    pub workloads: Vec<Table4Rows>,
+}
+
+impl Table4 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let days = self.workloads.iter().map(|w| w.write_mb.len()).max().unwrap_or(0);
+        let mut header: Vec<String> = vec!["traffic (MB)".into()];
+        header.extend((1..=days).map(|d| format!("day{d}")));
+        header.push("total".into());
+        header.push("L/W".into());
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        for w in &self.workloads {
+            let mut row = vec![format!("{} W", w.workload)];
+            row.extend(w.write_mb.iter().map(|v| format!("{v:.0}")));
+            row.resize(days + 1, String::new()); // pad short workloads
+            row.push(format!("{:.0}", w.total_write()));
+            row.push(String::new());
+            rows.push(row);
+            let mut row = vec![format!("{} L", w.workload)];
+            row.extend(w.balance_mb.iter().map(|v| format!("{v:.0}")));
+            row.resize(days + 1, String::new());
+            row.push(format!("{:.0}", w.total_balance()));
+            row.push(format!("{:.2}", w.overhead_ratio()));
+            rows.push(row);
+        }
+        render_table("Table 4: write traffic vs load-balancing traffic", &header_refs, &rows)
+    }
+}
+
+fn to_rows(label: &str, run: &BalanceRun) -> Table4Rows {
+    let mb = |v: &[u64]| v.iter().map(|&b| b as f64 / 1e6).collect();
+    Table4Rows {
+        workload: label.into(),
+        write_mb: mb(&run.write_bytes_per_day),
+        balance_mb: mb(&run.migration_bytes_per_day),
+    }
+}
+
+/// Runs the Table 4 experiment for D2 on both workloads.
+pub fn run(
+    harvard: &HarvardTrace,
+    web: &WebTrace,
+    cfg: &ClusterConfig,
+    warmup: d2_sim::SimTime,
+) -> Table4 {
+    let h_stream = balance_sim::harvard_churn(harvard, SystemKind::D2);
+    let h_run = balance_sim::run(BalanceSystem::D2, cfg, &h_stream, warmup);
+    let w_stream = balance_sim::webcache_churn(web, SystemKind::D2);
+    let w_run = balance_sim::run(BalanceSystem::D2, cfg, &w_stream, warmup);
+    Table4 {
+        workloads: vec![to_rows("Harvard", &h_run), to_rows("Webcache", &w_run)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rand::SeedableRng;
+
+    #[test]
+    fn migration_overhead_in_a_sane_band() {
+        let harvard = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let web = WebTrace::generate(
+            &Scale::Quick.web(),
+            &mut rand::rngs::StdRng::seed_from_u64(6),
+        );
+        let cfg = Scale::Quick.cluster(3);
+        let t = run(&harvard, &web, &cfg, d2_sim::SimTime::from_secs(6 * 3600));
+        assert_eq!(t.workloads.len(), 2);
+        for w in &t.workloads {
+            assert!(w.total_write() > 0.0, "{} wrote nothing", w.workload);
+            // Migration exists but is not orders of magnitude above
+            // writes (Table 4's qualitative claim).
+            assert!(
+                w.overhead_ratio() < 10.0,
+                "{} overhead ratio {}",
+                w.workload,
+                w.overhead_ratio()
+            );
+        }
+        assert!(!t.render().is_empty());
+    }
+}

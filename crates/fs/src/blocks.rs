@@ -1,0 +1,356 @@
+//! On-DHT block formats (paper Figure 2) and their binary codecs.
+
+use crate::codec::{Reader, Writer};
+use d2_types::hash::keyed_mac;
+use d2_types::{sha256, ContentHash, D2Error, Key, Result, VolumeId};
+
+/// The mutable, publisher-signed volume root. Updated in place; everything
+/// else is reachable (and integrity-protected) from here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootBlock {
+    /// The volume this root describes.
+    pub volume: VolumeId,
+    /// Monotonic publication sequence number.
+    pub seq: u64,
+    /// DHT key of the root directory block.
+    pub dir_key: Key,
+    /// Content hash of the root directory block.
+    pub dir_hash: ContentHash,
+    /// Keyed MAC over the above, standing in for the publisher's
+    /// public-key signature (see DESIGN.md §3).
+    pub signature: ContentHash,
+}
+
+impl RootBlock {
+    /// Builds and signs a root block with the publisher `secret`.
+    pub fn signed(volume: VolumeId, seq: u64, dir_key: Key, dir_hash: ContentHash, secret: &[u8]) -> Self {
+        let mut root = RootBlock { volume, seq, dir_key, dir_hash, signature: ContentHash::default() };
+        root.signature = keyed_mac(secret, &root.signable());
+        root
+    }
+
+    fn signable(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&self.volume.0);
+        w.put_u64(self.seq);
+        w.put_key(&self.dir_key);
+        w.put_hash(&self.dir_hash);
+        w.finish()
+    }
+
+    /// Verifies the signature with the publisher `secret`.
+    pub fn verify(&self, secret: &[u8]) -> Result<()> {
+        if keyed_mac(secret, &self.signable()) == self.signature {
+            Ok(())
+        } else {
+            Err(D2Error::BadSignature)
+        }
+    }
+
+    /// Serializes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(b'R');
+        w.put_bytes(&self.volume.0);
+        w.put_u64(self.seq);
+        w.put_key(&self.dir_key);
+        w.put_hash(&self.dir_hash);
+        w.put_hash(&self.signature);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    pub fn decode(data: &[u8]) -> Result<RootBlock> {
+        let mut r = Reader::new(data);
+        if r.get_u8()? != b'R' {
+            return Err(D2Error::Codec("not a root block".into()));
+        }
+        let vol_bytes = r.get_bytes()?;
+        let mut vol = [0u8; 20];
+        if vol_bytes.len() != 20 {
+            return Err(D2Error::Codec("volume id must be 20 bytes".into()));
+        }
+        vol.copy_from_slice(&vol_bytes);
+        Ok(RootBlock {
+            volume: VolumeId(vol),
+            seq: r.get_u64()?,
+            dir_key: r.get_key()?,
+            dir_hash: r.get_hash()?,
+            signature: r.get_hash()?,
+        })
+    }
+}
+
+/// What a directory entry names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A subdirectory (target is its directory block).
+    Dir,
+    /// A regular file (target is its inode block).
+    File,
+    /// A small file stored inline in this directory block — no inode or
+    /// data blocks exist (Section 3).
+    InlineFile,
+}
+
+/// One entry of a directory block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// File or directory name within this directory.
+    pub name: String,
+    /// The 2-byte slot assigned to this entry (drives the key encoding).
+    pub slot: u16,
+    /// What the entry is.
+    pub kind: EntryKind,
+    /// DHT key of the child's metadata block (dir block or inode). For
+    /// renamed entries this is the child's *original* location — D2 keeps
+    /// keys stable across renames. Zero key for inline files.
+    pub target_key: Key,
+    /// Content hash of the child's metadata block (zero for inline).
+    pub target_hash: ContentHash,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Inline contents for [`EntryKind::InlineFile`].
+    pub inline: Vec<u8>,
+}
+
+/// An immutable directory metadata block.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DirBlock {
+    /// Version of this directory block (bumped on every re-publication).
+    pub version: u32,
+    /// Next unused slot value (slots of removed entries are not reused).
+    pub next_slot: u16,
+    /// Entries in this directory.
+    pub entries: Vec<DirEntry>,
+}
+
+impl DirBlock {
+    /// Serializes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(b'D');
+        w.put_u32(self.version);
+        w.put_u16(self.next_slot);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_str(&e.name);
+            w.put_u16(e.slot);
+            w.put_u8(match e.kind {
+                EntryKind::Dir => 0,
+                EntryKind::File => 1,
+                EntryKind::InlineFile => 2,
+            });
+            w.put_key(&e.target_key);
+            w.put_hash(&e.target_hash);
+            w.put_u64(e.size);
+            w.put_bytes(&e.inline);
+        }
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    pub fn decode(data: &[u8]) -> Result<DirBlock> {
+        let mut r = Reader::new(data);
+        if r.get_u8()? != b'D' {
+            return Err(D2Error::Codec("not a directory block".into()));
+        }
+        let version = r.get_u32()?;
+        let next_slot = r.get_u16()?;
+        let n = r.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let slot = r.get_u16()?;
+            let kind = match r.get_u8()? {
+                0 => EntryKind::Dir,
+                1 => EntryKind::File,
+                2 => EntryKind::InlineFile,
+                k => return Err(D2Error::Codec(format!("bad entry kind {k}"))),
+            };
+            entries.push(DirEntry {
+                name,
+                slot,
+                kind,
+                target_key: r.get_key()?,
+                target_hash: r.get_hash()?,
+                size: r.get_u64()?,
+                inline: r.get_bytes()?,
+            });
+        }
+        Ok(DirBlock { version, next_slot, entries })
+    }
+
+    /// Content hash of the encoded block (what the parent records).
+    pub fn content_hash(&self) -> ContentHash {
+        sha256(&self.encode())
+    }
+
+    /// Finds an entry by name.
+    pub fn find(&self, name: &str) -> Option<&DirEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// A file inode: the ordered list of the file's data blocks.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct InodeBlock {
+    /// Version of the file (matches the data blocks' key version field).
+    pub version: u32,
+    /// Total file size in bytes.
+    pub size: u64,
+    /// `(key, content hash, length)` of each data block, in order.
+    pub blocks: Vec<(Key, ContentHash, u32)>,
+}
+
+impl InodeBlock {
+    /// Serializes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(b'I');
+        w.put_u32(self.version);
+        w.put_u64(self.size);
+        w.put_u32(self.blocks.len() as u32);
+        for (k, h, len) in &self.blocks {
+            w.put_key(k);
+            w.put_hash(h);
+            w.put_u32(*len);
+        }
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    pub fn decode(data: &[u8]) -> Result<InodeBlock> {
+        let mut r = Reader::new(data);
+        if r.get_u8()? != b'I' {
+            return Err(D2Error::Codec("not an inode block".into()));
+        }
+        let version = r.get_u32()?;
+        let size = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut blocks = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            blocks.push((r.get_key()?, r.get_hash()?, r.get_u32()?));
+        }
+        Ok(InodeBlock { version, size, blocks })
+    }
+
+    /// Content hash of the encoded block.
+    pub fn content_hash(&self) -> ContentHash {
+        sha256(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_block_roundtrip_and_verify() {
+        let root = RootBlock::signed(
+            VolumeId::from_name("v"),
+            3,
+            Key::from_u64(9),
+            sha256(b"dir"),
+            b"publisher-secret",
+        );
+        let enc = root.encode();
+        let dec = RootBlock::decode(&enc).unwrap();
+        assert_eq!(dec, root);
+        assert!(dec.verify(b"publisher-secret").is_ok());
+        assert_eq!(dec.verify(b"wrong"), Err(D2Error::BadSignature));
+    }
+
+    #[test]
+    fn tampered_root_fails_verification() {
+        let mut root = RootBlock::signed(
+            VolumeId::from_name("v"),
+            1,
+            Key::from_u64(9),
+            sha256(b"dir"),
+            b"s",
+        );
+        root.seq = 2; // forge a newer version
+        assert_eq!(root.verify(b"s"), Err(D2Error::BadSignature));
+    }
+
+    #[test]
+    fn dir_block_roundtrip() {
+        let dir = DirBlock {
+            version: 7,
+            next_slot: 4,
+            entries: vec![
+                DirEntry {
+                    name: "src".into(),
+                    slot: 1,
+                    kind: EntryKind::Dir,
+                    target_key: Key::from_u64(1),
+                    target_hash: sha256(b"src"),
+                    size: 0,
+                    inline: vec![],
+                },
+                DirEntry {
+                    name: "README.md".into(),
+                    slot: 2,
+                    kind: EntryKind::File,
+                    target_key: Key::from_u64(2),
+                    target_hash: sha256(b"readme"),
+                    size: 1234,
+                    inline: vec![],
+                },
+                DirEntry {
+                    name: ".gitignore".into(),
+                    slot: 3,
+                    kind: EntryKind::InlineFile,
+                    target_key: Key::MIN,
+                    target_hash: ContentHash::default(),
+                    size: 7,
+                    inline: b"target/".to_vec(),
+                },
+            ],
+        };
+        let dec = DirBlock::decode(&dir.encode()).unwrap();
+        assert_eq!(dec, dir);
+        assert_eq!(dec.find("src").unwrap().kind, EntryKind::Dir);
+        assert!(dec.find("missing").is_none());
+    }
+
+    #[test]
+    fn dir_hash_changes_with_content() {
+        let mut dir = DirBlock { version: 1, next_slot: 1, entries: vec![] };
+        let h1 = dir.content_hash();
+        dir.version = 2;
+        assert_ne!(h1, dir.content_hash());
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let inode = InodeBlock {
+            version: 2,
+            size: 20000,
+            blocks: vec![
+                (Key::from_u64(1), sha256(b"b0"), 8192),
+                (Key::from_u64(2), sha256(b"b1"), 8192),
+                (Key::from_u64(3), sha256(b"b2"), 3616),
+            ],
+        };
+        let dec = InodeBlock::decode(&inode.encode()).unwrap();
+        assert_eq!(dec, inode);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_tag() {
+        let inode = InodeBlock::default().encode();
+        assert!(DirBlock::decode(&inode).is_err());
+        assert!(RootBlock::decode(&inode).is_err());
+        let dir = DirBlock::default().encode();
+        assert!(InodeBlock::decode(&dir).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(DirBlock::decode(&[]).is_err());
+        assert!(DirBlock::decode(&[b'D', 1]).is_err());
+        assert!(RootBlock::decode(b"Rxxxx").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! A compact hand-rolled binary codec for on-DHT block formats.
+//!
+//! No general-purpose binary serde backend is in the allowed dependency
+//! set, so the block formats encode/decode through this small helper. All
+//! integers are big-endian; byte strings and lists are length-prefixed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use d2_types::{ContentHash, D2Error, Key, Result, KEY_BYTES};
+
+/// Writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Appends a length-prefixed byte string (max `u32::MAX`).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a 64-byte key.
+    pub fn put_key(&mut self, k: &Key) {
+        self.buf.put_slice(k.as_bytes());
+    }
+
+    /// Appends a 32-byte content hash.
+    pub fn put_hash(&mut self, h: &ContentHash) {
+        self.buf.put_slice(h.as_bytes());
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Reader over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps `data` for decoding.
+    pub fn new(data: &[u8]) -> Self {
+        Reader { buf: Bytes::copy_from_slice(data) }
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            return Err(D2Error::Codec(format!(
+                "truncated block: need {n} bytes, have {}",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.get_u32()? as usize;
+        self.need(n)?;
+        let mut out = vec![0u8; n];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        String::from_utf8(self.get_bytes()?)
+            .map_err(|_| D2Error::Codec("invalid utf-8 in block".into()))
+    }
+
+    /// Reads a 64-byte key.
+    pub fn get_key(&mut self) -> Result<Key> {
+        self.need(KEY_BYTES)?;
+        let mut b = [0u8; KEY_BYTES];
+        self.buf.copy_to_slice(&mut b);
+        Ok(Key::from_bytes(b))
+    }
+
+    /// Reads a 32-byte content hash.
+    pub fn get_hash(&mut self) -> Result<ContentHash> {
+        self.need(32)?;
+        let mut b = [0u8; 32];
+        self.buf.copy_to_slice(&mut b);
+        Ok(ContentHash(b))
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2_types::sha256;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 1);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let key = Key::from_u64(42);
+        let hash = sha256(b"h");
+        let mut w = Writer::new();
+        w.put_str("hello/world.txt");
+        w.put_key(&key);
+        w.put_hash(&hash);
+        w.put_bytes(&[1, 2, 3]);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.get_str().unwrap(), "hello/world.txt");
+        assert_eq!(r.get_key().unwrap(), key);
+        assert_eq!(r.get_hash().unwrap(), hash);
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc[..4]);
+        assert!(r.get_u64().is_err());
+        let mut r2 = Reader::new(&enc);
+        let _ = r2.get_u32();
+        assert!(r2.get_u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn empty_bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.put_bytes(&[]);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.get_bytes().unwrap(), Vec::<u8>::new());
+    }
+}

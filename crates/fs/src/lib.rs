@@ -1,0 +1,35 @@
+//! D2-FS: the CFS-style file-system layer with locality-preserving keys
+//! (paper Sections 3 and 4).
+//!
+//! Block types (Figure 2): a mutable, signed **root block**; immutable
+//! **directory blocks**; **file inodes**; and 8 KB **data blocks**. Every
+//! metadata block stores, for each block it points to, the child's DHT key
+//! *and its content hash*, because D2 keys are no longer content hashes —
+//! signing the root therefore still signs the whole tree.
+//!
+//! Reproduced behaviours:
+//!
+//! - per-directory 2-byte slot assignment feeding the Figure 4 key
+//!   encoding;
+//! - small files inlined in the parent metadata block;
+//! - whole-path metadata re-publication on every update (new versions of
+//!   every metadata block up to the root, root updated in place);
+//! - a 30-second **write-back cache** that absorbs temporary files and
+//!   doubles as a read buffer;
+//! - `remove(key, delay=30 s)` for replaced/deleted blocks so stale-by-30 s
+//!   readers still succeed;
+//! - **renames keep original keys**: the new parent simply points at the
+//!   file's original block locations (Section 4.2).
+//!
+//! The writer owns an in-memory mirror of its volume (single-writer,
+//! multi-reader — the CFS usage model); independent readers fetch and
+//! verify blocks through [`reader::VolumeReader`].
+
+pub mod blocks;
+pub mod codec;
+pub mod fs;
+pub mod reader;
+
+pub use blocks::{DirBlock, DirEntry, EntryKind, InodeBlock, RootBlock};
+pub use fs::{BlockIo, Fs, FsConfig, FsStats, MemStore, WriteOp};
+pub use reader::VolumeReader;

@@ -1,0 +1,88 @@
+//! Wire messages for the message-level ring protocol ([`crate::node`]).
+
+use d2_types::{Key, KeyRange};
+use serde::{Deserialize, Serialize};
+
+/// Transport address of a node. In the in-process deployments this is the
+/// node's index; a TCP transport would map it to a socket address.
+pub type Addr = usize;
+
+/// A `(ring position, transport address)` pair describing a peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// The peer's current ring position.
+    pub id: Key,
+    /// Where to send messages for this peer.
+    pub addr: Addr,
+}
+
+/// Ring maintenance and lookup messages.
+///
+/// Lookups are *recursive* (each hop forwards the request, the owner
+/// replies directly to the origin), matching Mercury's lookup style
+/// described in Section 7.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RingMsg {
+    /// Route this request to the owner of `target`.
+    FindOwner {
+        /// Key being located.
+        target: Key,
+        /// Node that issued the lookup (receives the reply).
+        origin: Addr,
+        /// Correlates the eventual [`RingMsg::OwnerIs`] reply.
+        req_id: u64,
+        /// Hops taken so far (for statistics).
+        hops: u32,
+    },
+    /// Reply to [`RingMsg::FindOwner`], sent by the owner to the origin.
+    OwnerIs {
+        /// Correlates with the request.
+        req_id: u64,
+        /// The owner's identity.
+        owner: PeerInfo,
+        /// The owner's current ownership range (cacheable by lookup
+        /// caches — this is what D2-Store stores, Section 5).
+        range: KeyRange,
+        /// The owner's successor list (replica group tail).
+        successors: Vec<PeerInfo>,
+        /// Total forwarding hops the request took.
+        hops: u32,
+    },
+    /// A joining node (already placed at `joiner.id`) announces itself to
+    /// the owner of its ID; routed like a lookup.
+    Join {
+        /// The joining node.
+        joiner: PeerInfo,
+        /// Hops so far.
+        hops: u32,
+    },
+    /// Reply to [`RingMsg::Join`] from the joiner's new successor.
+    JoinAck {
+        /// The successor that admitted the joiner.
+        successor: PeerInfo,
+        /// The successor's predecessor at admission time (the joiner's
+        /// initial predecessor candidate).
+        predecessor: Option<PeerInfo>,
+        /// The successor's successor list for seeding the joiner's.
+        successors: Vec<PeerInfo>,
+    },
+    /// Periodic: ask a peer for its neighbor state.
+    GetNeighbors {
+        /// Who is asking (receives the [`RingMsg::Neighbors`] reply).
+        from: Addr,
+    },
+    /// Reply to [`RingMsg::GetNeighbors`].
+    Neighbors {
+        /// The responding peer.
+        me: PeerInfo,
+        /// Its current predecessor.
+        predecessor: Option<PeerInfo>,
+        /// Its successor list.
+        successors: Vec<PeerInfo>,
+    },
+    /// Chord-style notify: "I believe I am your predecessor."
+    Notify {
+        /// The candidate predecessor.
+        candidate: PeerInfo,
+    },
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: ring ownership, routing, and load balancing.
+
+use d2_ring::balance::{self, BalanceConfig, LoadView};
+use d2_ring::routing::Router;
+use d2_ring::{NodeIdx, Ring};
+use d2_types::Key;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_fracs(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(any::<u64>(), 2..max).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key is owned by exactly one node, and the owner's range
+    /// contains the key.
+    #[test]
+    fn ownership_partitions_ring(node_ids in arb_fracs(24), keys in prop::collection::vec(any::<u64>(), 1..32)) {
+        let mut ring = Ring::new();
+        for id in &node_ids {
+            ring.add_node(Key::from_u64_ordered(*id));
+        }
+        for k in keys {
+            let key = Key::from_u64_ordered(k);
+            let owner = ring.owner_of(&key).unwrap();
+            let covering: Vec<NodeIdx> = ring
+                .nodes()
+                .into_iter()
+                .filter(|&n| ring.range_of(n).unwrap().contains(&key))
+                .collect();
+            prop_assert_eq!(covering, vec![owner]);
+        }
+    }
+
+    /// Replica groups are the r clockwise-successive distinct nodes.
+    #[test]
+    fn replica_groups_follow_ring_order(node_ids in arb_fracs(16), k in any::<u64>(), r in 1usize..6) {
+        let mut ring = Ring::new();
+        for id in &node_ids {
+            ring.add_node(Key::from_u64_ordered(*id));
+        }
+        let key = Key::from_u64_ordered(k);
+        let group = ring.replica_group(&key, r);
+        prop_assert_eq!(group.len(), r.min(ring.len()));
+        // First member is the owner; each member is the successor of the
+        // previous one.
+        prop_assert_eq!(group[0], ring.owner_of(&key).unwrap());
+        for w in group.windows(2) {
+            prop_assert_eq!(ring.successor(w[0]), Some(w[1]));
+        }
+        // All distinct.
+        let mut dedup = group.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), group.len());
+    }
+
+    /// Routed lookups always reach the true owner, from any start.
+    #[test]
+    fn routing_always_reaches_owner(node_ids in arb_fracs(40), keys in prop::collection::vec(any::<u64>(), 1..16)) {
+        let mut ring = Ring::new();
+        for id in &node_ids {
+            ring.add_node(Key::from_u64_ordered(*id));
+        }
+        let router = Router::build(&ring, 3);
+        let start = ring.node_at_rank(0).unwrap();
+        for k in keys {
+            let key = Key::from_u64_ordered(k);
+            let stats = router.lookup(&ring, start, &key).unwrap();
+            prop_assert_eq!(stats.owner, ring.owner_of(&key).unwrap());
+            prop_assert!(stats.hops as usize <= ring.len());
+        }
+    }
+}
+
+struct MapLoad {
+    blocks: BTreeMap<Key, ()>,
+    ring: Ring,
+}
+
+impl MapLoad {
+    fn owned(&self, node: NodeIdx) -> Vec<Key> {
+        match self.ring.range_of(node) {
+            Some(r) => self.blocks.keys().filter(|k| r.contains(k)).copied().collect(),
+            None => vec![],
+        }
+    }
+}
+
+impl LoadView for MapLoad {
+    fn primary_load(&self, node: NodeIdx) -> u64 {
+        self.owned(node).len() as u64
+    }
+    fn split_key(&self, node: NodeIdx) -> Option<Key> {
+        let ks = self.owned(node);
+        if ks.len() < 2 {
+            None
+        } else {
+            Some(ks[ks.len() / 2 - 1])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any accepted balance op: (a) total block count is conserved,
+    /// (b) the mover's new load and the heavy node's remaining load are a
+    /// nontrivial split of the heavy node's old load.
+    #[test]
+    fn balance_ops_split_load(
+        node_ids in arb_fracs(12),
+        block_ids in prop::collection::btree_set(any::<u64>(), 8..64),
+    ) {
+        let mut ring = Ring::new();
+        for id in &node_ids {
+            ring.add_node(Key::from_u64_ordered(*id));
+        }
+        let blocks: BTreeMap<Key, ()> =
+            block_ids.iter().map(|&b| (Key::from_u64_ordered(b), ())).collect();
+        let total = blocks.len() as u64;
+        let mut state = MapLoad { blocks, ring };
+        let cfg = BalanceConfig::default();
+
+        let nodes = state.ring.nodes();
+        for &prober in &nodes {
+            for &target in &nodes {
+                if let Some(op) = balance::probe(&state.ring, &state, prober, target, &cfg) {
+                    let heavy_before = state.primary_load(op.heavy());
+                    let mut ring2 = state.ring.clone();
+                    prop_assert!(balance::apply_to_ring(&mut ring2, &op));
+                    let state2 = MapLoad { blocks: state.blocks.clone(), ring: ring2 };
+                    // Conservation.
+                    let sum: u64 = state2.ring.nodes().iter().map(|&n| state2.primary_load(n)).sum();
+                    prop_assert_eq!(sum, total);
+                    // The heavy node sheds at least one block to the mover.
+                    let heavy_after = state2.primary_load(op.heavy());
+                    prop_assert!(heavy_after < heavy_before);
+                    let mover_after = state2.primary_load(op.mover());
+                    prop_assert!(mover_after >= 1);
+                }
+            }
+        }
+        let _ = &mut state;
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the network and failure models.
+
+use d2_sim::net::{LinkState, TcpConn};
+use d2_sim::{FailureModel, FailureTrace, SimTime, Topology};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TCP fetch time is monotone in transfer size (same connection state,
+    /// same path).
+    #[test]
+    fn tcp_fetch_monotone_in_size(bytes in 1u64..2_000_000, rtt_ms in 1u64..500) {
+        let rtt = SimTime::from_millis(rtt_ms);
+        let mut a = TcpConn::default();
+        let mut b = TcpConn::default();
+        let d_small = a.fetch(SimTime::ZERO, bytes, rtt, 1_500_000);
+        let d_big = b.fetch(SimTime::ZERO, bytes + 100_000, rtt, 1_500_000);
+        prop_assert!(d_big >= d_small);
+    }
+
+    /// A warm connection is never slower than a cold one.
+    #[test]
+    fn warm_never_slower_than_cold(bytes in 1u64..500_000, rtt_ms in 1u64..300) {
+        let rtt = SimTime::from_millis(rtt_ms);
+        let mut cold = TcpConn::default();
+        let cold_time = cold.fetch(SimTime::ZERO, bytes, rtt, 1_500_000);
+        // `cold` is now warm; fetch again immediately.
+        let warm_time = cold.fetch(SimTime::from_millis(1), bytes, rtt, 1_500_000);
+        prop_assert!(warm_time <= cold_time);
+    }
+
+    /// Link serialization: completion times are FIFO-monotone and never
+    /// before `now + serialization`.
+    #[test]
+    fn link_fifo_monotone(sizes in prop::collection::vec(1u64..100_000, 1..20)) {
+        let mut link = LinkState::new_kbps(1500);
+        let mut last = SimTime::ZERO;
+        for s in sizes {
+            let done = link.transmit(SimTime::ZERO, s);
+            prop_assert!(done >= last, "completions must be FIFO");
+            prop_assert!(done >= link.serialization(s));
+            last = done;
+        }
+    }
+
+    /// Topology latencies are symmetric, positive, and triangle-ish (we
+    /// only require symmetry + positivity; the embedding guarantees the
+    /// rest up to access-delay constants).
+    #[test]
+    fn topology_sane(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::sample(n, 90.0, &mut rng);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(topo.one_way(a, b), topo.one_way(b, a));
+                if a != b {
+                    prop_assert!(topo.one_way(a, b) > SimTime::ZERO);
+                }
+            }
+        }
+    }
+
+    /// Failure traces: up/down intervals are consistent with the
+    /// transitions feed.
+    #[test]
+    fn failure_transitions_consistent(seed in any::<u64>(), n in 2usize..40) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let model = FailureModel { duration_secs: 2.0 * 86_400.0, ..Default::default() };
+        let trace = FailureTrace::generate(n, &model, &mut rng);
+        // Replaying transitions yields exactly the is_up state.
+        let mut up = vec![true; n];
+        let mut ts = trace.transitions();
+        ts.push((trace.duration, usize::MAX, true)); // sentinel
+        let mut idx = 0;
+        for check in 0..48u64 {
+            let t = SimTime::from_secs(check * 3600);
+            while idx < ts.len() && ts[idx].0 <= t {
+                let (_, node, state) = ts[idx];
+                if node != usize::MAX {
+                    up[node] = state;
+                }
+                idx += 1;
+            }
+            for node in 0..n {
+                prop_assert_eq!(
+                    trace.is_up(node, t),
+                    up[node],
+                    "node {} at {}h", node, check
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A small TTL'd retrieval cache for hot blocks.
+//!
+//! D2 balances *storage* load with Mercury, but *request* load can still
+//! concentrate on popular blocks. Like PAST, it "alleviates temporary hot
+//! spots using retrieval caches" (Section 6): clients keep recently
+//! fetched blocks for a short window so repeated reads (the paper's D2-FS
+//! uses a 30-second window) do not hit the network at all.
+
+use d2_sim::SimTime;
+use d2_types::Key;
+use std::collections::HashMap;
+
+/// A capacity- and TTL-bounded block cache.
+///
+/// Eviction: expired entries first, then least-recently-inserted.
+#[derive(Clone, Debug)]
+pub struct BlockCache {
+    entries: HashMap<Key, (Vec<u8>, SimTime)>,
+    order: Vec<Key>,
+    capacity: usize,
+    ttl: SimTime,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding up to `capacity` blocks for `ttl` each.
+    pub fn new(capacity: usize, ttl: SimTime) -> Self {
+        BlockCache {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(1),
+            ttl,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached blocks (possibly including expired, pre-eviction).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fetches a block if present and fresh.
+    pub fn get(&mut self, key: &Key, now: SimTime) -> Option<Vec<u8>> {
+        match self.entries.get(key) {
+            Some((data, at)) if now.saturating_sub(*at) <= self.ttl => {
+                self.hits += 1;
+                Some(data.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a block, evicting as needed.
+    pub fn put(&mut self, key: Key, data: Vec<u8>, now: SimTime) {
+        if self.entries.insert(key, (data, now)).is_none() {
+            self.order.push(key);
+        }
+        // Evict expired first.
+        if self.entries.len() > self.capacity {
+            let ttl = self.ttl;
+            let expired: Vec<Key> = self
+                .entries
+                .iter()
+                .filter(|(_, (_, at))| now.saturating_sub(*at) > ttl)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in expired {
+                self.entries.remove(&k);
+            }
+            self.order.retain(|k| self.entries.contains_key(k));
+        }
+        // Then oldest-inserted.
+        while self.entries.len() > self.capacity {
+            let oldest = self.order.remove(0);
+            self.entries.remove(&oldest);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Key {
+        Key::from_u64(v)
+    }
+
+    #[test]
+    fn caches_within_ttl() {
+        let mut c = BlockCache::new(10, SimTime::from_secs(30));
+        c.put(k(1), vec![42], SimTime::ZERO);
+        assert_eq!(c.get(&k(1), SimTime::from_secs(30)), Some(vec![42]));
+        assert_eq!(c.get(&k(1), SimTime::from_secs(31)), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = BlockCache::new(2, SimTime::from_secs(1000));
+        c.put(k(1), vec![1], SimTime::ZERO);
+        c.put(k(2), vec![2], SimTime::from_secs(1));
+        c.put(k(3), vec![3], SimTime::from_secs(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k(1), SimTime::from_secs(2)), None);
+        assert_eq!(c.get(&k(3), SimTime::from_secs(2)), Some(vec![3]));
+    }
+
+    #[test]
+    fn expired_evicted_before_fresh() {
+        let mut c = BlockCache::new(2, SimTime::from_secs(10));
+        c.put(k(1), vec![1], SimTime::ZERO);
+        c.put(k(2), vec![2], SimTime::from_secs(50));
+        c.put(k(3), vec![3], SimTime::from_secs(51));
+        // k1 was expired at insert time of k3, so it went first.
+        assert_eq!(c.get(&k(2), SimTime::from_secs(51)), Some(vec![2]));
+        assert_eq!(c.get(&k(3), SimTime::from_secs(51)), Some(vec![3]));
+    }
+
+    #[test]
+    fn overwrite_same_key() {
+        let mut c = BlockCache::new(2, SimTime::from_secs(10));
+        c.put(k(1), vec![1], SimTime::ZERO);
+        c.put(k(1), vec![9], SimTime::from_secs(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&k(1), SimTime::from_secs(1)), Some(vec![9]));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! Per-node block storage.
+
+use d2_sim::SimTime;
+use d2_types::{Key, KeyRange};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a node physically holds for a key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Real block bytes (live deployments and file-system tests).
+    Data(Vec<u8>),
+    /// Size-only placeholder for large-scale simulation, where block
+    /// contents are irrelevant but byte accounting matters.
+    Size(u32),
+    /// A block *pointer* (Section 6): the data still lives on `holder`;
+    /// this node will fetch it once the pointer is older than the pointer
+    /// stabilization time.
+    Pointer {
+        /// Node index that actually holds the block.
+        holder: usize,
+        /// When the pointer was installed.
+        since: SimTime,
+        /// Size of the pointed-to block.
+        len: u32,
+    },
+}
+
+impl Payload {
+    /// Logical size of the block in bytes (pointers report the size of the
+    /// block they stand for, since that is what must eventually move).
+    pub fn len(&self) -> u32 {
+        match self {
+            Payload::Data(d) => d.len() as u32,
+            Payload::Size(n) => *n,
+            Payload::Pointer { len, .. } => *len,
+        }
+    }
+
+    /// Whether this entry is a pointer rather than real data.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Payload::Pointer { .. })
+    }
+
+    /// Whether the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A stored block plus its lifecycle timestamps.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredBlock {
+    /// The block's contents (or placeholder / pointer).
+    pub payload: Payload,
+    /// When the block arrived at this node.
+    pub stored_at: SimTime,
+    /// Delayed-removal deadline set by `remove(key, delay)` (D2-FS delays
+    /// removals by 30 s so stale-by-up-to-30 s readers still succeed).
+    pub remove_at: Option<SimTime>,
+    /// TTL deadline: blocks are auto-removed if not refreshed, covering
+    /// removal messages lost to partitions (Section 3).
+    pub expires_at: Option<SimTime>,
+}
+
+impl StoredBlock {
+    /// Whether the block should be garbage-collected at `now`.
+    pub fn is_dead(&self, now: SimTime) -> bool {
+        self.remove_at.is_some_and(|t| now >= t) || self.expires_at.is_some_and(|t| now >= t)
+    }
+}
+
+/// The block store of a single node: an ordered map from key to block,
+/// supporting the range queries that load balancing and migration need.
+///
+/// # Examples
+///
+/// ```
+/// use d2_store::{NodeStore, Payload};
+/// use d2_sim::SimTime;
+/// use d2_types::Key;
+///
+/// let mut store = NodeStore::new();
+/// store.put(Key::from_u64(7), Payload::Size(8192), SimTime::ZERO);
+/// assert!(store.contains(&Key::from_u64(7)));
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NodeStore {
+    blocks: BTreeMap<Key, StoredBlock>,
+    bytes: u64,
+    pointer_bytes: u64,
+    /// Keys currently stored as pointers (kept indexed so pointer scans
+    /// cost O(#pointers), not O(#blocks)).
+    pointers: std::collections::BTreeSet<Key>,
+}
+
+impl NodeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Number of blocks held (including pointers).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total logical bytes held (pointers count the pointed-to size).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Physical bytes actually stored here: logical bytes minus the sizes
+    /// represented only by pointers. This is what capacity checks use —
+    /// a pointer occupies negligible space (Section 6: "assuming a small
+    /// amount of space is always left over for pointers").
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes - self.pointer_bytes
+    }
+
+    /// Inserts or replaces a block. Returns the previous entry, if any.
+    pub fn put(&mut self, key: Key, payload: Payload, now: SimTime) -> Option<StoredBlock> {
+        self.bytes += payload.len() as u64;
+        if payload.is_pointer() {
+            self.pointer_bytes += payload.len() as u64;
+            self.pointers.insert(key);
+        } else {
+            self.pointers.remove(&key);
+        }
+        let old = self.blocks.insert(
+            key,
+            StoredBlock { payload, stored_at: now, remove_at: None, expires_at: None },
+        );
+        if let Some(ref o) = old {
+            self.bytes -= o.payload.len() as u64;
+            if o.payload.is_pointer() {
+                self.pointer_bytes -= o.payload.len() as u64;
+            }
+        }
+        old
+    }
+
+    /// Inserts a block with a TTL.
+    pub fn put_with_ttl(&mut self, key: Key, payload: Payload, now: SimTime, ttl: SimTime) {
+        self.put(key, payload, now);
+        if let Some(b) = self.blocks.get_mut(&key) {
+            b.expires_at = Some(now + ttl);
+        }
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, key: &Key) -> Option<&StoredBlock> {
+        self.blocks.get(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.blocks.contains_key(key)
+    }
+
+    /// Immediately removes a block, returning it.
+    pub fn remove_now(&mut self, key: &Key) -> Option<StoredBlock> {
+        let old = self.blocks.remove(key);
+        if let Some(ref o) = old {
+            self.bytes -= o.payload.len() as u64;
+            if o.payload.is_pointer() {
+                self.pointer_bytes -= o.payload.len() as u64;
+                self.pointers.remove(key);
+            }
+        }
+        old
+    }
+
+    /// Schedules removal after `delay` — the `remove(key, delay)`
+    /// operation of Section 3. The block stays readable until then.
+    pub fn remove_after(&mut self, key: &Key, now: SimTime, delay: SimTime) -> bool {
+        match self.blocks.get_mut(key) {
+            Some(b) => {
+                b.remove_at = Some(now + delay);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Refreshes a block's TTL (the "user-defined TTL that can be
+    /// refreshed").
+    pub fn refresh_ttl(&mut self, key: &Key, now: SimTime, ttl: SimTime) -> bool {
+        match self.blocks.get_mut(key) {
+            Some(b) => {
+                b.expires_at = Some(now + ttl);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Garbage-collects blocks whose delayed removal or TTL deadline has
+    /// passed. Returns the removed keys. Quick removal matters for
+    /// locality: dead blocks fragment live data (Section 3).
+    pub fn gc(&mut self, now: SimTime) -> Vec<Key> {
+        let dead: Vec<Key> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.is_dead(now))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &dead {
+            self.remove_now(k);
+        }
+        dead
+    }
+
+    /// Iterates keys inside `range` (which may wrap).
+    pub fn keys_in(&self, range: &KeyRange) -> Vec<Key> {
+        if range.is_full() {
+            return self.blocks.keys().copied().collect();
+        }
+        let start = *range.start();
+        let end = *range.end();
+        if start < end {
+            self.blocks
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .map(|(k, _)| *k)
+                .collect()
+        } else {
+            // Wrapping: (start, MAX] ∪ [MIN, end].
+            self.blocks
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Unbounded))
+                .map(|(k, _)| *k)
+                .chain(self.blocks.range(..=end).map(|(k, _)| *k))
+                .collect()
+        }
+    }
+
+    /// Number of blocks inside `range` (no allocation; called on every
+    /// balance probe).
+    pub fn count_in(&self, range: &KeyRange) -> u64 {
+        if range.is_full() {
+            return self.blocks.len() as u64;
+        }
+        let start = *range.start();
+        let end = *range.end();
+        if start < end {
+            self.blocks
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .count() as u64
+        } else {
+            (self
+                .blocks
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Unbounded))
+                .count()
+                + self.blocks.range(..=end).count()) as u64
+        }
+    }
+
+    /// Total bytes of blocks inside `range`.
+    pub fn bytes_in(&self, range: &KeyRange) -> u64 {
+        self.keys_in(range)
+            .iter()
+            .filter_map(|k| self.blocks.get(k))
+            .map(|b| b.payload.len() as u64)
+            .sum()
+    }
+
+    /// The key `m` such that half of the blocks in `range` have keys ≤ `m`
+    /// — the split point the load balancer uses (Section 6). Returns
+    /// `None` with fewer than 2 blocks in range.
+    pub fn split_key_in(&self, range: &KeyRange) -> Option<Key> {
+        let keys = self.keys_in(range);
+        if keys.len() < 2 {
+            return None;
+        }
+        Some(keys[keys.len() / 2 - 1])
+    }
+
+    /// Removes and returns all blocks inside `range` (migration transfer).
+    pub fn take_range(&mut self, range: &KeyRange) -> Vec<(Key, StoredBlock)> {
+        self.keys_in(range)
+            .into_iter()
+            .filter_map(|k| self.remove_now(&k).map(|b| (k, b)))
+            .collect()
+    }
+
+    /// Inserts pre-built blocks (migration receive).
+    pub fn absorb(&mut self, blocks: Vec<(Key, StoredBlock)>) {
+        for (k, b) in blocks {
+            self.bytes += b.payload.len() as u64;
+            if b.payload.is_pointer() {
+                self.pointer_bytes += b.payload.len() as u64;
+                self.pointers.insert(k);
+            } else {
+                self.pointers.remove(&k);
+            }
+            if let Some(old) = self.blocks.insert(k, b) {
+                self.bytes -= old.payload.len() as u64;
+                if old.payload.is_pointer() {
+                    self.pointer_bytes -= old.payload.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Pointers installed before `cutoff` — due for resolution (fetch the
+    /// real block from the holder) once they have outlived the pointer
+    /// stabilization time.
+    pub fn stale_pointers(&self, cutoff: SimTime) -> Vec<(Key, usize, u32)> {
+        self.pointers
+            .iter()
+            .filter_map(|k| match self.blocks.get(k).map(|b| &b.payload) {
+                Some(&Payload::Pointer { holder, since, len }) if since <= cutoff => {
+                    Some((*k, holder, len))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All keys currently stored as pointers (O(#pointers)).
+    pub fn pointer_keys(&self) -> Vec<Key> {
+        self.pointers.iter().copied().collect()
+    }
+
+    /// Number of pointer entries held.
+    pub fn pointer_count(&self) -> usize {
+        self.pointers.len()
+    }
+
+    /// Iterates all `(key, block)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &StoredBlock)> {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Key {
+        Key::from_u64_ordered(v)
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut s = NodeStore::new();
+        s.put(k(1), Payload::Data(vec![1, 2, 3]), SimTime::ZERO);
+        assert_eq!(s.get(&k(1)).unwrap().payload, Payload::Data(vec![1, 2, 3]));
+        assert_eq!(s.bytes(), 3);
+        let old = s.remove_now(&k(1)).unwrap();
+        assert_eq!(old.payload.len(), 3);
+        assert_eq!(s.bytes(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overwrite_adjusts_bytes() {
+        let mut s = NodeStore::new();
+        s.put(k(1), Payload::Size(100), SimTime::ZERO);
+        s.put(k(1), Payload::Size(40), SimTime::ZERO);
+        assert_eq!(s.bytes(), 40);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn delayed_removal_keeps_block_readable() {
+        let mut s = NodeStore::new();
+        s.put(k(1), Payload::Size(10), SimTime::ZERO);
+        assert!(s.remove_after(&k(1), SimTime::ZERO, SimTime::from_secs(30)));
+        // Still readable before the deadline (stale readers succeed).
+        assert_eq!(s.gc(SimTime::from_secs(29)), vec![]);
+        assert!(s.contains(&k(1)));
+        // Gone at the deadline.
+        assert_eq!(s.gc(SimTime::from_secs(30)), vec![k(1)]);
+        assert!(!s.contains(&k(1)));
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut s = NodeStore::new();
+        s.put_with_ttl(k(2), Payload::Size(10), SimTime::ZERO, SimTime::from_secs(60));
+        assert!(s.gc(SimTime::from_secs(59)).is_empty());
+        // Refresh extends life.
+        assert!(s.refresh_ttl(&k(2), SimTime::from_secs(59), SimTime::from_secs(60)));
+        assert!(s.gc(SimTime::from_secs(100)).is_empty());
+        assert_eq!(s.gc(SimTime::from_secs(119)), vec![k(2)]);
+    }
+
+    #[test]
+    fn remove_after_on_missing_key_is_false() {
+        let mut s = NodeStore::new();
+        assert!(!s.remove_after(&k(9), SimTime::ZERO, SimTime::from_secs(1)));
+        assert!(!s.refresh_ttl(&k(9), SimTime::ZERO, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn keys_in_simple_range() {
+        let mut s = NodeStore::new();
+        for v in [10, 20, 30, 40] {
+            s.put(k(v), Payload::Size(1), SimTime::ZERO);
+        }
+        let r = KeyRange::new(k(10), k(30));
+        assert_eq!(s.keys_in(&r), vec![k(20), k(30)]); // start exclusive
+        assert_eq!(s.count_in(&r), 2);
+    }
+
+    #[test]
+    fn keys_in_wrapping_range() {
+        let mut s = NodeStore::new();
+        for v in [10, 20, 30, 40] {
+            s.put(k(v), Payload::Size(1), SimTime::ZERO);
+        }
+        let r = KeyRange::new(k(35), k(15));
+        assert_eq!(s.keys_in(&r), vec![k(40), k(10)]);
+    }
+
+    #[test]
+    fn keys_in_full_range() {
+        let mut s = NodeStore::new();
+        for v in [1, 2, 3] {
+            s.put(k(v), Payload::Size(1), SimTime::ZERO);
+        }
+        assert_eq!(s.keys_in(&KeyRange::full()).len(), 3);
+    }
+
+    #[test]
+    fn split_key_halves_range() {
+        let mut s = NodeStore::new();
+        for v in 1..=10 {
+            s.put(k(v), Payload::Size(1), SimTime::ZERO);
+        }
+        let r = KeyRange::full();
+        let m = s.split_key_in(&r).unwrap();
+        assert_eq!(m, k(5));
+        // Fewer than 2 blocks: no split.
+        let tiny = KeyRange::new(k(9), k(10));
+        assert!(s.split_key_in(&tiny).is_none());
+    }
+
+    #[test]
+    fn take_range_moves_blocks_and_bytes() {
+        let mut a = NodeStore::new();
+        for v in 1..=6 {
+            a.put(k(v), Payload::Size(10), SimTime::ZERO);
+        }
+        let moved = a.take_range(&KeyRange::new(k(2), k(4)));
+        assert_eq!(moved.len(), 2); // keys 3, 4
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.bytes(), 40);
+        let mut b = NodeStore::new();
+        b.absorb(moved);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.bytes(), 20);
+    }
+
+    #[test]
+    fn pointer_lifecycle() {
+        let mut s = NodeStore::new();
+        s.put(
+            k(5),
+            Payload::Pointer { holder: 3, since: SimTime::from_secs(10), len: 8192 },
+            SimTime::from_secs(10),
+        );
+        assert!(s.get(&k(5)).unwrap().payload.is_pointer());
+        assert_eq!(s.bytes(), 8192); // pointers carry logical size
+        assert_eq!(s.data_bytes(), 0); // ... but occupy no physical space
+        // Not stale before the stabilization time.
+        assert!(s.stale_pointers(SimTime::from_secs(9)).is_empty());
+        let stale = s.stale_pointers(SimTime::from_secs(10));
+        assert_eq!(stale, vec![(k(5), 3, 8192)]);
+        assert_eq!(s.pointer_keys(), vec![k(5)]);
+        // Resolving: replace pointer with data.
+        s.put(k(5), Payload::Size(8192), SimTime::from_secs(20));
+        assert!(s.pointer_keys().is_empty());
+        assert_eq!(s.data_bytes(), 8192);
+    }
+
+    #[test]
+    fn payload_len_and_flags() {
+        assert_eq!(Payload::Data(vec![0; 5]).len(), 5);
+        assert_eq!(Payload::Size(9).len(), 9);
+        assert_eq!(
+            Payload::Pointer { holder: 0, since: SimTime::ZERO, len: 7 }.len(),
+            7
+        );
+        assert!(Payload::Data(vec![]).is_empty());
+        assert!(!Payload::Size(1).is_empty());
+    }
+
+    #[test]
+    fn bytes_in_range() {
+        let mut s = NodeStore::new();
+        s.put(k(1), Payload::Size(100), SimTime::ZERO);
+        s.put(k(2), Payload::Size(200), SimTime::ZERO);
+        s.put(k(3), Payload::Size(400), SimTime::ZERO);
+        assert_eq!(s.bytes_in(&KeyRange::new(k(1), k(2))), 200);
+        assert_eq!(s.bytes_in(&KeyRange::full()), 700);
+    }
+}

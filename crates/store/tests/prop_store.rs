@@ -1,0 +1,163 @@
+//! Property tests for the per-node store and lookup cache.
+
+use d2_sim::SimTime;
+use d2_store::{CacheOutcome, LookupCache, NodeStore, Payload};
+use d2_types::{Key, KeyRange};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u16),
+    RemoveNow(u16),
+    RemoveAfter(u16, u16),
+    RefreshTtl(u16, u16),
+    Gc,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), 1u16..=2048).prop_map(|(k, l)| Op::Put(k, l)),
+        1 => any::<u16>().prop_map(Op::RemoveNow),
+        2 => (any::<u16>(), 1u16..600).prop_map(|(k, d)| Op::RemoveAfter(k, d)),
+        1 => (any::<u16>(), 1u16..600).prop_map(|(k, d)| Op::RefreshTtl(k, d)),
+        2 => Just(Op::Gc),
+    ]
+}
+
+fn key(k: u16) -> Key {
+    Key::from_u64_ordered(k as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store's byte counter always equals the sum of stored payload
+    /// lengths, and gc removes exactly the due blocks.
+    #[test]
+    fn store_accounting_is_exact(ops in prop::collection::vec(arb_op(), 1..80)) {
+        #[derive(Clone, Copy)]
+        struct Entry {
+            len: u32,
+            remove_at: Option<SimTime>,
+            expires_at: Option<SimTime>,
+        }
+        impl Entry {
+            fn dead(&self, now: SimTime) -> bool {
+                self.remove_at.is_some_and(|t| now >= t)
+                    || self.expires_at.is_some_and(|t| now >= t)
+            }
+        }
+        let mut store = NodeStore::new();
+        let mut model: BTreeMap<Key, Entry> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_secs(10);
+            match op {
+                Op::Put(k, len) => {
+                    store.put(key(k), Payload::Size(len as u32), now);
+                    model.insert(key(k), Entry { len: len as u32, remove_at: None, expires_at: None });
+                }
+                Op::RemoveNow(k) => {
+                    let got = store.remove_now(&key(k));
+                    prop_assert_eq!(got.is_some(), model.remove(&key(k)).is_some());
+                }
+                Op::RemoveAfter(k, d) => {
+                    let due = now + SimTime::from_secs(d as u64);
+                    let ok = store.remove_after(&key(k), now, SimTime::from_secs(d as u64));
+                    if let Some(e) = model.get_mut(&key(k)) {
+                        prop_assert!(ok);
+                        e.remove_at = Some(due);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                }
+                Op::RefreshTtl(k, d) => {
+                    let ok = store.refresh_ttl(&key(k), now, SimTime::from_secs(d as u64));
+                    if let Some(e) = model.get_mut(&key(k)) {
+                        prop_assert!(ok);
+                        e.expires_at = Some(now + SimTime::from_secs(d as u64));
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                }
+                Op::Gc => {
+                    let dead = store.gc(now);
+                    for k in &dead {
+                        let e = model.remove(k);
+                        prop_assert!(e.is_some(), "gc removed an untracked key");
+                        prop_assert!(e.unwrap().dead(now));
+                    }
+                    for (k, e) in &model {
+                        prop_assert!(!e.dead(now) || !store.contains(k), "overdue {k} survived gc");
+                    }
+                    model.retain(|_, e| !e.dead(now));
+                }
+            }
+            let expect: u64 = model.values().map(|e| e.len as u64).sum();
+            prop_assert_eq!(store.bytes(), expect, "byte counter drifted");
+            prop_assert_eq!(store.len(), model.len());
+        }
+    }
+
+    /// take_range + absorb moves exactly the blocks in the range,
+    /// conserving total count and bytes.
+    #[test]
+    fn migration_conserves_blocks(
+        keys in prop::collection::btree_set(any::<u16>(), 1..64),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let mut src = NodeStore::new();
+        for &k in &keys {
+            src.put(key(k), Payload::Size(8), SimTime::ZERO);
+        }
+        let range = KeyRange::new(key(a), key(b));
+        let total = src.len();
+        let total_bytes = src.bytes();
+        let moved = src.take_range(&range);
+        let mut dst = NodeStore::new();
+        dst.absorb(moved);
+        prop_assert_eq!(src.len() + dst.len(), total);
+        prop_assert_eq!(src.bytes() + dst.bytes(), total_bytes);
+        // Partition correctness.
+        for &k in &keys {
+            let kk = key(k);
+            if range.contains(&kk) && a != b {
+                prop_assert!(dst.contains(&kk));
+                prop_assert!(!src.contains(&kk));
+            }
+        }
+    }
+
+    /// Lookup-cache: after inserting disjoint live ranges, probing any key
+    /// inside a range hits the right node; overlapping inserts supersede.
+    #[test]
+    fn cache_hits_are_always_current(
+        ranges in prop::collection::vec((any::<u16>(), any::<u16>(), 0usize..16), 1..12),
+        probes in prop::collection::vec(any::<u16>(), 1..24),
+    ) {
+        let mut cache = LookupCache::new(SimTime::from_secs(1_000_000));
+        let mut inserted: Vec<(KeyRange, usize)> = Vec::new();
+        for (a, b, node) in ranges {
+            if a == b {
+                continue;
+            }
+            let r = KeyRange::new(key(a), key(b));
+            inserted.retain(|(old, _)| {
+                // Mirror the cache's overlap eviction.
+                !(old.contains(r.end()) || r.contains(old.end()))
+            });
+            inserted.push((r, node));
+            cache.insert(r, node, SimTime::ZERO);
+        }
+        for p in probes {
+            let k = key(p);
+            let expect = inserted.iter().rev().find(|(r, _)| r.contains(&k)).map(|(_, n)| *n);
+            match cache.probe(&k, SimTime::ZERO) {
+                CacheOutcome::Hit { node } => prop_assert_eq!(Some(node), expect),
+                CacheOutcome::Miss => prop_assert_eq!(expect, None),
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Locality-preserving and baseline key encodings (paper Section 4.2, Figure 4).
+//!
+//! The D2 key layout packs, into one 64-byte [`Key`]:
+//!
+//! | bytes   | contents                               |
+//! |---------|----------------------------------------|
+//! | 0..20   | volume id                              |
+//! | 20..44  | twelve 2-byte directory/file slots     |
+//! | 44..52  | hash of the path remainder (levels >12)|
+//! | 52..60  | block number within the file           |
+//! | 60..64  | version hash                           |
+//!
+//! Because the slot bytes sit above the block-number bytes, a preorder
+//! traversal of the directory tree maps to increasing key order: blocks of
+//! one file are contiguous, files in one directory are contiguous, and a
+//! directory's subtree occupies a contiguous arc of the ring.
+
+use crate::hash::sha256;
+use crate::key::{Key, KEY_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of path levels encoded directly as 2-byte slots (Figure 4).
+pub const DIR_SLOT_LEVELS: usize = 12;
+
+const VOL_BYTES: usize = 20;
+const SLOT_OFF: usize = VOL_BYTES; // 20
+const REM_OFF: usize = SLOT_OFF + 2 * DIR_SLOT_LEVELS; // 44
+const BLOCK_OFF: usize = REM_OFF + 8; // 52
+const VER_OFF: usize = BLOCK_OFF + 8; // 60
+
+/// A 20-byte volume identifier (derived from the publisher's key in the
+/// paper; derived from the volume name here).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct VolumeId(pub [u8; VOL_BYTES]);
+
+impl VolumeId {
+    /// Derives a volume id from a human-readable name.
+    pub fn from_name(name: &str) -> Self {
+        let h = sha256(name.as_bytes());
+        let mut v = [0u8; VOL_BYTES];
+        v.copy_from_slice(&h.as_bytes()[..VOL_BYTES]);
+        VolumeId(v)
+    }
+}
+
+impl fmt::Debug for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vol(")?;
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+/// The encoded position of a file or directory in the name space: up to
+/// [`DIR_SLOT_LEVELS`] 2-byte slots plus a rolling hash of any deeper path
+/// components.
+///
+/// Construct the root with [`PathSlots::root`] and descend with
+/// [`PathSlots::child`]. Slots are 1-based so that a directory's own
+/// metadata (slot suffix `0`) sorts before all of its children — this gives
+/// exact preorder ordering.
+///
+/// # Examples
+///
+/// ```
+/// use d2_types::PathSlots;
+///
+/// let root = PathSlots::root();
+/// let docs = root.child(1, "docs");
+/// let file = docs.child(3, "notes.txt");
+/// assert_eq!(file.depth(), 2);
+/// assert!(root.is_ancestor_of(&file));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSlots {
+    slots: [u16; DIR_SLOT_LEVELS],
+    depth: u8,
+    /// Rolling hash of path components beyond `DIR_SLOT_LEVELS` (0 if none).
+    remainder: u64,
+    /// Total path depth including components folded into `remainder`.
+    full_depth: u16,
+}
+
+impl PathSlots {
+    /// The volume root (depth 0).
+    pub fn root() -> Self {
+        PathSlots { slots: [0; DIR_SLOT_LEVELS], depth: 0, remainder: 0, full_depth: 0 }
+    }
+
+    /// Descends one level using `slot` (must be nonzero) as the 2-byte
+    /// value assigned by the parent directory. `name` is only used once the
+    /// 12 slot levels are exhausted, at which point it is folded into the
+    /// remainder hash (locality is lost for such deep paths, <1% of files
+    /// in the paper's traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot == 0` (reserved for "no entry").
+    pub fn child(&self, slot: u16, name: &str) -> PathSlots {
+        assert!(slot != 0, "slot 0 is reserved");
+        let mut next = *self;
+        next.full_depth += 1;
+        if (self.depth as usize) < DIR_SLOT_LEVELS {
+            next.slots[self.depth as usize] = slot;
+            next.depth += 1;
+        } else {
+            let mut buf = Vec::with_capacity(8 + 1 + name.len());
+            buf.extend_from_slice(&self.remainder.to_be_bytes());
+            buf.push(b'/');
+            buf.extend_from_slice(name.as_bytes());
+            next.remainder = sha256(&buf).to_u64();
+        }
+        next
+    }
+
+    /// Number of levels encoded directly as slots.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// Total path depth including levels beyond the slot prefix.
+    pub fn full_depth(&self) -> usize {
+        self.full_depth as usize
+    }
+
+    /// Whether this path's slot prefix is a strict prefix of `other`'s.
+    pub fn is_ancestor_of(&self, other: &PathSlots) -> bool {
+        if self.full_depth >= other.full_depth {
+            return false;
+        }
+        if self.depth as usize == DIR_SLOT_LEVELS {
+            // Beyond slot resolution we cannot tell; compare the slot prefix.
+            return self.slots == other.slots;
+        }
+        other.slots[..self.depth as usize] == self.slots[..self.depth as usize]
+    }
+
+    /// The slot values (zero-padded past `depth`).
+    pub fn slots(&self) -> &[u16; DIR_SLOT_LEVELS] {
+        &self.slots
+    }
+
+    /// The remainder hash for components deeper than the slot prefix.
+    pub fn remainder(&self) -> u64 {
+        self.remainder
+    }
+}
+
+impl fmt::Debug for PathSlots {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Slots[")?;
+        for s in &self.slots[..self.depth as usize] {
+            write!(f, "{s} ")?;
+        }
+        if self.remainder != 0 {
+            write!(f, "+{:x}", self.remainder)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Assigns 2-byte slot values to the children of a single directory.
+///
+/// Two strategies are supported, matching the paper:
+///
+/// - [`SlotAllocator::next_sequential`] — "an unused 2-byte value in that
+///   directory is assigned to the file" (Section 4.2); we hand out values
+///   in creation order.
+/// - [`SlotAllocator::slot_for_name`] — "a 2-byte hash of each directory
+///   name" for applications (like a Web cache) that must encode a path
+///   without knowing the parent directory (footnote 2). Collisions lose a
+///   small amount of locality but never correctness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SlotAllocator {
+    next: u16,
+    by_name: HashMap<String, u16>,
+}
+
+impl SlotAllocator {
+    /// Creates an empty allocator (first sequential slot is 1).
+    pub fn new() -> Self {
+        SlotAllocator { next: 1, by_name: HashMap::new() }
+    }
+
+    /// Returns the slot already assigned to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<u16> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Assigns the next unused sequential slot to `name`, or returns the
+    /// existing assignment. Returns `None` when the directory is full
+    /// (65,535 entries — "64K files per directory" in the paper).
+    pub fn next_sequential(&mut self, name: &str) -> Option<u16> {
+        if let Some(&s) = self.by_name.get(name) {
+            return Some(s);
+        }
+        if self.next == 0 {
+            return None; // wrapped: directory full
+        }
+        let s = self.next;
+        self.next = self.next.wrapping_add(1);
+        if self.next == 0 {
+            // Mark full; slot 0 stays reserved.
+            self.next = 0;
+        }
+        self.by_name.insert(name.to_string(), s);
+        Some(s)
+    }
+
+    /// Stateless 2-byte hash slot for `name` (never 0).
+    pub fn slot_for_name(name: &str) -> u16 {
+        let h = sha256(name.as_bytes()).to_u64() as u16;
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
+    /// Number of names assigned so far.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether no slot has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Forgets the assignment for `name` (on unlink). The slot value is
+    /// *not* reused, preserving key stability for stale readers.
+    pub fn remove(&mut self, name: &str) -> Option<u16> {
+        self.by_name.remove(name)
+    }
+
+    /// Iterates over `(name, slot)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.by_name.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Builds the locality-preserving D2 key of Figure 4.
+///
+/// `block_no` distinguishes blocks belonging to one file (0 = the file's or
+/// directory's metadata block; data blocks start at 1), and `version`
+/// distinguishes overwritten versions so that slightly stale readers can
+/// still fetch old versions (Section 4.2).
+pub fn d2_key(vol: &VolumeId, path: &PathSlots, block_no: u64, version: u32) -> Key {
+    let mut b = [0u8; KEY_BYTES];
+    b[..VOL_BYTES].copy_from_slice(&vol.0);
+    for (i, s) in path.slots.iter().enumerate() {
+        b[SLOT_OFF + 2 * i..SLOT_OFF + 2 * i + 2].copy_from_slice(&s.to_be_bytes());
+    }
+    b[REM_OFF..REM_OFF + 8].copy_from_slice(&path.remainder.to_be_bytes());
+    b[BLOCK_OFF..BLOCK_OFF + 8].copy_from_slice(&block_no.to_be_bytes());
+    b[VER_OFF..VER_OFF + 4].copy_from_slice(&version.to_be_bytes());
+    Key::from_bytes(b)
+}
+
+/// Extracts the `(block_no, version)` trailer from a D2 key.
+pub fn d2_key_trailer(key: &Key) -> (u64, u32) {
+    let b = key.as_bytes();
+    (
+        u64::from_be_bytes(b[BLOCK_OFF..BLOCK_OFF + 8].try_into().unwrap()),
+        u32::from_be_bytes(b[VER_OFF..VER_OFF + 4].try_into().unwrap()),
+    )
+}
+
+/// Expands a 32-byte digest plus salt into a full 64-byte key.
+fn expand_hash_to_key(input: &[u8]) -> Key {
+    let h1 = sha256(input);
+    let mut buf = [0u8; 33];
+    buf[..32].copy_from_slice(h1.as_bytes());
+    buf[32] = 0x5a;
+    let h2 = sha256(&buf);
+    let mut b = [0u8; KEY_BYTES];
+    b[..32].copy_from_slice(h1.as_bytes());
+    b[32..].copy_from_slice(h2.as_bytes());
+    Key::from_bytes(b)
+}
+
+/// The traditional (CFS-style) encoding: a uniform hash of the fully
+/// qualified block name. Related blocks land on unrelated nodes.
+pub fn traditional_key(vol: &VolumeId, path: &str, block_no: u64, version: u32) -> Key {
+    let mut buf = Vec::with_capacity(VOL_BYTES + path.len() + 12 + 2);
+    buf.extend_from_slice(&vol.0);
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&block_no.to_be_bytes());
+    buf.extend_from_slice(&version.to_be_bytes());
+    expand_hash_to_key(&buf)
+}
+
+/// The traditional-file (PAST-style) encoding: the file's *placement* is a
+/// uniform hash of its path, but all blocks of the file share that prefix
+/// so they are stored together; block number and version fill the trailer.
+pub fn traditional_file_key(vol: &VolumeId, path: &str, block_no: u64, version: u32) -> Key {
+    let mut buf = Vec::with_capacity(VOL_BYTES + path.len() + 1);
+    buf.extend_from_slice(&vol.0);
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    let h = sha256(&buf);
+    let mut b = [0u8; KEY_BYTES];
+    b[..32].copy_from_slice(h.as_bytes());
+    // Bytes 32..52 from a second hash round for full-width placement.
+    let mut buf2 = [0u8; 33];
+    buf2[..32].copy_from_slice(h.as_bytes());
+    buf2[32] = 0xa5;
+    let h2 = sha256(&buf2);
+    b[32..BLOCK_OFF].copy_from_slice(&h2.as_bytes()[..BLOCK_OFF - 32]);
+    b[BLOCK_OFF..BLOCK_OFF + 8].copy_from_slice(&block_no.to_be_bytes());
+    b[VER_OFF..VER_OFF + 4].copy_from_slice(&version.to_be_bytes());
+    Key::from_bytes(b)
+}
+
+/// Encodes a URL as a D2 path with reversed domain tuples, e.g.
+/// `www.yahoo.com/index.html` → `com/yahoo/www/index.html` (Section 4.1),
+/// using stateless 2-byte name-hash slots (footnote 2).
+pub fn web_path_slots(url: &str) -> PathSlots {
+    let url = url.trim_start_matches("http://").trim_start_matches("https://");
+    let (host, rest) = match url.find('/') {
+        Some(i) => (&url[..i], &url[i + 1..]),
+        None => (url, ""),
+    };
+    let mut slots = PathSlots::root();
+    for label in host.split('.').rev().filter(|s| !s.is_empty()) {
+        slots = slots.child(SlotAllocator::slot_for_name(label), label);
+    }
+    for seg in rest.split('/').filter(|s| !s.is_empty()) {
+        slots = slots.child(SlotAllocator::slot_for_name(seg), seg);
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> VolumeId {
+        VolumeId::from_name("testvol")
+    }
+
+    #[test]
+    fn volume_id_stable_and_distinct() {
+        assert_eq!(VolumeId::from_name("a"), VolumeId::from_name("a"));
+        assert_ne!(VolumeId::from_name("a"), VolumeId::from_name("b"));
+    }
+
+    #[test]
+    fn file_blocks_are_contiguous() {
+        let v = vol();
+        let dir = PathSlots::root().child(1, "docs");
+        let file = dir.child(2, "a.txt");
+        let k0 = d2_key(&v, &file, 0, 0);
+        let k1 = d2_key(&v, &file, 1, 0);
+        let k2 = d2_key(&v, &file, 2, 0);
+        assert!(k0 < k1 && k1 < k2);
+        // Another file in the same directory must not interleave.
+        let other = dir.child(3, "b.txt");
+        let o0 = d2_key(&v, &other, 0, 0);
+        assert!(k2 < o0);
+    }
+
+    #[test]
+    fn directory_metadata_sorts_before_children() {
+        let v = vol();
+        let dir = PathSlots::root().child(5, "src");
+        let dir_meta = d2_key(&v, &dir, 0, 0);
+        let child = dir.child(1, "main.rs");
+        assert!(dir_meta < d2_key(&v, &child, 0, 0));
+    }
+
+    #[test]
+    fn preorder_traversal_matches_key_order() {
+        // root -> a(1) -> {x(1), y(2)}; root -> b(2)
+        let v = vol();
+        let a = PathSlots::root().child(1, "a");
+        let x = a.child(1, "x");
+        let y = a.child(2, "y");
+        let b = PathSlots::root().child(2, "b");
+        let keys = [
+            d2_key(&v, &PathSlots::root(), 0, 0),
+            d2_key(&v, &a, 0, 0),
+            d2_key(&v, &x, 0, 0),
+            d2_key(&v, &x, 1, 0),
+            d2_key(&v, &y, 0, 0),
+            d2_key(&v, &b, 0, 0),
+        ];
+        let mut sorted = keys;
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn different_volumes_are_disjoint_prefixes() {
+        let p = PathSlots::root().child(1, "f");
+        let k1 = d2_key(&VolumeId::from_name("v1"), &p, 0, 0);
+        let k2 = d2_key(&VolumeId::from_name("v2"), &p, 0, 0);
+        assert_ne!(k1.as_bytes()[..20], k2.as_bytes()[..20]);
+    }
+
+    #[test]
+    fn deep_paths_fold_into_remainder() {
+        let mut p = PathSlots::root();
+        for i in 0..15 {
+            p = p.child(1, &format!("d{i}"));
+        }
+        assert_eq!(p.depth(), DIR_SLOT_LEVELS);
+        assert_eq!(p.full_depth(), 15);
+        assert_ne!(p.remainder(), 0);
+        // Two different deep files get different remainders.
+        let f1 = p.child(1, "deep1");
+        let f2 = p.child(1, "deep2");
+        assert_ne!(f1.remainder(), f2.remainder());
+    }
+
+    #[test]
+    fn trailer_roundtrip() {
+        let v = vol();
+        let p = PathSlots::root().child(9, "f");
+        let k = d2_key(&v, &p, 77, 13);
+        assert_eq!(d2_key_trailer(&k), (77, 13));
+    }
+
+    #[test]
+    fn versions_adjacent_in_keyspace() {
+        let v = vol();
+        let p = PathSlots::root().child(1, "f");
+        let k0 = d2_key(&v, &p, 1, 0);
+        let k1 = d2_key(&v, &p, 1, 1);
+        assert!(k0 < k1);
+        // Still below the next block number.
+        assert!(k1 < d2_key(&v, &p, 2, 0));
+    }
+
+    #[test]
+    fn traditional_keys_scatter() {
+        let v = vol();
+        // Consecutive blocks of the same file get unrelated keys.
+        let k0 = traditional_key(&v, "/docs/a.txt", 0, 0);
+        let k1 = traditional_key(&v, "/docs/a.txt", 1, 0);
+        let prefix0 = &k0.as_bytes()[..8];
+        let prefix1 = &k1.as_bytes()[..8];
+        assert_ne!(prefix0, prefix1);
+        // Deterministic.
+        assert_eq!(k0, traditional_key(&v, "/docs/a.txt", 0, 0));
+    }
+
+    #[test]
+    fn traditional_file_keys_share_placement_prefix() {
+        let v = vol();
+        let k0 = traditional_file_key(&v, "/docs/a.txt", 0, 0);
+        let k9 = traditional_file_key(&v, "/docs/a.txt", 9, 0);
+        assert_eq!(k0.as_bytes()[..32], k9.as_bytes()[..32]);
+        assert!(k0 < k9);
+        // Different files scatter.
+        let other = traditional_file_key(&v, "/docs/b.txt", 0, 0);
+        assert_ne!(k0.as_bytes()[..8], other.as_bytes()[..8]);
+    }
+
+    #[test]
+    fn slot_allocator_sequential() {
+        let mut a = SlotAllocator::new();
+        assert_eq!(a.next_sequential("x"), Some(1));
+        assert_eq!(a.next_sequential("y"), Some(2));
+        assert_eq!(a.next_sequential("x"), Some(1)); // idempotent
+        assert_eq!(a.get("y"), Some(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.remove("x"), Some(1));
+        assert_eq!(a.get("x"), None);
+    }
+
+    #[test]
+    fn slot_for_name_never_zero() {
+        for name in ["", "a", "com", "www", "index.html"] {
+            assert_ne!(SlotAllocator::slot_for_name(name), 0);
+        }
+    }
+
+    #[test]
+    fn web_urls_reverse_domains() {
+        let a = web_path_slots("www.yahoo.com/index.html");
+        let b = web_path_slots("mail.yahoo.com/inbox");
+        // Shared reversed prefix: com, yahoo — so first two slots equal.
+        assert_eq!(a.slots()[..2], b.slots()[..2]);
+        assert_ne!(a.slots()[2], b.slots()[2]);
+        // Scheme prefix is stripped.
+        assert_eq!(
+            web_path_slots("http://www.yahoo.com/index.html").slots(),
+            a.slots()
+        );
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let a = PathSlots::root().child(1, "a");
+        let ax = a.child(2, "x");
+        assert!(PathSlots::root().is_ancestor_of(&a));
+        assert!(a.is_ancestor_of(&ax));
+        assert!(!ax.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+    }
+}

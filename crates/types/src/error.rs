@@ -1,0 +1,78 @@
+//! Error types shared by the D2 crates.
+
+use crate::key::Key;
+use std::fmt;
+
+/// Convenient result alias for D2 operations.
+pub type Result<T> = std::result::Result<T, D2Error>;
+
+/// Errors surfaced by the D2 stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum D2Error {
+    /// No replica holding `key` is currently reachable.
+    Unavailable(Key),
+    /// The block exists nowhere in the system.
+    NotFound(Key),
+    /// A metadata block failed integrity verification against the hash
+    /// recorded in its parent.
+    IntegrityFailure(Key),
+    /// The root block signature did not verify.
+    BadSignature,
+    /// A path component does not exist.
+    NoSuchPath(String),
+    /// The path already exists (e.g. creating over an existing file).
+    AlreadyExists(String),
+    /// A directory ran out of 2-byte slots (64K entries).
+    DirectoryFull(String),
+    /// A malformed on-wire or on-disk block.
+    Codec(String),
+    /// The operation is invalid in the current state.
+    InvalidOperation(String),
+}
+
+impl fmt::Display for D2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            D2Error::Unavailable(k) => write!(f, "no replica reachable for key {k}"),
+            D2Error::NotFound(k) => write!(f, "block not found for key {k}"),
+            D2Error::IntegrityFailure(k) => write!(f, "integrity check failed for key {k}"),
+            D2Error::BadSignature => write!(f, "root block signature did not verify"),
+            D2Error::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            D2Error::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            D2Error::DirectoryFull(p) => write!(f, "directory full (64K entries): {p}"),
+            D2Error::Codec(m) => write!(f, "malformed block: {m}"),
+            D2Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for D2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            D2Error::Unavailable(Key::from_u64(1)),
+            D2Error::NotFound(Key::from_u64(2)),
+            D2Error::IntegrityFailure(Key::from_u64(3)),
+            D2Error::BadSignature,
+            D2Error::NoSuchPath("/x".into()),
+            D2Error::AlreadyExists("/y".into()),
+            D2Error::DirectoryFull("/z".into()),
+            D2Error::Codec("bad".into()),
+            D2Error::InvalidOperation("nope".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<D2Error>();
+    }
+}

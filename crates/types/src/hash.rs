@@ -1,0 +1,315 @@
+//! A from-scratch SHA-256 implementation (FIPS 180-4).
+//!
+//! D2 cannot use content hashes *as keys* (keys must preserve name-space
+//! locality), so metadata blocks carry the content hashes of the blocks
+//! they point to and the integrity chain is verified from the signed root
+//! (paper Section 3). This module provides those content hashes, the
+//! hashed baseline key encodings, and the keyed-MAC "publisher signature"
+//! substitute used by `d2-fs`.
+//!
+//! No cryptography crate is in the allowed dependency set, so SHA-256 is
+//! implemented here and validated against the official FIPS test vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use d2_types::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     digest.to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the digest.
+    pub fn finalize(mut self) -> ContentHash {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros then 8-byte big-endian bit length.
+        self.update_padding(0x80);
+        while self.buf_len != 56 {
+            self.update_padding(0);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        for b in len_bytes {
+            self.buf[self.buf_len] = b;
+            self.buf_len += 1;
+        }
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        ContentHash(out)
+    }
+
+    fn update_padding(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Convenience one-shot SHA-256.
+///
+/// ```
+/// use d2_types::sha256;
+/// assert_eq!(
+///     sha256(b"").to_hex(),
+///     "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+/// );
+/// ```
+pub fn sha256(data: &[u8]) -> ContentHash {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// A 32-byte SHA-256 digest used as a block content hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl ContentHash {
+    /// Digest of the empty byte string.
+    pub fn of_empty() -> Self {
+        sha256(b"")
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex representation.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Truncates the digest to a little `u64` (for compact fingerprints).
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Keyed MAC standing in for the publisher's public-key signature over the
+/// root block (paper Section 3). `mac = SHA256(secret ‖ data ‖ secret)`.
+///
+/// The evaluation never exercises cryptographic strength, only the
+/// integrity-chain *logic*; see DESIGN.md §3 for the substitution note.
+pub fn keyed_mac(secret: &[u8], data: &[u8]) -> ContentHash {
+    let mut h = Sha256::new();
+    h.update(secret);
+    h.update(data);
+    h.update(secret);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 test vectors.
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn mac_depends_on_secret_and_data() {
+        let m1 = keyed_mac(b"s1", b"data");
+        let m2 = keyed_mac(b"s2", b"data");
+        let m3 = keyed_mac(b"s1", b"other");
+        assert_ne!(m1, m2);
+        assert_ne!(m1, m3);
+        assert_eq!(m1, keyed_mac(b"s1", b"data"));
+    }
+
+    #[test]
+    fn content_hash_formatting() {
+        let h = sha256(b"x");
+        assert_eq!(h.to_hex().len(), 64);
+        assert!(format!("{h:?}").contains("ContentHash"));
+        assert_eq!(format!("{h}"), h.to_hex());
+    }
+
+    #[test]
+    fn to_u64_is_prefix() {
+        let h = sha256(b"prefix");
+        let expect = u64::from_be_bytes(h.0[..8].try_into().unwrap());
+        assert_eq!(h.to_u64(), expect);
+    }
+}

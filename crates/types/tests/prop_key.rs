@@ -1,0 +1,139 @@
+//! Property-based tests for key arithmetic and the Figure 4 encoding.
+
+use d2_types::encoding::{d2_key, d2_key_trailer, web_path_slots};
+use d2_types::{Key, KeyRange, PathSlots, VolumeId};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    prop::array::uniform32(any::<u8>()).prop_flat_map(|hi| {
+        prop::array::uniform32(any::<u8>()).prop_map(move |lo| {
+            let mut b = [0u8; 64];
+            b[..32].copy_from_slice(&hi);
+            b[32..].copy_from_slice(&lo);
+            Key::from_bytes(b)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_sub_inverse(a in arb_key(), b in arb_key()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn add_commutative(a in arb_key(), b in arb_key()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn distance_sums_around_ring(a in arb_key(), b in arb_key()) {
+        // d(a,b) + d(b,a) == 0 (mod 2^512) unless a == b.
+        let fwd = a.distance_to(&b);
+        let back = b.distance_to(&a);
+        prop_assert_eq!(fwd.wrapping_add(&back), Key::MIN);
+    }
+
+    #[test]
+    fn midpoint_inside_arc(a in arb_key(), b in arb_key()) {
+        prop_assume!(a != b);
+        let m = a.midpoint(&b);
+        let r = KeyRange::new(a, b);
+        // Midpoint is on (a, b] unless the arc has length 1.
+        if a.distance_to(&b) != Key::from_u64(1) {
+            // Distance >= 2 means midpoint strictly inside or equal start+1.
+            prop_assert!(r.contains(&m) || m == a);
+        }
+    }
+
+    #[test]
+    fn half_doubles_back(a in arb_key()) {
+        let h = a.half();
+        let doubled = h.wrapping_add(&h);
+        // doubled == a or a-1 (bit 511 lost).
+        let diff = doubled.distance_to(&a);
+        prop_assert!(diff == Key::MIN || diff == Key::from_u64(1));
+    }
+
+    #[test]
+    fn range_contains_boundary_semantics(a in arb_key(), b in arb_key(), k in arb_key()) {
+        let r = KeyRange::new(a, b);
+        if a != b {
+            // Exactly one of (a,b] and (b,a] contains k, for k not equal to endpoints.
+            let r2 = KeyRange::new(b, a);
+            if k != a && k != b {
+                prop_assert!(r.contains(&k) ^ r2.contains(&k));
+            }
+            prop_assert!(r.contains(&b));
+            prop_assert!(!r.contains(&a));
+        }
+    }
+
+    #[test]
+    fn key_order_matches_fraction(a in any::<u64>(), b in any::<u64>()) {
+        let ka = Key::from_u64_ordered(a);
+        let kb = Key::from_u64_ordered(b);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+}
+
+fn arb_path(max_depth: usize) -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(1u16..=u16::MAX, 1..=max_depth)
+}
+
+fn slots_from(path: &[u16]) -> PathSlots {
+    let mut p = PathSlots::root();
+    for (i, &s) in path.iter().enumerate() {
+        p = p.child(s, &format!("c{i}"));
+    }
+    p
+}
+
+proptest! {
+    /// Preorder ordering: if path P is lexicographically before path Q at
+    /// the first differing slot, P's keys sort before Q's keys (within the
+    /// 12-level slot prefix).
+    #[test]
+    fn lexicographic_paths_give_ordered_keys(
+        mut a in arb_path(12),
+        mut b in arb_path(12),
+    ) {
+        a.truncate(12);
+        b.truncate(12);
+        prop_assume!(a != b);
+        let vol = VolumeId::from_name("p");
+        let ka = d2_key(&vol, &slots_from(&a), 0, 0);
+        let kb = d2_key(&vol, &slots_from(&b), 0, 0);
+        // Pad with zeros for comparison (matching the key layout).
+        let mut pa = [0u16; 12];
+        let mut pb = [0u16; 12];
+        pa[..a.len()].copy_from_slice(&a);
+        pb[..b.len()].copy_from_slice(&b);
+        prop_assert_eq!(pa.cmp(&pb), ka.cmp(&kb));
+    }
+
+    #[test]
+    fn trailer_roundtrips(path in arb_path(12), block in any::<u64>(), ver in any::<u32>()) {
+        let vol = VolumeId::from_name("p");
+        let k = d2_key(&vol, &slots_from(&path), block, ver);
+        prop_assert_eq!(d2_key_trailer(&k), (block, ver));
+    }
+
+    #[test]
+    fn ancestor_keys_bound_descendants(path in arb_path(11), extra in 1u16..=u16::MAX) {
+        let vol = VolumeId::from_name("p");
+        let parent = slots_from(&path);
+        let child = parent.child(extra, "leaf");
+        let pk = d2_key(&vol, &parent, 0, 0);
+        let ck = d2_key(&vol, &child, 0, 0);
+        prop_assert!(pk < ck, "parent metadata must precede child blocks");
+    }
+
+    #[test]
+    fn web_urls_deterministic(host in "[a-z]{1,8}\\.[a-z]{2,3}", path in "[a-z]{0,12}") {
+        let url = format!("{host}/{path}");
+        let a = web_path_slots(&url);
+        let b = web_path_slots(&url);
+        prop_assert_eq!(a.slots(), b.slots());
+    }
+}

@@ -1,0 +1,166 @@
+//! HP-like block-level disk trace generator (substitute for the HP Labs
+//! Cello trace — see DESIGN.md §3).
+//!
+//! The real trace records raw disk-block accesses per application (pid),
+//! with no file boundaries. What Figure 3 extracts from it is *block
+//! number locality*: local file systems place related data contiguously,
+//! so applications access sequential runs of block numbers interleaved
+//! with seeks. The generator reproduces exactly that structure: each
+//! application owns a few regions of the block space and performs
+//! sequential runs with occasional jumps.
+
+use d2_sim::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the HP-like generator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HpConfig {
+    /// Number of applications (pids).
+    pub apps: usize,
+    /// Total disk size in blocks.
+    pub disk_blocks: u64,
+    /// Trace length in days.
+    pub days: f64,
+    /// Mean accesses per app per active hour.
+    pub accesses_per_app_hour: f64,
+    /// Regions of the disk each app works in.
+    pub regions_per_app: usize,
+    /// Mean sequential run length.
+    pub mean_run: f64,
+}
+
+impl Default for HpConfig {
+    fn default() -> Self {
+        HpConfig {
+            apps: 24,
+            disk_blocks: 5_000_000, // ~40 GB of 8 KB blocks
+            days: 7.0,
+            accesses_per_app_hour: 2_000.0,
+            regions_per_app: 6,
+            mean_run: 24.0,
+        }
+    }
+}
+
+/// One block access.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BlockAccess {
+    /// When.
+    pub at: SimTime,
+    /// Application (pid).
+    pub app: u32,
+    /// Disk block number — the "name" whose ordering Figure 3's *ordered*
+    /// scenario preserves.
+    pub block_no: u64,
+}
+
+/// A generated HP-like trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HpTrace {
+    /// Time-ordered accesses.
+    pub accesses: Vec<BlockAccess>,
+    /// Configuration used.
+    pub config: HpConfig,
+}
+
+impl HpTrace {
+    /// Generates a trace.
+    pub fn generate<R: Rng + ?Sized>(cfg: &HpConfig, rng: &mut R) -> HpTrace {
+        let mut accesses = Vec::new();
+        let horizon = cfg.days * 86_400.0;
+        for app in 0..cfg.apps {
+            // Each app's working regions (file-system allocation groups).
+            let regions: Vec<u64> = (0..cfg.regions_per_app)
+                .map(|_| rng.random_range(0..cfg.disk_blocks))
+                .collect();
+            let mut t = rng.random::<f64>() * 30.0;
+            let mut pos = regions[0];
+            while t < horizon {
+                let hour = (t / 3600.0) % 24.0;
+                let rate = cfg.accesses_per_app_hour * crate::harvard::diurnal(hour) / 3600.0;
+                if rate <= 0.0 {
+                    t += 60.0;
+                    continue;
+                }
+                // A sequential run.
+                if rng.random::<f64>() < 0.2 {
+                    // Seek to another region (plus small offset).
+                    let r = regions[rng.random_range(0..regions.len())];
+                    pos = (r + rng.random_range(0..4096)) % cfg.disk_blocks;
+                }
+                let run = 1 + (-(cfg.mean_run) * rng.random::<f64>().max(1e-12).ln()) as u64;
+                for _ in 0..run {
+                    accesses.push(BlockAccess {
+                        at: SimTime::from_secs_f64(t),
+                        app: app as u32,
+                        block_no: pos,
+                    });
+                    pos = (pos + 1) % cfg.disk_blocks;
+                    t += 0.002 + rng.random::<f64>() * 0.05;
+                }
+                // Inter-run gap from the target rate.
+                t += -(1.0 / rate) * rng.random::<f64>().max(1e-12).ln();
+            }
+        }
+        accesses.sort_by_key(|a| (a.at, a.app));
+        HpTrace { accesses, config: *cfg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small() -> HpConfig {
+        HpConfig { apps: 4, days: 0.5, accesses_per_app_hour: 500.0, ..HpConfig::default() }
+    }
+
+    #[test]
+    fn ordered_and_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = HpTrace::generate(&small(), &mut rng);
+        assert!(!t.accesses.is_empty());
+        for w in t.accesses.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for a in &t.accesses {
+            assert!(a.block_no < t.config.disk_blocks);
+        }
+    }
+
+    #[test]
+    fn accesses_show_sequential_locality() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = HpTrace::generate(&small(), &mut rng);
+        // Per app, a large fraction of consecutive accesses are +1 steps.
+        for app in 0..t.config.apps as u32 {
+            let blocks: Vec<u64> =
+                t.accesses.iter().filter(|a| a.app == app).map(|a| a.block_no).collect();
+            if blocks.len() < 100 {
+                continue;
+            }
+            let seq = blocks.windows(2).filter(|w| w[1] == w[0] + 1).count();
+            let frac = seq as f64 / (blocks.len() - 1) as f64;
+            assert!(frac > 0.4, "app {app} sequential fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn apps_use_disjoint_working_sets_mostly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = HpTrace::generate(&small(), &mut rng);
+        // Each app touches a tiny fraction of the disk.
+        for app in 0..t.config.apps as u32 {
+            let mut blocks: Vec<u64> =
+                t.accesses.iter().filter(|a| a.app == app).map(|a| a.block_no).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            assert!(
+                (blocks.len() as u64) < t.config.disk_blocks / 10,
+                "app {app} touches too much of the disk"
+            );
+        }
+    }
+}

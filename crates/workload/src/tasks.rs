@@ -1,0 +1,169 @@
+//! Task and access-group segmentation (paper Sections 8.1 and 9.1).
+//!
+//! The Harvard trace carries no explicit task boundaries, so the paper
+//! approximates:
+//!
+//! - a **task** is a maximal per-user run of accesses in which consecutive
+//!   gaps are below an inter-arrival threshold `inter` (1 s … 1 min),
+//!   capped at 5 minutes — the availability unit: a task *fails* if any
+//!   block it needs is unavailable;
+//! - an **access group** is a per-user run separated by *think times*
+//!   (gaps > 1 s) — the latency unit: its completion time is what the
+//!   user perceives.
+
+use crate::namespace::Access;
+use d2_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A contiguous per-user group of trace accesses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// The user whose accesses these are.
+    pub user: u32,
+    /// Time of the first access.
+    pub start: SimTime,
+    /// Indices into the source access slice, in time order.
+    pub indices: Vec<usize>,
+}
+
+impl Task {
+    /// Number of accesses in the group.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the group is empty (never produced by the splitters).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// Splits `accesses` (time-ordered) into tasks: per-user runs with
+/// consecutive gaps `< inter`, total duration capped at `max_duration`.
+pub fn split_tasks(accesses: &[Access], inter: SimTime, max_duration: SimTime) -> Vec<Task> {
+    split(accesses, inter, Some(max_duration))
+}
+
+/// Splits into access groups: per-user runs separated by think times
+/// (gaps `>= think`), with no duration cap.
+pub fn split_access_groups(accesses: &[Access], think: SimTime) -> Vec<Task> {
+    split(accesses, think, None)
+}
+
+fn split(accesses: &[Access], gap: SimTime, cap: Option<SimTime>) -> Vec<Task> {
+    let mut open: HashMap<u32, Task> = HashMap::new();
+    let mut done: Vec<Task> = Vec::new();
+    let mut last_at: HashMap<u32, SimTime> = HashMap::new();
+
+    for (i, a) in accesses.iter().enumerate() {
+        let user = a.user;
+        let continue_run = match (open.get(&user), last_at.get(&user)) {
+            (Some(task), Some(&last)) => {
+                let within_gap = a.at.saturating_sub(last) < gap;
+                let within_cap = cap.map(|c| a.at.saturating_sub(task.start) <= c).unwrap_or(true);
+                within_gap && within_cap
+            }
+            _ => false,
+        };
+        if !continue_run {
+            if let Some(t) = open.remove(&user) {
+                done.push(t);
+            }
+            open.insert(user, Task { user, start: a.at, indices: Vec::new() });
+        }
+        open.get_mut(&user).expect("just inserted").indices.push(i);
+        last_at.insert(user, a.at);
+    }
+    done.extend(open.into_values());
+    done.sort_by_key(|t| (t.start, t.user));
+    done
+}
+
+/// Mean number of accesses per task.
+pub fn mean_len(tasks: &[Task]) -> f64 {
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    tasks.iter().map(|t| t.len()).sum::<usize>() as f64 / tasks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{FileId, FileOp};
+
+    fn acc(at_secs: f64, user: u32) -> Access {
+        Access {
+            at: SimTime::from_secs_f64(at_secs),
+            user,
+            file: FileId(0),
+            op: FileOp::Read,
+            first_block: 1,
+            nblocks: 1,
+        }
+    }
+
+    #[test]
+    fn gap_splits_tasks() {
+        let accesses =
+            vec![acc(0.0, 1), acc(1.0, 1), acc(2.0, 1), acc(30.0, 1), acc(31.0, 1)];
+        let tasks = split_tasks(&accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].indices, vec![0, 1, 2]);
+        assert_eq!(tasks[1].indices, vec![3, 4]);
+    }
+
+    #[test]
+    fn users_are_independent() {
+        let accesses = vec![acc(0.0, 1), acc(0.5, 2), acc(1.0, 1), acc(1.5, 2)];
+        let tasks = split_tasks(&accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().any(|t| t.user == 1 && t.len() == 2));
+        assert!(tasks.iter().any(|t| t.user == 2 && t.len() == 2));
+    }
+
+    #[test]
+    fn duration_cap_splits_long_runs() {
+        // 1 access per second for 400 s: with inter=5 s this is one run,
+        // but the 300 s cap forces a split.
+        let accesses: Vec<Access> = (0..400).map(|i| acc(i as f64, 1)).collect();
+        let tasks = split_tasks(&accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].len(), 301); // t=0..=300 (cap inclusive at start+300)
+        assert_eq!(tasks[1].len(), 99);
+    }
+
+    #[test]
+    fn access_groups_have_no_cap() {
+        let accesses: Vec<Access> = (0..400).map(|i| acc(i as f64 * 0.5, 1)).collect();
+        let groups = split_access_groups(&accesses, SimTime::from_secs(1));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 400);
+    }
+
+    #[test]
+    fn think_time_splits_groups() {
+        let accesses = vec![acc(0.0, 1), acc(0.2, 1), acc(5.0, 1)];
+        let groups = split_access_groups(&accesses, SimTime::from_secs(1));
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn larger_inter_merges_tasks() {
+        let accesses = vec![acc(0.0, 1), acc(3.0, 1), acc(20.0, 1), acc(22.0, 1)];
+        let t1 = split_tasks(&accesses, SimTime::from_secs(1), SimTime::from_secs(300));
+        let t5 = split_tasks(&accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        let t60 = split_tasks(&accesses, SimTime::from_secs(60), SimTime::from_secs(300));
+        assert!(t1.len() >= t5.len());
+        assert!(t5.len() >= t60.len());
+        assert_eq!(t60.len(), 1);
+        assert_eq!(mean_len(&t60), 4.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_tasks(&[], SimTime::from_secs(5), SimTime::from_secs(300)).is_empty());
+        assert_eq!(mean_len(&[]), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Web / Webcache workload generator (substitute for the NLANR IRCache
+//! `rtp` traces — see DESIGN.md §3).
+//!
+//! Two uses in the paper:
+//!
+//! - **Web** (Figure 3): where does name-space locality sit for web
+//!   objects named by reversed domain (`com.yahoo.www/index.html`)?
+//!   Clients revisit sites, so accesses cluster under domains.
+//! - **Webcache** (Section 10): the DHT as a Squirrel-style cooperative
+//!   cache — a workload with *extreme* churn, where each day writes about
+//!   as many bytes as are stored and everything present at the start of a
+//!   day is gone by its end (Table 3, Webcache rows). Objects are
+//!   inserted on first access and evicted after one day.
+
+use d2_sim::SimTime;
+use d2_types::encoding::web_path_slots;
+use d2_types::{BlockKind, BlockName, PathSlots, VolumeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the web trace.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WebConfig {
+    /// Number of distinct web sites (domains).
+    pub domains: usize,
+    /// Mean pages per domain (Pareto-distributed).
+    pub pages_per_domain: f64,
+    /// Number of client users (anonymized IPs in the real trace).
+    pub users: usize,
+    /// Trace length in days.
+    pub days: f64,
+    /// Mean requests per user per hour.
+    pub requests_per_user_hour: f64,
+    /// Zipf exponent for domain popularity.
+    pub zipf_theta: f64,
+    /// Cache eviction age for the Webcache workload (paper: one day).
+    pub eviction_secs: u64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            domains: 400,
+            pages_per_domain: 40.0,
+            users: 60,
+            days: 7.0,
+            requests_per_user_hour: 150.0,
+            zipf_theta: 0.8,
+            eviction_secs: 86_400,
+        }
+    }
+}
+
+/// One HTTP request in the trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WebAccess {
+    /// Request time.
+    pub at: SimTime,
+    /// Client id.
+    pub user: u32,
+    /// Object id (index into [`WebTrace::objects`]).
+    pub object: u32,
+}
+
+/// One cacheable web object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WebObject {
+    /// `reversed.domain/path` name.
+    pub url: String,
+    /// Figure 4 slot encoding via [`web_path_slots`].
+    pub slots: PathSlots,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// A generated web trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WebTrace {
+    /// All objects that can be requested.
+    pub objects: Vec<WebObject>,
+    /// Time-ordered requests.
+    pub accesses: Vec<WebAccess>,
+    /// Volume id for key encoding.
+    pub volume: VolumeId,
+    /// Configuration used.
+    pub config: WebConfig,
+}
+
+/// Zipf sampler over `n` items with exponent `theta` (approximate
+/// inverse-CDF method, deterministic given the RNG).
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, theta: f64) -> usize {
+    // Weight of rank r is (r+1)^-theta; sample by rejection against the
+    // integrable envelope (fast enough for workload generation).
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    // Inverse of the continuous CDF for x^-theta on [1, n].
+    let exp = 1.0 - theta;
+    let x = if (exp).abs() < 1e-9 {
+        (u * (n as f64).ln()).exp()
+    } else {
+        ((u * ((n as f64).powf(exp) - 1.0)) + 1.0).powf(1.0 / exp)
+    };
+    // x ∈ [1, n]; map to 0-based rank.
+    ((x - 1.0).max(0.0) as usize).min(n - 1)
+}
+
+impl WebTrace {
+    /// Generates a trace.
+    pub fn generate<R: Rng + ?Sized>(cfg: &WebConfig, rng: &mut R) -> WebTrace {
+        let tlds = ["com", "org", "net", "edu", "io"];
+        let mut objects = Vec::new();
+        let mut domain_pages: Vec<(usize, usize)> = Vec::new(); // (first object, count)
+        for d in 0..cfg.domains {
+            let tld = tlds[d % tlds.len()];
+            let host = format!("www.site{d}.{tld}");
+            let pages = 1
+                + ((cfg.pages_per_domain - 1.0)
+                    * rng.random::<f64>().max(1e-9).powf(1.5).recip().min(4.0)
+                    / 4.0) as usize;
+            let first = objects.len();
+            for p in 0..pages {
+                let url = format!("{host}/page{p}.html");
+                let size = web_object_size(rng);
+                objects.push(WebObject { url: url.clone(), slots: web_path_slots(&url), size });
+            }
+            domain_pages.push((first, pages));
+        }
+
+        let mut accesses = Vec::new();
+        let horizon = cfg.days * 86_400.0;
+        for u in 0..cfg.users {
+            let mut t = rng.random::<f64>() * 120.0;
+            while t < horizon {
+                let hour = (t / 3600.0) % 24.0;
+                let rate = cfg.requests_per_user_hour * crate::harvard::diurnal(hour) / 3600.0;
+                // A browsing session on one (Zipf-popular) domain.
+                let dom = zipf(rng, cfg.domains, cfg.zipf_theta);
+                let (first, count) = domain_pages[dom];
+                let clicks = 1 + rng.random_range(0..12);
+                for _ in 0..clicks {
+                    if t >= horizon {
+                        break;
+                    }
+                    let page = zipf(rng, count.max(1), 0.6);
+                    accesses.push(WebAccess {
+                        at: SimTime::from_secs_f64(t),
+                        user: u as u32,
+                        object: (first + page) as u32,
+                    });
+                    t += 1.0 + rng.random::<f64>() * 20.0;
+                }
+                // Gap until the next session.
+                t += (60.0 + rng.random::<f64>() * 7200.0) / rate.max(1e-4) / 3600.0;
+            }
+        }
+        accesses.sort_by_key(|a| (a.at, a.user));
+        WebTrace { objects, accesses, volume: VolumeId::from_name("webcache"), config: *cfg }
+    }
+
+    /// The block names an object occupies in the cache DHT (inode + data
+    /// blocks, like a small file).
+    pub fn blocks_of(&self, object: u32) -> Vec<BlockName> {
+        let o = &self.objects[object as usize];
+        let data_blocks = o.size.div_ceil(d2_types::BLOCK_SIZE as u64).max(1);
+        (0..=data_blocks)
+            .map(|b| BlockName {
+                volume: self.volume,
+                slots: o.slots,
+                path: o.url.clone(),
+                block_no: b,
+                version: 0,
+                kind: if b == 0 { BlockKind::Inode } else { BlockKind::Data },
+            })
+            .collect()
+    }
+}
+
+/// Web object sizes: log-normal-ish, mean ≈ 15 KB, capped at 4 MB.
+pub fn web_object_size<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let v: f64 = rng.random::<f64>().max(1e-12);
+    // Box–Muller.
+    let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+    let size = (9.0 + 1.2 * z).exp(); // ln-mean 9 → ~8 KB median
+    (size as u64).clamp(200, 4 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small() -> WebConfig {
+        WebConfig { domains: 50, users: 10, days: 1.0, ..WebConfig::default() }
+    }
+
+    #[test]
+    fn trace_ordered_and_nonempty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = WebTrace::generate(&small(), &mut rng);
+        assert!(!t.accesses.is_empty());
+        assert!(!t.objects.is_empty());
+        for w in t.accesses.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for a in &t.accesses {
+            assert!((a.object as usize) < t.objects.len());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = WebTrace::generate(&small(), &mut rng);
+        let mut counts = vec![0u64; t.objects.len()];
+        for a in &t.accesses {
+            counts[a.object as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top10: u64 = counts.iter().take(counts.len() / 10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.3,
+            "top 10% of objects should draw >30% of requests"
+        );
+    }
+
+    #[test]
+    fn same_domain_objects_share_slot_prefix() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = WebTrace::generate(&small(), &mut rng);
+        // First two pages of domain 0 share the reversed-domain prefix.
+        let a = &t.objects[0];
+        if t.objects.len() > 1 && t.objects[1].url.starts_with("www.site0.") {
+            let b = &t.objects[1];
+            assert_eq!(a.slots.slots()[..3], b.slots.slots()[..3]);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_in_range_and_skewed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            let i = zipf(&mut rng, 100, 0.8);
+            assert!(i < 100);
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[50] * 3, "rank 0 should dominate rank 50");
+    }
+
+    #[test]
+    fn object_sizes_reasonable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sizes: Vec<u64> = (0..5000).map(|_| web_object_size(&mut rng)).collect();
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        assert!((2_000.0..80_000.0).contains(&mean), "mean web object size {mean}");
+        assert!(sizes.iter().all(|&s| (200..=4 << 20).contains(&s)));
+    }
+
+    #[test]
+    fn blocks_of_small_object() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let t = WebTrace::generate(&small(), &mut rng);
+        let blocks = t.blocks_of(0);
+        assert!(blocks.len() >= 2); // inode + >= 1 data block
+        assert_eq!(blocks[0].block_no, 0);
+        // Data block keys are adjacent under D2.
+        if blocks.len() >= 3 {
+            assert!(blocks[1].d2_key() < blocks[2].d2_key());
+        }
+    }
+}

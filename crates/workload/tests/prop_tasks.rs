@@ -1,0 +1,88 @@
+//! Property tests for task/access-group segmentation and trace sanity.
+
+use d2_sim::SimTime;
+use d2_workload::namespace::{Access, FileId, FileOp};
+use d2_workload::{split_access_groups, split_tasks};
+use proptest::prelude::*;
+
+fn arb_accesses() -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec((0u32..4, 0u64..2000), 1..200).prop_map(|mut raw| {
+        raw.sort_by_key(|&(_, t)| t);
+        raw.into_iter()
+            .map(|(user, t)| Access {
+                at: SimTime::from_millis(t * 100),
+                user,
+                file: FileId(0),
+                op: FileOp::Read,
+                first_block: 1,
+                nblocks: 1,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tasks partition each user's accesses exactly once, in order.
+    #[test]
+    fn tasks_partition_accesses(accesses in arb_accesses(), inter_s in 1u64..60) {
+        let inter = SimTime::from_secs(inter_s);
+        let tasks = split_tasks(&accesses, inter, SimTime::from_secs(300));
+        let mut seen = vec![false; accesses.len()];
+        for task in &tasks {
+            for &i in &task.indices {
+                prop_assert!(!seen[i], "access {i} in two tasks");
+                seen[i] = true;
+                prop_assert_eq!(accesses[i].user, task.user);
+            }
+            // In-order within a task.
+            for w in task.indices.windows(2) {
+                prop_assert!(accesses[w[0]].at <= accesses[w[1]].at);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every access belongs to a task");
+    }
+
+    /// Within a task, consecutive gaps are < inter and the span respects
+    /// the duration cap; consecutive tasks of a user are separated by
+    /// >= inter or forced by the cap.
+    #[test]
+    fn task_boundaries_respect_inter(accesses in arb_accesses(), inter_s in 1u64..60) {
+        let inter = SimTime::from_secs(inter_s);
+        let cap = SimTime::from_secs(300);
+        let tasks = split_tasks(&accesses, inter, cap);
+        for task in &tasks {
+            let first = accesses[task.indices[0]].at;
+            for w in task.indices.windows(2) {
+                let gap = accesses[w[1]].at.saturating_sub(accesses[w[0]].at);
+                prop_assert!(gap < inter, "intra-task gap {gap} >= inter");
+                prop_assert!(
+                    accesses[w[1]].at.saturating_sub(first) <= cap,
+                    "task exceeded the 5-minute cap"
+                );
+            }
+        }
+    }
+
+    /// A larger inter never produces more tasks.
+    #[test]
+    fn task_count_monotone_in_inter(accesses in arb_accesses()) {
+        let cap = SimTime::from_secs(300);
+        let mut last = usize::MAX;
+        for inter_s in [1u64, 5, 15, 60] {
+            let n = split_tasks(&accesses, SimTime::from_secs(inter_s), cap).len();
+            prop_assert!(n <= last, "inter={inter_s}: {n} > {last}");
+            last = n;
+        }
+    }
+
+    /// Access groups with think=1s are a refinement of 1s-tasks without a
+    /// cap: same boundaries except where the cap split tasks.
+    #[test]
+    fn groups_partition_too(accesses in arb_accesses()) {
+        let groups = split_access_groups(&accesses, SimTime::from_secs(1));
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(total, accesses.len());
+    }
+}

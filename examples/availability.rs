@@ -1,0 +1,66 @@
+//! Task availability under PlanetLab-like failures — the Section 8 story.
+//!
+//! Reproduces Figure 7 (task unavailability per system and inter-arrival
+//! threshold), Figure 8 (ranked per-user unavailability), and Table 2
+//! (mean objects/nodes per task).
+//!
+//! Run with: `cargo run --release --example availability`
+
+use d2::experiments::{fig7, fig8, table2, Scale};
+use d2::sim::{FailureModel, SimTime};
+use d2::workload::HarvardTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::Quick;
+    // The stressed quick-scale availability regime (the calibrated
+    // PlanetLab-like defaults produce nearly zero failures at this scale,
+    // which is faithful but uninformative — see EXPERIMENTS.md).
+    let hcfg = d2::workload::HarvardConfig {
+        users: 12,
+        days: 2.0,
+        initial_bytes: 64 << 20,
+        reads_per_user_hour: 60.0,
+        ..d2::workload::HarvardConfig::default()
+    };
+    let trace = HarvardTrace::generate(&hcfg, &mut StdRng::seed_from_u64(42));
+    let cfg = d2::core::ClusterConfig {
+        nodes: 32,
+        replicas: 3,
+        seed: 7,
+        ..d2::core::ClusterConfig::default()
+    };
+    let model = FailureModel {
+        mttf_secs: 2.0 * 86_400.0,
+        mttr_secs: 3.0 * 3600.0,
+        correlated_events: 6.0,
+        correlated_fraction: 0.25,
+        correlated_mttr_secs: 2.0 * 3600.0,
+        duration_secs: hcfg.days * 86_400.0,
+    };
+    println!(
+        "replaying {} accesses against a {}-node cluster with PlanetLab-like failures …",
+        trace.accesses.len(),
+        cfg.nodes
+    );
+
+    let inters =
+        [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+    let table = table2::run(
+        &trace,
+        &cfg,
+        &[SimTime::from_secs(1), SimTime::from_secs(5), SimTime::from_secs(15), SimTime::from_secs(60)],
+        scale.warmup_days(),
+    );
+    println!("\n{}", table.render());
+
+    let fig = fig7::run(&trace, &cfg, &model, &inters, scale.trials(), 1.0, 100);
+    println!("{}", fig.render());
+
+    let fig = fig8::run(&trace, &cfg, &model, 1.0, 101);
+    println!("{}", fig.render());
+    for s in &fig.series {
+        println!("{:>18}: {} of {} users affected", s.system.label(), s.affected(), s.ranked.len());
+    }
+}

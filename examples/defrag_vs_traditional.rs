@@ -1,0 +1,48 @@
+//! Head-to-head: D2 vs traditional vs traditional-file DHTs on a
+//! Harvard-like workload — the Section 9 performance story in one run.
+//!
+//! Prints the reproduced Figure 9 (lookup messages per node), Figure 10
+//! (speedup over traditional), Figure 13 (cache miss rates), and the
+//! Figure 14/15 scatter summaries.
+//!
+//! Run with: `cargo run --release --example defrag_vs_traditional`
+
+use d2::experiments::perf_suite::{self, SuiteConfig};
+use d2::experiments::{fig10, fig13, fig14_15, fig9, Scale};
+use d2::workload::HarvardTrace;
+use d2_core::SystemKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::Quick;
+    println!("generating Harvard-like workload …");
+    let trace = HarvardTrace::generate(&scale.harvard(), &mut StdRng::seed_from_u64(42));
+    println!(
+        "  {} accesses by {} users over {} days, {} files",
+        trace.accesses.len(),
+        trace.config.users,
+        trace.config.days,
+        trace.namespace.len()
+    );
+
+    let cfg = SuiteConfig {
+        sizes: scale.perf_sizes(),
+        kbps: vec![1500, 384],
+        measure_groups: 150,
+        seed: 7,
+        warmup_days: scale.warmup_days(),
+        ..SuiteConfig::default()
+    };
+    println!(
+        "running the performance sweep: sizes {:?} × bandwidths {:?} × 3 systems × 2 modes …",
+        cfg.sizes, cfg.kbps
+    );
+    let suite = perf_suite::run(&trace, &cfg);
+
+    println!("\n{}", fig9::from_suite(&suite).render());
+    println!("{}", fig10::from_suite(&suite, SystemKind::Traditional).render());
+    println!("{}", fig13::from_suite(&suite).render());
+    let largest = *cfg.sizes.last().unwrap();
+    println!("{}", fig14_15::from_suite(&suite, largest, 1500).render());
+}

@@ -1,0 +1,54 @@
+//! Quickstart: a D2 file system running on a simulated 32-node cluster.
+//!
+//! Creates a volume, writes a small project tree through the write-back
+//! cache, flushes it into the DHT, reads it back through the verifying
+//! reader path, and then kills a node to show replicas keeping the data
+//! available.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use d2::core::{ClusterConfig, SimCluster, SystemKind};
+use d2::sim::SimTime;
+
+fn main() {
+    let cfg = ClusterConfig { nodes: 32, replicas: 3, seed: 7, ..ClusterConfig::default() };
+    let mut cluster = SimCluster::new(SystemKind::D2, &cfg);
+    println!("started a {}-node D2 cluster (r = {})", cfg.nodes, cfg.replicas);
+
+    cluster.create_volume("home");
+    cluster.write_file("home", "/projects/d2/README.md", b"# my defragmented fs\n");
+    cluster.write_file("home", "/projects/d2/src/main.rs", b"fn main() {}\n");
+    cluster.write_file("home", "/projects/d2/data/blob.bin", &vec![0xD2u8; 40_000]);
+    cluster.write_file("home", "/notes.txt", b"d2 keeps my files together");
+    cluster.flush();
+    println!("wrote 4 files and flushed the 30s write-back cache");
+
+    // Read back through the verifying reader (root signature + per-block
+    // content hashes).
+    let readme = cluster.read_file("home", "/projects/d2/README.md").unwrap();
+    assert_eq!(readme, b"# my defragmented fs\n");
+    let blob = cluster.read_file("home", "/projects/d2/data/blob.bin").unwrap();
+    assert_eq!(blob.len(), 40_000);
+    println!("read files back with integrity verification");
+
+    // Locality in action: how many nodes ended up holding data?
+    let loads = cluster.total_load_blocks();
+    let busy = loads.iter().filter(|&&l| l > 0).count();
+    println!(
+        "blocks landed on {busy} of {} nodes (locality keeps related data together)",
+        cfg.nodes
+    );
+
+    // Fault tolerance: kill the heaviest node and read again.
+    let victim = cluster.ring.nodes()[0];
+    cluster.node_down(victim, SimTime::from_secs(60));
+    let again = cluster.read_file("home", "/projects/d2/src/main.rs").unwrap();
+    assert_eq!(again, b"fn main() {}\n");
+    println!("killed node {victim} — file still readable from replicas");
+
+    println!(
+        "stats: {} bytes written, {} bytes migrated, {} balance moves",
+        cluster.stats.write_bytes, cluster.stats.migration_bytes, cluster.stats.balance_moves
+    );
+    println!("quickstart OK");
+}

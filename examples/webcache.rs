@@ -1,0 +1,40 @@
+//! The DHT as a Squirrel-style cooperative web cache — the paper's
+//! extreme-churn stress test (Section 10).
+//!
+//! Reproduces Table 3 (daily churn ratios), Table 4 (write vs migration
+//! traffic), and Figure 17 (load imbalance over time under Webcache).
+//!
+//! Run with: `cargo run --release --example webcache`
+
+use d2::experiments::fig16_17::{self, ALL_SYSTEMS};
+use d2::experiments::{table3, table4, Scale};
+use d2::sim::SimTime;
+use d2::workload::{HarvardTrace, WebTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::Quick;
+    let harvard = HarvardTrace::generate(&scale.harvard(), &mut StdRng::seed_from_u64(42));
+    let web = WebTrace::generate(&scale.web(), &mut StdRng::seed_from_u64(42));
+    println!(
+        "web trace: {} requests over {} objects ({} domains)",
+        web.accesses.len(),
+        web.objects.len(),
+        web.config.domains
+    );
+
+    println!("\n{}", table3::run(&harvard, &web).render());
+
+    let cfg = scale.cluster(7);
+    let warmup = SimTime::from_secs_f64(scale.warmup_days() * 86_400.0 * 2.0);
+    println!("{}", table4::run(&harvard, &web, &cfg, warmup).render());
+
+    let fig = fig16_17::fig17(&web, &cfg, &ALL_SYSTEMS, SimTime::from_secs(3600));
+    println!("{}", fig.render());
+    for sys in ALL_SYSTEMS {
+        if let Some(tail) = fig.tail_mean(sys, 0.3) {
+            println!("tail imbalance {:>18}: {tail:.3}", sys.label());
+        }
+    }
+}
