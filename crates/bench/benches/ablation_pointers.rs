@@ -17,10 +17,12 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let (trace, base, model) = availability_fixture();
-    let tasks =
-        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
-    let failures =
-        FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
+    let tasks = split_tasks(
+        &trace.accesses,
+        SimTime::from_secs(5),
+        SimTime::from_secs(300),
+    );
+    let failures = FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
 
     println!("\nAblation: block pointers on/off (D2, Harvard workload)");
     println!(
@@ -28,9 +30,11 @@ fn bench(c: &mut Criterion) {
         "pointers", "unavailability", "migrated(MB)", "ptrs-installed", "moves"
     );
     for use_pointers in [true, false] {
-        let cfg = ClusterConfig { use_pointers, ..base };
-        let mut sim =
-            AvailabilitySim::build(SystemKind::D2, &cfg, &trace, AVAIL_WARMUP_DAYS);
+        let cfg = ClusterConfig {
+            use_pointers,
+            ..base
+        };
+        let mut sim = AvailabilitySim::build(SystemKind::D2, &cfg, &trace, AVAIL_WARMUP_DAYS);
         let report = sim.run(&trace, &tasks, &failures);
         let s = sim.cluster.stats;
         println!(
@@ -45,7 +49,10 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_pointers");
     g.sample_size(10);
-    let cfg = ClusterConfig { use_pointers: false, ..base };
+    let cfg = ClusterConfig {
+        use_pointers: false,
+        ..base
+    };
     g.bench_function("no_pointer_availability_run", |bencher| {
         bencher.iter(|| {
             let mut sim = AvailabilitySim::build(SystemKind::D2, &cfg, &trace, 0.02);

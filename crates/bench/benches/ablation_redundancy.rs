@@ -18,18 +18,43 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let (trace, base, model) = availability_fixture();
-    let tasks =
-        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
-    let failures =
-        FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
+    let tasks = split_tasks(
+        &trace.accesses,
+        SimTime::from_secs(5),
+        SimTime::from_secs(300),
+    );
+    let failures = FailureTrace::generate(base.nodes, &model, &mut StdRng::seed_from_u64(100));
 
     let variants: Vec<(&str, ClusterConfig)> = vec![
-        ("replication r=3", ClusterConfig { replicas: 3, ..base }),
-        ("replication r=4", ClusterConfig { replicas: 4, ..base }),
-        ("erasure 2-of-4", ClusterConfig { replicas: 4, erasure_k: Some(2), ..base }),
+        (
+            "replication r=3",
+            ClusterConfig {
+                replicas: 3,
+                ..base
+            },
+        ),
+        (
+            "replication r=4",
+            ClusterConfig {
+                replicas: 4,
+                ..base
+            },
+        ),
+        (
+            "erasure 2-of-4",
+            ClusterConfig {
+                replicas: 4,
+                erasure_k: Some(2),
+                ..base
+            },
+        ),
         (
             "hybrid r=3 + 1 hashed",
-            ClusterConfig { replicas: 3, hybrid_hash_replicas: 1, ..base },
+            ClusterConfig {
+                replicas: 3,
+                hybrid_hash_replicas: 1,
+                ..base
+            },
         ),
     ];
 
@@ -39,8 +64,7 @@ fn bench(c: &mut Criterion) {
         "scheme", "unavailability", "failed-tasks", "stored(MB)"
     );
     for (label, cfg) in &variants {
-        let mut sim =
-            AvailabilitySim::build(SystemKind::D2, cfg, &trace, AVAIL_WARMUP_DAYS);
+        let mut sim = AvailabilitySim::build(SystemKind::D2, cfg, &trace, AVAIL_WARMUP_DAYS);
         let stored: u64 = sim.cluster.total_load_bytes().iter().sum();
         let report = sim.run(&trace, &tasks, &failures);
         println!(
@@ -53,7 +77,11 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_redundancy");
     g.sample_size(10);
-    let quick_cfg = ClusterConfig { replicas: 4, erasure_k: Some(2), ..base };
+    let quick_cfg = ClusterConfig {
+        replicas: 4,
+        erasure_k: Some(2),
+        ..base
+    };
     g.bench_function("erasure_availability_run", |bencher| {
         bencher.iter(|| {
             let mut sim = AvailabilitySim::build(SystemKind::D2, &quick_cfg, &trace, 0.02);

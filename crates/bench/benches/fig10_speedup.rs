@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use d2_bench::{harvard, REPORT_SCALE};
 use d2_core::SystemKind;
-use d2_experiments::perf_suite::{self, SuiteConfig};
 use d2_experiments::fig10;
+use d2_experiments::perf_suite::{self, SuiteConfig};
 
 fn bench(c: &mut Criterion) {
     let trace = harvard(REPORT_SCALE);
@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         ..SuiteConfig::default()
     };
     let suite = perf_suite::run(&trace, &cfg);
-    println!("\n{}", fig10::from_suite(&suite, SystemKind::Traditional).render());
+    println!(
+        "\n{}",
+        fig10::from_suite(&suite, SystemKind::Traditional).render()
+    );
 
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use d2_bench::{harvard, REPORT_SCALE};
-use d2_experiments::perf_suite::{self, SuiteConfig};
 use d2_experiments::fig14_15;
+use d2_experiments::perf_suite::{self, SuiteConfig};
 
 fn bench(c: &mut Criterion) {
     let trace = harvard(REPORT_SCALE);

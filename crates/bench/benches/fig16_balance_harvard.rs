@@ -21,9 +21,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16");
     g.sample_size(10);
     g.bench_function("harvard_balance_run", |bencher| {
-        bencher.iter(|| {
-            fig16_17::fig16(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600))
-        })
+        bencher
+            .iter(|| fig16_17::fig16(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600)))
     });
     g.finish();
 }

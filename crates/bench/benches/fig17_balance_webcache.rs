@@ -20,9 +20,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig17");
     g.sample_size(10);
     g.bench_function("webcache_balance_run", |bencher| {
-        bencher.iter(|| {
-            fig16_17::fig17(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600))
-        })
+        bencher
+            .iter(|| fig16_17::fig17(&trace, &cfg, &[BalanceSystem::D2], SimTime::from_secs(3600)))
     });
     g.finish();
 }

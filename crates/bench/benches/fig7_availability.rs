@@ -7,7 +7,11 @@ use d2_sim::SimTime;
 
 fn bench(c: &mut Criterion) {
     let (trace, cfg, model) = availability_fixture();
-    let inters = [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+    let inters = [
+        SimTime::from_secs(5),
+        SimTime::from_secs(60),
+        SimTime::from_secs(300),
+    ];
     let fig = fig7::run(&trace, &cfg, &model, &inters, 3, AVAIL_WARMUP_DAYS, 100);
     println!("\n{}", fig.render());
 

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
-    g.bench_function("churn_ratios", |bencher| bencher.iter(|| table3::run(&h, &w)));
+    g.bench_function("churn_ratios", |bencher| {
+        bencher.iter(|| table3::run(&h, &w))
+    });
     g.finish();
 }
 

@@ -21,7 +21,12 @@ pub fn harvard(scale: Scale) -> HarvardTrace {
 /// Deterministic HP trace.
 pub fn hp() -> HpTrace {
     HpTrace::generate(
-        &HpConfig { apps: 8, days: 1.0, disk_blocks: 600_000, ..HpConfig::default() },
+        &HpConfig {
+            apps: 8,
+            days: 1.0,
+            disk_blocks: 600_000,
+            ..HpConfig::default()
+        },
         &mut StdRng::seed_from_u64(42),
     )
 }

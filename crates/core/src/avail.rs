@@ -128,7 +128,10 @@ impl AvailabilitySim {
             cluster.resolve_stale_pointers(now);
         }
         cluster.now = now;
-        AvailabilitySim { cluster, epoch: now }
+        AvailabilitySim {
+            cluster,
+            epoch: now,
+        }
     }
 
     /// Replays the workload and failure trace, scoring task availability.
@@ -171,8 +174,9 @@ impl AvailabilitySim {
         let mut report = AvailabilityReport::default();
         let n = self.cluster.len();
         // Remember each node's ID so recoveries rejoin in place.
-        let mut last_id: Vec<Option<Key>> =
-            (0..n).map(|i| self.cluster.ring.id_of(NodeIdx(i))).collect();
+        let mut last_id: Vec<Option<Key>> = (0..n)
+            .map(|i| self.cluster.ring.id_of(NodeIdx(i)))
+            .collect();
 
         for (at, ev) in events {
             self.cluster.now = at;
@@ -321,13 +325,22 @@ mod tests {
     }
 
     fn tiny_cluster_cfg() -> ClusterConfig {
-        ClusterConfig { nodes: 24, replicas: 3, seed: 5, ..ClusterConfig::default() }
+        ClusterConfig {
+            nodes: 24,
+            replicas: 3,
+            seed: 5,
+            ..ClusterConfig::default()
+        }
     }
 
     #[test]
     fn no_failures_no_unavailability() {
         let trace = tiny_trace();
-        let tasks = split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        let tasks = split_tasks(
+            &trace.accesses,
+            SimTime::from_secs(5),
+            SimTime::from_secs(300),
+        );
         let mut sim = AvailabilitySim::build(SystemKind::D2, &tiny_cluster_cfg(), &trace, 0.25);
         let failures = FailureTrace::none(24, SimTime::from_secs(86_400));
         let report = sim.run(&trace, &tasks, &failures);
@@ -339,7 +352,11 @@ mod tests {
     #[test]
     fn d2_beats_traditional_under_failures() {
         let trace = tiny_trace();
-        let tasks = split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        let tasks = split_tasks(
+            &trace.accesses,
+            SimTime::from_secs(5),
+            SimTime::from_secs(300),
+        );
         let model = FailureModel {
             // Brutal failure model so the tiny test shows separation.
             mttf_secs: 0.5 * 86_400.0,
@@ -369,7 +386,11 @@ mod tests {
     #[test]
     fn task_profile_shows_locality_gap() {
         let trace = tiny_trace();
-        let tasks = split_tasks(&trace.accesses, SimTime::from_secs(15), SimTime::from_secs(300));
+        let tasks = split_tasks(
+            &trace.accesses,
+            SimTime::from_secs(15),
+            SimTime::from_secs(300),
+        );
         let d2 = AvailabilitySim::build(SystemKind::D2, &tiny_cluster_cfg(), &trace, 0.25);
         let trad =
             AvailabilitySim::build(SystemKind::Traditional, &tiny_cluster_cfg(), &trace, 0.0);
@@ -391,11 +412,18 @@ mod tests {
     #[test]
     fn per_user_accounting_sums_to_totals() {
         let trace = tiny_trace();
-        let tasks = split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+        let tasks = split_tasks(
+            &trace.accesses,
+            SimTime::from_secs(5),
+            SimTime::from_secs(300),
+        );
         let mut sim = AvailabilitySim::build(SystemKind::D2, &tiny_cluster_cfg(), &trace, 0.1);
         let failures = FailureTrace::generate(
             24,
-            &FailureModel { duration_secs: 86_400.0, ..FailureModel::default() },
+            &FailureModel {
+                duration_secs: 86_400.0,
+                ..FailureModel::default()
+            },
             &mut rand::rngs::StdRng::seed_from_u64(3),
         );
         let report = sim.run(&trace, &tasks, &failures);

@@ -16,6 +16,7 @@
 
 use crate::config::ClusterConfig;
 use d2_fs::{BlockIo, Fs, FsConfig, VolumeReader};
+use d2_obs::{MigrationKind, SharedSink, TraceEvent};
 use d2_ring::balance::{self, BalanceOp, LoadView};
 use d2_ring::{NodeIdx, Ring};
 use d2_sim::net::LinkState;
@@ -98,6 +99,8 @@ pub struct SimCluster {
     /// simultaneous whole-group failures would never lose data.
     inflight: HashMap<(usize, Key), (usize, SimTime)>,
     volumes: HashMap<String, Fs>,
+    /// Trace sink for migration/repair/balance events (null by default).
+    obs: SharedSink,
 }
 
 impl SimCluster {
@@ -131,7 +134,20 @@ impl SimCluster {
             inflight: HashMap::new(),
             ring,
             volumes: HashMap::new(),
+            obs: SharedSink::null(),
         }
+    }
+
+    /// Attaches a trace sink: balance moves, migration transfers, and
+    /// pointer resolutions are recorded into it from now on. Pass a clone
+    /// of a [`SharedSink`] to share one buffer with other components.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.obs = sink;
+    }
+
+    /// The cluster's trace sink (null unless attached).
+    pub fn trace_sink(&self) -> &SharedSink {
+        &self.obs
     }
 
     /// Number of nodes (live or not).
@@ -242,7 +258,10 @@ impl SimCluster {
             for old in self.holders_of(&twin) {
                 self.store_remove(old, &twin);
             }
-            for node in self.ring.replica_group(&twin, self.cfg.hybrid_hash_replicas) {
+            for node in self
+                .ring
+                .replica_group(&twin, self.cfg.hybrid_hash_replicas)
+            {
                 self.store_put(node, twin, Payload::Size(frag), now);
             }
         }
@@ -290,7 +309,11 @@ impl SimCluster {
                 self.store_put(
                     node,
                     key,
-                    Payload::Pointer { holder: c.0, since: now, len: frag },
+                    Payload::Pointer {
+                        holder: c.0,
+                        since: now,
+                        len: frag,
+                    },
                     now,
                 );
                 self.stats.diverted_writes += 1;
@@ -378,7 +401,10 @@ impl SimCluster {
                 self.twins.insert(key, twin);
                 self.twin_set.insert(twin);
                 self.sizes.insert(twin, len);
-                for node in self.ring.replica_group(&twin, self.cfg.hybrid_hash_replicas) {
+                for node in self
+                    .ring
+                    .replica_group(&twin, self.cfg.hybrid_hash_replicas)
+                {
                     self.store_put(node, twin, Payload::Size(frag), SimTime::ZERO);
                 }
             }
@@ -403,12 +429,20 @@ impl SimCluster {
 
     /// Total storage load (all blocks held, bytes) of each live node.
     pub fn total_load_bytes(&self) -> Vec<u64> {
-        self.ring.nodes().into_iter().map(|n| self.stores[n.0].bytes()).collect()
+        self.ring
+            .nodes()
+            .into_iter()
+            .map(|n| self.stores[n.0].bytes())
+            .collect()
     }
 
     /// Total storage load in blocks of each live node.
     pub fn total_load_blocks(&self) -> Vec<u64> {
-        self.ring.nodes().into_iter().map(|n| self.stores[n.0].len() as u64).collect()
+        self.ring
+            .nodes()
+            .into_iter()
+            .map(|n| self.stores[n.0].len() as u64)
+            .collect()
     }
 
     /// Normalized standard deviation of total per-node byte load
@@ -432,8 +466,13 @@ impl SimCluster {
             if !self.ring.contains(prober) {
                 continue;
             }
-            let Some(target) = self.ring.random_node(&mut self.rng) else { continue };
-            let view = Loads { ring: &self.ring, stores: &self.stores };
+            let Some(target) = self.ring.random_node(&mut self.rng) else {
+                continue;
+            };
+            let view = Loads {
+                ring: &self.ring,
+                stores: &self.stores,
+            };
             let Some(op) = balance::probe(&self.ring, &view, prober, target, &self.cfg.balance)
             else {
                 continue;
@@ -441,6 +480,11 @@ impl SimCluster {
             if !balance::apply_to_ring(&mut self.ring, &op) {
                 continue;
             }
+            self.obs.record_with(|| TraceEvent::BalanceMove {
+                t_us: now.as_micros(),
+                mover: op.mover().0,
+                heavy: op.heavy().0,
+            });
             self.apply_balance_data(&op, now);
             moves += 1;
         }
@@ -455,7 +499,10 @@ impl SimCluster {
         let mover = op.mover();
         // Keys whose replica groups may have changed: everything the mover
         // held, plus everything held near its new position.
-        let mut affected: HashSet<Key> = self.stores[mover.0].keys_in(&d2_types::KeyRange::full()).into_iter().collect();
+        let mut affected: HashSet<Key> = self.stores[mover.0]
+            .keys_in(&d2_types::KeyRange::full())
+            .into_iter()
+            .collect();
         let heavy = op.heavy();
         for k in self.stores[heavy.0].keys_in(&d2_types::KeyRange::full()) {
             affected.insert(k);
@@ -492,8 +539,18 @@ impl SimCluster {
     /// resolve (the paper's "D will ultimately retrieve the actual blocks
     /// from A and delete the pointers").
     fn sync_keys<I: IntoIterator<Item = Key>>(&mut self, keys: I, now: SimTime, ctx: SyncCtx) {
+        // Callers collect affected keys in hash sets/maps, whose iteration
+        // order varies run to run. Transfers queue on per-node migration
+        // links, so the processing order decides each copy's completion
+        // time: sort so the whole simulation (and any attached trace) is a
+        // pure function of the seed.
+        let mut keys: Vec<Key> = keys.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
         for key in keys {
-            let Some(&len) = self.sizes.get(&key) else { continue };
+            let Some(&len) = self.sizes.get(&key) else {
+                continue;
+            };
             // Twin (safeguard) blocks use the smaller hybrid group.
             let group_size = if self.twin_set.contains(&key) {
                 self.cfg.hybrid_hash_replicas
@@ -536,13 +593,17 @@ impl SimCluster {
                 if let Some(Payload::Pointer { holder, since, .. }) =
                     self.stores[member.0].get(&key).map(|b| b.payload.clone())
                 {
-                    let target_ok = self.node_up[holder]
-                        && self.has_real_data(NodeIdx(holder), &key);
+                    let target_ok =
+                        self.node_up[holder] && self.has_real_data(NodeIdx(holder), &key);
                     if !target_ok && source.0 != holder {
                         self.store_put(
                             member,
                             key,
-                            Payload::Pointer { holder: source.0, since, len: frag },
+                            Payload::Pointer {
+                                holder: source.0,
+                                since,
+                                len: frag,
+                            },
                             now,
                         );
                     }
@@ -558,7 +619,11 @@ impl SimCluster {
                     self.store_put(
                         member,
                         key,
-                        Payload::Pointer { holder: source.0, since: now, len: frag },
+                        Payload::Pointer {
+                            holder: source.0,
+                            since: now,
+                            len: frag,
+                        },
                         now,
                     );
                     self.stats.pointers_installed += 1;
@@ -571,6 +636,18 @@ impl SimCluster {
                     let wire = if balancing { frag } else { len };
                     let done = self.migration_links[member.0].transmit(now, wire as u64);
                     self.stats.migration_bytes += wire as u64;
+                    self.obs.record_with(|| TraceEvent::Migration {
+                        t_us: now.as_micros(),
+                        kind: if balancing {
+                            MigrationKind::Balance
+                        } else {
+                            MigrationKind::Repair
+                        },
+                        src: source.0,
+                        dst: member.0,
+                        key: key.to_u64_lossy(),
+                        bytes: wire as u64,
+                    });
                     if !balancing {
                         self.stats.regenerated_blocks += 1;
                     }
@@ -623,8 +700,7 @@ impl SimCluster {
     /// those held via pointers — in O(pending + pointers) rather than
     /// O(all blocks). [`SimCluster::resync_all`] remains for full audits.
     pub fn resync_pending(&mut self, now: SimTime) {
-        let mut keys: HashSet<Key> =
-            self.inflight.keys().map(|&(_, k)| k).collect();
+        let mut keys: HashSet<Key> = self.inflight.keys().map(|&(_, k)| k).collect();
         // Drop records of transfers that have completed.
         self.inflight.retain(|_, &mut (_, done)| done > now);
         for node in 0..self.stores.len() {
@@ -661,7 +737,11 @@ impl SimCluster {
                         self.store_put(
                             NodeIdx(node),
                             key,
-                            Payload::Pointer { holder: alt.0, since, len },
+                            Payload::Pointer {
+                                holder: alt.0,
+                                since,
+                                len,
+                            },
                             now,
                         );
                     }
@@ -670,6 +750,14 @@ impl SimCluster {
                 let done = self.migration_links[node].transmit(now, len as u64);
                 self.stats.migration_bytes += len as u64;
                 self.stats.pointers_resolved += 1;
+                self.obs.record_with(|| TraceEvent::Migration {
+                    t_us: now.as_micros(),
+                    kind: MigrationKind::PointerResolve,
+                    src: src.0,
+                    dst: node,
+                    key: key.to_u64_lossy(),
+                    bytes: len as u64,
+                });
                 let payload = self.copy_payload(src, &key, len);
                 self.store_put(NodeIdx(node), key, payload, done);
                 if done > now {
@@ -750,8 +838,10 @@ impl SimCluster {
             }
         }
         // Repair: the node's stale contents plus its new neighborhood.
-        let mut keys: HashSet<Key> =
-            self.stores[node.0].keys_in(&d2_types::KeyRange::full()).into_iter().collect();
+        let mut keys: HashSet<Key> = self.stores[node.0]
+            .keys_in(&d2_types::KeyRange::full())
+            .into_iter()
+            .collect();
         if let Some(range) = self.ring.range_of(node) {
             for n in self.ring.replica_group(range.end(), self.cfg.replicas + 1) {
                 for k in self.stores[n.0].keys_in(&d2_types::KeyRange::full()) {
@@ -849,15 +939,106 @@ mod tests {
     use super::*;
 
     fn cluster(n: usize, system: SystemKind) -> SimCluster {
-        let cfg = ClusterConfig { nodes: n, replicas: 3, seed: 42, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            nodes: n,
+            replicas: 3,
+            seed: 42,
+            ..ClusterConfig::default()
+        };
         SimCluster::new(system, &cfg)
     }
 
     fn skewed_keys(count: usize) -> Vec<(Key, u32)> {
         // Blocks packed into 2% of the key space.
         (0..count)
-            .map(|i| (Key::from_fraction(0.3 + 0.02 * i as f64 / count as f64), 8192u32))
+            .map(|i| {
+                (
+                    Key::from_fraction(0.3 + 0.02 * i as f64 / count as f64),
+                    8192u32,
+                )
+            })
             .collect()
+    }
+
+    #[test]
+    fn trace_sink_sees_repair_and_balance_events() {
+        let mut c = cluster(16, SystemKind::D2);
+        let sink = d2_obs::SharedSink::memory(0);
+        c.set_trace_sink(sink.clone());
+        for (key, len) in skewed_keys(60) {
+            c.put_block(key, len, SimTime::ZERO);
+        }
+        // A failure forces regeneration (Repair migrations).
+        let key = Key::from_fraction(0.31);
+        let victim = c.holders_of(&key)[0];
+        c.node_down(victim, SimTime::from_secs(10));
+        // Balance rounds move nodes (BalanceMove + Balance migrations /
+        // pointers, depending on config).
+        let moves = c.run_balance_round(SimTime::from_secs(20), false);
+        let events = sink.drain();
+        let repairs = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Migration {
+                        kind: MigrationKind::Repair,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let balance_moves = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BalanceMove { .. }))
+            .count();
+        assert!(repairs > 0, "node failure must record repair migrations");
+        assert_eq!(balance_moves, moves, "one BalanceMove event per ID change");
+        for e in &events {
+            if let TraceEvent::Migration {
+                src, dst, bytes, ..
+            } = e
+            {
+                assert_ne!(src, dst);
+                assert!(*bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_resolution_records_migration_events() {
+        let cfg = ClusterConfig {
+            nodes: 16,
+            replicas: 3,
+            seed: 42,
+            use_pointers: true,
+            ..ClusterConfig::default()
+        };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        let sink = d2_obs::SharedSink::memory(0);
+        c.set_trace_sink(sink.clone());
+        for (key, len) in skewed_keys(80) {
+            c.put_block(key, len, SimTime::ZERO);
+        }
+        for round in 0..6 {
+            c.run_balance_round(SimTime::from_secs(60 * round), false);
+        }
+        let long_after = SimTime::from_secs(60 * 6) + cfg.pointer_stabilization;
+        let resolved = c.resolve_stale_pointers(long_after + SimTime::from_secs(1));
+        let resolutions = sink
+            .drain()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Migration {
+                        kind: MigrationKind::PointerResolve,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(resolutions, resolved, "one event per resolved pointer");
     }
 
     #[test]
@@ -900,7 +1081,10 @@ mod tests {
         // With bandwidth-metered regeneration, the first departure copies
         // to a new member — by the second/third departure the new copy may
         // still save the block. Verify consistency with live_data_holder.
-        assert_eq!(avail, c.live_data_holder(&key, SimTime::from_secs(10)).is_some());
+        assert_eq!(
+            avail,
+            c.live_data_holder(&key, SimTime::from_secs(10)).is_some()
+        );
     }
 
     #[test]
@@ -912,7 +1096,11 @@ mod tests {
         c.node_down(first, SimTime::from_secs(10));
         // A new member was added to the group (transfer may complete later).
         let holders = c.holders_of(&key);
-        assert_eq!(holders.len(), 3, "regeneration should restore r copies: {holders:?}");
+        assert_eq!(
+            holders.len(),
+            3,
+            "regeneration should restore r copies: {holders:?}"
+        );
         assert!(!holders.contains(&first));
         assert!(c.stats.migration_bytes >= 8192);
         // Block remains available throughout (survivors still hold it).
@@ -976,7 +1164,10 @@ mod tests {
             now += c.cfg.probe_interval;
             c.run_balance_round(now, false);
         }
-        assert!(c.stats.pointers_installed > 0, "balancing should install pointers");
+        assert!(
+            c.stats.pointers_installed > 0,
+            "balancing should install pointers"
+        );
         let migrated_before = c.stats.migration_bytes;
         // After the stabilization time, pointers resolve and bytes move.
         now += c.cfg.pointer_stabilization + SimTime::from_secs(1);
@@ -1063,8 +1254,7 @@ mod tests {
         // Kill fragments one at a time at the same instant (suppress
         // regeneration effects by checking immediately after each kill on
         // a clone without repair).
-        let mut dead = 0;
-        for &h in &holders {
+        for (dead, &h) in holders.iter().enumerate() {
             let mut clone = c.clone();
             // Remove fragments directly: take this holder and `dead` more.
             for &other in holders.iter().take(dead) {
@@ -1078,7 +1268,6 @@ mod tests {
                 "with {remaining} fragments availability must be {}",
                 remaining >= 2
             );
-            dead += 1;
         }
     }
 
@@ -1176,10 +1365,16 @@ mod tests {
         for (k, len) in skewed_keys(40) {
             c.put_block(k, len, SimTime::ZERO);
         }
-        assert!(c.stats.diverted_writes > 0, "tiny capacity must force diversion");
+        assert!(
+            c.stats.diverted_writes > 0,
+            "tiny capacity must force diversion"
+        );
         // Everything is still readable (pointer chains reach the data).
         for (k, _) in skewed_keys(40) {
-            assert!(c.is_available(&k, SimTime::ZERO), "diverted block {k} unreachable");
+            assert!(
+                c.is_available(&k, SimTime::ZERO),
+                "diverted block {k} unreachable"
+            );
         }
         // No node (except possibly via the final give-up path) wildly
         // exceeds its capacity.
@@ -1199,20 +1394,39 @@ mod tests {
             c.run_balance_round(now, false);
             c.resolve_stale_pointers(now);
         }
-        let max = c.ring.nodes().iter().map(|n| c.stores[n.0].len()).max().unwrap();
-        assert!(max <= 40, "balancing should spread the crowded corner: max={max}");
+        let max = c
+            .ring
+            .nodes()
+            .iter()
+            .map(|n| c.stores[n.0].len())
+            .max()
+            .unwrap();
+        assert!(
+            max <= 40,
+            "balancing should spread the crowded corner: max={max}"
+        );
     }
 
     #[test]
     fn fs_volume_on_cluster_roundtrip() {
-        for system in [SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile] {
+        for system in [
+            SystemKind::D2,
+            SystemKind::Traditional,
+            SystemKind::TraditionalFile,
+        ] {
             let mut c = cluster(8, system);
             c.create_volume("home");
             c.write_file("home", "/docs/notes.txt", b"defragmented!");
             c.write_file("home", "/docs/big.bin", &vec![7u8; 30_000]);
             c.flush();
-            assert_eq!(c.read_file("home", "/docs/notes.txt").unwrap(), b"defragmented!");
-            assert_eq!(c.read_file("home", "/docs/big.bin").unwrap(), vec![7u8; 30_000]);
+            assert_eq!(
+                c.read_file("home", "/docs/notes.txt").unwrap(),
+                b"defragmented!"
+            );
+            assert_eq!(
+                c.read_file("home", "/docs/big.bin").unwrap(),
+                vec![7u8; 30_000]
+            );
         }
     }
 

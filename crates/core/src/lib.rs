@@ -24,4 +24,3 @@ pub use cluster::{ClusterStats, SimCluster};
 pub use config::ClusterConfig;
 pub use d2_types::SystemKind;
 pub use perf::{Parallelism, PerfConfig, PerfReport, PerfSim};
-

@@ -14,6 +14,7 @@
 
 use crate::cluster::SimCluster;
 use crate::config::ClusterConfig;
+use d2_obs::{CacheResult, Histogram, SharedSink, TraceEvent};
 use d2_ring::routing::Router;
 use d2_ring::NodeIdx;
 use d2_sim::net::{LinkState, TcpConn, Topology};
@@ -47,7 +48,11 @@ pub struct PerfConfig {
 
 impl Default for PerfConfig {
     fn default() -> Self {
-        PerfConfig { access_kbps: 1500, mean_rtt_ms: 90.0, max_parallel: 15 }
+        PerfConfig {
+            access_kbps: 1500,
+            mean_rtt_ms: 90.0,
+            max_parallel: 15,
+        }
     }
 }
 
@@ -71,6 +76,15 @@ pub struct PerfReport {
     pub group_users: Vec<u32>,
     /// Number of nodes in the system.
     pub nodes: usize,
+    /// Distribution of routed-lookup hop counts.
+    pub hop_hist: Histogram,
+    /// Distribution of routed-lookup latencies (µs, hops + reply).
+    pub lookup_latency_us: Histogram,
+    /// Distribution of per-block fetch latencies (µs, lookup + transfer).
+    pub fetch_latency_us: Histogram,
+    /// Distribution of measured group completion times (µs; groups with
+    /// no reads are excluded).
+    pub group_latency_us: Histogram,
 }
 
 impl PerfReport {
@@ -101,11 +115,13 @@ pub struct PerfSim {
     conns: HashMap<(u32, usize), TcpConn>,
     caches: HashMap<u32, LookupCache>,
     client_node: HashMap<u32, usize>,
-    /// Latency of the most recent routed lookup per (user, key), consumed
-    /// by the fetch that triggered it.
-    lookup_lat: HashMap<(u32, Key), SimTime>,
+    /// Latency (and per-hop split, when tracing) of the most recent routed
+    /// lookup per (user, key), consumed by the fetch that triggered it.
+    lookup_lat: HashMap<(u32, Key), (SimTime, Vec<u64>)>,
     cfg: PerfConfig,
     rng: StdRng,
+    /// Trace sink for fetch/route/cache-probe events (null by default).
+    obs: SharedSink,
 }
 
 impl PerfSim {
@@ -142,7 +158,17 @@ impl PerfSim {
             lookup_lat: HashMap::new(),
             cfg: *perf_cfg,
             rng,
+            obs: SharedSink::null(),
         }
+    }
+
+    /// Attaches a trace sink to the driver and its cluster: per-fetch
+    /// [`TraceEvent::Fetch`], per-lookup [`TraceEvent::Route`], cache
+    /// probes, and access-group spans are recorded into it. Cloned sinks
+    /// share one buffer, so one sink can observe a whole experiment.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.cluster.set_trace_sink(sink.clone());
+        self.obs = sink;
     }
 
     /// Re-provisions every access link at `kbps` (for the 1500 vs 384
@@ -167,7 +193,11 @@ impl PerfSim {
             for name in trace.namespace.blocks_of_access(a) {
                 let key = system.key_of(&name);
                 if seen.insert(key, ()).is_none() {
-                    let len = if name.block_no == 0 { 256 } else { BLOCK_SIZE as u32 };
+                    let len = if name.block_no == 0 {
+                        256
+                    } else {
+                        BLOCK_SIZE as u32
+                    };
                     out.push((key, len));
                 }
             }
@@ -203,13 +233,11 @@ impl PerfSim {
 
     /// Replays `groups` in `mode`, measuring completion times and lookup
     /// traffic.
-    pub fn run(
-        &mut self,
-        trace: &HarvardTrace,
-        groups: &[Task],
-        mode: Parallelism,
-    ) -> PerfReport {
-        let mut report = PerfReport { nodes: self.cluster.ring.len(), ..Default::default() };
+    pub fn run(&mut self, trace: &HarvardTrace, groups: &[Task], mode: Parallelism) -> PerfReport {
+        let mut report = PerfReport {
+            nodes: self.cluster.ring.len(),
+            ..Default::default()
+        };
         for group in groups {
             let keys = self.group_keys(trace, group);
             if keys.is_empty() {
@@ -221,6 +249,15 @@ impl PerfSim {
                 Parallelism::Seq => self.run_seq(group, &keys, &mut report),
                 Parallelism::Para => self.run_para(group, &keys, &mut report),
             };
+            let dur_us = SimTime::from_secs_f64(latency).as_micros();
+            report.group_latency_us.record(dur_us);
+            self.obs.record_with(|| TraceEvent::Span {
+                t_us: group.start.as_micros(),
+                name: "access_group".to_string(),
+                user: group.user,
+                dur_us,
+                items: keys.len() as u32,
+            });
             report.group_latencies.push(latency);
             report.group_users.push(group.user);
         }
@@ -242,8 +279,11 @@ impl PerfSim {
         let mut done = group.start;
         for &(key, len) in keys {
             // Earliest-free slot.
-            let (si, &start) =
-                slots.iter().enumerate().min_by_key(|(_, &s)| s).expect("nonempty");
+            let (si, &start) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &s)| s)
+                .expect("nonempty");
             let d = self.fetch_one(group.user, key, len, start, report);
             let finish = start + d;
             slots[si] = finish;
@@ -266,10 +306,14 @@ impl PerfSim {
     ) -> SimTime {
         let client = *self.client_node.get(&user).unwrap_or(&0);
         let ttl = self.cluster.cfg.cache_ttl;
-        let cache = self.caches.entry(user).or_insert_with(|| LookupCache::new(ttl));
+        let cache = self
+            .caches
+            .entry(user)
+            .or_insert_with(|| LookupCache::new(ttl));
 
         let mut lookup_delay = SimTime::ZERO;
-        let owner = match cache.probe(&key, now) {
+        let mut result = CacheResult::Miss;
+        let owner = match cache.probe_traced(&key, now, user, &self.obs) {
             CacheOutcome::Hit { node } => {
                 let cached = NodeIdx(node);
                 let fresh = self
@@ -280,11 +324,13 @@ impl PerfSim {
                     .unwrap_or(false);
                 if fresh {
                     report.cache_hits += 1;
+                    result = CacheResult::Hit;
                     cached
                 } else {
                     // Stale: wasted round trip to the cached node, then a
                     // routed lookup.
                     report.stale_hits += 1;
+                    result = CacheResult::Stale;
                     cache.invalidate_node(node);
                     lookup_delay += self.topo.rtt(client, node % self.topo.len());
                     self.routed_lookup(user, client, key, now, report)
@@ -298,7 +344,10 @@ impl PerfSim {
         let owner_addr = owner.0 % self.topo.len();
         // Choose a replica uniformly (the paper notes D2 selects replicas
         // randomly).
-        let group = self.cluster.ring.replica_group(&key, self.cluster.cfg.replicas);
+        let group = self
+            .cluster
+            .ring
+            .replica_group(&key, self.cluster.cfg.replicas);
         let server = if group.is_empty() {
             owner
         } else {
@@ -313,7 +362,22 @@ impl PerfSim {
         // TCP transfer with slow-start restart semantics.
         let conn = self.conns.entry((user, server_addr)).or_default();
         let transfer = conn.fetch(now + backlog, len as u64, rtt, self.cfg.access_kbps * 1000);
-        lookup_delay + self.pending_lookup_latency(user, key) + backlog + transfer
+        let (pending, hop_us) = self.pending_lookup_latency(user, key);
+        let total = lookup_delay + pending + backlog + transfer;
+        report.fetch_latency_us.record(total.as_micros());
+        self.obs.record_with(|| TraceEvent::Fetch {
+            t_us: now.as_micros(),
+            user,
+            key: key.to_u64_lossy(),
+            result,
+            lookup_us: (lookup_delay + pending).as_micros(),
+            hop_us,
+            transfer_us: (backlog + transfer).as_micros(),
+            total_us: total.as_micros(),
+            server: server.0,
+            len,
+        });
+        total
     }
 
     /// Routed lookup: counts messages, installs the cache entry, and
@@ -330,30 +394,55 @@ impl PerfSim {
         let from = self.nearest_ring_node(client);
         let stats = self
             .router
-            .lookup(&self.cluster.ring, from, &key)
+            .lookup_traced(
+                &self.cluster.ring,
+                from,
+                &key,
+                now.as_micros(),
+                user,
+                &self.obs,
+            )
             .expect("ring nonempty");
         report.routed_lookups += 1;
         report.lookup_messages += stats.messages as u64;
-        // Lookup latency: hop path one-way latencies plus the reply.
+        report.hop_hist.record(stats.hops as u64);
+        // Lookup latency: hop path one-way latencies plus the reply. The
+        // per-hop split is only materialized when a sink is attached.
+        let trace_hops = self.obs.enabled();
+        let mut hop_us: Vec<u64> = Vec::new();
         let mut lat = SimTime::ZERO;
         let mut prev = client;
         for hop in &stats.path {
             let addr = hop.0 % self.topo.len();
-            lat += self.topo.one_way(prev, addr);
+            let one_way = self.topo.one_way(prev, addr);
+            if trace_hops {
+                hop_us.push(one_way.as_micros());
+            }
+            lat += one_way;
             prev = addr;
         }
-        lat += self.topo.one_way(prev, client);
+        let reply = self.topo.one_way(prev, client);
+        if trace_hops {
+            hop_us.push(reply.as_micros());
+        }
+        lat += reply;
+        report.lookup_latency_us.record(lat.as_micros());
         let ttl = self.cluster.cfg.cache_ttl;
-        let cache = self.caches.entry(user).or_insert_with(|| LookupCache::new(ttl));
+        let cache = self
+            .caches
+            .entry(user)
+            .or_insert_with(|| LookupCache::new(ttl));
         if let Some(range) = self.cluster.ring.range_of(stats.owner) {
             cache.insert(range, stats.owner.0, now);
         }
-        self.lookup_lat.insert((user, key), lat);
+        self.lookup_lat.insert((user, key), (lat, hop_us));
         stats.owner
     }
 
-    fn pending_lookup_latency(&mut self, user: u32, key: Key) -> SimTime {
-        self.lookup_lat.remove(&(user, key)).unwrap_or(SimTime::ZERO)
+    fn pending_lookup_latency(&mut self, user: u32, key: Key) -> (SimTime, Vec<u64>) {
+        self.lookup_lat
+            .remove(&(user, key))
+            .unwrap_or((SimTime::ZERO, Vec::new()))
     }
 
     /// The ring node co-located with (or closest to) a client address.
@@ -382,7 +471,12 @@ mod tests {
     }
 
     fn build(system: SystemKind, nodes: usize) -> PerfSim {
-        let ccfg = ClusterConfig { nodes, replicas: 4, seed: 3, ..ClusterConfig::default() };
+        let ccfg = ClusterConfig {
+            nodes,
+            replicas: 4,
+            seed: 3,
+            ..ClusterConfig::default()
+        };
         PerfSim::build(system, &ccfg, &PerfConfig::default(), &trace(), 0.1)
     }
 
@@ -441,10 +535,63 @@ mod tests {
         assert_eq!(rep.group_latencies.len(), measure.len());
         assert_eq!(rep.group_users.len(), measure.len());
         for (g, lat) in measure.iter().zip(&rep.group_latencies) {
-            let has_reads =
-                g.indices.iter().any(|&i| t.accesses[i].op == FileOp::Read);
+            let has_reads = g.indices.iter().any(|&i| t.accesses[i].op == FileOp::Read);
             if has_reads {
                 assert!(*lat > 0.0, "group with reads must take time");
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_records_fetches_and_matches_untraced_run() {
+        let t = trace();
+        let groups = split_access_groups(&t.accesses, SimTime::from_secs(1));
+        let measure = &groups[..groups.len().min(40)];
+
+        let mut plain = build(SystemKind::D2, 16);
+        let rep_plain = plain.run(&t, measure, Parallelism::Seq);
+
+        let mut traced = build(SystemKind::D2, 16);
+        let sink = SharedSink::memory(0);
+        traced.set_trace_sink(sink.clone());
+        let rep_traced = traced.run(&t, measure, Parallelism::Seq);
+
+        // Tracing must not perturb the simulation.
+        assert_eq!(rep_plain.group_latencies, rep_traced.group_latencies);
+        assert_eq!(rep_plain.lookup_messages, rep_traced.lookup_messages);
+
+        let events = sink.drain();
+        let fetches = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fetch { .. }))
+            .count() as u64;
+        let routes = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Route { .. }))
+            .count() as u64;
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Span { .. }))
+            .count();
+        assert_eq!(
+            fetches,
+            rep_traced.cache_hits + rep_traced.cache_misses + rep_traced.stale_hits
+        );
+        assert_eq!(routes, rep_traced.routed_lookups);
+        assert!(spans > 0, "each non-empty group records a span");
+        // Histograms cover every fetch and every routed lookup.
+        assert_eq!(rep_traced.fetch_latency_us.count(), fetches);
+        assert_eq!(rep_traced.hop_hist.count(), routes);
+        // Fetch events carry consistent latency splits.
+        for e in &events {
+            if let TraceEvent::Fetch {
+                lookup_us,
+                transfer_us,
+                total_us,
+                ..
+            } = e
+            {
+                assert_eq!(lookup_us + transfer_us, *total_us);
             }
         }
     }

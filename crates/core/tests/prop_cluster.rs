@@ -19,7 +19,7 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Step {
-    Put(u16, u8),
+    Put(u16),
     Remove(u16),
     NodeDown(u8),
     NodeUp(u8),
@@ -29,7 +29,7 @@ enum Step {
 
 fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
-        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, s)| Step::Put(k, s)),
+        4 => any::<u16>().prop_map(Step::Put),
         2 => any::<u16>().prop_map(Step::Remove),
         1 => any::<u8>().prop_map(Step::NodeDown),
         2 => any::<u8>().prop_map(Step::NodeUp),
@@ -86,10 +86,7 @@ fn check_invariants(c: &SimCluster, tracked: &[(Key, bool)], now: SimTime) {
         // flight), since a repair pass releases them.
         for h in &holders {
             assert!(
-                group.contains(h)
-                    || referenced.contains(&h.0)
-                    || !c.node_up[h.0]
-                    || !repairable,
+                group.contains(h) || referenced.contains(&h.0) || !c.node_up[h.0] || !repairable,
                 "stray live holder {h} for {key}"
             );
         }
@@ -102,7 +99,10 @@ fn check_invariants(c: &SimCluster, tracked: &[(Key, bool)], now: SimTime) {
                 )
         });
         if has_live_copy {
-            assert!(c.is_available(&key, now), "live copy exists but unavailable: {key}");
+            assert!(
+                c.is_available(&key, now),
+                "live copy exists but unavailable: {key}"
+            );
         }
     }
 }
@@ -124,7 +124,7 @@ proptest! {
             now += SimTime::from_secs(120);
             c.now = now;
             match step {
-                Step::Put(k, _) => {
+                Step::Put(k) => {
                     let key = key_of(k);
                     // Only write when the owner chain has a live node.
                     if !c.ring.is_empty() {

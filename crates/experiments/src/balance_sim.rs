@@ -7,6 +7,7 @@
 //! the results).
 
 use d2_core::{ClusterConfig, SimCluster, SystemKind};
+use d2_obs::{SharedSink, TraceEvent};
 use d2_sim::{max_over_mean, SimTime, TimeSeries};
 use d2_types::Key;
 use d2_workload::{FileOp, HarvardTrace, WebTrace};
@@ -31,9 +32,7 @@ impl BalanceSystem {
     pub fn system_kind(&self) -> SystemKind {
         match self {
             BalanceSystem::D2 => SystemKind::D2,
-            BalanceSystem::Traditional | BalanceSystem::TraditionalMerc => {
-                SystemKind::Traditional
-            }
+            BalanceSystem::Traditional | BalanceSystem::TraditionalMerc => SystemKind::Traditional,
             BalanceSystem::TraditionalFile => SystemKind::TraditionalFile,
         }
     }
@@ -110,7 +109,11 @@ pub fn harvard_churn(trace: &HarvardTrace, system: SystemKind) -> ChurnStream {
             FileOp::Read => {}
         }
     }
-    ChurnStream { initial, events, days: trace.config.days.ceil() as usize }
+    ChurnStream {
+        initial,
+        events,
+        days: trace.config.days.ceil() as usize,
+    }
 }
 
 /// Per-object cached intervals of the Webcache workload: an object is
@@ -160,10 +163,14 @@ pub fn webcache_churn(trace: &WebTrace, system: SystemKind) -> ChurnStream {
             }
         }
     }
-    events.sort_by(|a, b| a.0.cmp(&b.0));
+    events.sort_by_key(|e| e.0);
     // The cache starts empty (Section 10: "since the DHT is initially
     // empty, all data is written to a small number of nodes at first").
-    ChurnStream { initial: Vec::new(), events, days: trace.config.days.ceil() as usize }
+    ChurnStream {
+        initial: Vec::new(),
+        events,
+        days: trace.config.days.ceil() as usize,
+    }
 }
 
 fn len_of(size: u64, b: u64) -> u32 {
@@ -211,7 +218,26 @@ pub fn run(
     stream: &ChurnStream,
     warmup: SimTime,
 ) -> BalanceRun {
+    run_traced(system, cfg, stream, warmup, &SharedSink::null())
+}
+
+/// [`run`] with a trace sink attached to the cluster: migration copies,
+/// balance moves, and pointer resolutions appear as [`TraceEvent`]s
+/// (including the uncounted warm-up, which the paper's traffic numbers
+/// exclude but whose churn is often exactly what a trace is for).
+pub fn run_traced(
+    system: BalanceSystem,
+    cfg: &ClusterConfig,
+    stream: &ChurnStream,
+    warmup: SimTime,
+    sink: &SharedSink,
+) -> BalanceRun {
+    sink.record_with(|| TraceEvent::Mark {
+        t_us: 0,
+        label: format!("balance system={}", system.label()),
+    });
     let mut cluster = SimCluster::new(system.system_kind(), cfg);
+    cluster.set_trace_sink(sink.clone());
     cluster.preload(stream.initial.iter().copied());
 
     let probe = cfg.probe_interval;
@@ -243,8 +269,7 @@ pub fn run(
     let mut last_mig = cluster.stats.migration_bytes;
     let mut last_rem = cluster.stats.removed_bytes;
     let mut day = 0usize;
-    stored_days[0] =
-        cluster.total_load_bytes().iter().sum::<u64>() / cfg.replicas.max(1) as u64;
+    stored_days[0] = cluster.total_load_bytes().iter().sum::<u64>() / cfg.replicas.max(1) as u64;
 
     while now <= horizon {
         // Next occurrence among: event, probe, sample.
@@ -270,11 +295,14 @@ pub fn run(
                 cluster.run_balance_round(now, system == BalanceSystem::TraditionalMerc);
                 cluster.resolve_stale_pointers(now);
             }
-            next_probe = next_probe + probe;
+            next_probe += probe;
         } else {
             imbalance.push(now.saturating_sub(epoch), cluster.imbalance());
-            mom.push(now.saturating_sub(epoch), max_over_mean(&cluster.total_load_bytes()));
-            next_sample = next_sample + hour;
+            mom.push(
+                now.saturating_sub(epoch),
+                max_over_mean(&cluster.total_load_bytes()),
+            );
+            next_sample += hour;
             // Roll day counters (day index in stream time).
             let d = (now.saturating_sub(epoch).as_secs() / 86_400) as usize;
             if d != day && day < stream.days {
@@ -286,8 +314,8 @@ pub fn run(
                 last_rem = cluster.stats.removed_bytes;
                 day = d.min(stream.days);
                 if day < stream.days {
-                    stored_days[day] = cluster.total_load_bytes().iter().sum::<u64>()
-                        / cfg.replicas.max(1) as u64;
+                    stored_days[day] =
+                        cluster.total_load_bytes().iter().sum::<u64>() / cfg.replicas.max(1) as u64;
                 }
             }
         }
@@ -346,7 +374,10 @@ mod tests {
         let tail = |s: &TimeSeries| {
             let pts = s.points();
             let n = pts.len();
-            pts[n.saturating_sub(6)..].iter().map(|(_, v)| v).sum::<f64>()
+            pts[n.saturating_sub(6)..]
+                .iter()
+                .map(|(_, v)| v)
+                .sum::<f64>()
                 / 6f64.min(n as f64)
         };
         let d2_tail = tail(&d2.imbalance);
@@ -379,6 +410,38 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_records_balance_activity() {
+        let cfg = Scale::Quick.cluster(3);
+        let sink = SharedSink::memory(0);
+        let traced = run_traced(
+            BalanceSystem::D2,
+            &cfg,
+            &quick_stream(SystemKind::D2),
+            SimTime::from_secs(6 * 3600),
+            &sink,
+        );
+        let events = sink.drain();
+        assert!(matches!(&events[0], TraceEvent::Mark { label, .. } if label.contains("d2")));
+        let migrations = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Migration { .. }))
+            .count();
+        assert!(migrations > 0, "a balanced D2 run must migrate data");
+        // Tracing must not perturb the simulation.
+        let plain = run(
+            BalanceSystem::D2,
+            &cfg,
+            &quick_stream(SystemKind::D2),
+            SimTime::from_secs(6 * 3600),
+        );
+        assert_eq!(
+            traced.migration_bytes_per_day,
+            plain.migration_bytes_per_day
+        );
+        assert_eq!(traced.write_bytes_per_day, plain.write_bytes_per_day);
+    }
+
+    #[test]
     fn webcache_intervals_cover_accesses() {
         let trace = WebTrace::generate(
             &Scale::Quick.web(),
@@ -389,7 +452,9 @@ mod tests {
         // Every access time lies inside one of its object's intervals.
         for a in &trace.accesses {
             let ivs = intervals.iter().find(|(o, _)| *o == a.object);
-            let Some((_, ivs)) = ivs else { panic!("object missing") };
+            let Some((_, ivs)) = ivs else {
+                panic!("object missing")
+            };
             assert!(
                 ivs.iter().any(|(s, e)| *s <= a.at && a.at <= *e),
                 "access at {} outside cached intervals",

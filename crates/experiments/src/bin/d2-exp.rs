@@ -2,20 +2,26 @@
 //! and figures by name.
 //!
 //! ```text
-//! d2-exp <experiment> [--scale quick|full] [--seed N]
+//! d2-exp <experiment> [--scale quick|full] [--seed N] [--obs-out trace.jsonl]
 //!
 //! experiments:
 //!   fig3 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14-15
 //!   table3 table4 fig16 fig17 all
 //! ```
+//!
+//! With `--obs-out`, every traced simulation records structured
+//! [`d2_obs::TraceEvent`]s; after the experiments finish, the events are
+//! written as JSONL to the given path and a percentile summary (hops,
+//! lookup latency, cache hit rates, migration bytes) is printed.
 
 use d2_core::SystemKind;
 use d2_experiments::fig16_17::ALL_SYSTEMS;
 use d2_experiments::perf_suite::{self, SuiteConfig};
 use d2_experiments::{
-    fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9, table2, table3,
-    table4, Scale,
+    fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9, obs_summary, table2,
+    table3, table4, Scale,
 };
+use d2_obs::{to_jsonl, SharedSink, TraceEvent};
 use d2_sim::{FailureModel, SimTime};
 use d2_workload::{HarvardTrace, HpConfig, HpTrace, WebTrace};
 use rand::rngs::StdRng;
@@ -27,17 +33,30 @@ struct Ctx {
     harvard: HarvardTrace,
     web: WebTrace,
     hp: HpTrace,
+    sink: SharedSink,
 }
 
 impl Ctx {
-    fn new(scale: Scale, seed: u64) -> Ctx {
+    fn new(scale: Scale, seed: u64, sink: SharedSink) -> Ctx {
         let harvard = HarvardTrace::generate(&scale.harvard(), &mut StdRng::seed_from_u64(seed));
         let web = WebTrace::generate(&scale.web(), &mut StdRng::seed_from_u64(seed));
         let hp = HpTrace::generate(
-            &HpConfig { apps: 8, days: 1.0, disk_blocks: 600_000, ..HpConfig::default() },
+            &HpConfig {
+                apps: 8,
+                days: 1.0,
+                disk_blocks: 600_000,
+                ..HpConfig::default()
+            },
             &mut StdRng::seed_from_u64(seed),
         );
-        Ctx { scale, seed, harvard, web, hp }
+        Ctx {
+            scale,
+            seed,
+            harvard,
+            web,
+            hp,
+            sink,
+        }
     }
 
     fn suite(&self, systems: Vec<SystemKind>, kbps: Vec<u64>) -> perf_suite::SuiteResult {
@@ -48,6 +67,7 @@ impl Ctx {
             seed: self.seed,
             warmup_days: self.scale.warmup_days(),
             systems,
+            sink: self.sink.clone(),
             ..SuiteConfig::default()
         };
         perf_suite::run(&self.harvard, &cfg)
@@ -69,7 +89,10 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
     let cfg = ctx.scale.cluster(ctx.seed);
     match name {
         "fig3" => {
-            println!("{}", fig3::run(&ctx.harvard, &ctx.hp, &ctx.web, 2 << 20).render());
+            println!(
+                "{}",
+                fig3::run(&ctx.harvard, &ctx.hp, &ctx.web, 2 << 20).render()
+            );
         }
         "table2" => {
             let inters = [
@@ -84,8 +107,11 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
             );
         }
         "fig7" => {
-            let inters =
-                [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+            let inters = [
+                SimTime::from_secs(5),
+                SimTime::from_secs(60),
+                SimTime::from_secs(300),
+            ];
             let fig = fig7::run(
                 &ctx.harvard,
                 &cfg,
@@ -109,30 +135,44 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
         }
         "fig9" => {
             let suite = ctx.suite(
-                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![
+                    SystemKind::D2,
+                    SystemKind::Traditional,
+                    SystemKind::TraditionalFile,
+                ],
                 vec![1500],
             );
             println!("{}", fig9::from_suite(&suite).render());
         }
         "fig10" => {
-            let suite =
-                ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500, 384]);
-            println!("{}", fig10::from_suite(&suite, SystemKind::Traditional).render());
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::Traditional],
+                vec![1500, 384],
+            );
+            println!(
+                "{}",
+                fig10::from_suite(&suite, SystemKind::Traditional).render()
+            );
         }
         "fig11" => {
-            let suite =
-                ctx.suite(vec![SystemKind::D2, SystemKind::TraditionalFile], vec![1500, 384]);
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::TraditionalFile],
+                vec![1500, 384],
+            );
             println!("{}", fig11::from_suite(&suite).render());
         }
         "fig12" => {
             let largest = *ctx.scale.perf_sizes().last().unwrap();
-            let suite =
-                ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500]);
+            let suite = ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500]);
             println!("{}", fig12::from_suite(&suite, largest, 1500).render());
         }
         "fig13" => {
             let suite = ctx.suite(
-                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![
+                    SystemKind::D2,
+                    SystemKind::Traditional,
+                    SystemKind::TraditionalFile,
+                ],
                 vec![1500],
             );
             println!("{}", fig13::from_suite(&suite).render());
@@ -140,7 +180,11 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
         "fig14-15" | "fig14" | "fig15" => {
             let largest = *ctx.scale.perf_sizes().last().unwrap();
             let suite = ctx.suite(
-                vec![SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile],
+                vec![
+                    SystemKind::D2,
+                    SystemKind::Traditional,
+                    SystemKind::TraditionalFile,
+                ],
                 vec![1500],
             );
             println!("{}", fig14_15::from_suite(&suite, largest, 1500).render());
@@ -151,16 +195,34 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
         "table4" => {
             println!(
                 "{}",
-                table4::run(&ctx.harvard, &ctx.web, &cfg, ctx.balance_warmup()).render()
+                table4::run_traced(
+                    &ctx.harvard,
+                    &ctx.web,
+                    &cfg,
+                    ctx.balance_warmup(),
+                    &ctx.sink
+                )
+                .render()
             );
         }
         "fig16" => {
-            let fig = fig16_17::fig16(&ctx.harvard, &cfg, &ALL_SYSTEMS, ctx.balance_warmup());
+            let fig = fig16_17::fig16_traced(
+                &ctx.harvard,
+                &cfg,
+                &ALL_SYSTEMS,
+                ctx.balance_warmup(),
+                &ctx.sink,
+            );
             println!("{}", fig.render());
         }
         "fig17" => {
-            let fig =
-                fig16_17::fig17(&ctx.web, &cfg, &ALL_SYSTEMS, SimTime::from_secs(3600));
+            let fig = fig16_17::fig17_traced(
+                &ctx.web,
+                &cfg,
+                &ALL_SYSTEMS,
+                SimTime::from_secs(3600),
+                &ctx.sink,
+            );
             println!("{}", fig.render());
         }
         _ => return false,
@@ -177,6 +239,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
+    let mut obs_out: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -190,16 +253,34 @@ fn main() {
             "--seed" => {
                 seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
             }
+            "--obs-out" => {
+                obs_out = it.next().cloned();
+                if obs_out.is_none() {
+                    eprintln!("--obs-out requires a path");
+                    std::process::exit(2);
+                }
+            }
             other => names.push(other.to_string()),
         }
     }
     if names.is_empty() {
-        eprintln!("usage: d2-exp <experiment>... [--scale quick|full] [--seed N]");
+        eprintln!(
+            "usage: d2-exp <experiment>... [--scale quick|full] [--seed N] [--obs-out trace.jsonl]"
+        );
         eprintln!("experiments: {} all", ALL.join(" "));
         std::process::exit(2);
     }
-    let ctx = Ctx::new(scale, seed);
+    let sink = if obs_out.is_some() {
+        SharedSink::memory(0)
+    } else {
+        SharedSink::null()
+    };
+    let ctx = Ctx::new(scale, seed, sink.clone());
     for name in &names {
+        sink.record_with(|| TraceEvent::Mark {
+            t_us: 0,
+            label: format!("experiment {name}"),
+        });
         if name == "all" {
             for n in ALL {
                 println!("==> {n}");
@@ -209,5 +290,14 @@ fn main() {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = obs_out {
+        let events = sink.drain();
+        if let Err(e) = std::fs::write(&path, to_jsonl(&events)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{}", obs_summary::render_summary(&events));
+        println!("wrote {} trace events to {path}", events.len());
     }
 }

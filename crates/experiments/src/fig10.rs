@@ -78,7 +78,12 @@ pub fn from_suite(suite: &SuiteResult, baseline: SystemKind) -> SpeedupFigure {
     combos.dedup();
     for (size, kbps, mode) in combos {
         if let Some(speedup) = suite.speedup(SystemKind::D2, baseline, size, kbps, mode) {
-            points.push(SpeedupPoint { size, kbps, mode, speedup });
+            points.push(SpeedupPoint {
+                size,
+                kbps,
+                mode,
+                speedup,
+            });
         }
     }
     SpeedupFigure { baseline, points }

@@ -40,6 +40,9 @@ mod tests {
         let fig = from_suite(&suite);
         assert_eq!(fig.baseline, SystemKind::TraditionalFile);
         let seq = fig.value(24, 1500, Parallelism::Seq).unwrap();
-        assert!(seq > 1.0, "seq speedup over traditional-file {seq} should exceed 1");
+        assert!(
+            seq > 1.0,
+            "seq speedup over traditional-file {seq} should exceed 1"
+        );
     }
 }

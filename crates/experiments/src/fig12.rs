@@ -100,7 +100,11 @@ mod tests {
         let suite = perf_suite::run(&trace, &cfg);
         let fig = from_suite(&suite, 24, 1500);
         assert!(!fig.series.is_empty());
-        let seq = fig.series.iter().find(|s| s.mode == Parallelism::Seq).unwrap();
+        let seq = fig
+            .series
+            .iter()
+            .find(|s| s.mode == Parallelism::Seq)
+            .unwrap();
         assert!(!seq.users.is_empty());
         let faster = seq.users.iter().filter(|(_, s)| *s > 1.0).count();
         assert!(

@@ -70,7 +70,12 @@ pub fn from_suite(suite: &SuiteResult) -> Fig13 {
         {
             continue;
         }
-        points.push(Fig13Point { system, size, mode, miss_rate: report.cache_miss_rate() });
+        points.push(Fig13Point {
+            system,
+            size,
+            mode,
+            miss_rate: report.cache_miss_rate(),
+        });
     }
     points.sort_by_key(|p| (p.system.label(), p.size, mode_label(p.mode)));
     Fig13 { points }
@@ -100,12 +105,18 @@ mod tests {
         let fig = from_suite(&suite);
         for &size in &[16usize, 32] {
             let d2 = fig.value(SystemKind::D2, size, Parallelism::Seq).unwrap();
-            let trad = fig.value(SystemKind::Traditional, size, Parallelism::Seq).unwrap();
+            let trad = fig
+                .value(SystemKind::Traditional, size, Parallelism::Seq)
+                .unwrap();
             assert!(d2 < trad, "size {size}: d2 {d2} vs traditional {trad}");
         }
         // Traditional miss rate grows with size; D2's stays flat-ish.
-        let trad_small = fig.value(SystemKind::Traditional, 16, Parallelism::Seq).unwrap();
-        let trad_big = fig.value(SystemKind::Traditional, 32, Parallelism::Seq).unwrap();
+        let trad_small = fig
+            .value(SystemKind::Traditional, 16, Parallelism::Seq)
+            .unwrap();
+        let trad_big = fig
+            .value(SystemKind::Traditional, 32, Parallelism::Seq)
+            .unwrap();
         assert!(
             trad_big >= trad_small * 0.9,
             "traditional miss rate should not shrink with size: {trad_small} -> {trad_big}"

@@ -28,8 +28,7 @@ impl Scatter {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        self.pairs.iter().filter(|(base, d2)| base > d2).count() as f64
-            / self.pairs.len() as f64
+        self.pairs.iter().filter(|(base, d2)| base > d2).count() as f64 / self.pairs.len() as f64
     }
 
     /// Latency-weighted fraction: total baseline seconds spent in groups
@@ -39,14 +38,22 @@ impl Scatter {
         if total == 0.0 {
             return 0.0;
         }
-        self.pairs.iter().filter(|(b, d)| b > d).map(|(b, _)| b).sum::<f64>() / total
+        self.pairs
+            .iter()
+            .filter(|(b, d)| b > d)
+            .map(|(b, _)| b)
+            .sum::<f64>()
+            / total
     }
 
     /// Summary of the slow tail: among groups slower than `threshold`
     /// seconds under either system, the fraction where D2 is faster.
     pub fn slow_tail_d2_wins(&self, threshold: f64) -> f64 {
-        let tail: Vec<&(f64, f64)> =
-            self.pairs.iter().filter(|(b, d)| *b > threshold || *d > threshold).collect();
+        let tail: Vec<&(f64, f64)> = self
+            .pairs
+            .iter()
+            .filter(|(b, d)| *b > threshold || *d > threshold)
+            .collect();
         if tail.is_empty() {
             return 1.0;
         }
@@ -64,7 +71,9 @@ pub struct Fig14And15 {
 impl Fig14And15 {
     /// The scatter for a configuration.
     pub fn scatter(&self, baseline: SystemKind, mode: Parallelism) -> Option<&Scatter> {
-        self.scatters.iter().find(|s| s.baseline == baseline && s.mode == mode)
+        self.scatters
+            .iter()
+            .find(|s| s.baseline == baseline && s.mode == mode)
     }
 
     /// Renders summary statistics (the full point cloud is available via
@@ -86,7 +95,14 @@ impl Fig14And15 {
             .collect();
         render_table(
             "Figures 14/15: access-group latency scatter summaries (D2 vs baseline)",
-            &["baseline", "mode", "groups", "frac>diag", "weight>diag", "slow-tail-wins"],
+            &[
+                "baseline",
+                "mode",
+                "groups",
+                "frac>diag",
+                "weight>diag",
+                "slow-tail-wins",
+            ],
             &rows,
         )
     }
@@ -99,7 +115,11 @@ pub fn from_suite(suite: &SuiteResult, size: usize, kbps: u64) -> Fig14And15 {
         for mode in [Parallelism::Seq, Parallelism::Para] {
             let pairs = suite.latency_pairs(SystemKind::D2, baseline, size, kbps, mode);
             if !pairs.is_empty() {
-                scatters.push(Scatter { baseline, mode, pairs });
+                scatters.push(Scatter {
+                    baseline,
+                    mode,
+                    pairs,
+                });
             }
         }
     }
@@ -128,7 +148,9 @@ mod tests {
         };
         let suite = perf_suite::run(&trace, &cfg);
         let fig = from_suite(&suite, 24, 1500);
-        let seq = fig.scatter(SystemKind::Traditional, Parallelism::Seq).unwrap();
+        let seq = fig
+            .scatter(SystemKind::Traditional, Parallelism::Seq)
+            .unwrap();
         assert!(
             seq.weight_above_diagonal() > 0.5,
             "weight above diagonal {} should exceed 0.5",

@@ -12,6 +12,7 @@
 use crate::balance_sim::{self, BalanceRun, BalanceSystem, ChurnStream};
 use crate::report::render_table;
 use d2_core::ClusterConfig;
+use d2_obs::SharedSink;
 use d2_workload::{HarvardTrace, WebTrace};
 
 /// Which workload a figure covers.
@@ -85,10 +86,11 @@ fn run_workload(
     cfg: &ClusterConfig,
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
+    sink: &SharedSink,
 ) -> ImbalanceFigure {
     let runs = systems
         .iter()
-        .map(|&s| balance_sim::run(s, cfg, &streams(s), warmup))
+        .map(|&s| balance_sim::run_traced(s, cfg, &streams(s), warmup, sink))
         .collect();
     ImbalanceFigure { workload, runs }
 }
@@ -100,12 +102,24 @@ pub fn fig16(
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
 ) -> ImbalanceFigure {
+    fig16_traced(trace, cfg, systems, warmup, &SharedSink::null())
+}
+
+/// [`fig16`] with every per-system run traced into `sink`.
+pub fn fig16_traced(
+    trace: &HarvardTrace,
+    cfg: &ClusterConfig,
+    systems: &[BalanceSystem],
+    warmup: d2_sim::SimTime,
+    sink: &SharedSink,
+) -> ImbalanceFigure {
     run_workload(
         BalanceWorkload::Harvard,
         &|s: BalanceSystem| balance_sim::harvard_churn(trace, s.system_kind()),
         cfg,
         systems,
         warmup,
+        sink,
     )
 }
 
@@ -116,12 +130,24 @@ pub fn fig17(
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
 ) -> ImbalanceFigure {
+    fig17_traced(trace, cfg, systems, warmup, &SharedSink::null())
+}
+
+/// [`fig17`] with every per-system run traced into `sink`.
+pub fn fig17_traced(
+    trace: &WebTrace,
+    cfg: &ClusterConfig,
+    systems: &[BalanceSystem],
+    warmup: d2_sim::SimTime,
+    sink: &SharedSink,
+) -> ImbalanceFigure {
     run_workload(
         BalanceWorkload::Webcache,
         &|s: BalanceSystem| balance_sim::webcache_churn(trace, s.system_kind()),
         cfg,
         systems,
         warmup,
+        sink,
     )
 }
 
@@ -138,7 +164,12 @@ mod tests {
             &mut rand::rngs::StdRng::seed_from_u64(5),
         );
         let cfg = Scale::Quick.cluster(3);
-        let fig = fig16(&trace, &cfg, &ALL_SYSTEMS, d2_sim::SimTime::from_secs(6 * 3600));
+        let fig = fig16(
+            &trace,
+            &cfg,
+            &ALL_SYSTEMS,
+            d2_sim::SimTime::from_secs(6 * 3600),
+        );
         let d2 = fig.tail_mean(BalanceSystem::D2, 0.3).unwrap();
         let tf = fig.tail_mean(BalanceSystem::TraditionalFile, 0.3).unwrap();
         let merc = fig.tail_mean(BalanceSystem::TraditionalMerc, 0.3).unwrap();

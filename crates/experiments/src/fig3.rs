@@ -56,7 +56,14 @@ impl Fig3 {
             .collect();
         render_table(
             "Figure 3: mean nodes accessed per user-hour (normalized to traditional)",
-            &["workload", "traditional", "ordered", "lower-bound", "nodes", "trad-abs"],
+            &[
+                "workload",
+                "traditional",
+                "ordered",
+                "lower-bound",
+                "nodes",
+                "trad-abs",
+            ],
             &rows,
         )
     }
@@ -141,16 +148,25 @@ fn rank_harvard(trace: &HarvardTrace) -> RankedAccesses {
             }
         }
     }
-    RankedAccesses { buckets, total_blocks }
+    RankedAccesses {
+        buckets,
+        total_blocks,
+    }
 }
 
 /// Ranks an HP trace: the disk block number *is* the ordered rank.
 fn rank_hp(trace: &HpTrace) -> RankedAccesses {
     let mut buckets: HashMap<(u32, u64), HashSet<u64>> = HashMap::new();
     for a in &trace.accesses {
-        buckets.entry((a.app, hour_of(a.at))).or_default().insert(a.block_no);
+        buckets
+            .entry((a.app, hour_of(a.at)))
+            .or_default()
+            .insert(a.block_no);
     }
-    RankedAccesses { buckets, total_blocks: trace.config.disk_blocks }
+    RankedAccesses {
+        buckets,
+        total_blocks: trace.config.disk_blocks,
+    }
 }
 
 /// Ranks a Web trace: objects ordered by reversed-domain name (their D2
@@ -183,22 +199,23 @@ fn rank_web(trace: &WebTrace) -> RankedAccesses {
             bucket.insert(base + b);
         }
     }
-    RankedAccesses { buckets, total_blocks }
+    RankedAccesses {
+        buckets,
+        total_blocks,
+    }
 }
 
 /// Runs the Figure 3 analysis over all three workloads.
-pub fn run(
-    harvard: &HarvardTrace,
-    hp: &HpTrace,
-    web: &WebTrace,
-    node_capacity_bytes: u64,
-) -> Fig3 {
+pub fn run(harvard: &HarvardTrace, hp: &HpTrace, web: &WebTrace, node_capacity_bytes: u64) -> Fig3 {
     let rows = vec![
         analyze(&rank_harvard(harvard), node_capacity_bytes, "Harvard"),
         analyze(&rank_hp(hp), node_capacity_bytes, "HP"),
         analyze(&rank_web(web), node_capacity_bytes, "Web"),
     ];
-    Fig3 { rows, node_capacity_bytes }
+    Fig3 {
+        rows,
+        node_capacity_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -219,13 +236,23 @@ mod tests {
             &mut rng,
         );
         let hp = HpTrace::generate(
-            &HpConfig { apps: 6, days: 1.0, disk_blocks: 400_000, ..HpConfig::default() },
+            &HpConfig {
+                apps: 6,
+                days: 1.0,
+                disk_blocks: 400_000,
+                ..HpConfig::default()
+            },
             &mut rng,
         );
         let web = WebTrace::generate(
             // A large object universe: with too few domains the node count
             // saturates and the traditional/ordered gap collapses.
-            &WebConfig { domains: 400, users: 10, days: 1.0, ..WebConfig::default() },
+            &WebConfig {
+                domains: 400,
+                users: 10,
+                days: 1.0,
+                ..WebConfig::default()
+            },
             &mut rng,
         );
         // Small per-node capacity so the scenario has enough nodes for the
@@ -275,11 +302,21 @@ mod tests {
             &mut rng,
         );
         let hp = HpTrace::generate(
-            &HpConfig { apps: 2, days: 0.2, disk_blocks: 100_000, ..HpConfig::default() },
+            &HpConfig {
+                apps: 2,
+                days: 0.2,
+                disk_blocks: 100_000,
+                ..HpConfig::default()
+            },
             &mut rng,
         );
         let web = WebTrace::generate(
-            &WebConfig { domains: 20, users: 4, days: 0.3, ..WebConfig::default() },
+            &WebConfig {
+                domains: 20,
+                users: 4,
+                days: 0.3,
+                ..WebConfig::default()
+            },
             &mut rng,
         );
         let big = run(&harvard, &hp, &web, 64 << 20);

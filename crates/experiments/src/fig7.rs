@@ -51,7 +51,9 @@ pub struct Fig7 {
 impl Fig7 {
     /// The cell for a given system and inter, if present.
     pub fn cell(&self, system: SystemKind, inter: SimTime) -> Option<&Fig7Cell> {
-        self.cells.iter().find(|c| c.system == system && c.inter == inter)
+        self.cells
+            .iter()
+            .find(|c| c.system == system && c.inter == inter)
     }
 
     /// Renders the paper-style table.
@@ -96,17 +98,27 @@ pub fn run(
         &mut StdRng::seed_from_u64(failure_seed),
     );
     let max_dur = SimTime::from_secs(300);
-    let systems =
-        [SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile];
+    let systems = [
+        SystemKind::D2,
+        SystemKind::Traditional,
+        SystemKind::TraditionalFile,
+    ];
     let mut cells: Vec<Fig7Cell> = systems
         .iter()
         .flat_map(|&s| {
-            inters.iter().map(move |&i| Fig7Cell { system: s, inter: i, trials: vec![] })
+            inters.iter().map(move |&i| Fig7Cell {
+                system: s,
+                inter: i,
+                trials: vec![],
+            })
         })
         .collect();
 
     for trial in 0..trials {
-        let cfg = ClusterConfig { seed: base_cfg.seed + 1000 * trial as u64, ..*base_cfg };
+        let cfg = ClusterConfig {
+            seed: base_cfg.seed + 1000 * trial as u64,
+            ..*base_cfg
+        };
         for &system in &systems {
             let mut sim = AvailabilitySim::build(system, &cfg, trace, warmup_days);
             for &inter in inters {
@@ -135,10 +147,7 @@ mod tests {
 
     #[test]
     fn d2_mean_unavailability_is_lowest() {
-        let trace = HarvardTrace::generate(
-            &Scale::Quick.harvard(),
-            &mut StdRng::seed_from_u64(5),
-        );
+        let trace = HarvardTrace::generate(&Scale::Quick.harvard(), &mut StdRng::seed_from_u64(5));
         let cfg = Scale::Quick.cluster(3);
         // A deliberately harsh failure model so the quick test separates
         // the systems.
@@ -150,17 +159,15 @@ mod tests {
             correlated_mttr_secs: 2.0 * 3600.0,
             duration_secs: trace.config.days * 86_400.0,
         };
-        let fig = run(
-            &trace,
-            &cfg,
-            &model,
-            &[SimTime::from_secs(5)],
-            2,
-            0.05,
-            99,
-        );
-        let d2 = fig.cell(SystemKind::D2, SimTime::from_secs(5)).unwrap().mean();
-        let trad = fig.cell(SystemKind::Traditional, SimTime::from_secs(5)).unwrap().mean();
+        let fig = run(&trace, &cfg, &model, &[SimTime::from_secs(5)], 2, 0.05, 99);
+        let d2 = fig
+            .cell(SystemKind::D2, SimTime::from_secs(5))
+            .unwrap()
+            .mean();
+        let trad = fig
+            .cell(SystemKind::Traditional, SimTime::from_secs(5))
+            .unwrap()
+            .mean();
         assert!(
             d2 <= trad,
             "d2 unavailability {d2} must not exceed traditional {trad}"

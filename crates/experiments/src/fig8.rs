@@ -38,9 +38,7 @@ impl Fig8 {
     pub fn render(&self) -> String {
         let mut rows = Vec::new();
         for s in &self.series {
-            for (rank, (user, unavail)) in
-                s.ranked.iter().filter(|(_, u)| *u > 0.0).enumerate()
-            {
+            for (rank, (user, unavail)) in s.ranked.iter().filter(|(_, u)| *u > 0.0).enumerate() {
                 rows.push(vec![
                     s.system.label().to_string(),
                     rank.to_string(),
@@ -76,13 +74,23 @@ pub fn run(
         failure_model,
         &mut StdRng::seed_from_u64(failure_seed),
     );
-    let tasks =
-        split_tasks(&trace.accesses, SimTime::from_secs(5), SimTime::from_secs(300));
+    let tasks = split_tasks(
+        &trace.accesses,
+        SimTime::from_secs(5),
+        SimTime::from_secs(300),
+    );
     let mut series = Vec::new();
-    for system in [SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile] {
+    for system in [
+        SystemKind::D2,
+        SystemKind::Traditional,
+        SystemKind::TraditionalFile,
+    ] {
         let mut sim = AvailabilitySim::build(system, cfg, trace, warmup_days);
         let report = sim.run(trace, &tasks, &failures);
-        series.push(Fig8Series { system, ranked: report.ranked_user_unavailability() });
+        series.push(Fig8Series {
+            system,
+            ranked: report.ranked_user_unavailability(),
+        });
     }
     Fig8 { series }
 }
@@ -94,10 +102,7 @@ mod tests {
 
     #[test]
     fn fewer_users_affected_under_d2() {
-        let trace = HarvardTrace::generate(
-            &Scale::Quick.harvard(),
-            &mut StdRng::seed_from_u64(5),
-        );
+        let trace = HarvardTrace::generate(&Scale::Quick.harvard(), &mut StdRng::seed_from_u64(5));
         let cfg = Scale::Quick.cluster(3);
         let model = FailureModel {
             mttf_secs: 86_400.0,
@@ -109,9 +114,16 @@ mod tests {
         };
         let fig = run(&trace, &cfg, &model, 0.05, 42);
         assert_eq!(fig.series.len(), 3);
-        let d2 = fig.series.iter().find(|s| s.system == SystemKind::D2).unwrap();
-        let trad =
-            fig.series.iter().find(|s| s.system == SystemKind::Traditional).unwrap();
+        let d2 = fig
+            .series
+            .iter()
+            .find(|s| s.system == SystemKind::D2)
+            .unwrap();
+        let trad = fig
+            .series
+            .iter()
+            .find(|s| s.system == SystemKind::Traditional)
+            .unwrap();
         assert!(
             d2.affected() <= trad.affected(),
             "d2 affects {} users vs traditional {}",

@@ -113,7 +113,9 @@ mod tests {
         let suite = perf_suite::run(&trace, &cfg);
         let fig = from_suite(&suite);
         let d2 = fig.value(SystemKind::D2, 16, Parallelism::Seq).unwrap();
-        let trad = fig.value(SystemKind::Traditional, 16, Parallelism::Seq).unwrap();
+        let trad = fig
+            .value(SystemKind::Traditional, 16, Parallelism::Seq)
+            .unwrap();
         assert!(
             d2 < trad / 2.0,
             "d2 msgs/node {d2} should be far below traditional {trad}"

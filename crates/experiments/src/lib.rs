@@ -23,21 +23,26 @@
 //! | [`table4`] | Table 4 — write vs load-balancing traffic per day |
 //! | [`fig16_17`] | Figs. 16/17 — load imbalance over time |
 //!
+//! [`obs_summary`] is not a paper artifact: it folds a `d2-obs` trace
+//! (the `--obs-out` export) into the percentile summary the binary
+//! prints.
+//!
 //! Every driver returns plain data structures *and* renders the
 //! paper-style text table via its `render` function, so the binaries and
 //! benches print comparable output.
 
 pub mod balance_sim;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
 pub mod fig14_15;
 pub mod fig16_17;
 pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
-pub mod fig12;
-pub mod fig13;
+pub mod obs_summary;
 pub mod params;
 pub mod perf_suite;
 pub mod report;

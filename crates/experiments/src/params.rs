@@ -67,8 +67,18 @@ impl Scale {
     /// uses 247 nodes and r = 3).
     pub fn cluster(&self, seed: u64) -> ClusterConfig {
         match self {
-            Scale::Quick => ClusterConfig { nodes: 24, replicas: 3, seed, ..Default::default() },
-            Scale::Full => ClusterConfig { nodes: 96, replicas: 3, seed, ..Default::default() },
+            Scale::Quick => ClusterConfig {
+                nodes: 24,
+                replicas: 3,
+                seed,
+                ..Default::default()
+            },
+            Scale::Full => ClusterConfig {
+                nodes: 96,
+                replicas: 3,
+                seed,
+                ..Default::default()
+            },
         }
     }
 

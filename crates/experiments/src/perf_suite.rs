@@ -7,6 +7,7 @@
 //! the workload to the start of the time period" (Section 9.1).
 
 use d2_core::{ClusterConfig, Parallelism, PerfConfig, PerfReport, PerfSim, SystemKind};
+use d2_obs::{SharedSink, TraceEvent};
 use d2_sim::{geometric_mean, SimTime};
 use d2_workload::{split_access_groups, HarvardTrace, Task};
 use std::collections::HashMap;
@@ -33,6 +34,9 @@ pub struct SuiteConfig {
     pub measure_groups: usize,
     /// Days of balance warm-up before measuring.
     pub warmup_days: f64,
+    /// Trace sink attached to every measured cell (cells are delimited
+    /// by [`TraceEvent::Mark`] events). Disabled by default.
+    pub sink: SharedSink,
 }
 
 impl Default for SuiteConfig {
@@ -50,6 +54,7 @@ impl Default for SuiteConfig {
             seed: 11,
             measure_groups: 200,
             warmup_days: 0.1,
+            sink: SharedSink::null(),
         }
     }
 }
@@ -131,9 +136,10 @@ impl SuiteResult {
         kbps: u64,
         mode: Parallelism,
     ) -> Vec<(f64, f64)> {
-        let (Some(a), Some(b)) =
-            (self.cell(base, size, kbps, mode), self.cell(num, size, kbps, mode))
-        else {
+        let (Some(a), Some(b)) = (
+            self.cell(base, size, kbps, mode),
+            self.cell(num, size, kbps, mode),
+        ) else {
             return vec![];
         };
         a.group_latencies
@@ -167,13 +173,23 @@ pub fn run(trace: &HarvardTrace, cfg: &SuiteConfig) -> SuiteResult {
                 for &mode in &cfg.modes {
                     let mut sim = base.clone();
                     sim.set_access_kbps(kbps);
+                    cfg.sink.record_with(|| TraceEvent::Mark {
+                        t_us: 0,
+                        label: format!(
+                            "cell system={system:?} size={size} kbps={kbps} mode={mode:?}"
+                        ),
+                    });
+                    sim.set_trace_sink(cfg.sink.clone());
                     let report = sim.run(trace, measure, mode);
                     cells.insert((system, size, kbps, mode), report);
                 }
             }
         }
     }
-    SuiteResult { cells, groups: measure.to_vec() }
+    SuiteResult {
+        cells,
+        groups: measure.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +216,8 @@ mod tests {
     #[test]
     fn suite_produces_all_cells() {
         let (_trace, result) = quick_suite();
-        assert_eq!(result.cells.len(), 3 * 1 * 1 * 2);
+        // 3 systems × 1 size × 1 kbps × 2 modes.
+        assert_eq!(result.cells.len(), 6);
         for report in result.cells.values() {
             assert_eq!(report.group_latencies.len(), result.groups.len());
         }
@@ -210,9 +227,45 @@ mod tests {
     fn d2_speedup_over_traditional_in_seq() {
         let (_trace, result) = quick_suite();
         let s = result
-            .speedup(SystemKind::D2, SystemKind::Traditional, 16, 1500, Parallelism::Seq)
+            .speedup(
+                SystemKind::D2,
+                SystemKind::Traditional,
+                16,
+                1500,
+                Parallelism::Seq,
+            )
             .unwrap();
         assert!(s > 1.0, "seq speedup should exceed 1, got {s}");
+    }
+
+    #[test]
+    fn suite_sink_sees_marks_routes_and_fetches() {
+        let trace = HarvardTrace::generate(
+            &Scale::Quick.harvard(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let sink = SharedSink::memory(0);
+        let cfg = SuiteConfig {
+            sizes: vec![16],
+            kbps: vec![1500],
+            measure_groups: 40,
+            sink: sink.clone(),
+            ..SuiteConfig::default()
+        };
+        let result = run(&trace, &cfg);
+        let events = sink.drain();
+        let marks = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Mark { .. }))
+            .count();
+        assert_eq!(marks, result.cells.len(), "one mark per measured cell");
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Fetch { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Route { .. })));
+        // Marks name the swept dimensions.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Mark { label, .. } if label.contains("size=16") && label.contains("kbps=1500")
+        )));
     }
 
     #[test]

@@ -50,7 +50,14 @@ impl Table2 {
             .collect();
         render_table(
             "Table 2: mean objects and nodes accessed per task",
-            &["inter", "blocks", "files", "nodes(block)", "nodes(file)", "nodes(D2)"],
+            &[
+                "inter",
+                "blocks",
+                "files",
+                "nodes(block)",
+                "nodes(file)",
+                "nodes(D2)",
+            ],
             &rows,
         )
     }

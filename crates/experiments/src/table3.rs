@@ -32,7 +32,12 @@ pub struct Table3 {
 impl Table3 {
     /// Renders the paper-style table.
     pub fn render(&self) -> String {
-        let days = self.workloads.iter().map(|w| w.write_ratio.len()).max().unwrap_or(0);
+        let days = self
+            .workloads
+            .iter()
+            .map(|w| w.write_ratio.len())
+            .max()
+            .unwrap_or(0);
         let mut header: Vec<String> = vec!["ratio".into()];
         header.extend((1..=days).map(|d| format!("day{d}")));
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -56,7 +61,11 @@ impl Table3 {
             row.resize(days + 1, String::new());
             rows.push(row);
         }
-        render_table("Table 3: daily churn (bytes written/removed vs stored)", &header_refs, &rows)
+        render_table(
+            "Table 3: daily churn (bytes written/removed vs stored)",
+            &header_refs,
+            &rows,
+        )
     }
 }
 
@@ -97,10 +106,11 @@ pub fn webcache_ratios(trace: &WebTrace) -> ChurnRatios {
             }
             // Present at the start of every day strictly inside the
             // interval.
-            for d in (sd + 1)..=ed.min(days.saturating_sub(1)) {
+            let last = ed.min(days.saturating_sub(1));
+            for (d, slot) in stored.iter_mut().enumerate().take(last + 1).skip(sd + 1) {
                 let day_start = SimTime::from_secs(d as u64 * 86_400);
                 if start <= day_start && day_start < end {
-                    stored[d] += size;
+                    *slot += size;
                 }
             }
         }
@@ -108,7 +118,13 @@ pub fn webcache_ratios(trace: &WebTrace) -> ChurnRatios {
     let ratio = |num: &[u64]| -> Vec<f64> {
         num.iter()
             .zip(&stored)
-            .map(|(&n, &t)| if t == 0 { f64::NAN } else { n as f64 / t as f64 })
+            .map(|(&n, &t)| {
+                if t == 0 {
+                    f64::NAN
+                } else {
+                    n as f64 / t as f64
+                }
+            })
             .collect()
     };
     ChurnRatios {
@@ -120,7 +136,9 @@ pub fn webcache_ratios(trace: &WebTrace) -> ChurnRatios {
 
 /// Builds Table 3 from both workloads.
 pub fn run(harvard: &HarvardTrace, web: &WebTrace) -> Table3 {
-    Table3 { workloads: vec![harvard_ratios(harvard), webcache_ratios(web)] }
+    Table3 {
+        workloads: vec![harvard_ratios(harvard), webcache_ratios(web)],
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +151,10 @@ mod tests {
     #[test]
     fn harvard_ratios_in_paper_band() {
         let trace = HarvardTrace::generate(
-            &HarvardConfig { days: 4.0, ..Scale::Quick.harvard() },
+            &HarvardConfig {
+                days: 4.0,
+                ..Scale::Quick.harvard()
+            },
             &mut rand::rngs::StdRng::seed_from_u64(5),
         );
         let r = harvard_ratios(&trace);
@@ -155,7 +176,10 @@ mod tests {
     #[test]
     fn webcache_churns_roughly_everything_daily() {
         let trace = WebTrace::generate(
-            &WebConfig { days: 4.0, ..Scale::Quick.web() },
+            &WebConfig {
+                days: 4.0,
+                ..Scale::Quick.web()
+            },
             &mut rand::rngs::StdRng::seed_from_u64(6),
         );
         let r = webcache_ratios(&trace);
@@ -175,11 +199,17 @@ mod tests {
     #[test]
     fn renders() {
         let harvard = HarvardTrace::generate(
-            &HarvardConfig { days: 2.0, ..Scale::Quick.harvard() },
+            &HarvardConfig {
+                days: 2.0,
+                ..Scale::Quick.harvard()
+            },
             &mut rand::rngs::StdRng::seed_from_u64(7),
         );
         let web = WebTrace::generate(
-            &WebConfig { days: 2.0, ..Scale::Quick.web() },
+            &WebConfig {
+                days: 2.0,
+                ..Scale::Quick.web()
+            },
             &mut rand::rngs::StdRng::seed_from_u64(8),
         );
         let t = run(&harvard, &web);

@@ -9,6 +9,7 @@
 use crate::balance_sim::{self, BalanceRun, BalanceSystem};
 use crate::report::render_table;
 use d2_core::ClusterConfig;
+use d2_obs::SharedSink;
 use d2_types::SystemKind;
 use d2_workload::{HarvardTrace, WebTrace};
 
@@ -51,7 +52,12 @@ pub struct Table4 {
 impl Table4 {
     /// Renders the paper-style table.
     pub fn render(&self) -> String {
-        let days = self.workloads.iter().map(|w| w.write_mb.len()).max().unwrap_or(0);
+        let days = self
+            .workloads
+            .iter()
+            .map(|w| w.write_mb.len())
+            .max()
+            .unwrap_or(0);
         let mut header: Vec<String> = vec!["traffic (MB)".into()];
         header.extend((1..=days).map(|d| format!("day{d}")));
         header.push("total".into());
@@ -72,7 +78,11 @@ impl Table4 {
             row.push(format!("{:.2}", w.overhead_ratio()));
             rows.push(row);
         }
-        render_table("Table 4: write traffic vs load-balancing traffic", &header_refs, &rows)
+        render_table(
+            "Table 4: write traffic vs load-balancing traffic",
+            &header_refs,
+            &rows,
+        )
     }
 }
 
@@ -92,10 +102,21 @@ pub fn run(
     cfg: &ClusterConfig,
     warmup: d2_sim::SimTime,
 ) -> Table4 {
+    run_traced(harvard, web, cfg, warmup, &SharedSink::null())
+}
+
+/// [`run`] with both workload runs traced into `sink`.
+pub fn run_traced(
+    harvard: &HarvardTrace,
+    web: &WebTrace,
+    cfg: &ClusterConfig,
+    warmup: d2_sim::SimTime,
+    sink: &SharedSink,
+) -> Table4 {
     let h_stream = balance_sim::harvard_churn(harvard, SystemKind::D2);
-    let h_run = balance_sim::run(BalanceSystem::D2, cfg, &h_stream, warmup);
+    let h_run = balance_sim::run_traced(BalanceSystem::D2, cfg, &h_stream, warmup, sink);
     let w_stream = balance_sim::webcache_churn(web, SystemKind::D2);
-    let w_run = balance_sim::run(BalanceSystem::D2, cfg, &w_stream, warmup);
+    let w_run = balance_sim::run_traced(BalanceSystem::D2, cfg, &w_stream, warmup, sink);
     Table4 {
         workloads: vec![to_rows("Harvard", &h_run), to_rows("Webcache", &w_run)],
     }

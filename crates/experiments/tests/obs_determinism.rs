@@ -1,0 +1,76 @@
+//! Same seed ⇒ byte-identical trace export.
+//!
+//! The `--obs-out` JSONL is meant to be committed and diffed, so the
+//! whole pipeline — workload generation, simulation, event recording,
+//! serialization — must be a pure function of the seed. This exercises
+//! both traced drivers (the Section 9 performance suite and the
+//! Section 10 balance simulation) end to end, twice each.
+
+use d2_experiments::balance_sim::{self, BalanceSystem};
+use d2_experiments::perf_suite::{self, SuiteConfig};
+use d2_experiments::Scale;
+use d2_obs::{to_jsonl, SharedSink};
+use d2_sim::SimTime;
+use d2_types::SystemKind;
+use d2_workload::HarvardTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn perf_trace_jsonl(seed: u64) -> String {
+    let trace = HarvardTrace::generate(&Scale::Quick.harvard(), &mut StdRng::seed_from_u64(seed));
+    let sink = SharedSink::memory(0);
+    let cfg = SuiteConfig {
+        sizes: vec![16],
+        kbps: vec![1500],
+        measure_groups: 40,
+        seed,
+        sink: sink.clone(),
+        ..SuiteConfig::default()
+    };
+    perf_suite::run(&trace, &cfg);
+    to_jsonl(&sink.drain())
+}
+
+fn balance_trace_jsonl(seed: u64) -> String {
+    let trace = HarvardTrace::generate(&Scale::Quick.harvard(), &mut StdRng::seed_from_u64(seed));
+    let stream = balance_sim::harvard_churn(&trace, SystemKind::D2);
+    let cfg = Scale::Quick.cluster(seed);
+    let sink = SharedSink::memory(0);
+    balance_sim::run_traced(
+        BalanceSystem::D2,
+        &cfg,
+        &stream,
+        SimTime::from_secs(6 * 3600),
+        &sink,
+    );
+    to_jsonl(&sink.drain())
+}
+
+#[test]
+fn perf_suite_trace_is_byte_identical_across_runs() {
+    let a = perf_trace_jsonl(11);
+    let b = perf_trace_jsonl(11);
+    assert!(!a.is_empty(), "the traced suite must record events");
+    assert_eq!(a, b, "same seed must export byte-identical JSONL");
+    for line in a.lines().take(50) {
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "bad JSONL line: {line}"
+        );
+    }
+}
+
+#[test]
+fn balance_trace_is_byte_identical_across_runs() {
+    let a = balance_trace_jsonl(3);
+    let b = balance_trace_jsonl(3);
+    assert!(a.lines().count() > 1, "balance run must record migrations");
+    assert_eq!(a, b, "same seed must export byte-identical JSONL");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Guards against the trivial failure mode where determinism holds
+    // because nothing seed-dependent is recorded at all.
+    assert_ne!(perf_trace_jsonl(11), perf_trace_jsonl(12));
+}

@@ -23,8 +23,20 @@ pub struct RootBlock {
 
 impl RootBlock {
     /// Builds and signs a root block with the publisher `secret`.
-    pub fn signed(volume: VolumeId, seq: u64, dir_key: Key, dir_hash: ContentHash, secret: &[u8]) -> Self {
-        let mut root = RootBlock { volume, seq, dir_key, dir_hash, signature: ContentHash::default() };
+    pub fn signed(
+        volume: VolumeId,
+        seq: u64,
+        dir_key: Key,
+        dir_hash: ContentHash,
+        secret: &[u8],
+    ) -> Self {
+        let mut root = RootBlock {
+            volume,
+            seq,
+            dir_key,
+            dir_hash,
+            signature: ContentHash::default(),
+        };
         root.signature = keyed_mac(secret, &root.signable());
         root
     }
@@ -178,7 +190,11 @@ impl DirBlock {
                 inline: r.get_bytes()?,
             });
         }
-        Ok(DirBlock { version, next_slot, entries })
+        Ok(DirBlock {
+            version,
+            next_slot,
+            entries,
+        })
     }
 
     /// Content hash of the encoded block (what the parent records).
@@ -232,7 +248,11 @@ impl InodeBlock {
         for _ in 0..n {
             blocks.push((r.get_key()?, r.get_hash()?, r.get_u32()?));
         }
-        Ok(InodeBlock { version, size, blocks })
+        Ok(InodeBlock {
+            version,
+            size,
+            blocks,
+        })
     }
 
     /// Content hash of the encoded block.
@@ -317,7 +337,11 @@ mod tests {
 
     #[test]
     fn dir_hash_changes_with_content() {
-        let mut dir = DirBlock { version: 1, next_slot: 1, entries: vec![] };
+        let mut dir = DirBlock {
+            version: 1,
+            next_slot: 1,
+            entries: vec![],
+        };
         let h1 = dir.content_hash();
         dir.version = 2;
         assert_ne!(h1, dir.content_hash());

@@ -75,7 +75,9 @@ pub struct Reader {
 impl Reader {
     /// Wraps `data` for decoding.
     pub fn new(data: &[u8]) -> Self {
-        Reader { buf: Bytes::copy_from_slice(data) }
+        Reader {
+            buf: Bytes::copy_from_slice(data),
+        }
     }
 
     fn need(&self, n: usize) -> Result<()> {

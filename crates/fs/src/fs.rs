@@ -46,7 +46,12 @@ pub struct MemStore {
 impl MemStore {
     /// Creates an empty store using `system`'s key encoding.
     pub fn new(system: SystemKind) -> Self {
-        MemStore { system, blocks: HashMap::new(), tombstones: Vec::new(), bytes_written: 0 }
+        MemStore {
+            system,
+            blocks: HashMap::new(),
+            tombstones: Vec::new(),
+            bytes_written: 0,
+        }
     }
 
     /// Number of live blocks.
@@ -169,8 +174,13 @@ pub enum WriteOp {
 
 #[derive(Clone, Debug)]
 enum NodeKind {
-    Dir { children: BTreeMap<String, usize>, next_slot: u16 },
-    File { data: Vec<u8> },
+    Dir {
+        children: BTreeMap<String, usize>,
+        next_slot: u16,
+    },
+    File {
+        data: Vec<u8>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -232,7 +242,10 @@ impl Fs {
             parent: None,
             dirty: true,
             published: None,
-            kind: NodeKind::Dir { children: BTreeMap::new(), next_slot: 1 },
+            kind: NodeKind::Dir {
+                children: BTreeMap::new(),
+                next_slot: 1,
+            },
         };
         Fs {
             volume: VolumeId::from_name(volume_name),
@@ -314,8 +327,10 @@ impl Fs {
     }
 
     fn alloc_child(&mut self, parent: usize, name: &str, is_dir: bool) -> Result<usize> {
-        let (parent_slots, parent_path) =
-            (self.nodes[parent].slots, self.nodes[parent].enc_path.clone());
+        let (parent_slots, parent_path) = (
+            self.nodes[parent].slots,
+            self.nodes[parent].enc_path.clone(),
+        );
         let slot = match &mut self.nodes[parent].kind {
             NodeKind::Dir { next_slot, .. } => {
                 if *next_slot == 0 {
@@ -345,7 +360,10 @@ impl Fs {
             dirty: true,
             published: None,
             kind: if is_dir {
-                NodeKind::Dir { children: BTreeMap::new(), next_slot: 1 }
+                NodeKind::Dir {
+                    children: BTreeMap::new(),
+                    next_slot: 1,
+                }
             } else {
                 NodeKind::File { data: Vec::new() }
             },
@@ -378,9 +396,7 @@ impl Fs {
             cur = match existing {
                 Some(c) => match self.nodes[c].kind {
                     NodeKind::Dir { .. } => c,
-                    NodeKind::File { .. } => {
-                        return Err(D2Error::AlreadyExists(path.to_string()))
-                    }
+                    NodeKind::File { .. } => return Err(D2Error::AlreadyExists(path.to_string())),
                 },
                 None => {
                     let c = self.alloc_child(cur, comp, true)?;
@@ -451,7 +467,9 @@ impl Fs {
     /// Reads a file through the writer's mirror (write-back cache
     /// semantics: the writer always sees its own latest data).
     pub fn read(&self, path: &str) -> Result<Vec<u8>> {
-        let idx = self.resolve(path).ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
+        let idx = self
+            .resolve(path)
+            .ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
         match &self.nodes[idx].kind {
             NodeKind::File { data } => Ok(data.clone()),
             NodeKind::Dir { .. } => {
@@ -462,7 +480,9 @@ impl Fs {
 
     /// Lists the names in a directory.
     pub fn list(&self, path: &str) -> Result<Vec<String>> {
-        let idx = self.resolve(path).ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
+        let idx = self
+            .resolve(path)
+            .ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
         match &self.nodes[idx].kind {
             NodeKind::Dir { children, .. } => Ok(children.keys().cloned().collect()),
             NodeKind::File { .. } => Err(D2Error::InvalidOperation(format!("{path} is a file"))),
@@ -476,7 +496,9 @@ impl Fs {
 
     /// File size, if `path` is a file.
     pub fn size_of(&self, path: &str) -> Result<u64> {
-        let idx = self.resolve(path).ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
+        let idx = self
+            .resolve(path)
+            .ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
         match &self.nodes[idx].kind {
             NodeKind::File { data } => Ok(data.len() as u64),
             NodeKind::Dir { .. } => Err(D2Error::InvalidOperation("is a directory".into())),
@@ -510,9 +532,13 @@ impl Fs {
 
     /// Recursively removes a directory.
     pub fn remove_dir(&mut self, path: &str) -> Result<()> {
-        let idx = self.resolve(path).ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
+        let idx = self
+            .resolve(path)
+            .ok_or_else(|| D2Error::NoSuchPath(path.to_string()))?;
         if idx == 0 {
-            return Err(D2Error::InvalidOperation("cannot remove volume root".into()));
+            return Err(D2Error::InvalidOperation(
+                "cannot remove volume root".into(),
+            ));
         }
         let NodeKind::Dir { children, .. } = &self.nodes[idx].kind else {
             return Err(D2Error::InvalidOperation(format!("{path} is a file")));
@@ -547,7 +573,9 @@ impl Fs {
     /// original block keys** (Section 4.2): only the parent directories'
     /// metadata is re-published.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
-        let idx = self.resolve(from).ok_or_else(|| D2Error::NoSuchPath(from.to_string()))?;
+        let idx = self
+            .resolve(from)
+            .ok_or_else(|| D2Error::NoSuchPath(from.to_string()))?;
         if idx == 0 {
             return Err(D2Error::InvalidOperation("cannot move volume root".into()));
         }
@@ -562,7 +590,9 @@ impl Fs {
         let mut p = Some(new_parent);
         while let Some(a) = p {
             if a == idx {
-                return Err(D2Error::InvalidOperation("cannot move a directory into itself".into()));
+                return Err(D2Error::InvalidOperation(
+                    "cannot move a directory into itself".into(),
+                ));
             }
             p = self.nodes[a].parent;
         }
@@ -672,7 +702,9 @@ impl Fs {
         now: SimTime,
         ops: &mut Vec<WriteOp>,
     ) -> Result<()> {
-        let NodeKind::File { data } = &self.nodes[idx].kind else { unreachable!() };
+        let NodeKind::File { data } = &self.nodes[idx].kind else {
+            unreachable!()
+        };
         let data = data.clone();
         if data.len() <= self.cfg.inline_max {
             // Inline in the parent directory block: nothing to publish
@@ -682,7 +714,11 @@ impl Fs {
             return Ok(());
         }
         let version = self.nodes[idx].version;
-        let mut inode = InodeBlock { version, size: data.len() as u64, blocks: Vec::new() };
+        let mut inode = InodeBlock {
+            version,
+            size: data.len() as u64,
+            blocks: Vec::new(),
+        };
         for (i, chunk) in data.chunks(self.cfg.block_size).enumerate() {
             let name = self.block_name(idx, 1 + i as u64, version, BlockKind::Data);
             let key = self.cfg.system.key_of(&name);
@@ -714,7 +750,13 @@ impl Fs {
         self.nodes[idx].version += 1;
         let version = self.nodes[idx].version;
 
-        let NodeKind::Dir { children, next_slot } = &self.nodes[idx].kind else { unreachable!() };
+        let NodeKind::Dir {
+            children,
+            next_slot,
+        } = &self.nodes[idx].kind
+        else {
+            unreachable!()
+        };
         let next_slot = *next_slot;
         let mut inline_count = 0u64;
         let mut entries = Vec::with_capacity(children.len());
@@ -763,7 +805,11 @@ impl Fs {
         }
         self.stats.inline_files = inline_count;
 
-        let block = DirBlock { version, next_slot, entries };
+        let block = DirBlock {
+            version,
+            next_slot,
+            entries,
+        };
         let name = self.block_name(idx, 0, version, BlockKind::Directory);
         let key = self.cfg.system.key_of(&name);
         let encoded = block.encode();
@@ -788,7 +834,11 @@ impl Fs {
         io.put(name, data, now)?;
         self.stats.blocks_written += 1;
         self.stats.bytes_written += len as u64;
-        ops.push(WriteOp::Put { name: name.clone(), key, len });
+        ops.push(WriteOp::Put {
+            name: name.clone(),
+            key,
+            len,
+        });
         Ok(())
     }
 
@@ -811,7 +861,9 @@ impl Fs {
         if let Some((inode_key, _, _)) = self.nodes[idx].published.take() {
             self.pending_removes.push(inode_key);
             // Data block keys of the retired version.
-            let NodeKind::File { data } = &self.nodes[idx].kind else { return };
+            let NodeKind::File { data } = &self.nodes[idx].kind else {
+                return;
+            };
             let nblocks = data.len().div_ceil(self.cfg.block_size);
             for i in 0..nblocks {
                 let name = self.block_name(idx, 1 + i as u64, version, BlockKind::Data);
@@ -844,7 +896,8 @@ mod tests {
     #[test]
     fn write_read_roundtrip_in_mirror() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/a/b.txt", b"hello".to_vec(), SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/a/b.txt", b"hello".to_vec(), SimTime::ZERO)
+            .unwrap();
         assert_eq!(fs.read("/a/b.txt").unwrap(), b"hello");
         assert!(fs.exists("/a"));
         assert_eq!(fs.size_of("/a/b.txt").unwrap(), 5);
@@ -853,7 +906,8 @@ mod tests {
     #[test]
     fn writeback_cache_defers_publication() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/f", vec![0u8; 10_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/f", vec![0u8; 10_000], SimTime::ZERO)
+            .unwrap();
         assert!(io.is_empty(), "nothing published before flush");
         // Not yet 30 s.
         let ops = fs.maybe_flush(&mut io, SimTime::from_secs(29)).unwrap();
@@ -867,7 +921,8 @@ mod tests {
     #[test]
     fn temp_files_never_hit_the_store() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/tmp/scratch", vec![1u8; 9000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/tmp/scratch", vec![1u8; 9000], SimTime::ZERO)
+            .unwrap();
         fs.remove_file("/tmp/scratch").unwrap();
         fs.flush(&mut io, SimTime::from_secs(30)).unwrap();
         // Only metadata (root block, root dir, tmp dir) was published —
@@ -878,7 +933,8 @@ mod tests {
     #[test]
     fn flush_publishes_data_then_metadata_then_root() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/docs/a.txt", vec![7u8; 20_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/docs/a.txt", vec![7u8; 20_000], SimTime::ZERO)
+            .unwrap();
         let ops = fs.flush(&mut io, SimTime::ZERO).unwrap();
         let kinds: Vec<BlockKind> = ops
             .iter()
@@ -905,7 +961,8 @@ mod tests {
     #[test]
     fn small_files_are_inlined() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/small", vec![1u8; 100], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/small", vec![1u8; 100], SimTime::ZERO)
+            .unwrap();
         let ops = fs.flush(&mut io, SimTime::ZERO).unwrap();
         // Root dir + root block only; no inode/data blocks.
         let put_kinds: Vec<BlockKind> = ops
@@ -922,12 +979,17 @@ mod tests {
     #[test]
     fn overwrite_bumps_version_and_retires_old_blocks() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/f", vec![1u8; 9000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/f", vec![1u8; 9000], SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
         let blocks_before = io.len();
-        fs.write(&mut io, "/f", vec![2u8; 9000], SimTime::from_secs(60)).unwrap();
+        fs.write(&mut io, "/f", vec![2u8; 9000], SimTime::from_secs(60))
+            .unwrap();
         let ops = fs.flush(&mut io, SimTime::from_secs(60)).unwrap();
-        let removes = ops.iter().filter(|o| matches!(o, WriteOp::Remove { .. })).count();
+        let removes = ops
+            .iter()
+            .filter(|o| matches!(o, WriteOp::Remove { .. }))
+            .count();
         // Old inode + 2 old data blocks + old root-dir version retired.
         assert_eq!(removes, 4);
         // Before GC both versions coexist (stale readers still succeed).
@@ -941,9 +1003,12 @@ mod tests {
     #[test]
     fn d2_keys_of_a_flushed_tree_are_locality_ordered() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/a/x.dat", vec![1u8; 20_000], SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/a/y.dat", vec![2u8; 20_000], SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/b/z.dat", vec![3u8; 20_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/a/x.dat", vec![1u8; 20_000], SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/a/y.dat", vec![2u8; 20_000], SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/b/z.dat", vec![3u8; 20_000], SimTime::ZERO)
+            .unwrap();
         let ops = fs.flush(&mut io, SimTime::ZERO).unwrap();
         // Collect data block keys per file; each file's keys must form a
         // contiguous run in the global sorted order.
@@ -976,7 +1041,8 @@ mod tests {
     #[test]
     fn rename_keeps_block_keys() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/old/big.bin", vec![9u8; 30_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/old/big.bin", vec![9u8; 30_000], SimTime::ZERO)
+            .unwrap();
         let ops1 = fs.flush(&mut io, SimTime::ZERO).unwrap();
         let data_keys_before: Vec<Key> = ops1
             .iter()
@@ -1008,19 +1074,27 @@ mod tests {
     fn rename_into_itself_rejected() {
         let (mut fs, _io) = setup();
         fs.mkdir_p("/a/b").unwrap();
-        assert!(matches!(fs.rename("/a", "/a/b/c"), Err(D2Error::InvalidOperation(_))));
+        assert!(matches!(
+            fs.rename("/a", "/a/b/c"),
+            Err(D2Error::InvalidOperation(_))
+        ));
     }
 
     #[test]
     fn remove_dir_recursive() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/proj/src/main.rs", vec![1u8; 9000], SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/proj/doc.md", vec![2u8; 9000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/proj/src/main.rs", vec![1u8; 9000], SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/proj/doc.md", vec![2u8; 9000], SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
         fs.remove_dir("/proj").unwrap();
         assert!(!fs.exists("/proj"));
         let ops = fs.flush(&mut io, SimTime::from_secs(60)).unwrap();
-        let removes = ops.iter().filter(|o| matches!(o, WriteOp::Remove { .. })).count();
+        let removes = ops
+            .iter()
+            .filter(|o| matches!(o, WriteOp::Remove { .. }))
+            .count();
         // 2 inodes + 2+2 data blocks + src dir + proj dir + old root dir.
         assert!(removes >= 7, "expected at least 7 removals, got {removes}");
     }
@@ -1028,13 +1102,17 @@ mod tests {
     #[test]
     fn path_errors() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/f", b"x".to_vec(), SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/f", b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(fs.read("/missing"), Err(D2Error::NoSuchPath(_))));
         assert!(matches!(
             fs.write(&mut io, "/f/child", b"y".to_vec(), SimTime::ZERO),
             Err(D2Error::InvalidOperation(_) | D2Error::NoSuchPath(_) | D2Error::AlreadyExists(_))
         ));
-        assert!(matches!(fs.remove_file("/nope"), Err(D2Error::NoSuchPath(_))));
+        assert!(matches!(
+            fs.remove_file("/nope"),
+            Err(D2Error::NoSuchPath(_))
+        ));
         assert!(matches!(fs.list("/f"), Err(D2Error::InvalidOperation(_))));
         assert!(fs.read("/").is_err());
     }
@@ -1042,15 +1120,20 @@ mod tests {
     #[test]
     fn flush_without_changes_is_empty() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/f", b"abc".to_vec(), SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/f", b"abc".to_vec(), SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
-        assert!(fs.flush(&mut io, SimTime::from_secs(60)).unwrap().is_empty());
+        assert!(fs
+            .flush(&mut io, SimTime::from_secs(60))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn stats_accumulate() {
         let (mut fs, mut io) = setup();
-        fs.write(&mut io, "/f", vec![0u8; 9000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/f", vec![0u8; 9000], SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
         let s = fs.stats();
         assert!(s.blocks_written >= 4); // 2 data + inode + root dir + root
@@ -1062,7 +1145,8 @@ mod tests {
     fn traditional_encoding_scatters_flushed_tree() {
         let mut fs = Fs::new("vol", b"s", FsConfig::new(SystemKind::Traditional));
         let mut io = MemStore::new(SystemKind::Traditional);
-        fs.write(&mut io, "/a/x.dat", vec![1u8; 30_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/a/x.dat", vec![1u8; 30_000], SimTime::ZERO)
+            .unwrap();
         let ops = fs.flush(&mut io, SimTime::ZERO).unwrap();
         let data_keys: Vec<Key> = ops
             .iter()
@@ -1075,6 +1159,9 @@ mod tests {
         // With hashed keys, consecutive blocks do NOT share a prefix.
         let mut sorted = data_keys.clone();
         sorted.sort();
-        assert_ne!(sorted, data_keys, "hashed keys should not come out pre-sorted");
+        assert_ne!(
+            sorted, data_keys,
+            "hashed keys should not come out pre-sorted"
+        );
     }
 }

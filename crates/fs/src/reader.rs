@@ -203,7 +203,12 @@ impl VolumeReader {
     }
 
     /// Lists the entry names of a directory.
-    pub fn list_dir<S: BlockIo>(&self, io: &mut S, path: &str, now: SimTime) -> Result<Vec<String>> {
+    pub fn list_dir<S: BlockIo>(
+        &self,
+        io: &mut S,
+        path: &str,
+        now: SimTime,
+    ) -> Result<Vec<String>> {
         let (dir, entry) = self.walk(io, path, now)?;
         match entry {
             None => Ok(dir.entries.iter().map(|e| e.name.clone()).collect()),
@@ -258,9 +263,12 @@ mod tests {
     fn publish(system: SystemKind) -> (Fs, MemStore, VolumeReader) {
         let mut fs = Fs::new("vol", b"secret", FsConfig::new(system));
         let mut io = MemStore::new(system);
-        fs.write(&mut io, "/docs/a.txt", vec![b'a'; 20_000], SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/docs/tiny", b"inline!".to_vec(), SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/bin/tool", vec![b'b'; 9_000], SimTime::ZERO).unwrap();
+        fs.write(&mut io, "/docs/a.txt", vec![b'a'; 20_000], SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/docs/tiny", b"inline!".to_vec(), SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/bin/tool", vec![b'b'; 9_000], SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
         let reader = VolumeReader::new("vol", b"secret", system);
         (fs, io, reader)
@@ -268,15 +276,23 @@ mod tests {
 
     #[test]
     fn reader_sees_writer_data() {
-        for system in [SystemKind::D2, SystemKind::Traditional, SystemKind::TraditionalFile] {
+        for system in [
+            SystemKind::D2,
+            SystemKind::Traditional,
+            SystemKind::TraditionalFile,
+        ] {
             let (_fs, mut io, reader) = publish(system);
             assert_eq!(
-                reader.read_file(&mut io, "/docs/a.txt", SimTime::ZERO).unwrap(),
+                reader
+                    .read_file(&mut io, "/docs/a.txt", SimTime::ZERO)
+                    .unwrap(),
                 vec![b'a'; 20_000],
                 "system {system}"
             );
             assert_eq!(
-                reader.read_file(&mut io, "/docs/tiny", SimTime::ZERO).unwrap(),
+                reader
+                    .read_file(&mut io, "/docs/tiny", SimTime::ZERO)
+                    .unwrap(),
                 b"inline!"
             );
         }
@@ -299,7 +315,11 @@ mod tests {
         let keys = reader.all_keys(&mut io, SimTime::ZERO).unwrap();
         let corrupted = keys
             .iter()
-            .find(|k| io.get(k, SimTime::ZERO).map(|d| d.len() == 8192).unwrap_or(false))
+            .find(|k| {
+                io.get(k, SimTime::ZERO)
+                    .map(|d| d.len() == 8192)
+                    .unwrap_or(false)
+            })
             .copied()
             .expect("found a data block");
         let mut data = io.get(&corrupted, SimTime::ZERO).unwrap();
@@ -317,7 +337,12 @@ mod tests {
         assert_eq!(names, vec!["a.txt", "tiny"]);
         let root_names = reader.list_dir(&mut io, "/", SimTime::ZERO).unwrap();
         assert_eq!(root_names.len(), 2);
-        assert_eq!(reader.stat_size(&mut io, "/bin/tool", SimTime::ZERO).unwrap(), 9000);
+        assert_eq!(
+            reader
+                .stat_size(&mut io, "/bin/tool", SimTime::ZERO)
+                .unwrap(),
+            9000
+        );
     }
 
     #[test]
@@ -349,7 +374,10 @@ mod tests {
     fn unflushed_volume_not_found() {
         let mut io = MemStore::new(SystemKind::D2);
         let reader = VolumeReader::new("vol", b"secret", SystemKind::D2);
-        assert!(matches!(reader.root(&mut io, SimTime::ZERO), Err(D2Error::NotFound(_))));
+        assert!(matches!(
+            reader.root(&mut io, SimTime::ZERO),
+            Err(D2Error::NotFound(_))
+        ));
     }
 
     #[test]
@@ -383,7 +411,12 @@ mod tests {
         let all = reader
             .read_range(&mut io, "/docs/a.txt", 0, u64::MAX, SimTime::ZERO)
             .unwrap();
-        assert_eq!(all, reader.read_file(&mut io, "/docs/a.txt", SimTime::ZERO).unwrap());
+        assert_eq!(
+            all,
+            reader
+                .read_file(&mut io, "/docs/a.txt", SimTime::ZERO)
+                .unwrap()
+        );
     }
 
     #[test]
@@ -392,13 +425,26 @@ mod tests {
         // hash takes over — correctness must be unaffected.
         let mut fs = Fs::new("deep", b"s", FsConfig::new(SystemKind::D2));
         let mut io = MemStore::new(SystemKind::D2);
-        let path = format!("{}/leaf.txt", (0..16).map(|i| format!("/d{i}")).collect::<String>());
-        fs.write(&mut io, &path, b"deep!".to_vec(), SimTime::ZERO).unwrap();
-        fs.write(&mut io, "/shallow", b"s".to_vec(), SimTime::ZERO).unwrap();
+        let path = format!(
+            "{}/leaf.txt",
+            (0..16).map(|i| format!("/d{i}")).collect::<String>()
+        );
+        fs.write(&mut io, &path, b"deep!".to_vec(), SimTime::ZERO)
+            .unwrap();
+        fs.write(&mut io, "/shallow", b"s".to_vec(), SimTime::ZERO)
+            .unwrap();
         fs.flush(&mut io, SimTime::ZERO).unwrap();
         let reader = VolumeReader::new("deep", b"s", SystemKind::D2);
-        assert_eq!(reader.read_file(&mut io, &path, SimTime::ZERO).unwrap(), b"deep!");
-        assert_eq!(reader.read_file(&mut io, "/shallow", SimTime::ZERO).unwrap(), b"s");
+        assert_eq!(
+            reader.read_file(&mut io, &path, SimTime::ZERO).unwrap(),
+            b"deep!"
+        );
+        assert_eq!(
+            reader
+                .read_file(&mut io, "/shallow", SimTime::ZERO)
+                .unwrap(),
+            b"s"
+        );
     }
 
     #[test]
@@ -408,9 +454,13 @@ mod tests {
         fs.rename("/docs/a.txt", "/archive/a.txt").unwrap();
         fs.flush(&mut io, SimTime::from_secs(60)).unwrap();
         assert_eq!(
-            reader.read_file(&mut io, "/archive/a.txt", SimTime::from_secs(60)).unwrap(),
+            reader
+                .read_file(&mut io, "/archive/a.txt", SimTime::from_secs(60))
+                .unwrap(),
             vec![b'a'; 20_000]
         );
-        assert!(reader.read_file(&mut io, "/docs/a.txt", SimTime::from_secs(60)).is_err());
+        assert!(reader
+            .read_file(&mut io, "/docs/a.txt", SimTime::from_secs(60))
+            .is_err());
     }
 }

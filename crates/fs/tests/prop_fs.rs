@@ -22,7 +22,8 @@ fn path_of(id: u8) -> String {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..2000)).prop_map(|(p, d)| Op::Write(p, d)),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..2000))
+            .prop_map(|(p, d)| Op::Write(p, d)),
         any::<u8>().prop_map(Op::Remove),
         (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
         Just(Op::Flush),

@@ -39,9 +39,17 @@ enum NetMsg {
     /// Client asks this node to locate the owner of `key`.
     ClientLookup { key: Key, reply: Sender<PeerInfo> },
     /// Store a block here and replicate to `fanout` further successors.
-    StorePut { key: Key, data: Vec<u8>, fanout: usize, ack: Option<Sender<()>> },
+    StorePut {
+        key: Key,
+        data: Vec<u8>,
+        fanout: usize,
+        ack: Option<Sender<()>>,
+    },
     /// Fetch a block from this node.
-    StoreGet { key: Key, reply: Sender<Option<Vec<u8>>> },
+    StoreGet {
+        key: Key,
+        reply: Sender<Option<Vec<u8>>>,
+    },
     /// Report ring state (for assertions and monitoring).
     Status { reply: Sender<NodeStatus> },
     /// Terminate the node thread.
@@ -88,8 +96,7 @@ impl NodeThread {
                 continue;
             }
             self.node.forget(to);
-            let reroutable =
-                matches!(msg, RingMsg::FindOwner { .. } | RingMsg::Join { .. });
+            let reroutable = matches!(msg, RingMsg::FindOwner { .. } | RingMsg::Join { .. });
             if reroutable && budget > 0 {
                 budget -= 1;
                 queue.extend(self.node.handle(msg));
@@ -122,7 +129,12 @@ impl NodeThread {
                     self.send_all(out);
                     self.drain_completed();
                 }
-                NetMsg::StorePut { key, data, fanout, ack } => {
+                NetMsg::StorePut {
+                    key,
+                    data,
+                    fanout,
+                    ack,
+                } => {
                     self.store.insert(key, data.clone());
                     if fanout > 0 {
                         if let Some(succ) = self.node.successors().first().copied() {
@@ -180,8 +192,9 @@ impl Deployment {
     /// positions (deterministic placement keeps the example reproducible;
     /// use [`Deployment::launch_at`] for custom positions).
     pub fn launch(n: usize, replicas: usize) -> Deployment {
-        let ids: Vec<Key> =
-            (0..n).map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64)).collect();
+        let ids: Vec<Key> = (0..n)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
+            .collect();
         Self::launch_at(&ids, replicas)
     }
 
@@ -250,7 +263,9 @@ impl Deployment {
         for (to, msg) in join_msgs {
             let _ = self.net.read()[to].send(NetMsg::Ring(msg));
         }
-        self.handles.lock().push(std::thread::spawn(move || thread.run()));
+        self.handles
+            .lock()
+            .push(std::thread::spawn(move || thread.run()));
         *self.n.lock() += 1;
         addr
     }
@@ -298,8 +313,13 @@ impl Deployment {
             let live: Vec<usize> = statuses.iter().map(|s| s.me.addr).collect();
             let ok = statuses.len() == expected
                 && statuses.iter().all(|s| {
-                    s.predecessor.map(|p| live.contains(&p.addr)).unwrap_or(false)
-                        && s.successors.first().map(|p| live.contains(&p.addr)).unwrap_or(false)
+                    s.predecessor
+                        .map(|p| live.contains(&p.addr))
+                        .unwrap_or(false)
+                        && s.successors
+                            .first()
+                            .map(|p| live.contains(&p.addr))
+                            .unwrap_or(false)
                 })
                 && self.ring_is_consistent(&statuses);
             if ok {
@@ -318,8 +338,12 @@ impl Deployment {
         let mut cur = 0usize;
         for _ in 0..statuses.len() {
             seen += 1;
-            let Some(s) = by_addr.get(&cur) else { return false };
-            let Some(next) = s.successors.first() else { return false };
+            let Some(s) = by_addr.get(&cur) else {
+                return false;
+            };
+            let Some(next) = s.successors.first() else {
+                return false;
+            };
             cur = next.addr;
             if cur == 0 {
                 break;
@@ -350,8 +374,12 @@ impl Deployment {
     pub fn put(&self, key: Key, data: Vec<u8>) -> Result<()> {
         let owner = self.lookup(key)?;
         let (tx, rx) = bounded(1);
-        let owner_tx =
-            self.net.read().get(owner.addr).cloned().ok_or(D2Error::Unavailable(key))?;
+        let owner_tx = self
+            .net
+            .read()
+            .get(owner.addr)
+            .cloned()
+            .ok_or(D2Error::Unavailable(key))?;
         owner_tx
             .send(NetMsg::StorePut {
                 key,
@@ -360,7 +388,8 @@ impl Deployment {
                 ack: Some(tx),
             })
             .map_err(|_| D2Error::Unavailable(key))?;
-        rx.recv_timeout(Duration::from_secs(10)).map_err(|_| D2Error::Unavailable(key))
+        rx.recv_timeout(Duration::from_secs(10))
+            .map_err(|_| D2Error::Unavailable(key))
     }
 
     /// Fetches a block from the owner (falling back to its successors).
@@ -369,8 +398,12 @@ impl Deployment {
         let mut addr = owner.addr;
         for _ in 0..self.replicas.max(1) {
             let (tx, rx) = bounded(1);
-            let node_tx =
-                self.net.read().get(addr).cloned().ok_or(D2Error::Unavailable(key))?;
+            let node_tx = self
+                .net
+                .read()
+                .get(addr)
+                .cloned()
+                .ok_or(D2Error::Unavailable(key))?;
             node_tx
                 .send(NetMsg::StoreGet { key, reply: tx })
                 .map_err(|_| D2Error::Unavailable(key))?;

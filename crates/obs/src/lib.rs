@@ -1,0 +1,31 @@
+//! D2-Obs: the observability substrate of the D2 reproduction.
+//!
+//! The paper's whole evaluation is measurement — lookup hops, message
+//! counts, cache hit rates, load imbalance, migration traffic — and
+//! explaining *why* a number moved requires distributions and traces,
+//! not just means. This crate provides the three pieces every layer of
+//! the stack shares:
+//!
+//! - [`Registry`] — named counters, gauges, and log-bucketed
+//!   [`Histogram`]s with p50/p90/p99/max [`Snapshot`]s;
+//! - [`TraceSink`] / [`SharedSink`] — a virtual-time span/event recorder
+//!   capturing per-lookup hop paths ([`TraceEvent::Route`]), per-fetch
+//!   latency splits ([`TraceEvent::Fetch`]), cache outcomes, and
+//!   balancer migrations, with a bounded [`MemorySink`] ring buffer and
+//!   a zero-cost disabled default;
+//! - [`to_jsonl`] — deterministic JSONL export (same seed ⇒ byte-
+//!   identical bytes), so traces can be committed, diffed, and gated in
+//!   CI alongside `BENCH_*.json`.
+//!
+//! No dependencies beyond `serde`; time is plain virtual microseconds so
+//! the crate sits below `d2-sim` in the dependency graph.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use trace::{
+    to_jsonl, CacheResult, CacheTier, MemorySink, MigrationKind, NullSink, SharedSink, TraceEvent,
+    TraceSink,
+};

@@ -1,0 +1,95 @@
+//! Property tests for the log-bucketed histogram: quantile monotonicity,
+//! quantile bounds, and merge count preservation.
+
+use d2_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = hist_of(&values);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            last = v;
+        }
+        prop_assert!(h.quantile(0.5) <= h.quantile(0.9));
+        prop_assert!(h.quantile(0.9) <= h.quantile(0.99));
+        prop_assert!(h.quantile(0.99) <= h.max());
+    }
+
+    #[test]
+    fn quantiles_lie_within_recorded_extremes(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        let v = h.quantile(q);
+        prop_assert!(v >= min && v <= max, "quantile({q}) = {v} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn merge_preserves_total_count_and_extremes(
+        a in prop::collection::vec(any::<u64>(), 0..150),
+        b in prop::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let mut ha = hist_of(&a);
+        let hb = hist_of(&b);
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        if !all.is_empty() {
+            prop_assert_eq!(ha.min(), *all.iter().min().unwrap());
+            prop_assert_eq!(ha.max(), *all.iter().max().unwrap());
+            // Merged quantiles are still bounded and monotone.
+            prop_assert!(ha.quantile(0.5) <= ha.quantile(0.9));
+            prop_assert!(ha.quantile(0.9) <= ha.quantile(0.99));
+            prop_assert!(ha.quantile(0.99) <= ha.max());
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let bulk = hist_of(&all);
+        prop_assert_eq!(merged.snapshot(), bulk.snapshot());
+    }
+
+    #[test]
+    fn quantile_tracks_exact_rank_within_bucket_error(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(q);
+            // Log-linear buckets with 16 sub-buckets: ≤ 6.25% relative
+            // error, and never below the exact order statistic.
+            prop_assert!(approx >= exact, "quantile({q}) = {approx} < exact {exact}");
+            let bound = exact + exact / 16 + 1;
+            prop_assert!(approx <= bound, "quantile({q}) = {approx} > bound {bound}");
+        }
+    }
+}

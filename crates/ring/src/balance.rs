@@ -44,7 +44,10 @@ pub struct BalanceConfig {
 
 impl Default for BalanceConfig {
     fn default() -> Self {
-        BalanceConfig { threshold: 4.0, min_split_load: 2 }
+        BalanceConfig {
+            threshold: 4.0,
+            min_split_load: 2,
+        }
     }
 }
 
@@ -135,9 +138,19 @@ pub fn probe(
         return None;
     }
     if ring.predecessor(target) == Some(prober) {
-        Some(BalanceOp::ShiftBoundary { light: prober, old_id, new_id, heavy: target })
+        Some(BalanceOp::ShiftBoundary {
+            light: prober,
+            old_id,
+            new_id,
+            heavy: target,
+        })
     } else {
-        Some(BalanceOp::Relocate { light: prober, old_id, new_id, heavy: target })
+        Some(BalanceOp::Relocate {
+            light: prober,
+            old_id,
+            new_id,
+            heavy: target,
+        })
     }
 }
 
@@ -172,7 +185,9 @@ where
         if !ring.contains(prober) {
             continue;
         }
-        let Some(target) = ring.random_node(rng) else { continue };
+        let Some(target) = ring.random_node(rng) else {
+            continue;
+        };
         if let Some(op) = probe(ring, loads, prober, target, cfg) {
             if apply_to_ring(ring, &op) {
                 on_op(ring, &op);
@@ -197,8 +212,14 @@ mod tests {
 
     impl ToyStore {
         fn owned_keys(&self, node: NodeIdx) -> Vec<Key> {
-            let Some(range) = self.ring.range_of(node) else { return vec![] };
-            self.blocks.keys().filter(|k| range.contains(k)).copied().collect()
+            let Some(range) = self.ring.range_of(node) else {
+                return vec![];
+            };
+            self.blocks
+                .keys()
+                .filter(|k| range.contains(k))
+                .copied()
+                .collect()
         }
     }
 
@@ -217,10 +238,14 @@ mod tests {
 
     fn setup(node_fracs: &[f64], block_fracs: &[f64]) -> (ToyStore, Vec<NodeIdx>) {
         let mut ring = Ring::new();
-        let idxs: Vec<_> =
-            node_fracs.iter().map(|&f| ring.add_node(Key::from_fraction(f))).collect();
-        let blocks =
-            block_fracs.iter().map(|&f| (Key::from_fraction(f), ())).collect();
+        let idxs: Vec<_> = node_fracs
+            .iter()
+            .map(|&f| ring.add_node(Key::from_fraction(f)))
+            .collect();
+        let blocks = block_fracs
+            .iter()
+            .map(|&f| (Key::from_fraction(f), ()))
+            .collect();
         (ToyStore { blocks, ring }, idxs)
     }
 
@@ -229,7 +254,13 @@ mod tests {
         // Node at 0.9 owns (0.5, 0.9] with 8 blocks; node at 0.5 owns 0.
         let blocks: Vec<f64> = (0..8).map(|i| 0.55 + i as f64 * 0.04).collect();
         let (store, idx) = setup(&[0.5, 0.9], &blocks);
-        let op = probe(&store.ring, &store, idx[0], idx[1], &BalanceConfig::default());
+        let op = probe(
+            &store.ring,
+            &store,
+            idx[0],
+            idx[1],
+            &BalanceConfig::default(),
+        );
         let op = op.expect("imbalance 8:0 must trigger");
         // idx0 is the predecessor of idx1 -> boundary shift.
         assert!(matches!(op, BalanceOp::ShiftBoundary { .. }));
@@ -243,13 +274,17 @@ mod tests {
     #[test]
     fn probe_respects_threshold() {
         // 4 blocks vs 2 blocks: ratio 2 < 4, no move.
-        let (store, idx) = setup(
-            &[0.5, 0.9],
-            &[0.1, 0.2, 0.55, 0.6, 0.7, 0.8],
-        );
+        let (store, idx) = setup(&[0.5, 0.9], &[0.1, 0.2, 0.55, 0.6, 0.7, 0.8]);
         assert_eq!(store.primary_load(idx[0]), 2);
         assert_eq!(store.primary_load(idx[1]), 4);
-        assert!(probe(&store.ring, &store, idx[0], idx[1], &BalanceConfig::default()).is_none());
+        assert!(probe(
+            &store.ring,
+            &store,
+            idx[0],
+            idx[1],
+            &BalanceConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -258,14 +293,28 @@ mod tests {
         let (store, idx) = setup(&[0.1, 0.2, 0.6], &blocks);
         // idx1 (owns (0.1,0.2], empty) probes idx2 (owns (0.2,0.6], 10 blocks).
         // idx1 IS the predecessor though. Use idx0 which is not.
-        let op = probe(&store.ring, &store, idx[0], idx[2], &BalanceConfig::default()).unwrap();
+        let op = probe(
+            &store.ring,
+            &store,
+            idx[0],
+            idx[2],
+            &BalanceConfig::default(),
+        )
+        .unwrap();
         assert!(matches!(op, BalanceOp::Relocate { .. }));
     }
 
     #[test]
     fn self_probe_is_noop() {
         let (store, idx) = setup(&[0.5], &[0.1, 0.2]);
-        assert!(probe(&store.ring, &store, idx[0], idx[0], &BalanceConfig::default()).is_none());
+        assert!(probe(
+            &store.ring,
+            &store,
+            idx[0],
+            idx[0],
+            &BalanceConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -273,10 +322,12 @@ mod tests {
         // 32 nodes uniformly placed, all 512 blocks crammed into 5% of the
         // key space — the defragmented-file-system distribution.
         let mut ring = Ring::new();
-        let idxs: Vec<_> =
-            (0..32).map(|i| ring.add_node(Key::from_fraction(i as f64 / 32.0))).collect();
-        let blocks: BTreeMap<Key, ()> =
-            (0..512).map(|i| (Key::from_fraction(0.40 + 0.05 * i as f64 / 512.0), ())).collect();
+        let idxs: Vec<_> = (0..32)
+            .map(|i| ring.add_node(Key::from_fraction(i as f64 / 32.0)))
+            .collect();
+        let blocks: BTreeMap<Key, ()> = (0..512)
+            .map(|i| (Key::from_fraction(0.40 + 0.05 * i as f64 / 512.0), ()))
+            .collect();
         let mut store = ToyStore { blocks, ring };
         let cfg = BalanceConfig::default();
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
@@ -304,7 +355,14 @@ mod tests {
     fn apply_moves_ring_position() {
         let blocks: Vec<f64> = (0..8).map(|i| 0.55 + i as f64 * 0.04).collect();
         let (mut store, idx) = setup(&[0.5, 0.9], &blocks);
-        let op = probe(&store.ring, &store, idx[0], idx[1], &BalanceConfig::default()).unwrap();
+        let op = probe(
+            &store.ring,
+            &store,
+            idx[0],
+            idx[1],
+            &BalanceConfig::default(),
+        )
+        .unwrap();
         assert!(apply_to_ring(&mut store.ring, &op));
         assert_eq!(store.ring.id_of(idx[0]), Some(op.new_id()));
         // Loads are now split roughly in half.

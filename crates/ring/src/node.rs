@@ -37,7 +37,10 @@ pub struct NodeConfig {
 
 impl Default for NodeConfig {
     fn default() -> Self {
-        NodeConfig { successors: 4, max_fingers: 32 }
+        NodeConfig {
+            successors: 4,
+            max_fingers: 32,
+        }
     }
 }
 
@@ -88,7 +91,16 @@ impl ProtocolNode {
             completed: Vec::new(),
             next_req: 1,
         };
-        (node, vec![(seed, RingMsg::Join { joiner: me, hops: 0 })])
+        (
+            node,
+            vec![(
+                seed,
+                RingMsg::Join {
+                    joiner: me,
+                    hops: 0,
+                },
+            )],
+        )
     }
 
     /// This node's identity.
@@ -126,7 +138,12 @@ impl ProtocolNode {
         let req_id = self.next_req;
         self.next_req += 1;
         self.pending.insert(req_id, key);
-        let msg = RingMsg::FindOwner { target: key, origin: self.me.addr, req_id, hops: 0 };
+        let msg = RingMsg::FindOwner {
+            target: key,
+            origin: self.me.addr,
+            req_id,
+            hops: 0,
+        };
         // Process locally first: we may own the key ourselves.
         let out = self.route_find(msg);
         (req_id, out)
@@ -141,15 +158,31 @@ impl ProtocolNode {
     pub fn handle(&mut self, msg: RingMsg) -> Vec<(Addr, RingMsg)> {
         match msg {
             RingMsg::FindOwner { .. } => self.route_find(msg),
-            RingMsg::OwnerIs { req_id, owner, range, successors, hops } => {
+            RingMsg::OwnerIs {
+                req_id,
+                owner,
+                range,
+                successors,
+                hops,
+            } => {
                 if self.pending.remove(&req_id).is_some() {
                     self.learn(owner);
-                    self.completed.push(LookupResult { req_id, owner, range, successors, hops });
+                    self.completed.push(LookupResult {
+                        req_id,
+                        owner,
+                        range,
+                        successors,
+                        hops,
+                    });
                 }
                 vec![]
             }
             RingMsg::Join { joiner, hops } => self.handle_join(joiner, hops),
-            RingMsg::JoinAck { successor, predecessor, successors } => {
+            RingMsg::JoinAck {
+                successor,
+                predecessor,
+                successors,
+            } => {
                 self.adopt_successor(successor);
                 for s in successors {
                     self.learn(s);
@@ -173,7 +206,11 @@ impl ProtocolNode {
                     },
                 )]
             }
-            RingMsg::Neighbors { me, predecessor, successors } => {
+            RingMsg::Neighbors {
+                me,
+                predecessor,
+                successors,
+            } => {
                 self.learn(me);
                 // Chord stabilize: if our successor's predecessor sits
                 // between us and the successor, it becomes our successor.
@@ -204,8 +241,10 @@ impl ProtocolNode {
                 let adopt = match self.predecessor {
                     None => true,
                     Some(p) if p.addr == self.me.addr => true,
-                    Some(p) => KeyRange::new(p.id, self.me.id).contains(&candidate.id)
-                        && candidate.id != self.me.id,
+                    Some(p) => {
+                        KeyRange::new(p.id, self.me.id).contains(&candidate.id)
+                            && candidate.id != self.me.id
+                    }
                 };
                 if adopt && candidate.addr != self.me.addr {
                     self.predecessor = Some(candidate);
@@ -252,7 +291,13 @@ impl ProtocolNode {
     }
 
     fn route_find(&mut self, msg: RingMsg) -> Vec<(Addr, RingMsg)> {
-        let RingMsg::FindOwner { target, origin, req_id, hops } = msg else {
+        let RingMsg::FindOwner {
+            target,
+            origin,
+            req_id,
+            hops,
+        } = msg
+        else {
             return vec![];
         };
         if self.owns(&target) {
@@ -273,7 +318,15 @@ impl ProtocolNode {
         }
         match self.next_hop(&target) {
             Some(next) => {
-                vec![(next.addr, RingMsg::FindOwner { target, origin, req_id, hops: hops + 1 })]
+                vec![(
+                    next.addr,
+                    RingMsg::FindOwner {
+                        target,
+                        origin,
+                        req_id,
+                        hops: hops + 1,
+                    },
+                )]
             }
             None => vec![], // not joined yet; drop (caller retries)
         }
@@ -301,7 +354,12 @@ impl ProtocolNode {
             })
             .max_by_key(|p| self.me.id.distance_to(&p.id))
             .copied();
-        best.or_else(|| self.successors.first().copied().filter(|p| p.addr != self.me.addr))
+        best.or_else(|| {
+            self.successors
+                .first()
+                .copied()
+                .filter(|p| p.addr != self.me.addr)
+        })
     }
 
     fn handle_join(&mut self, joiner: PeerInfo, hops: u32) -> Vec<(Addr, RingMsg)> {
@@ -321,7 +379,13 @@ impl ProtocolNode {
             return vec![(joiner.addr, ack)];
         }
         match self.next_hop(&joiner.id) {
-            Some(next) => vec![(next.addr, RingMsg::Join { joiner, hops: hops + 1 })],
+            Some(next) => vec![(
+                next.addr,
+                RingMsg::Join {
+                    joiner,
+                    hops: hops + 1,
+                },
+            )],
             None => {
                 // Single bootstrap node that hasn't formed a ring view yet.
                 let ack = RingMsg::JoinAck {
@@ -386,7 +450,10 @@ mod tests {
 
     impl Pump {
         fn new() -> Self {
-            Pump { nodes: Vec::new(), queue: Default::default() }
+            Pump {
+                nodes: Vec::new(),
+                queue: Default::default(),
+            }
         }
 
         fn bootstrap(&mut self, frac: f64) -> Addr {
@@ -401,12 +468,8 @@ mod tests {
 
         fn join(&mut self, frac: f64, seed: Addr) -> Addr {
             let addr = self.nodes.len();
-            let (node, msgs) = ProtocolNode::join(
-                Key::from_fraction(frac),
-                addr,
-                NodeConfig::default(),
-                seed,
-            );
+            let (node, msgs) =
+                ProtocolNode::join(Key::from_fraction(frac), addr, NodeConfig::default(), seed);
             self.nodes.push(node);
             self.queue.extend(msgs);
             self.drain();
@@ -438,7 +501,9 @@ mod tests {
             self.queue.extend(msgs);
             self.drain();
             let done = self.nodes[from].take_completed();
-            done.into_iter().find(|r| r.req_id == req).expect("lookup must complete")
+            done.into_iter()
+                .find(|r| r.req_id == req)
+                .expect("lookup must complete")
         }
     }
 

@@ -105,7 +105,9 @@ impl Ring {
     /// leave-and-rejoin). Returns `false` (and leaves the ring unchanged)
     /// if `new_id` is occupied by another node.
     pub fn move_node(&mut self, idx: NodeIdx, new_id: Key) -> bool {
-        let Some(old) = self.ids[idx.0] else { return false };
+        let Some(old) = self.ids[idx.0] else {
+            return false;
+        };
         if old == new_id {
             return true;
         }
@@ -235,7 +237,10 @@ mod tests {
 
     fn ring_with(fractions: &[f64]) -> (Ring, Vec<NodeIdx>) {
         let mut ring = Ring::new();
-        let idxs = fractions.iter().map(|&f| ring.add_node(Key::from_fraction(f))).collect();
+        let idxs = fractions
+            .iter()
+            .map(|&f| ring.add_node(Key::from_fraction(f)))
+            .collect();
         (ring, idxs)
     }
 
@@ -266,7 +271,10 @@ mod tests {
     #[test]
     fn replica_group_smaller_ring() {
         let (ring, idx) = ring_with(&[0.5]);
-        assert_eq!(ring.replica_group(&Key::from_fraction(0.9), 3), vec![idx[0]]);
+        assert_eq!(
+            ring.replica_group(&Key::from_fraction(0.9), 3),
+            vec![idx[0]]
+        );
     }
 
     #[test]
@@ -284,7 +292,10 @@ mod tests {
         assert_eq!(ring.successor(idx[0]), Some(idx[0]));
         assert_eq!(ring.predecessor(idx[0]), Some(idx[0]));
         assert!(ring.range_of(idx[0]).unwrap().is_full());
-        assert!(ring.range_of(idx[0]).unwrap().contains(&Key::from_fraction(0.123)));
+        assert!(ring
+            .range_of(idx[0])
+            .unwrap()
+            .contains(&Key::from_fraction(0.123)));
     }
 
     #[test]
@@ -299,7 +310,11 @@ mod tests {
                 .into_iter()
                 .filter(|&n| ring.range_of(n).unwrap().contains(&k))
                 .collect();
-            assert_eq!(covering, vec![owner], "key {k} must be covered exactly once");
+            assert_eq!(
+                covering,
+                vec![owner],
+                "key {k} must be covered exactly once"
+            );
         }
     }
 

@@ -12,6 +12,7 @@
 //! message-accounted lookups for the Section 9.2 experiments.
 
 use crate::ring::{NodeIdx, Ring};
+use d2_obs::{SharedSink, TraceEvent};
 use d2_types::Key;
 use serde::{Deserialize, Serialize};
 
@@ -55,15 +56,21 @@ impl RoutingTable {
             push(rank + d);
             d *= 2;
         }
-        Some(RoutingTable { own: node, own_id, links }.normalize())
+        Some(
+            RoutingTable {
+                own: node,
+                own_id,
+                links,
+            }
+            .normalize(),
+        )
     }
 
     fn normalize(mut self) -> Self {
         // Sort links by clockwise distance from own_id so greedy scans are
         // a simple reverse pass.
         let own = self.own_id;
-        self.links
-            .sort_by_key(|(id, _)| own.distance_to(id));
+        self.links.sort_by_key(|(id, _)| own.distance_to(id));
         self
     }
 
@@ -171,7 +178,8 @@ impl Router {
                 .table(cur)
                 .and_then(|t| {
                     // Only use links that are still current.
-                    t.closest_preceding(key).filter(|(id, peer)| ring.id_of(*peer) == Some(*id))
+                    t.closest_preceding(key)
+                        .filter(|(id, peer)| ring.id_of(*peer) == Some(*id))
                 })
                 .map(|(_, peer)| peer)
                 .or_else(|| ring.successor(cur))?;
@@ -192,7 +200,39 @@ impl Router {
             }
         }
         let messages = if hops == 0 { 0 } else { hops + 1 };
-        Some(LookupStats { owner, hops, messages, path })
+        Some(LookupStats {
+            owner,
+            hops,
+            messages,
+            path,
+        })
+    }
+
+    /// [`Router::lookup`] plus a [`TraceEvent::Route`] record in `sink`
+    /// carrying the full hop path. `now_us` is the caller's virtual clock
+    /// and `user` the requesting user (0 when not user-attributed). With a
+    /// null sink this is exactly `lookup` — the event is never built.
+    pub fn lookup_traced(
+        &self,
+        ring: &Ring,
+        from: NodeIdx,
+        key: &Key,
+        now_us: u64,
+        user: u32,
+        sink: &SharedSink,
+    ) -> Option<LookupStats> {
+        let stats = self.lookup(ring, from, key)?;
+        sink.record_with(|| TraceEvent::Route {
+            t_us: now_us,
+            user,
+            key: key.to_u64_lossy(),
+            from: from.0,
+            owner: stats.owner.0,
+            hops: stats.hops,
+            messages: stats.messages,
+            path: stats.path.iter().map(|n| n.0).collect(),
+        });
+        Some(stats)
     }
 }
 
@@ -286,8 +326,14 @@ mod tests {
                 total += stats.hops as u64;
             }
             let mean = total as f64 / trials as f64;
-            assert!(mean <= log2n, "mean hops {mean} should be <= log2(n)={log2n}");
-            assert!(mean >= 0.25 * log2n, "mean hops {mean} suspiciously low for n={n}");
+            assert!(
+                mean <= log2n,
+                "mean hops {mean} should be <= log2(n)={log2n}"
+            );
+            assert!(
+                mean >= 0.25 * log2n,
+                "mean hops {mean} suspiciously low for n={n}"
+            );
         }
     }
 
@@ -319,7 +365,11 @@ mod tests {
             let key = Key::random(&mut rng);
             let stats = router.lookup(&ring, from, &key).unwrap();
             assert_eq!(stats.owner, ring.owner_of(&key).unwrap());
-            assert!(stats.hops <= 12, "hops={} too high for 202 nodes", stats.hops);
+            assert!(
+                stats.hops <= 12,
+                "hops={} too high for 202 nodes",
+                stats.hops
+            );
         }
     }
 
@@ -357,7 +407,7 @@ mod tests {
         let router = Router::build(&ring, 4);
         let from = ring.node_at_rank(0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-        let mut counts = vec![0u32; 32];
+        let mut counts = [0u32; 32];
         let trials = 6400;
         for _ in 0..trials {
             let n = router.random_walk(&ring, from, 8, &mut rng);
@@ -386,6 +436,47 @@ mod tests {
             let n = router.random_walk(&ring, from, 6, &mut rng);
             assert!(ring.contains(n), "walk must end on a live node");
         }
+    }
+
+    #[test]
+    fn traced_lookup_matches_plain_and_records_path() {
+        let ring = uniform_ring(64);
+        let router = Router::build(&ring, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sink = SharedSink::memory(0);
+        for _ in 0..20 {
+            let from = ring.random_node(&mut rng).unwrap();
+            let key = Key::random(&mut rng);
+            let plain = router.lookup(&ring, from, &key).unwrap();
+            let traced = router
+                .lookup_traced(&ring, from, &key, 123, 7, &sink)
+                .unwrap();
+            assert_eq!(plain, traced);
+        }
+        let events = sink.drain();
+        assert_eq!(events.len(), 20);
+        match &events[0] {
+            TraceEvent::Route {
+                t_us,
+                user,
+                hops,
+                path,
+                ..
+            } => {
+                assert_eq!(*t_us, 123);
+                assert_eq!(*user, 7);
+                assert_eq!(path.len() as u32, hops + 1);
+            }
+            other => panic!("expected Route, got {other:?}"),
+        }
+        // A null sink records nothing and still routes.
+        let null = SharedSink::null();
+        let from = ring.random_node(&mut rng).unwrap();
+        let key = Key::random(&mut rng);
+        assert!(router
+            .lookup_traced(&ring, from, &key, 0, 0, &null)
+            .is_some());
+        assert!(null.drain().is_empty());
     }
 
     #[test]

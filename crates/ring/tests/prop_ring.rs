@@ -83,7 +83,12 @@ struct MapLoad {
 impl MapLoad {
     fn owned(&self, node: NodeIdx) -> Vec<Key> {
         match self.ring.range_of(node) {
-            Some(r) => self.blocks.keys().filter(|k| r.contains(k)).copied().collect(),
+            Some(r) => self
+                .blocks
+                .keys()
+                .filter(|k| r.contains(k))
+                .copied()
+                .collect(),
             None => vec![],
         }
     }

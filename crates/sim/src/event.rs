@@ -11,9 +11,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Virtual time in microseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -156,14 +154,20 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `item` at time `at`.
     pub fn push(&mut self, at: SimTime, item: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at: Reverse((at, seq)), item });
+        self.heap.push(Entry {
+            at: Reverse((at, seq)),
+            item,
+        });
     }
 
     /// Pops the earliest event.

@@ -108,13 +108,19 @@ impl FailureTrace {
             *intervals = merged;
         }
 
-        FailureTrace { downs, duration: SimTime::from_secs_f64(horizon) }
+        FailureTrace {
+            downs,
+            duration: SimTime::from_secs_f64(horizon),
+        }
     }
 
     /// A trace in which no node ever fails (for overhead-only simulations,
     /// as in Section 10).
     pub fn none(n: usize, duration: SimTime) -> FailureTrace {
-        FailureTrace { downs: vec![Vec::new(); n], duration }
+        FailureTrace {
+            downs: vec![Vec::new(); n],
+            duration,
+        }
     }
 
     /// Number of nodes covered by the trace.
@@ -283,7 +289,10 @@ mod tests {
             total += trace.group_failure_probability(3);
         }
         let p = total / 5.0;
-        assert!((0.002..0.08).contains(&p), "group failure probability {p} off target 0.02");
+        assert!(
+            (0.002..0.08).contains(&p),
+            "group failure probability {p} off target 0.02"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub fn normalized_std_dev(loads: &[u64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var = loads.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 
@@ -94,9 +98,10 @@ impl TimeSeries {
         self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
     }
 
-    /// Maximum sample value.
+    /// Maximum sample value (0 when the series is empty, matching
+    /// [`TimeSeries::mean`]).
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max)
+        self.points.iter().map(|(_, v)| *v).fold(0.0f64, f64::max)
     }
 
     /// Downsamples to at most `n` evenly spaced points (for printing).
@@ -170,6 +175,13 @@ mod tests {
         assert_eq!(s.max(), 9.0);
         assert_eq!(s.downsample(5).len(), 5);
         assert_eq!(s.downsample(100).len(), 10);
+    }
+
+    #[test]
+    fn empty_series_max_is_zero_not_neg_infinity() {
+        let s = TimeSeries::new();
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
     }
 
     #[test]

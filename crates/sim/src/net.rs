@@ -45,7 +45,9 @@ impl Topology {
         // With mean access delay `acc`, mean RTT ≈ 2*0.5214*scale + 4*acc.
         let acc_mean = 4.0; // ms, per side
         let scale = (target_mean_rtt_ms - 4.0 * acc_mean) / (2.0 * 0.5214);
-        let coords = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+        let coords = (0..n)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
         let access_ms = (0..n)
             .map(|_| {
                 // Log-normal-ish jitter around the mean access delay.
@@ -53,7 +55,11 @@ impl Topology {
                 acc_mean * (0.5 + u)
             })
             .collect();
-        Topology { coords, access_ms, ms_per_unit: scale.max(1.0) }
+        Topology {
+            coords,
+            access_ms,
+            ms_per_unit: scale.max(1.0),
+        }
     }
 
     /// Number of nodes in the topology.
@@ -117,7 +123,10 @@ pub struct LinkState {
 impl LinkState {
     /// Creates an idle link with the given rate in kbps.
     pub fn new_kbps(kbps: u64) -> Self {
-        LinkState { rate_bps: kbps * 1000, busy_until: SimTime::ZERO }
+        LinkState {
+            rate_bps: kbps * 1000,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// Time needed to serialize `bytes` onto the link.
@@ -129,7 +138,11 @@ impl LinkState {
     /// last bit leaves the link. Transmissions queue FIFO behind earlier
     /// ones.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let done = start + self.serialization(bytes);
         self.busy_until = done;
         done
@@ -222,7 +235,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let topo = Topology::sample(120, 90.0, &mut rng);
         let mean = topo.mean_rtt().as_secs_f64() * 1e3;
-        assert!((60.0..130.0).contains(&mean), "mean rtt {mean} ms not near 90");
+        assert!(
+            (60.0..130.0).contains(&mean),
+            "mean rtt {mean} ms not near 90"
+        );
     }
 
     #[test]
@@ -288,10 +304,17 @@ mod tests {
         let mut conn = TcpConn::default();
         let rtt = SimTime::from_millis(90);
         let _ = conn.fetch(SimTime::ZERO, 8192, rtt, 1_500_000);
-        let warm = conn.fetch(SimTime::from_millis(500), 8192, rtt, 1_500_000).as_secs_f64();
+        let warm = conn
+            .fetch(SimTime::from_millis(500), 8192, rtt, 1_500_000)
+            .as_secs_f64();
         // 14 seconds idle (paper's expected inter-access gap) > RTO.
-        let cold = conn.fetch(SimTime::from_secs(15), 8192, rtt, 1_500_000).as_secs_f64();
-        assert!(cold > warm + 0.08, "cold {cold} should exceed warm {warm} by ~1 RTT");
+        let cold = conn
+            .fetch(SimTime::from_secs(15), 8192, rtt, 1_500_000)
+            .as_secs_f64();
+        assert!(
+            cold > warm + 0.08,
+            "cold {cold} should exceed warm {warm} by ~1 RTT"
+        );
     }
 
     #[test]
@@ -312,6 +335,10 @@ mod tests {
         let df = fast.fetch(SimTime::ZERO, 8192, rtt, 1_500_000);
         let ds = slow.fetch(SimTime::ZERO, 8192, rtt, 384_000);
         assert!(ds > df);
-        assert!((ds.as_secs_f64() - df.as_secs_f64() - 8192.0 * 8.0 * (1.0 / 384e3 - 1.0 / 1.5e6)).abs() < 0.002);
+        assert!(
+            (ds.as_secs_f64() - df.as_secs_f64() - 8192.0 * 8.0 * (1.0 / 384e3 - 1.0 / 1.5e6))
+                .abs()
+                < 0.002
+        );
     }
 }

@@ -83,10 +83,10 @@ proptest! {
                 }
                 idx += 1;
             }
-            for node in 0..n {
+            for (node, &expected) in up.iter().enumerate() {
                 prop_assert_eq!(
                     trace.is_up(node, t),
-                    up[node],
+                    expected,
                     "node {} at {}h", node, check
                 );
             }

@@ -6,6 +6,7 @@
 //! fetched blocks for a short window so repeated reads (the paper's D2-FS
 //! uses a 30-second window) do not hit the network at all.
 
+use d2_obs::{CacheResult, CacheTier, SharedSink, TraceEvent};
 use d2_sim::SimTime;
 use d2_types::Key;
 use std::collections::HashMap;
@@ -68,6 +69,31 @@ impl BlockCache {
                 None
             }
         }
+    }
+
+    /// [`BlockCache::get`] plus a [`TraceEvent::CacheProbe`] record in
+    /// `sink` (tier [`CacheTier::Block`]).
+    pub fn get_traced(
+        &mut self,
+        key: &Key,
+        now: SimTime,
+        user: u32,
+        sink: &SharedSink,
+    ) -> Option<Vec<u8>> {
+        let data = self.get(key, now);
+        let hit = data.is_some();
+        sink.record_with(|| TraceEvent::CacheProbe {
+            t_us: now.as_micros(),
+            user,
+            tier: CacheTier::Block,
+            result: if hit {
+                CacheResult::Hit
+            } else {
+                CacheResult::Miss
+            },
+            key: key.to_u64_lossy(),
+        });
+        data
     }
 
     /// Inserts a block, evicting as needed.
@@ -141,6 +167,36 @@ mod tests {
         // k1 was expired at insert time of k3, so it went first.
         assert_eq!(c.get(&k(2), SimTime::from_secs(51)), Some(vec![2]));
         assert_eq!(c.get(&k(3), SimTime::from_secs(51)), Some(vec![3]));
+    }
+
+    #[test]
+    fn traced_get_records_block_tier() {
+        let mut c = BlockCache::new(4, SimTime::from_secs(30));
+        c.put(k(1), vec![42], SimTime::ZERO);
+        let sink = SharedSink::memory(0);
+        assert_eq!(
+            c.get_traced(&k(1), SimTime::from_secs(1), 9, &sink),
+            Some(vec![42])
+        );
+        assert_eq!(c.get_traced(&k(2), SimTime::from_secs(1), 9, &sink), None);
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            TraceEvent::CacheProbe {
+                tier: CacheTier::Block,
+                result: CacheResult::Hit,
+                user: 9,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[1],
+            TraceEvent::CacheProbe {
+                result: CacheResult::Miss,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! the store falls back to a routed lookup when the cached node misses —
 //! it only costs latency, which callers model by charging a wasted RTT.
 
+use d2_obs::{CacheResult, CacheTier, SharedSink, TraceEvent};
 use d2_sim::SimTime;
 use d2_types::{Key, KeyRange};
 use serde::{Deserialize, Serialize};
@@ -65,7 +66,12 @@ pub struct LookupCache {
 impl LookupCache {
     /// Creates a cache with the given entry TTL.
     pub fn new(ttl: SimTime) -> Self {
-        LookupCache { entries: Vec::new(), ttl, hits: 0, misses: 0 }
+        LookupCache {
+            entries: Vec::new(),
+            ttl,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Creates a cache with the paper's 1.25-hour TTL.
@@ -124,6 +130,31 @@ impl LookupCache {
         }
     }
 
+    /// [`LookupCache::probe`] plus a [`TraceEvent::CacheProbe`] record in
+    /// `sink`. The paper's stale-hit case (cached node no longer owns the
+    /// key) is only detectable by the caller, which reports it through its
+    /// own fetch event; this tier records raw hit/miss.
+    pub fn probe_traced(
+        &mut self,
+        key: &Key,
+        now: SimTime,
+        user: u32,
+        sink: &SharedSink,
+    ) -> CacheOutcome {
+        let outcome = self.probe(key, now);
+        sink.record_with(|| TraceEvent::CacheProbe {
+            t_us: now.as_micros(),
+            user,
+            tier: CacheTier::Lookup,
+            result: match outcome {
+                CacheOutcome::Hit { .. } => CacheResult::Hit,
+                CacheOutcome::Miss => CacheResult::Miss,
+            },
+            key: key.to_u64_lossy(),
+        });
+        outcome
+    }
+
     /// Probes without recording statistics.
     pub fn peek(&self, key: &Key, now: SimTime) -> Option<usize> {
         self.entries
@@ -137,7 +168,11 @@ impl LookupCache {
     /// (their information is superseded).
     pub fn insert(&mut self, range: KeyRange, node: usize, now: SimTime) {
         self.entries.retain(|e| !ranges_overlap(&e.range, &range));
-        self.entries.push(CacheEntry { range, node, inserted_at: now });
+        self.entries.push(CacheEntry {
+            range,
+            node,
+            inserted_at: now,
+        });
     }
 
     /// Drops every entry pointing at `node` (used when a direct contact
@@ -186,7 +221,10 @@ mod tests {
     fn hit_and_miss_counting() {
         let mut c = LookupCache::with_default_ttl();
         c.insert(r(10, 20), 1, SimTime::ZERO);
-        assert_eq!(c.probe(&k(15), SimTime::ZERO), CacheOutcome::Hit { node: 1 });
+        assert_eq!(
+            c.probe(&k(15), SimTime::ZERO),
+            CacheOutcome::Hit { node: 1 }
+        );
         assert_eq!(c.probe(&k(30), SimTime::ZERO), CacheOutcome::Miss);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -198,14 +236,20 @@ mod tests {
         let mut c = LookupCache::with_default_ttl();
         c.insert(r(10, 20), 1, SimTime::ZERO);
         assert_eq!(c.probe(&k(10), SimTime::ZERO), CacheOutcome::Miss);
-        assert_eq!(c.probe(&k(20), SimTime::ZERO), CacheOutcome::Hit { node: 1 });
+        assert_eq!(
+            c.probe(&k(20), SimTime::ZERO),
+            CacheOutcome::Hit { node: 1 }
+        );
     }
 
     #[test]
     fn entries_expire_after_ttl() {
         let mut c = LookupCache::new(SimTime::from_secs(100));
         c.insert(r(10, 20), 1, SimTime::ZERO);
-        assert!(matches!(c.probe(&k(15), SimTime::from_secs(100)), CacheOutcome::Hit { .. }));
+        assert!(matches!(
+            c.probe(&k(15), SimTime::from_secs(100)),
+            CacheOutcome::Hit { .. }
+        ));
         assert_eq!(c.probe(&k(15), SimTime::from_secs(101)), CacheOutcome::Miss);
         assert!(c.is_empty(), "expired entries are evicted");
     }
@@ -218,7 +262,10 @@ mod tests {
         c.insert(r(10, 20), 2, SimTime::from_secs(10));
         // The old overlapping entry was evicted wholesale: 25 now misses,
         // 15 hits on the new owner.
-        assert_eq!(c.probe(&k(15), SimTime::from_secs(10)), CacheOutcome::Hit { node: 2 });
+        assert_eq!(
+            c.probe(&k(15), SimTime::from_secs(10)),
+            CacheOutcome::Hit { node: 2 }
+        );
         assert_eq!(c.probe(&k(25), SimTime::from_secs(10)), CacheOutcome::Miss);
     }
 
@@ -228,8 +275,14 @@ mod tests {
         c.insert(r(10, 20), 1, SimTime::ZERO);
         c.insert(r(30, 40), 2, SimTime::ZERO);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.probe(&k(15), SimTime::ZERO), CacheOutcome::Hit { node: 1 });
-        assert_eq!(c.probe(&k(35), SimTime::ZERO), CacheOutcome::Hit { node: 2 });
+        assert_eq!(
+            c.probe(&k(15), SimTime::ZERO),
+            CacheOutcome::Hit { node: 1 }
+        );
+        assert_eq!(
+            c.probe(&k(35), SimTime::ZERO),
+            CacheOutcome::Hit { node: 2 }
+        );
     }
 
     #[test]
@@ -237,7 +290,10 @@ mod tests {
         let mut c = LookupCache::with_default_ttl();
         c.insert(KeyRange::new(k(u64::MAX - 5), k(5)), 3, SimTime::ZERO);
         assert_eq!(c.probe(&k(2), SimTime::ZERO), CacheOutcome::Hit { node: 3 });
-        assert_eq!(c.probe(&Key::MAX, SimTime::ZERO), CacheOutcome::Hit { node: 3 });
+        assert_eq!(
+            c.probe(&Key::MAX, SimTime::ZERO),
+            CacheOutcome::Hit { node: 3 }
+        );
         assert_eq!(c.probe(&k(500), SimTime::ZERO), CacheOutcome::Miss);
     }
 
@@ -250,7 +306,10 @@ mod tests {
         c.invalidate_node(1);
         assert_eq!(c.len(), 1);
         assert_eq!(c.probe(&k(15), SimTime::ZERO), CacheOutcome::Miss);
-        assert_eq!(c.probe(&k(55), SimTime::ZERO), CacheOutcome::Hit { node: 2 });
+        assert_eq!(
+            c.probe(&k(55), SimTime::ZERO),
+            CacheOutcome::Hit { node: 2 }
+        );
     }
 
     #[test]
@@ -276,11 +335,54 @@ mod tests {
     }
 
     #[test]
+    fn traced_probe_records_tiered_outcomes() {
+        let mut c = LookupCache::with_default_ttl();
+        c.insert(r(10, 20), 1, SimTime::ZERO);
+        let sink = SharedSink::memory(0);
+        let hit = c.probe_traced(&k(15), SimTime::from_secs(2), 4, &sink);
+        let miss = c.probe_traced(&k(99), SimTime::from_secs(3), 4, &sink);
+        assert_eq!(hit, CacheOutcome::Hit { node: 1 });
+        assert_eq!(miss, CacheOutcome::Miss);
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            TraceEvent::CacheProbe {
+                t_us,
+                user,
+                tier,
+                result,
+                ..
+            } => {
+                assert_eq!(*t_us, 2_000_000);
+                assert_eq!(*user, 4);
+                assert_eq!(*tier, CacheTier::Lookup);
+                assert_eq!(*result, CacheResult::Hit);
+            }
+            other => panic!("expected CacheProbe, got {other:?}"),
+        }
+        assert!(matches!(
+            &events[1],
+            TraceEvent::CacheProbe {
+                result: CacheResult::Miss,
+                ..
+            }
+        ));
+        // Null sink: same outcomes, no events, stats still counted.
+        let null = SharedSink::null();
+        let _ = c.probe_traced(&k(15), SimTime::from_secs(4), 0, &null);
+        assert!(null.drain().is_empty());
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
     fn full_range_overlaps_everything() {
         let mut c = LookupCache::with_default_ttl();
         c.insert(r(10, 20), 1, SimTime::ZERO);
         c.insert(KeyRange::full(), 9, SimTime::ZERO);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.probe(&k(999), SimTime::ZERO), CacheOutcome::Hit { node: 9 });
+        assert_eq!(
+            c.probe(&k(999), SimTime::ZERO),
+            CacheOutcome::Hit { node: 9 }
+        );
     }
 }

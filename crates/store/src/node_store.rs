@@ -135,7 +135,12 @@ impl NodeStore {
         }
         let old = self.blocks.insert(
             key,
-            StoredBlock { payload, stored_at: now, remove_at: None, expires_at: None },
+            StoredBlock {
+                payload,
+                stored_at: now,
+                remove_at: None,
+                expires_at: None,
+            },
         );
         if let Some(ref o) = old {
             self.bytes -= o.payload.len() as u64;
@@ -226,7 +231,10 @@ impl NodeStore {
         let end = *range.end();
         if start < end {
             self.blocks
-                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .range((
+                    std::ops::Bound::Excluded(start),
+                    std::ops::Bound::Included(end),
+                ))
                 .map(|(k, _)| *k)
                 .collect()
         } else {
@@ -249,7 +257,10 @@ impl NodeStore {
         let end = *range.end();
         if start < end {
             self.blocks
-                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .range((
+                    std::ops::Bound::Excluded(start),
+                    std::ops::Bound::Included(end),
+                ))
                 .count() as u64
         } else {
             (self
@@ -383,7 +394,12 @@ mod tests {
     #[test]
     fn ttl_expiry() {
         let mut s = NodeStore::new();
-        s.put_with_ttl(k(2), Payload::Size(10), SimTime::ZERO, SimTime::from_secs(60));
+        s.put_with_ttl(
+            k(2),
+            Payload::Size(10),
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+        );
         assert!(s.gc(SimTime::from_secs(59)).is_empty());
         // Refresh extends life.
         assert!(s.refresh_ttl(&k(2), SimTime::from_secs(59), SimTime::from_secs(60)));
@@ -463,13 +479,17 @@ mod tests {
         let mut s = NodeStore::new();
         s.put(
             k(5),
-            Payload::Pointer { holder: 3, since: SimTime::from_secs(10), len: 8192 },
+            Payload::Pointer {
+                holder: 3,
+                since: SimTime::from_secs(10),
+                len: 8192,
+            },
             SimTime::from_secs(10),
         );
         assert!(s.get(&k(5)).unwrap().payload.is_pointer());
         assert_eq!(s.bytes(), 8192); // pointers carry logical size
         assert_eq!(s.data_bytes(), 0); // ... but occupy no physical space
-        // Not stale before the stabilization time.
+                                       // Not stale before the stabilization time.
         assert!(s.stale_pointers(SimTime::from_secs(9)).is_empty());
         let stale = s.stale_pointers(SimTime::from_secs(10));
         assert_eq!(stale, vec![(k(5), 3, 8192)]);
@@ -485,7 +505,12 @@ mod tests {
         assert_eq!(Payload::Data(vec![0; 5]).len(), 5);
         assert_eq!(Payload::Size(9).len(), 9);
         assert_eq!(
-            Payload::Pointer { holder: 0, since: SimTime::ZERO, len: 7 }.len(),
+            Payload::Pointer {
+                holder: 0,
+                since: SimTime::ZERO,
+                len: 7
+            }
+            .len(),
             7
         );
         assert!(Payload::Data(vec![]).is_empty());

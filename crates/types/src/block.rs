@@ -1,9 +1,9 @@
 //! Block naming and size constants shared across the workspace.
 
+use crate::encoding;
 use crate::encoding::{PathSlots, VolumeId};
 use crate::hash::ContentHash;
 use crate::key::Key;
-use crate::encoding;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

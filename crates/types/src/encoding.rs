@@ -88,7 +88,12 @@ pub struct PathSlots {
 impl PathSlots {
     /// The volume root (depth 0).
     pub fn root() -> Self {
-        PathSlots { slots: [0; DIR_SLOT_LEVELS], depth: 0, remainder: 0, full_depth: 0 }
+        PathSlots {
+            slots: [0; DIR_SLOT_LEVELS],
+            depth: 0,
+            remainder: 0,
+            full_depth: 0,
+        }
     }
 
     /// Descends one level using `slot` (must be nonzero) as the 2-byte
@@ -183,7 +188,10 @@ pub struct SlotAllocator {
 impl SlotAllocator {
     /// Creates an empty allocator (first sequential slot is 1).
     pub fn new() -> Self {
-        SlotAllocator { next: 1, by_name: HashMap::new() }
+        SlotAllocator {
+            next: 1,
+            by_name: HashMap::new(),
+        }
     }
 
     /// Returns the slot already assigned to `name`, if any.
@@ -322,7 +330,9 @@ pub fn traditional_file_key(vol: &VolumeId, path: &str, block_no: u64, version: 
 /// `www.yahoo.com/index.html` → `com/yahoo/www/index.html` (Section 4.1),
 /// using stateless 2-byte name-hash slots (footnote 2).
 pub fn web_path_slots(url: &str) -> PathSlots {
-    let url = url.trim_start_matches("http://").trim_start_matches("https://");
+    let url = url
+        .trim_start_matches("http://")
+        .trim_start_matches("https://");
     let (host, rest) = match url.find('/') {
         Some(i) => (&url[..i], &url[i + 1..]),
         None => (url, ""),

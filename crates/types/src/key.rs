@@ -313,7 +313,10 @@ impl KeyRange {
 
     /// The full ring.
     pub fn full() -> Self {
-        KeyRange { start: Key::MIN, end: Key::MIN }
+        KeyRange {
+            start: Key::MIN,
+            end: Key::MIN,
+        }
     }
 
     /// Exclusive start of the arc.
@@ -396,7 +399,10 @@ mod tests {
         let b = Key::from_u64(4);
         assert_eq!(b.distance_to(&a), Key::from_u64(6));
         // Going the other way wraps around the whole ring.
-        assert_eq!(a.distance_to(&b), Key::from_u64(4).wrapping_sub(&Key::from_u64(10)));
+        assert_eq!(
+            a.distance_to(&b),
+            Key::from_u64(4).wrapping_sub(&Key::from_u64(10))
+        );
     }
 
     #[test]

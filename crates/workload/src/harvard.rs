@@ -128,7 +128,7 @@ impl HarvardTrace {
                 let di = dir_order[fno % dir_order.len()];
                 // Occasionally reshuffle emphasis so directories differ in
                 // file count.
-                if fno % 7 == 0 {
+                if fno.is_multiple_of(7) {
                     let a = rng.random_range(0..dir_order.len());
                     let b = rng.random_range(0..dir_order.len());
                     dir_order.swap(a, b);
@@ -146,7 +146,12 @@ impl HarvardTrace {
         let shared_dir = ns.ensure_dir("/usr/share");
         for f in 0..(4 * cfg.files_per_dir as usize) {
             let size = pareto_size(rng);
-            shared_files.push(ns.create_file(shared_dir, &format!("lib{f}.so"), size, SimTime::ZERO));
+            shared_files.push(ns.create_file(
+                shared_dir,
+                &format!("lib{f}.so"),
+                size,
+                SimTime::ZERO,
+            ));
         }
 
         // ---- access stream ------------------------------------------------------
@@ -181,7 +186,11 @@ impl HarvardTrace {
                             .filter(|id| ns.file(*id).dir() == locus)
                             .collect()
                     };
-                    let pool = if candidates.is_empty() { &user_files[u] } else { &candidates };
+                    let pool = if candidates.is_empty() {
+                        &user_files[u]
+                    } else {
+                        &candidates
+                    };
                     if pool.is_empty() {
                         break;
                     }
@@ -322,7 +331,11 @@ impl HarvardTrace {
             FileOp::Create | FileOp::Delete => true,
         });
         accesses.sort_by_key(|a| (a.at, a.user));
-        HarvardTrace { namespace: ns, accesses, config: *cfg }
+        HarvardTrace {
+            namespace: ns,
+            accesses,
+            config: *cfg,
+        }
     }
 
     /// Total bytes read by the trace.
@@ -372,7 +385,10 @@ impl HarvardTrace {
     pub fn stored_bytes_by_day(&self) -> Vec<u64> {
         let days = self.config.days.ceil() as usize;
         (0..days)
-            .map(|d| self.namespace.bytes_at(SimTime::from_secs_f64(d as f64 * 86_400.0)))
+            .map(|d| {
+                self.namespace
+                    .bytes_at(SimTime::from_secs_f64(d as f64 * 86_400.0))
+            })
             .collect()
     }
 }
@@ -420,7 +436,10 @@ mod tests {
     #[test]
     fn daily_churn_matches_table3_band() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cfg = HarvardConfig { days: 4.0, ..small() };
+        let cfg = HarvardConfig {
+            days: 4.0,
+            ..small()
+        };
         let t = HarvardTrace::generate(&cfg, &mut rng);
         let writes = t.write_bytes_by_day();
         let stored = t.stored_bytes_by_day();

@@ -104,7 +104,10 @@ impl HpTrace {
             }
         }
         accesses.sort_by_key(|a| (a.at, a.app));
-        HpTrace { accesses, config: *cfg }
+        HpTrace {
+            accesses,
+            config: *cfg,
+        }
     }
 }
 
@@ -114,7 +117,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn small() -> HpConfig {
-        HpConfig { apps: 4, days: 0.5, accesses_per_app_hour: 500.0, ..HpConfig::default() }
+        HpConfig {
+            apps: 4,
+            days: 0.5,
+            accesses_per_app_hour: 500.0,
+            ..HpConfig::default()
+        }
     }
 
     #[test]
@@ -136,8 +144,12 @@ mod tests {
         let t = HpTrace::generate(&small(), &mut rng);
         // Per app, a large fraction of consecutive accesses are +1 steps.
         for app in 0..t.config.apps as u32 {
-            let blocks: Vec<u64> =
-                t.accesses.iter().filter(|a| a.app == app).map(|a| a.block_no).collect();
+            let blocks: Vec<u64> = t
+                .accesses
+                .iter()
+                .filter(|a| a.app == app)
+                .map(|a| a.block_no)
+                .collect();
             if blocks.len() < 100 {
                 continue;
             }
@@ -153,8 +165,12 @@ mod tests {
         let t = HpTrace::generate(&small(), &mut rng);
         // Each app touches a tiny fraction of the disk.
         for app in 0..t.config.apps as u32 {
-            let mut blocks: Vec<u64> =
-                t.accesses.iter().filter(|a| a.app == app).map(|a| a.block_no).collect();
+            let mut blocks: Vec<u64> = t
+                .accesses
+                .iter()
+                .filter(|a| a.app == app)
+                .map(|a| a.block_no)
+                .collect();
             blocks.sort_unstable();
             blocks.dedup();
             assert!(

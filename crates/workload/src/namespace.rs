@@ -87,7 +87,7 @@ impl FileRec {
 
     /// Number of data blocks.
     pub fn data_blocks(&self) -> u64 {
-        (self.size as u64).div_ceil(BLOCK_SIZE as u64).max(1)
+        self.size.div_ceil(BLOCK_SIZE as u64).max(1)
     }
 
     /// Data blocks + the inode metadata block.
@@ -113,7 +113,11 @@ pub struct Namespace {
 impl Namespace {
     /// Creates an empty name space for `volume_name`.
     pub fn new(volume_name: &str) -> Self {
-        let root = DirRec { path: String::new(), slots: PathSlots::root(), next_slot: 1 };
+        let root = DirRec {
+            path: String::new(),
+            slots: PathSlots::root(),
+            next_slot: 1,
+        };
         let mut dir_by_path = HashMap::new();
         dir_by_path.insert(String::new(), 0);
         Namespace {
@@ -210,12 +214,20 @@ impl Namespace {
 
     /// Total bytes alive at `t`.
     pub fn bytes_at(&self, t: SimTime) -> u64 {
-        self.files.iter().filter(|f| f.alive_at(t)).map(|f| f.size).sum()
+        self.files
+            .iter()
+            .filter(|f| f.alive_at(t))
+            .map(|f| f.size)
+            .sum()
     }
 
     /// Total blocks (data + inode) alive at `t`.
     pub fn blocks_at(&self, t: SimTime) -> u64 {
-        self.files.iter().filter(|f| f.alive_at(t)).map(|f| f.total_blocks()).sum()
+        self.files
+            .iter()
+            .filter(|f| f.alive_at(t))
+            .map(|f| f.total_blocks())
+            .sum()
     }
 
     /// The block name for block `block_no` of file `id` (0 = inode).
@@ -227,7 +239,11 @@ impl Namespace {
             path: f.path.clone(),
             block_no,
             version: 0,
-            kind: if block_no == 0 { BlockKind::Inode } else { BlockKind::Data },
+            kind: if block_no == 0 {
+                BlockKind::Inode
+            } else {
+                BlockKind::Data
+            },
         }
     }
 
@@ -247,7 +263,10 @@ impl Namespace {
 
     /// Iterates all file records.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, &FileRec)> {
-        self.files.iter().enumerate().map(|(i, f)| (FileId(i as u32), f))
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FileId(i as u32), f))
     }
 }
 
@@ -310,14 +329,28 @@ mod tests {
         let mut ns = Namespace::new("v");
         let d = ns.ensure_dir("/d");
         let f = ns.create_file(d, "f", 40_000, SimTime::ZERO); // 5 data blocks
-        let a = Access { at: SimTime::ZERO, user: 0, file: f, op: FileOp::Read, first_block: 2, nblocks: 3 };
+        let a = Access {
+            at: SimTime::ZERO,
+            user: 0,
+            file: f,
+            op: FileOp::Read,
+            first_block: 2,
+            nblocks: 3,
+        };
         let blocks = ns.blocks_of_access(&a);
         assert_eq!(blocks.len(), 4); // inode + 3 data
         assert_eq!(blocks[0].block_no, 0);
         assert_eq!(blocks[1].block_no, 2);
         assert_eq!(blocks[3].block_no, 4);
         // Reading past EOF clamps.
-        let a2 = Access { at: SimTime::ZERO, user: 0, file: f, op: FileOp::Read, first_block: 4, nblocks: 10 };
+        let a2 = Access {
+            at: SimTime::ZERO,
+            user: 0,
+            file: f,
+            op: FileOp::Read,
+            first_block: 4,
+            nblocks: 10,
+        };
         let blocks2 = ns.blocks_of_access(&a2);
         assert_eq!(blocks2.len(), 1 + 2); // inode + blocks 4, 5
     }

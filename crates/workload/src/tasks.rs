@@ -61,7 +61,9 @@ fn split(accesses: &[Access], gap: SimTime, cap: Option<SimTime>) -> Vec<Task> {
         let continue_run = match (open.get(&user), last_at.get(&user)) {
             (Some(task), Some(&last)) => {
                 let within_gap = a.at.saturating_sub(last) < gap;
-                let within_cap = cap.map(|c| a.at.saturating_sub(task.start) <= c).unwrap_or(true);
+                let within_cap = cap
+                    .map(|c| a.at.saturating_sub(task.start) <= c)
+                    .unwrap_or(true);
                 within_gap && within_cap
             }
             _ => false,
@@ -70,7 +72,14 @@ fn split(accesses: &[Access], gap: SimTime, cap: Option<SimTime>) -> Vec<Task> {
             if let Some(t) = open.remove(&user) {
                 done.push(t);
             }
-            open.insert(user, Task { user, start: a.at, indices: Vec::new() });
+            open.insert(
+                user,
+                Task {
+                    user,
+                    start: a.at,
+                    indices: Vec::new(),
+                },
+            );
         }
         open.get_mut(&user).expect("just inserted").indices.push(i);
         last_at.insert(user, a.at);
@@ -106,8 +115,13 @@ mod tests {
 
     #[test]
     fn gap_splits_tasks() {
-        let accesses =
-            vec![acc(0.0, 1), acc(1.0, 1), acc(2.0, 1), acc(30.0, 1), acc(31.0, 1)];
+        let accesses = vec![
+            acc(0.0, 1),
+            acc(1.0, 1),
+            acc(2.0, 1),
+            acc(30.0, 1),
+            acc(31.0, 1),
+        ];
         let tasks = split_tasks(&accesses, SimTime::from_secs(5), SimTime::from_secs(300));
         assert_eq!(tasks.len(), 2);
         assert_eq!(tasks[0].indices, vec![0, 1, 2]);

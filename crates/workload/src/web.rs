@@ -120,7 +120,11 @@ impl WebTrace {
             for p in 0..pages {
                 let url = format!("{host}/page{p}.html");
                 let size = web_object_size(rng);
-                objects.push(WebObject { url: url.clone(), slots: web_path_slots(&url), size });
+                objects.push(WebObject {
+                    url: url.clone(),
+                    slots: web_path_slots(&url),
+                    size,
+                });
             }
             domain_pages.push((first, pages));
         }
@@ -153,7 +157,12 @@ impl WebTrace {
             }
         }
         accesses.sort_by_key(|a| (a.at, a.user));
-        WebTrace { objects, accesses, volume: VolumeId::from_name("webcache"), config: *cfg }
+        WebTrace {
+            objects,
+            accesses,
+            volume: VolumeId::from_name("webcache"),
+            config: *cfg,
+        }
     }
 
     /// The block names an object occupies in the cache DHT (inode + data
@@ -168,7 +177,11 @@ impl WebTrace {
                 path: o.url.clone(),
                 block_no: b,
                 version: 0,
-                kind: if b == 0 { BlockKind::Inode } else { BlockKind::Data },
+                kind: if b == 0 {
+                    BlockKind::Inode
+                } else {
+                    BlockKind::Data
+                },
             })
             .collect()
     }
@@ -190,7 +203,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn small() -> WebConfig {
-        WebConfig { domains: 50, users: 10, days: 1.0, ..WebConfig::default() }
+        WebConfig {
+            domains: 50,
+            users: 10,
+            days: 1.0,
+            ..WebConfig::default()
+        }
     }
 
     #[test]
@@ -253,7 +271,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let sizes: Vec<u64> = (0..5000).map(|_| web_object_size(&mut rng)).collect();
         let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
-        assert!((2_000.0..80_000.0).contains(&mean), "mean web object size {mean}");
+        assert!(
+            (2_000.0..80_000.0).contains(&mean),
+            "mean web object size {mean}"
+        );
         assert!(sizes.iter().all(|&s| (200..=4 << 20).contains(&s)));
     }
 

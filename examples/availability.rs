@@ -45,12 +45,20 @@ fn main() {
         cfg.nodes
     );
 
-    let inters =
-        [SimTime::from_secs(5), SimTime::from_secs(60), SimTime::from_secs(300)];
+    let inters = [
+        SimTime::from_secs(5),
+        SimTime::from_secs(60),
+        SimTime::from_secs(300),
+    ];
     let table = table2::run(
         &trace,
         &cfg,
-        &[SimTime::from_secs(1), SimTime::from_secs(5), SimTime::from_secs(15), SimTime::from_secs(60)],
+        &[
+            SimTime::from_secs(1),
+            SimTime::from_secs(5),
+            SimTime::from_secs(15),
+            SimTime::from_secs(60),
+        ],
         scale.warmup_days(),
     );
     println!("\n{}", table.render());
@@ -61,6 +69,11 @@ fn main() {
     let fig = fig8::run(&trace, &cfg, &model, 1.0, 101);
     println!("{}", fig.render());
     for s in &fig.series {
-        println!("{:>18}: {} of {} users affected", s.system.label(), s.affected(), s.ranked.len());
+        println!(
+            "{:>18}: {} of {} users affected",
+            s.system.label(),
+            s.affected(),
+            s.ranked.len()
+        );
     }
 }

@@ -41,7 +41,10 @@ fn main() {
     let suite = perf_suite::run(&trace, &cfg);
 
     println!("\n{}", fig9::from_suite(&suite).render());
-    println!("{}", fig10::from_suite(&suite, SystemKind::Traditional).render());
+    println!(
+        "{}",
+        fig10::from_suite(&suite, SystemKind::Traditional).render()
+    );
     println!("{}", fig13::from_suite(&suite).render());
     let largest = *cfg.sizes.last().unwrap();
     println!("{}", fig14_15::from_suite(&suite, largest, 1500).render());

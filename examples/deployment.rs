@@ -25,7 +25,11 @@ fn main() {
     println!("ring stabilized in {:.2?}", t0.elapsed());
 
     // Store a small file tree's worth of blocks.
-    let files = ["/home/u1/paper.tex", "/home/u1/figs/fig1.pdf", "/usr/share/lib.so"];
+    let files = [
+        "/home/u1/paper.tex",
+        "/home/u1/figs/fig1.pdf",
+        "/usr/share/lib.so",
+    ];
     let mut keys = Vec::new();
     let t1 = Instant::now();
     for (i, path) in files.iter().enumerate() {

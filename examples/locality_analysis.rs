@@ -15,7 +15,12 @@ fn main() {
     println!("generating the three workloads of Table 1 …");
     let harvard = HarvardTrace::generate(&scale.harvard(), &mut rng);
     let hp = HpTrace::generate(
-        &HpConfig { apps: 8, days: 1.0, disk_blocks: 600_000, ..HpConfig::default() },
+        &HpConfig {
+            apps: 8,
+            days: 1.0,
+            disk_blocks: 600_000,
+            ..HpConfig::default()
+        },
         &mut rng,
     );
     let web = WebTrace::generate(&scale.web(), &mut rng);

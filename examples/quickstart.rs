@@ -11,9 +11,17 @@ use d2::core::{ClusterConfig, SimCluster, SystemKind};
 use d2::sim::SimTime;
 
 fn main() {
-    let cfg = ClusterConfig { nodes: 32, replicas: 3, seed: 7, ..ClusterConfig::default() };
+    let cfg = ClusterConfig {
+        nodes: 32,
+        replicas: 3,
+        seed: 7,
+        ..ClusterConfig::default()
+    };
     let mut cluster = SimCluster::new(SystemKind::D2, &cfg);
-    println!("started a {}-node D2 cluster (r = {})", cfg.nodes, cfg.replicas);
+    println!(
+        "started a {}-node D2 cluster (r = {})",
+        cfg.nodes, cfg.replicas
+    );
 
     cluster.create_volume("home");
     cluster.write_file("home", "/projects/d2/README.md", b"# my defragmented fs\n");
@@ -27,7 +35,9 @@ fn main() {
     // content hashes).
     let readme = cluster.read_file("home", "/projects/d2/README.md").unwrap();
     assert_eq!(readme, b"# my defragmented fs\n");
-    let blob = cluster.read_file("home", "/projects/d2/data/blob.bin").unwrap();
+    let blob = cluster
+        .read_file("home", "/projects/d2/data/blob.bin")
+        .unwrap();
     assert_eq!(blob.len(), 40_000);
     println!("read files back with integrity verification");
 
@@ -42,7 +52,9 @@ fn main() {
     // Fault tolerance: kill the heaviest node and read again.
     let victim = cluster.ring.nodes()[0];
     cluster.node_down(victim, SimTime::from_secs(60));
-    let again = cluster.read_file("home", "/projects/d2/src/main.rs").unwrap();
+    let again = cluster
+        .read_file("home", "/projects/d2/src/main.rs")
+        .unwrap();
     assert_eq!(again, b"fn main() {}\n");
     println!("killed node {victim} — file still readable from replicas");
 

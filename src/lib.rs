@@ -22,6 +22,8 @@
 //! - [`core`] — node composition (`D2`, `Traditional`, `TraditionalFile`)
 //!   and cluster simulation drivers.
 //! - [`net`] — a thread-per-node live deployment over channels.
+//! - [`obs`] — structured tracing and metrics: registry, histograms,
+//!   and deterministic per-lookup JSONL trace export.
 //! - [`experiments`] — one driver per table/figure of the paper.
 //!
 //! ## Quickstart
@@ -44,6 +46,7 @@ pub use d2_core as core;
 pub use d2_experiments as experiments;
 pub use d2_fs as fs;
 pub use d2_net as net;
+pub use d2_obs as obs;
 pub use d2_ring as ring;
 pub use d2_sim as sim;
 pub use d2_store as store;

@@ -37,8 +37,15 @@ fn fs_volume_over_live_ring() {
     let system = SystemKind::D2;
     let mut io = NetIo { dep: &dep, system };
     let mut fs = Fs::new("livevol", b"publisher", FsConfig::new(system));
-    fs.write(&mut io, "/www/index.html", b"<h1>d2</h1>".to_vec(), SimTime::ZERO).unwrap();
-    fs.write(&mut io, "/www/big.css", vec![b'c'; 20_000], SimTime::ZERO).unwrap();
+    fs.write(
+        &mut io,
+        "/www/index.html",
+        b"<h1>d2</h1>".to_vec(),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    fs.write(&mut io, "/www/big.css", vec![b'c'; 20_000], SimTime::ZERO)
+        .unwrap();
     fs.flush(&mut io, SimTime::ZERO).unwrap();
 
     // Give replication fan-out a moment.
@@ -49,14 +56,20 @@ fn fs_volume_over_live_ring() {
     let mut reader_io = NetIo { dep: &dep, system };
     let reader = VolumeReader::new("livevol", b"publisher", system);
     assert_eq!(
-        reader.read_file(&mut reader_io, "/www/index.html", SimTime::ZERO).unwrap(),
+        reader
+            .read_file(&mut reader_io, "/www/index.html", SimTime::ZERO)
+            .unwrap(),
         b"<h1>d2</h1>"
     );
     assert_eq!(
-        reader.read_file(&mut reader_io, "/www/big.css", SimTime::ZERO).unwrap(),
+        reader
+            .read_file(&mut reader_io, "/www/big.css", SimTime::ZERO)
+            .unwrap(),
         vec![b'c'; 20_000]
     );
-    let mut names = reader.list_dir(&mut reader_io, "/www", SimTime::ZERO).unwrap();
+    let mut names = reader
+        .list_dir(&mut reader_io, "/www", SimTime::ZERO)
+        .unwrap();
     names.sort();
     assert_eq!(names, vec!["big.css", "index.html"]);
 
@@ -80,8 +93,13 @@ fn live_ring_locality_of_d2_keys() {
     let mut io = NetIo { dep: &dep, system };
     let mut fs = Fs::new("loc", b"s", FsConfig::new(system));
     for i in 0..8 {
-        fs.write(&mut io, &format!("/photos/img{i}.raw"), vec![i as u8; 9_000], SimTime::ZERO)
-            .unwrap();
+        fs.write(
+            &mut io,
+            &format!("/photos/img{i}.raw"),
+            vec![i as u8; 9_000],
+            SimTime::ZERO,
+        )
+        .unwrap();
     }
     fs.flush(&mut io, SimTime::ZERO).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(200));

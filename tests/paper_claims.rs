@@ -93,8 +93,12 @@ fn claim_lookup_savings_and_seq_speedup() {
         ..SuiteConfig::default()
     };
     let suite = perf_suite::run(&trace, &cfg);
-    let d2 = suite.cell(SystemKind::D2, 24, 1500, Parallelism::Seq).unwrap();
-    let trad = suite.cell(SystemKind::Traditional, 24, 1500, Parallelism::Seq).unwrap();
+    let d2 = suite
+        .cell(SystemKind::D2, 24, 1500, Parallelism::Seq)
+        .unwrap();
+    let trad = suite
+        .cell(SystemKind::Traditional, 24, 1500, Parallelism::Seq)
+        .unwrap();
 
     // Lookup traffic reduction (paper: up to 95%; at tiny scale demand a
     // solid majority).
@@ -108,7 +112,13 @@ fn claim_lookup_savings_and_seq_speedup() {
     assert!(d2.cache_miss_rate() < trad.cache_miss_rate());
     // Sequential speedup > 1 (paper: 1.3–2.0 depending on size).
     let s = suite
-        .speedup(SystemKind::D2, SystemKind::Traditional, 24, 1500, Parallelism::Seq)
+        .speedup(
+            SystemKind::D2,
+            SystemKind::Traditional,
+            24,
+            1500,
+            Parallelism::Seq,
+        )
         .unwrap();
     assert!(s > 1.05, "sequential speedup {s} should be solidly above 1");
 }
@@ -116,8 +126,7 @@ fn claim_lookup_savings_and_seq_speedup() {
 #[test]
 fn claim_balance_and_overhead() {
     let trace = trace();
-    let web =
-        d2::workload::WebTrace::generate(&Scale::Quick.web(), &mut StdRng::seed_from_u64(42));
+    let web = d2::workload::WebTrace::generate(&Scale::Quick.web(), &mut StdRng::seed_from_u64(42));
     let cfg = Scale::Quick.cluster(7);
     let warmup = SimTime::from_secs(12 * 3600);
 
