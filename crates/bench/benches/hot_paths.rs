@@ -1,0 +1,59 @@
+//! Micro-benchmarks for the simulators' innermost per-access paths: the
+//! holder lookup (`SimCluster::holders_of`, now returning an inline
+//! small-vector instead of a heap `Vec`) and the replica-group ring walk
+//! (`Ring::replica_group_into` reusing a caller buffer vs the allocating
+//! `Ring::replica_group`). Both run once per simulated block access, so
+//! per-call allocations here dominated the sweep profiles.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d2_core::{ClusterConfig, SimCluster, SystemKind};
+use d2_sim::SimTime;
+use d2_types::Key;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ClusterConfig {
+        nodes: 64,
+        replicas: 4,
+        seed: 7,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(SystemKind::D2, &cfg);
+    let mut rng = StdRng::seed_from_u64(9);
+    let keys: Vec<Key> = (0..4096).map(|_| Key::random(&mut rng)).collect();
+    for &key in &keys {
+        cluster.put_block(key, 8 << 10, SimTime::ZERO);
+    }
+
+    let mut g = c.benchmark_group("hot_paths");
+    g.bench_function("holders_of_inline", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cluster.holders_of(&keys[i]).len())
+        })
+    });
+    g.bench_function("replica_group_into_reused_buffer", |b| {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            cluster
+                .ring
+                .replica_group_into(&keys[i], cfg.replicas, &mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("replica_group_allocating", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cluster.ring.replica_group(&keys[i], cfg.replicas).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ use d2_ring::{NodeIdx, Ring};
 use d2_sim::net::LinkState;
 use d2_sim::{normalized_std_dev, SimTime};
 use d2_store::{NodeStore, Payload};
-use d2_types::{BlockName, D2Error, Key, Result, SystemKind};
+use d2_types::{BlockName, D2Error, InlineVec, Key, Result, SystemKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
@@ -185,7 +185,11 @@ impl SimCluster {
         self.stores[node.0].remove_now(key);
     }
 
-    fn holders_of(&self, key: &Key) -> Vec<NodeIdx> {
+    /// The nodes holding an entry (data or pointer) for `key`. Called
+    /// once per block access in the simulators' innermost loops, so the
+    /// list is returned inline (replica groups are ≤ 8 nodes in every
+    /// configuration; larger holder sets spill to the heap safely).
+    pub fn holders_of(&self, key: &Key) -> InlineVec<NodeIdx, 8> {
         self.index
             .get(key)
             .map(|v| v.iter().map(|&h| NodeIdx(h as usize)).collect())

@@ -24,7 +24,7 @@ use d2_types::{Key, SystemKind, BLOCK_SIZE};
 use d2_workload::{FileOp, HarvardTrace, Task};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Whether a group's fetches are issued sequentially or in parallel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,7 +57,7 @@ impl Default for PerfConfig {
 }
 
 /// Measurements from one replayed segment.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
     /// Routed-lookup messages sent (forwards + replies), system-wide.
     pub lookup_messages: u64,
@@ -122,6 +122,13 @@ pub struct PerfSim {
     rng: StdRng,
     /// Trace sink for fetch/route/cache-probe events (null by default).
     obs: SharedSink,
+    // Reusable scratch buffers: fetches run once per block access across
+    // warmup + measurement, so per-call allocations here dominate the
+    // suite's heap traffic. Taken with `mem::take` around each use.
+    group_buf: Vec<NodeIdx>,
+    path_buf: Vec<NodeIdx>,
+    keys_buf: Vec<(Key, u32)>,
+    seen_buf: HashSet<Key>,
 }
 
 impl PerfSim {
@@ -159,6 +166,10 @@ impl PerfSim {
             cfg: *perf_cfg,
             rng,
             obs: SharedSink::null(),
+            group_buf: Vec::new(),
+            path_buf: Vec::new(),
+            keys_buf: Vec::new(),
+            seen_buf: HashSet::new(),
         }
     }
 
@@ -180,11 +191,12 @@ impl PerfSim {
     }
 
     /// The keys fetched by a group (inode + data blocks of each read,
-    /// deduplicated — the 30 s buffer cache absorbs repeats).
-    fn group_keys(&self, trace: &HarvardTrace, group: &Task) -> Vec<(Key, u32)> {
+    /// deduplicated — the 30 s buffer cache absorbs repeats), written
+    /// into `out` so drivers reuse one buffer across groups.
+    fn group_keys_into(&mut self, trace: &HarvardTrace, group: &Task, out: &mut Vec<(Key, u32)>) {
+        out.clear();
+        self.seen_buf.clear();
         let system = self.cluster.system;
-        let mut seen = HashMap::new();
-        let mut out = Vec::new();
         for &i in &group.indices {
             let a = &trace.accesses[i];
             if a.op != FileOp::Read {
@@ -192,7 +204,7 @@ impl PerfSim {
             }
             for name in trace.namespace.blocks_of_access(a) {
                 let key = system.key_of(&name);
-                if seen.insert(key, ()).is_none() {
+                if self.seen_buf.insert(key) {
                     let len = if name.block_no == 0 {
                         256
                     } else {
@@ -202,17 +214,17 @@ impl PerfSim {
                 }
             }
         }
-        out
     }
 
     /// Warms users' lookup caches by replaying `groups` without timing:
     /// every fetched key installs the owner's range, timestamped at the
     /// access time so the 1.25 h TTL applies across the timeline.
     pub fn warm_caches(&mut self, trace: &HarvardTrace, groups: &[Task]) {
+        let mut keys = std::mem::take(&mut self.keys_buf);
         for group in groups {
-            let keys = self.group_keys(trace, group);
+            self.group_keys_into(trace, group, &mut keys);
             let ttl = self.cluster.cfg.cache_ttl;
-            for (key, _) in keys {
+            for &(key, _) in &keys {
                 let cache = self
                     .caches
                     .entry(group.user)
@@ -226,6 +238,7 @@ impl PerfSim {
                 }
             }
         }
+        self.keys_buf = keys;
         for cache in self.caches.values_mut() {
             cache.reset_stats();
         }
@@ -238,8 +251,9 @@ impl PerfSim {
             nodes: self.cluster.ring.len(),
             ..Default::default()
         };
+        let mut keys = std::mem::take(&mut self.keys_buf);
         for group in groups {
-            let keys = self.group_keys(trace, group);
+            self.group_keys_into(trace, group, &mut keys);
             if keys.is_empty() {
                 report.group_latencies.push(0.0);
                 report.group_users.push(group.user);
@@ -261,6 +275,7 @@ impl PerfSim {
             report.group_latencies.push(latency);
             report.group_users.push(group.user);
         }
+        self.keys_buf = keys;
         report
     }
 
@@ -343,16 +358,18 @@ impl PerfSim {
         // design: recompute here).
         let owner_addr = owner.0 % self.topo.len();
         // Choose a replica uniformly (the paper notes D2 selects replicas
-        // randomly).
-        let group = self
-            .cluster
+        // randomly). The group goes into a reusable buffer — this runs
+        // once per block access.
+        let mut group = std::mem::take(&mut self.group_buf);
+        self.cluster
             .ring
-            .replica_group(&key, self.cluster.cfg.replicas);
+            .replica_group_into(&key, self.cluster.cfg.replicas, &mut group);
         let server = if group.is_empty() {
             owner
         } else {
             group[self.rng.random_range(0..group.len())]
         };
+        self.group_buf = group;
         let _ = owner_addr;
         let server_addr = server.0 % self.topo.len();
         let rtt = self.topo.rtt(client, server_addr);
@@ -392,27 +409,34 @@ impl PerfSim {
     ) -> NodeIdx {
         report.cache_misses += 1;
         let from = self.nearest_ring_node(client);
-        let stats = self
+        // The hop path goes into a reusable buffer ([`Router::lookup`]
+        // would allocate one per lookup); the Route event's owned copy is
+        // only built when a sink is attached.
+        let mut path = std::mem::take(&mut self.path_buf);
+        let (owner, hops, messages) = self
             .router
-            .lookup_traced(
-                &self.cluster.ring,
-                from,
-                &key,
-                now.as_micros(),
-                user,
-                &self.obs,
-            )
+            .lookup_into(&self.cluster.ring, from, &key, &mut path)
             .expect("ring nonempty");
+        self.obs.record_with(|| TraceEvent::Route {
+            t_us: now.as_micros(),
+            user,
+            key: key.to_u64_lossy(),
+            from: from.0,
+            owner: owner.0,
+            hops,
+            messages,
+            path: path.iter().map(|n| n.0).collect(),
+        });
         report.routed_lookups += 1;
-        report.lookup_messages += stats.messages as u64;
-        report.hop_hist.record(stats.hops as u64);
+        report.lookup_messages += messages as u64;
+        report.hop_hist.record(hops as u64);
         // Lookup latency: hop path one-way latencies plus the reply. The
         // per-hop split is only materialized when a sink is attached.
         let trace_hops = self.obs.enabled();
         let mut hop_us: Vec<u64> = Vec::new();
         let mut lat = SimTime::ZERO;
         let mut prev = client;
-        for hop in &stats.path {
+        for hop in &path {
             let addr = hop.0 % self.topo.len();
             let one_way = self.topo.one_way(prev, addr);
             if trace_hops {
@@ -421,6 +445,7 @@ impl PerfSim {
             lat += one_way;
             prev = addr;
         }
+        self.path_buf = path;
         let reply = self.topo.one_way(prev, client);
         if trace_hops {
             hop_us.push(reply.as_micros());
@@ -432,11 +457,11 @@ impl PerfSim {
             .caches
             .entry(user)
             .or_insert_with(|| LookupCache::new(ttl));
-        if let Some(range) = self.cluster.ring.range_of(stats.owner) {
-            cache.insert(range, stats.owner.0, now);
+        if let Some(range) = self.cluster.ring.range_of(owner) {
+            cache.insert(range, owner.0, now);
         }
         self.lookup_lat.insert((user, key), (lat, hop_us));
-        stats.owner
+        owner
     }
 
     fn pending_lookup_latency(&mut self, user: u32, key: Key) -> (SimTime, Vec<u64>) {
@@ -450,7 +475,7 @@ impl PerfSim {
         if self.cluster.ring.contains(NodeIdx(client)) {
             return NodeIdx(client);
         }
-        self.cluster.ring.nodes()[0]
+        self.cluster.ring.first_node().expect("ring nonempty")
     }
 }
 

@@ -2,12 +2,21 @@
 //! and figures by name.
 //!
 //! ```text
-//! d2-exp <experiment> [--scale quick|full] [--seed N] [--obs-out trace.jsonl]
+//! d2-exp <experiment> [--scale quick|full] [--seed N] [--jobs N]
+//!                     [--obs-out trace.jsonl]
 //!
 //! experiments:
 //!   fig3 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14-15
 //!   table3 table4 fig16 fig17 all
 //! ```
+//!
+//! `--jobs` sets the worker-thread count (default: available
+//! parallelism). `all` fans the figure set out over the workers; a
+//! single experiment parallelizes its internal sweep instead. Output —
+//! stdout, the trace JSONL, the summary — is byte-identical at every
+//! `--jobs` value: each simulation cell derives its own seed and buffers
+//! its events privately, and everything is merged in canonical order
+//! (see `d2_experiments::exec`).
 //!
 //! With `--obs-out`, every traced simulation records structured
 //! [`d2_obs::TraceEvent`]s; after the experiments finish, the events are
@@ -18,48 +27,73 @@ use d2_core::SystemKind;
 use d2_experiments::fig16_17::ALL_SYSTEMS;
 use d2_experiments::perf_suite::{self, SuiteConfig};
 use d2_experiments::{
-    fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9, obs_summary, table2,
-    table3, table4, Scale,
+    exec, fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9, obs_summary,
+    table2, table3, table4, Scale,
 };
 use d2_obs::{to_jsonl, SharedSink, TraceEvent};
 use d2_sim::{FailureModel, SimTime};
 use d2_workload::{HarvardTrace, HpConfig, HpTrace, WebTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 
+/// Shared experiment inputs. The three workload traces are generated
+/// lazily on first use — `fig3` needs all three, but most experiments
+/// touch only one, and `table3` none of HP — each from its own
+/// seed-derived RNG, so the result is independent of which experiment
+/// (or worker thread) asks first.
 struct Ctx {
     scale: Scale,
     seed: u64,
-    harvard: HarvardTrace,
-    web: WebTrace,
-    hp: HpTrace,
-    sink: SharedSink,
+    harvard: OnceLock<HarvardTrace>,
+    web: OnceLock<WebTrace>,
+    hp: OnceLock<HpTrace>,
 }
 
 impl Ctx {
-    fn new(scale: Scale, seed: u64, sink: SharedSink) -> Ctx {
-        let harvard = HarvardTrace::generate(&scale.harvard(), &mut StdRng::seed_from_u64(seed));
-        let web = WebTrace::generate(&scale.web(), &mut StdRng::seed_from_u64(seed));
-        let hp = HpTrace::generate(
-            &HpConfig {
-                apps: 8,
-                days: 1.0,
-                disk_blocks: 600_000,
-                ..HpConfig::default()
-            },
-            &mut StdRng::seed_from_u64(seed),
-        );
+    fn new(scale: Scale, seed: u64) -> Ctx {
         Ctx {
             scale,
             seed,
-            harvard,
-            web,
-            hp,
-            sink,
+            harvard: OnceLock::new(),
+            web: OnceLock::new(),
+            hp: OnceLock::new(),
         }
     }
 
-    fn suite(&self, systems: Vec<SystemKind>, kbps: Vec<u64>) -> perf_suite::SuiteResult {
+    fn harvard(&self) -> &HarvardTrace {
+        self.harvard.get_or_init(|| {
+            HarvardTrace::generate(&self.scale.harvard(), &mut StdRng::seed_from_u64(self.seed))
+        })
+    }
+
+    fn web(&self) -> &WebTrace {
+        self.web.get_or_init(|| {
+            WebTrace::generate(&self.scale.web(), &mut StdRng::seed_from_u64(self.seed))
+        })
+    }
+
+    fn hp(&self) -> &HpTrace {
+        self.hp.get_or_init(|| {
+            HpTrace::generate(
+                &HpConfig {
+                    apps: 8,
+                    days: 1.0,
+                    disk_blocks: 600_000,
+                    ..HpConfig::default()
+                },
+                &mut StdRng::seed_from_u64(self.seed),
+            )
+        })
+    }
+
+    fn suite(
+        &self,
+        systems: Vec<SystemKind>,
+        kbps: Vec<u64>,
+        sink: &SharedSink,
+        jobs: usize,
+    ) -> perf_suite::SuiteResult {
         let cfg = SuiteConfig {
             sizes: self.scale.perf_sizes(),
             kbps,
@@ -67,15 +101,16 @@ impl Ctx {
             seed: self.seed,
             warmup_days: self.scale.warmup_days(),
             systems,
-            sink: self.sink.clone(),
+            sink: sink.clone(),
+            jobs,
             ..SuiteConfig::default()
         };
-        perf_suite::run(&self.harvard, &cfg)
+        perf_suite::run(self.harvard(), &cfg)
     }
 
     fn failure_model(&self) -> FailureModel {
         FailureModel {
-            duration_secs: self.harvard.config.days * 86_400.0,
+            duration_secs: self.harvard().config.days * 86_400.0,
             ..FailureModel::default()
         }
     }
@@ -85,15 +120,21 @@ impl Ctx {
     }
 }
 
-fn run_one(name: &str, ctx: &Ctx) -> bool {
+/// Runs one experiment, returning its rendered output and the trace
+/// events it recorded (empty unless `trace` is set). The events come
+/// back as a batch instead of going straight to the shared sink so that
+/// concurrent experiments can be merged in canonical order afterwards.
+/// `jobs` bounds the experiment's *internal* fan-out. Returns `None` for
+/// an unknown name.
+fn run_one(name: &str, ctx: &Ctx, trace: bool, jobs: usize) -> Option<(String, Vec<TraceEvent>)> {
+    let sink = if trace {
+        SharedSink::memory(0)
+    } else {
+        SharedSink::null()
+    };
     let cfg = ctx.scale.cluster(ctx.seed);
-    match name {
-        "fig3" => {
-            println!(
-                "{}",
-                fig3::run(&ctx.harvard, &ctx.hp, &ctx.web, 2 << 20).render()
-            );
-        }
+    let out = match name {
+        "fig3" => fig3::run(ctx.harvard(), ctx.hp(), ctx.web(), 2 << 20).render(),
         "table2" => {
             let inters = [
                 SimTime::from_secs(1),
@@ -101,10 +142,7 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
                 SimTime::from_secs(15),
                 SimTime::from_secs(60),
             ];
-            println!(
-                "{}",
-                table2::run(&ctx.harvard, &cfg, &inters, ctx.scale.warmup_days()).render()
-            );
+            table2::run(ctx.harvard(), &cfg, &inters, ctx.scale.warmup_days()).render()
         }
         "fig7" => {
             let inters = [
@@ -112,27 +150,25 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
                 SimTime::from_secs(60),
                 SimTime::from_secs(300),
             ];
-            let fig = fig7::run(
-                &ctx.harvard,
+            fig7::run(
+                ctx.harvard(),
                 &cfg,
                 &ctx.failure_model(),
                 &inters,
                 ctx.scale.trials(),
                 ctx.scale.warmup_days(),
                 99,
-            );
-            println!("{}", fig.render());
+            )
+            .render()
         }
-        "fig8" => {
-            let fig = fig8::run(
-                &ctx.harvard,
-                &cfg,
-                &ctx.failure_model(),
-                ctx.scale.warmup_days(),
-                42,
-            );
-            println!("{}", fig.render());
-        }
+        "fig8" => fig8::run(
+            ctx.harvard(),
+            &cfg,
+            &ctx.failure_model(),
+            ctx.scale.warmup_days(),
+            42,
+        )
+        .render(),
         "fig9" => {
             let suite = ctx.suite(
                 vec![
@@ -141,30 +177,38 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
                     SystemKind::TraditionalFile,
                 ],
                 vec![1500],
+                &sink,
+                jobs,
             );
-            println!("{}", fig9::from_suite(&suite).render());
+            fig9::from_suite(&suite).render()
         }
         "fig10" => {
             let suite = ctx.suite(
                 vec![SystemKind::D2, SystemKind::Traditional],
                 vec![1500, 384],
+                &sink,
+                jobs,
             );
-            println!(
-                "{}",
-                fig10::from_suite(&suite, SystemKind::Traditional).render()
-            );
+            fig10::from_suite(&suite, SystemKind::Traditional).render()
         }
         "fig11" => {
             let suite = ctx.suite(
                 vec![SystemKind::D2, SystemKind::TraditionalFile],
                 vec![1500, 384],
+                &sink,
+                jobs,
             );
-            println!("{}", fig11::from_suite(&suite).render());
+            fig11::from_suite(&suite).render()
         }
         "fig12" => {
             let largest = *ctx.scale.perf_sizes().last().unwrap();
-            let suite = ctx.suite(vec![SystemKind::D2, SystemKind::Traditional], vec![1500]);
-            println!("{}", fig12::from_suite(&suite, largest, 1500).render());
+            let suite = ctx.suite(
+                vec![SystemKind::D2, SystemKind::Traditional],
+                vec![1500],
+                &sink,
+                jobs,
+            );
+            fig12::from_suite(&suite, largest, 1500).render()
         }
         "fig13" => {
             let suite = ctx.suite(
@@ -174,8 +218,10 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
                     SystemKind::TraditionalFile,
                 ],
                 vec![1500],
+                &sink,
+                jobs,
             );
-            println!("{}", fig13::from_suite(&suite).render());
+            fig13::from_suite(&suite).render()
         }
         "fig14-15" | "fig14" | "fig15" => {
             let largest = *ctx.scale.perf_sizes().last().unwrap();
@@ -186,48 +232,42 @@ fn run_one(name: &str, ctx: &Ctx) -> bool {
                     SystemKind::TraditionalFile,
                 ],
                 vec![1500],
+                &sink,
+                jobs,
             );
-            println!("{}", fig14_15::from_suite(&suite, largest, 1500).render());
+            fig14_15::from_suite(&suite, largest, 1500).render()
         }
-        "table3" => {
-            println!("{}", table3::run(&ctx.harvard, &ctx.web).render());
-        }
-        "table4" => {
-            println!(
-                "{}",
-                table4::run_traced(
-                    &ctx.harvard,
-                    &ctx.web,
-                    &cfg,
-                    ctx.balance_warmup(),
-                    &ctx.sink
-                )
-                .render()
-            );
-        }
-        "fig16" => {
-            let fig = fig16_17::fig16_traced(
-                &ctx.harvard,
-                &cfg,
-                &ALL_SYSTEMS,
-                ctx.balance_warmup(),
-                &ctx.sink,
-            );
-            println!("{}", fig.render());
-        }
-        "fig17" => {
-            let fig = fig16_17::fig17_traced(
-                &ctx.web,
-                &cfg,
-                &ALL_SYSTEMS,
-                SimTime::from_secs(3600),
-                &ctx.sink,
-            );
-            println!("{}", fig.render());
-        }
-        _ => return false,
-    }
-    true
+        "table3" => table3::run(ctx.harvard(), ctx.web()).render(),
+        "table4" => table4::run_traced(
+            ctx.harvard(),
+            ctx.web(),
+            &cfg,
+            ctx.balance_warmup(),
+            &sink,
+            jobs,
+        )
+        .render(),
+        "fig16" => fig16_17::fig16_traced(
+            ctx.harvard(),
+            &cfg,
+            &ALL_SYSTEMS,
+            ctx.balance_warmup(),
+            &sink,
+            jobs,
+        )
+        .render(),
+        "fig17" => fig16_17::fig17_traced(
+            ctx.web(),
+            &cfg,
+            &ALL_SYSTEMS,
+            SimTime::from_secs(3600),
+            &sink,
+            jobs,
+        )
+        .render(),
+        _ => return None,
+    };
+    Some((out, sink.drain()))
 }
 
 const ALL: [&str; 14] = [
@@ -239,6 +279,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
+    let mut jobs = exec::available_jobs();
     let mut obs_out: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -253,6 +294,15 @@ fn main() {
             "--seed" => {
                 seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
             }
+            "--jobs" => {
+                jobs = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--obs-out" => {
                 obs_out = it.next().cloned();
                 if obs_out.is_none() {
@@ -265,30 +315,46 @@ fn main() {
     }
     if names.is_empty() {
         eprintln!(
-            "usage: d2-exp <experiment>... [--scale quick|full] [--seed N] [--obs-out trace.jsonl]"
+            "usage: d2-exp <experiment>... [--scale quick|full] [--seed N] [--jobs N] [--obs-out trace.jsonl]"
         );
         eprintln!("experiments: {} all", ALL.join(" "));
         std::process::exit(2);
     }
-    let sink = if obs_out.is_some() {
+    let trace = obs_out.is_some();
+    let sink = if trace {
         SharedSink::memory(0)
     } else {
         SharedSink::null()
     };
-    let ctx = Ctx::new(scale, seed, sink.clone());
+    let ctx = Ctx::new(scale, seed);
     for name in &names {
         sink.record_with(|| TraceEvent::Mark {
             t_us: 0,
             label: format!("experiment {name}"),
         });
         if name == "all" {
-            for n in ALL {
+            // Fan the figure set out over the workers; each experiment
+            // runs its internal sweep sequentially. Output and events are
+            // merged in the canonical `ALL` order, not completion order.
+            let outcomes = exec::parallel_map(&ALL, jobs, |_, &n| {
+                run_one(n, &ctx, trace, 1).expect("ALL names are known")
+            });
+            for (n, (out, events)) in ALL.iter().zip(outcomes) {
                 println!("==> {n}");
-                run_one(n, &ctx);
+                println!("{out}");
+                sink.extend(events);
             }
-        } else if !run_one(name, &ctx) {
-            eprintln!("unknown experiment: {name}");
-            std::process::exit(2);
+        } else {
+            match run_one(name, &ctx, trace, jobs) {
+                Some((out, events)) => {
+                    println!("{out}");
+                    sink.extend(events);
+                }
+                None => {
+                    eprintln!("unknown experiment: {name}");
+                    std::process::exit(2);
+                }
+            }
         }
     }
     if let Some(path) = obs_out {

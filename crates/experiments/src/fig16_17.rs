@@ -10,6 +10,7 @@
 //! DHT most of the time.
 
 use crate::balance_sim::{self, BalanceRun, BalanceSystem, ChurnStream};
+use crate::exec;
 use crate::report::render_table;
 use d2_core::ClusterConfig;
 use d2_obs::SharedSink;
@@ -80,18 +81,36 @@ pub const ALL_SYSTEMS: [BalanceSystem; 4] = [
     BalanceSystem::TraditionalMerc,
 ];
 
+/// Runs one workload's per-system simulations, fanning out over up to
+/// `jobs` workers. Each system's run is already independent (it builds
+/// its own cluster and churn stream), so the only shared state is the
+/// trace sink: workers record into private buffers that are merged in
+/// system order afterwards, keeping the trace byte-identical to the
+/// sequential run.
 fn run_workload(
     workload: BalanceWorkload,
-    streams: &dyn Fn(BalanceSystem) -> ChurnStream,
+    streams: &(dyn Fn(BalanceSystem) -> ChurnStream + Sync),
     cfg: &ClusterConfig,
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
     sink: &SharedSink,
+    jobs: usize,
 ) -> ImbalanceFigure {
-    let runs = systems
-        .iter()
-        .map(|&s| balance_sim::run_traced(s, cfg, &streams(s), warmup, sink))
-        .collect();
+    let sink_enabled = sink.enabled();
+    let outcomes = exec::parallel_map(systems, jobs, |_, &s| {
+        let run_sink = if sink_enabled {
+            SharedSink::memory(0)
+        } else {
+            SharedSink::null()
+        };
+        let run = balance_sim::run_traced(s, cfg, &streams(s), warmup, &run_sink);
+        (run, run_sink.drain())
+    });
+    let mut runs = Vec::with_capacity(outcomes.len());
+    for (run, events) in outcomes {
+        sink.extend(events);
+        runs.push(run);
+    }
     ImbalanceFigure { workload, runs }
 }
 
@@ -102,16 +121,18 @@ pub fn fig16(
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
 ) -> ImbalanceFigure {
-    fig16_traced(trace, cfg, systems, warmup, &SharedSink::null())
+    fig16_traced(trace, cfg, systems, warmup, &SharedSink::null(), 1)
 }
 
-/// [`fig16`] with every per-system run traced into `sink`.
+/// [`fig16`] with every per-system run traced into `sink`, using up to
+/// `jobs` worker threads (results are identical at any count).
 pub fn fig16_traced(
     trace: &HarvardTrace,
     cfg: &ClusterConfig,
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
     sink: &SharedSink,
+    jobs: usize,
 ) -> ImbalanceFigure {
     run_workload(
         BalanceWorkload::Harvard,
@@ -120,6 +141,7 @@ pub fn fig16_traced(
         systems,
         warmup,
         sink,
+        jobs,
     )
 }
 
@@ -130,16 +152,18 @@ pub fn fig17(
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
 ) -> ImbalanceFigure {
-    fig17_traced(trace, cfg, systems, warmup, &SharedSink::null())
+    fig17_traced(trace, cfg, systems, warmup, &SharedSink::null(), 1)
 }
 
-/// [`fig17`] with every per-system run traced into `sink`.
+/// [`fig17`] with every per-system run traced into `sink`, using up to
+/// `jobs` worker threads (results are identical at any count).
 pub fn fig17_traced(
     trace: &WebTrace,
     cfg: &ClusterConfig,
     systems: &[BalanceSystem],
     warmup: d2_sim::SimTime,
     sink: &SharedSink,
+    jobs: usize,
 ) -> ImbalanceFigure {
     run_workload(
         BalanceWorkload::Webcache,
@@ -148,6 +172,7 @@ pub fn fig17_traced(
         systems,
         warmup,
         sink,
+        jobs,
     )
 }
 

@@ -32,6 +32,7 @@
 //! benches print comparable output.
 
 pub mod balance_sim;
+pub mod exec;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

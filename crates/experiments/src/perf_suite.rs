@@ -6,6 +6,7 @@
 //! paper's methodology of simulating cache content "from the beginning of
 //! the workload to the start of the time period" (Section 9.1).
 
+use crate::exec;
 use d2_core::{ClusterConfig, Parallelism, PerfConfig, PerfReport, PerfSim, SystemKind};
 use d2_obs::{SharedSink, TraceEvent};
 use d2_sim::{geometric_mean, SimTime};
@@ -37,6 +38,10 @@ pub struct SuiteConfig {
     /// Trace sink attached to every measured cell (cells are delimited
     /// by [`TraceEvent::Mark`] events). Disabled by default.
     pub sink: SharedSink,
+    /// Worker threads for the cell fan-out. `1` (the default) runs the
+    /// cells sequentially on the calling thread; any value produces
+    /// byte-identical results (see [`run`]).
+    pub jobs: usize,
 }
 
 impl Default for SuiteConfig {
@@ -55,6 +60,7 @@ impl Default for SuiteConfig {
             measure_groups: 200,
             warmup_days: 0.1,
             sink: SharedSink::null(),
+            jobs: 1,
         }
     }
 }
@@ -151,40 +157,79 @@ impl SuiteResult {
     }
 }
 
+/// Coordinate value for a parallelism mode in [`exec::derive_seed`].
+fn mode_coord(mode: Parallelism) -> u64 {
+    match mode {
+        Parallelism::Seq => 0,
+        Parallelism::Para => 1,
+    }
+}
+
 /// Runs the sweep.
+///
+/// Every cell is an independent simulation: it derives its own RNG seed
+/// from `cfg.seed` and its `(size, kbps, mode)` coordinates — the system
+/// kind is deliberately excluded so all systems in a sweep build the
+/// same ring layout and the cross-system speedup comparisons stay
+/// paired — and it buffers its trace events in a private sink. With
+/// `cfg.jobs > 1` the cells fan out over [`exec::parallel_map`]; the
+/// per-cell buffers are merged into `cfg.sink` in canonical sweep order
+/// afterwards, so reports and the trace stream are byte-identical to the
+/// `jobs = 1` run at any worker count.
 pub fn run(trace: &HarvardTrace, cfg: &SuiteConfig) -> SuiteResult {
     let groups = split_access_groups(&trace.accesses, SimTime::from_secs(1));
     let measure_start = groups.len().saturating_sub(cfg.measure_groups);
     let (warm, measure) = groups.split_at(measure_start);
 
-    let mut cells = HashMap::new();
+    // Canonical cell order: the nesting the sequential sweep always used.
+    let mut cell_keys: Vec<CellKey> = Vec::new();
     for &system in &cfg.systems {
         for &size in &cfg.sizes {
-            let ccfg = ClusterConfig {
-                nodes: size,
-                replicas: cfg.replicas,
-                seed: cfg.seed,
-                ..ClusterConfig::default()
-            };
-            let pcfg = PerfConfig::default();
-            let mut base = PerfSim::build(system, &ccfg, &pcfg, trace, cfg.warmup_days);
-            base.warm_caches(trace, warm);
             for &kbps in &cfg.kbps {
                 for &mode in &cfg.modes {
-                    let mut sim = base.clone();
-                    sim.set_access_kbps(kbps);
-                    cfg.sink.record_with(|| TraceEvent::Mark {
-                        t_us: 0,
-                        label: format!(
-                            "cell system={system:?} size={size} kbps={kbps} mode={mode:?}"
-                        ),
-                    });
-                    sim.set_trace_sink(cfg.sink.clone());
-                    let report = sim.run(trace, measure, mode);
-                    cells.insert((system, size, kbps, mode), report);
+                    cell_keys.push((system, size, kbps, mode));
                 }
             }
         }
+    }
+
+    // Only `Sync` data crosses into the workers — the shared sink is
+    // single-threaded by design, so each worker records into a private
+    // per-cell sink instead.
+    let sink_enabled = cfg.sink.enabled();
+    let replicas = cfg.replicas;
+    let seed = cfg.seed;
+    let warmup_days = cfg.warmup_days;
+
+    let outcomes = exec::parallel_map(&cell_keys, cfg.jobs, |_, &(system, size, kbps, mode)| {
+        let cell_sink = if sink_enabled {
+            SharedSink::memory(0)
+        } else {
+            SharedSink::null()
+        };
+        let ccfg = ClusterConfig {
+            nodes: size,
+            replicas,
+            seed: exec::derive_seed(seed, &[size as u64, kbps, mode_coord(mode)]),
+            ..ClusterConfig::default()
+        };
+        let pcfg = PerfConfig::default();
+        let mut sim = PerfSim::build(system, &ccfg, &pcfg, trace, warmup_days);
+        sim.warm_caches(trace, warm);
+        sim.set_access_kbps(kbps);
+        cell_sink.record_with(|| TraceEvent::Mark {
+            t_us: 0,
+            label: format!("cell system={system:?} size={size} kbps={kbps} mode={mode:?}"),
+        });
+        sim.set_trace_sink(cell_sink.clone());
+        let report = sim.run(trace, measure, mode);
+        (report, cell_sink.drain())
+    });
+
+    let mut cells = HashMap::new();
+    for (&key, (report, events)) in cell_keys.iter().zip(outcomes) {
+        cfg.sink.extend(events);
+        cells.insert(key, report);
     }
     SuiteResult {
         cells,

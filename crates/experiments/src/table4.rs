@@ -7,6 +7,7 @@
 //! two are comparable (migration slightly above writes).
 
 use crate::balance_sim::{self, BalanceRun, BalanceSystem};
+use crate::exec;
 use crate::report::render_table;
 use d2_core::ClusterConfig;
 use d2_obs::SharedSink;
@@ -102,24 +103,42 @@ pub fn run(
     cfg: &ClusterConfig,
     warmup: d2_sim::SimTime,
 ) -> Table4 {
-    run_traced(harvard, web, cfg, warmup, &SharedSink::null())
+    run_traced(harvard, web, cfg, warmup, &SharedSink::null(), 1)
 }
 
-/// [`run`] with both workload runs traced into `sink`.
+/// [`run`] with both workload runs traced into `sink`, using up to
+/// `jobs` worker threads. The two workload simulations are independent,
+/// so they fan out like any other cell pair: private trace buffers,
+/// merged Harvard-then-Webcache regardless of completion order.
 pub fn run_traced(
     harvard: &HarvardTrace,
     web: &WebTrace,
     cfg: &ClusterConfig,
     warmup: d2_sim::SimTime,
     sink: &SharedSink,
+    jobs: usize,
 ) -> Table4 {
-    let h_stream = balance_sim::harvard_churn(harvard, SystemKind::D2);
-    let h_run = balance_sim::run_traced(BalanceSystem::D2, cfg, &h_stream, warmup, sink);
-    let w_stream = balance_sim::webcache_churn(web, SystemKind::D2);
-    let w_run = balance_sim::run_traced(BalanceSystem::D2, cfg, &w_stream, warmup, sink);
-    Table4 {
-        workloads: vec![to_rows("Harvard", &h_run), to_rows("Webcache", &w_run)],
+    let sink_enabled = sink.enabled();
+    let labels = ["Harvard", "Webcache"];
+    let outcomes = exec::parallel_map(&labels, jobs, |_, &label| {
+        let run_sink = if sink_enabled {
+            SharedSink::memory(0)
+        } else {
+            SharedSink::null()
+        };
+        let stream = match label {
+            "Harvard" => balance_sim::harvard_churn(harvard, SystemKind::D2),
+            _ => balance_sim::webcache_churn(web, SystemKind::D2),
+        };
+        let run = balance_sim::run_traced(BalanceSystem::D2, cfg, &stream, warmup, &run_sink);
+        (to_rows(label, &run), run_sink.drain())
+    });
+    let mut workloads = Vec::with_capacity(outcomes.len());
+    for (rows, events) in outcomes {
+        sink.extend(events);
+        workloads.push(rows);
     }
+    Table4 { workloads }
 }
 
 #[cfg(test)]

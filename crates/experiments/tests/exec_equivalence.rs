@@ -1,0 +1,128 @@
+//! The executor's central contract: a parallel run is **byte-identical**
+//! to the sequential run — same `PerfReport`s, same trace JSONL — at any
+//! worker count. These tests pin that for the perf suite and the balance
+//! figures, plus a property test over arbitrary worker counts.
+
+use d2_core::{Parallelism, SystemKind};
+use d2_experiments::fig16_17::{self, ALL_SYSTEMS};
+use d2_experiments::perf_suite::{self, SuiteConfig, SuiteResult};
+use d2_experiments::{table4, Scale};
+use d2_obs::{to_jsonl, SharedSink};
+use d2_workload::{HarvardTrace, WebTrace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn harvard() -> HarvardTrace {
+    HarvardTrace::generate(&Scale::Quick.harvard(), &mut StdRng::seed_from_u64(5))
+}
+
+fn web() -> WebTrace {
+    WebTrace::generate(&Scale::Quick.web(), &mut StdRng::seed_from_u64(6))
+}
+
+/// Runs the perf suite at a given worker count, returning the result and
+/// the trace serialized exactly as `--obs-out` would write it.
+fn suite_at(trace: &HarvardTrace, jobs: usize, seed: u64) -> (SuiteResult, String) {
+    let sink = SharedSink::memory(0);
+    let cfg = SuiteConfig {
+        sizes: vec![16],
+        kbps: vec![1500],
+        measure_groups: 40,
+        seed,
+        sink: sink.clone(),
+        jobs,
+        ..SuiteConfig::default()
+    };
+    let result = perf_suite::run(trace, &cfg);
+    (result, to_jsonl(&sink.drain()))
+}
+
+#[test]
+fn suite_reports_and_jsonl_identical_at_any_worker_count() {
+    let trace = harvard();
+    let (base, base_jsonl) = suite_at(&trace, 1, 11);
+    assert!(!base.cells.is_empty());
+    assert!(!base_jsonl.is_empty());
+    for jobs in [2, 8] {
+        let (par, par_jsonl) = suite_at(&trace, jobs, 11);
+        assert_eq!(par.cells, base.cells, "reports differ at jobs={jobs}");
+        assert_eq!(par.groups.len(), base.groups.len());
+        assert_eq!(par_jsonl, base_jsonl, "trace differs at jobs={jobs}");
+    }
+}
+
+#[test]
+fn suite_cross_system_pairing_survives_parallelism() {
+    // The per-cell seeds exclude the system kind, so the D2-vs-traditional
+    // speedup stays a paired comparison — and therefore > 1 — no matter
+    // how many workers ran the cells.
+    let trace = harvard();
+    for jobs in [1, 4] {
+        let (result, _) = suite_at(&trace, jobs, 11);
+        let s = result
+            .speedup(
+                SystemKind::D2,
+                SystemKind::Traditional,
+                16,
+                1500,
+                Parallelism::Seq,
+            )
+            .unwrap();
+        assert!(
+            s > 1.0,
+            "jobs={jobs}: paired speedup should exceed 1, got {s}"
+        );
+    }
+}
+
+#[test]
+fn balance_figures_identical_at_any_worker_count() {
+    let trace = harvard();
+    let cfg = Scale::Quick.cluster(3);
+    let warmup = d2_sim::SimTime::from_secs(6 * 3600);
+    let run_at = |jobs: usize| {
+        let sink = SharedSink::memory(0);
+        let fig = fig16_17::fig16_traced(&trace, &cfg, &ALL_SYSTEMS, warmup, &sink, jobs);
+        (fig.render(), to_jsonl(&sink.drain()))
+    };
+    let (base_render, base_jsonl) = run_at(1);
+    for jobs in [2, 4] {
+        let (render, jsonl) = run_at(jobs);
+        assert_eq!(render, base_render, "fig16 output differs at jobs={jobs}");
+        assert_eq!(jsonl, base_jsonl, "fig16 trace differs at jobs={jobs}");
+    }
+}
+
+#[test]
+fn table4_identical_at_any_worker_count() {
+    let h = harvard();
+    let w = web();
+    let cfg = Scale::Quick.cluster(3);
+    let warmup = d2_sim::SimTime::from_secs(6 * 3600);
+    let run_at = |jobs: usize| {
+        let sink = SharedSink::memory(0);
+        let t = table4::run_traced(&h, &w, &cfg, warmup, &sink, jobs);
+        (t.render(), to_jsonl(&sink.drain()))
+    };
+    let (base_render, base_jsonl) = run_at(1);
+    let (par_render, par_jsonl) = run_at(2);
+    assert_eq!(par_render, base_render);
+    assert_eq!(par_jsonl, base_jsonl);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Reports and traces are invariant to the worker count — and hence
+    /// to completion order, since with `jobs > 1` the cells finish in
+    /// whatever order the scheduler produces.
+    #[test]
+    fn suite_invariant_to_worker_count(jobs in 2usize..9, seed in 0u64..3) {
+        let trace = harvard();
+        let (base, base_jsonl) = suite_at(&trace, 1, 20 + seed);
+        let (par, par_jsonl) = suite_at(&trace, jobs, 20 + seed);
+        prop_assert_eq!(par.cells, base.cells);
+        prop_assert_eq!(par_jsonl, base_jsonl);
+    }
+}

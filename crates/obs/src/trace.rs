@@ -396,6 +396,20 @@ impl SharedSink {
             None => Vec::new(),
         }
     }
+
+    /// Records a batch of already-built events in order. Used to merge
+    /// per-worker trace buffers back into a parent sink in a canonical
+    /// order; a disabled sink discards the batch.
+    pub fn extend<I: IntoIterator<Item = TraceEvent>>(&self, events: I) {
+        if let Some(s) = &self.inner {
+            let mut s = s.borrow_mut();
+            if s.enabled() {
+                for ev in events {
+                    s.record(ev);
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Debug for SharedSink {
@@ -455,6 +469,18 @@ mod tests {
         let b = a.clone();
         b.record_with(|| route(7));
         assert_eq!(a.drain().len(), 1);
+    }
+
+    #[test]
+    fn extend_appends_in_order_and_null_discards() {
+        let sink = SharedSink::memory(0);
+        sink.record_with(|| route(1));
+        sink.extend(vec![route(2), route(3)]);
+        let ts: Vec<u64> = sink.drain().iter().map(|e| e.t_us()).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+        let null = SharedSink::null();
+        null.extend(vec![route(9)]);
+        assert!(null.drain().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A stable handle for a node, independent of its (mutable) ring position.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeIdx(pub usize);
 
 impl fmt::Debug for NodeIdx {
@@ -149,8 +149,16 @@ impl Ring {
     /// block with that key). Returns fewer when the ring is smaller than
     /// `r`.
     pub fn replica_group(&self, key: &Key, r: usize) -> Vec<NodeIdx> {
+        let mut out = Vec::with_capacity(self.len().min(r));
+        self.replica_group_into(key, r, &mut out);
+        out
+    }
+
+    /// [`Ring::replica_group`] into a caller-provided buffer (cleared
+    /// first), so hot loops can reuse one allocation across calls.
+    pub fn replica_group_into(&self, key: &Key, r: usize, out: &mut Vec<NodeIdx>) {
+        out.clear();
         let n = self.len().min(r);
-        let mut out = Vec::with_capacity(n);
         for (_, &idx) in self.by_key.range(key..).chain(self.by_key.iter()) {
             if out.len() == n {
                 break;
@@ -159,7 +167,12 @@ impl Ring {
                 out.push(idx);
             }
         }
-        out
+    }
+
+    /// The first node in ring order (smallest ID), without materializing
+    /// the whole node list as [`Ring::nodes`] would.
+    pub fn first_node(&self) -> Option<NodeIdx> {
+        self.by_key.values().next().copied()
     }
 
     /// The clockwise successor node of `idx` (the next ID after its own).
@@ -266,6 +279,18 @@ mod tests {
         let (ring, idx) = ring_with(&[0.1, 0.3, 0.5, 0.7]);
         let g = ring.replica_group(&Key::from_fraction(0.4), 3);
         assert_eq!(g, vec![idx[2], idx[3], idx[0]]);
+    }
+
+    #[test]
+    fn replica_group_into_matches_and_reuses_buffer() {
+        let (ring, _) = ring_with(&[0.1, 0.3, 0.5, 0.7]);
+        let mut buf = Vec::new();
+        for f in [0.05, 0.4, 0.72, 0.99] {
+            let key = Key::from_fraction(f);
+            ring.replica_group_into(&key, 3, &mut buf);
+            assert_eq!(buf, ring.replica_group(&key, 3));
+        }
+        assert_eq!(ring.first_node(), Some(ring.nodes()[0]));
     }
 
     #[test]

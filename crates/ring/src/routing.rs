@@ -167,10 +167,32 @@ impl Router {
     /// practice (and instantly for voluntary load-balance moves — paper
     /// footnote 4).
     pub fn lookup(&self, ring: &Ring, from: NodeIdx, key: &Key) -> Option<LookupStats> {
+        let mut path = Vec::new();
+        let (owner, hops, messages) = self.lookup_into(ring, from, key, &mut path)?;
+        Some(LookupStats {
+            owner,
+            hops,
+            messages,
+            path,
+        })
+    }
+
+    /// The allocation-free core of [`Router::lookup`]: the hop path is
+    /// written into `path` (cleared first), so per-fetch callers can
+    /// reuse one buffer for every lookup. Returns
+    /// `(owner, hops, messages)`.
+    pub fn lookup_into(
+        &self,
+        ring: &Ring,
+        from: NodeIdx,
+        key: &Key,
+        path: &mut Vec<NodeIdx>,
+    ) -> Option<(NodeIdx, u32, u32)> {
         let owner = ring.owner_of(key)?;
         let mut cur = from;
         let mut hops = 0u32;
-        let mut path = vec![from];
+        path.clear();
+        path.push(from);
         // Hard cap to guarantee termination even with absurdly stale state.
         let cap = 4 * (usize::BITS - ring.len().leading_zeros()) + 16;
         while cur != owner {
@@ -200,12 +222,7 @@ impl Router {
             }
         }
         let messages = if hops == 0 { 0 } else { hops + 1 };
-        Some(LookupStats {
-            owner,
-            hops,
-            messages,
-            path,
-        })
+        Some((owner, hops, messages))
     }
 
     /// [`Router::lookup`] plus a [`TraceEvent::Route`] record in `sink`
@@ -334,6 +351,24 @@ mod tests {
                 mean >= 0.25 * log2n,
                 "mean hops {mean} suspiciously low for n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn lookup_into_matches_lookup_with_reused_buffer() {
+        let ring = uniform_ring(64);
+        let router = Router::build(&ring, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            let from = ring.random_node(&mut rng).unwrap();
+            let key = Key::random(&mut rng);
+            let plain = router.lookup(&ring, from, &key).unwrap();
+            let (owner, hops, messages) = router.lookup_into(&ring, from, &key, &mut buf).unwrap();
+            assert_eq!(owner, plain.owner);
+            assert_eq!(hops, plain.hops);
+            assert_eq!(messages, plain.messages);
+            assert_eq!(buf, plain.path);
         }
     }
 

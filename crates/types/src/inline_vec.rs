@@ -1,0 +1,225 @@
+//! A small-vector for hot paths: up to `N` elements inline (no heap
+//! allocation), spilling to a `Vec` only beyond that.
+//!
+//! The cluster's per-block holder lists and replica groups are bounded
+//! by the replication factor (≤ 8 in every configuration the paper
+//! sweeps), so returning them in an [`InlineVec`] removes one heap
+//! allocation per block access from the simulators' innermost loops.
+//! Elements must be `Copy + Default` — the inline buffer is plain old
+//! data, which keeps this type free of `unsafe`.
+
+use core::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap
+/// past that. Dereferences to `[T]`, so slice methods (`iter`, `len`,
+/// `contains`, indexing, …) all work unchanged.
+#[derive(Clone, Debug)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    /// Overflow storage; non-empty only once more than `N` elements were
+    /// pushed, at which point it holds *all* elements.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element, spilling to the heap on overflow.
+    pub fn push(&mut self, value: T) {
+        if self.spill.is_empty() && self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(value);
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all elements, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Whether the elements still fit in the inline buffer.
+    pub fn is_inline(&self) -> bool {
+        self.spill.is_empty()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = InlineVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Owning iterator (elements are `Copy`, so it reads from the buffer).
+#[derive(Clone, Debug)]
+pub struct InlineVecIter<T: Copy + Default, const N: usize> {
+    vec: InlineVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for InlineVecIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let v = self.vec.as_slice().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = InlineVecIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        InlineVecIter { vec: self, pos: 0 }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn slice_methods_via_deref() {
+        let v: InlineVec<u32, 4> = [7, 8, 9].into_iter().collect();
+        assert!(v.contains(&8));
+        assert_eq!(v[0], 7);
+        assert_eq!(v.iter().sum::<u32>(), 24);
+    }
+
+    #[test]
+    fn owned_and_borrowed_iteration() {
+        let v: InlineVec<u32, 2> = (0..6).collect();
+        let owned: Vec<u32> = v.clone().into_iter().collect();
+        let borrowed: Vec<u32> = (&v).into_iter().copied().collect();
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equality_across_storage_modes() {
+        let small: InlineVec<u32, 8> = (0..3).collect();
+        let spilled: InlineVec<u32, 2> = (0..3).collect();
+        assert_eq!(small.as_slice(), spilled.as_slice());
+        assert_eq!(small, vec![0, 1, 2]);
+    }
+}

@@ -29,10 +29,12 @@ pub mod block;
 pub mod encoding;
 pub mod error;
 pub mod hash;
+pub mod inline_vec;
 pub mod key;
 
 pub use block::{BlockKind, BlockName, SystemKind, BLOCK_SIZE, INLINE_DATA_MAX};
 pub use encoding::{PathSlots, SlotAllocator, VolumeId, DIR_SLOT_LEVELS};
 pub use error::{D2Error, Result};
 pub use hash::{sha256, ContentHash, Sha256};
+pub use inline_vec::InlineVec;
 pub use key::{Key, KeyRange, NodeId, KEY_BYTES};

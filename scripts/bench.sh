@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Perf trajectory data for the experiment harness. On a release build:
+#   1. times every experiment individually (--jobs 1),
+#   2. times `d2-exp all --scale quick` at --jobs 1 vs --jobs N
+#      (default N: nproc) and verifies both runs are byte-identical,
+#   3. writes wall-clock per experiment + the overall speedup to
+#      BENCH_perf.json.
+# Run from the repository root: ./scripts/bench.sh [N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 1)}"
+SEED=42
+
+echo "==> cargo build --release -p d2-experiments"
+cargo build --release -p d2-experiments
+BIN=target/release/d2-exp
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() { date +%s%3N; }
+
+run_timed() { # run_timed <name> <jobs> <stdout-file> [trace-file] -> wall ms
+    local name="$1" jobs="$2" out="$3" trace="${4:-}" t0 t1
+    t0=$(now_ms)
+    if [ -n "$trace" ]; then
+        "$BIN" "$name" --scale quick --seed "$SEED" --jobs "$jobs" \
+            --obs-out "$trace" > "$out"
+    else
+        "$BIN" "$name" --scale quick --seed "$SEED" --jobs "$jobs" > "$out"
+    fi
+    t1=$(now_ms)
+    echo $((t1 - t0))
+}
+
+EXPERIMENTS="fig3 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14-15 table3 table4 fig16 fig17"
+
+echo "==> per-experiment wall-clock (--jobs 1)"
+PER_EXP=""
+for name in $EXPERIMENTS; do
+    ms=$(run_timed "$name" 1 "$TMP/one.txt")
+    echo "    ${name}: ${ms} ms"
+    PER_EXP="${PER_EXP}    \"${name}\": ${ms},"$'\n'
+done
+PER_EXP="${PER_EXP%,$'\n'}"
+
+echo "==> d2-exp all --scale quick --jobs 1"
+MS_SEQ=$(run_timed all 1 "$TMP/out1.txt" "$TMP/trace1.jsonl")
+echo "    ${MS_SEQ} ms"
+
+echo "==> d2-exp all --scale quick --jobs ${JOBS}"
+MS_PAR=$(run_timed all "$JOBS" "$TMP/outN.txt" "$TMP/traceN.jsonl")
+echo "    ${MS_PAR} ms"
+
+echo "==> verifying byte-identical output at both job counts"
+cmp "$TMP/out1.txt" "$TMP/outN.txt"
+cmp "$TMP/trace1.jsonl" "$TMP/traceN.jsonl"
+echo "    stdout and trace JSONL identical"
+
+SPEEDUP=$(awk -v a="$MS_SEQ" -v b="$MS_PAR" 'BEGIN { printf "%.2f", a / (b > 0 ? b : 1) }')
+
+cat > BENCH_perf.json <<EOF
+{
+  "experiment": "d2-exp all --scale quick --seed ${SEED}",
+  "wall_ms_per_experiment_jobs1": {
+${PER_EXP}
+  },
+  "jobs_seq": 1,
+  "jobs_par": ${JOBS},
+  "wall_ms_seq": ${MS_SEQ},
+  "wall_ms_par": ${MS_PAR},
+  "speedup": ${SPEEDUP},
+  "outputs_identical": true
+}
+EOF
+echo "==> wrote BENCH_perf.json (speedup ${SPEEDUP}x at ${JOBS} jobs)"
