@@ -195,6 +195,10 @@ impl AvailabilitySim {
                     }
                 }
                 Ev::Maintain => {
+                    // Deferred crash repairs fire once their detection
+                    // timeout expires (no-op with the default oracle
+                    // detector, where node_down repaired synchronously).
+                    self.cluster.process_observed_failures(at);
                     self.cluster.run_balance_round(at, false);
                     self.cluster.resolve_stale_pointers(at);
                     // Periodic repair: in-flight copies that have since

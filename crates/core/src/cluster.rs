@@ -47,6 +47,10 @@ pub struct ClusterStats {
     pub regenerated_blocks: u64,
     /// Writes diverted away from full nodes via pointers (Section 6).
     pub diverted_writes: u64,
+    /// Crash repairs deferred behind the failure-detection delay.
+    pub deferred_repairs: u64,
+    /// Deferred repairs whose detection timeout has since fired.
+    pub observed_failures: u64,
 }
 
 /// Why a replica-group repair is running — decides whether the balance
@@ -98,6 +102,10 @@ pub struct SimCluster {
     /// copy dropped) if its source dies before completion — without this,
     /// simultaneous whole-group failures would never lose data.
     inflight: HashMap<(usize, Key), (usize, SimTime)>,
+    /// Crash repairs waiting out the failure-detection delay: `(when the
+    /// survivors notice, keys the dead node held)`. Empty whenever
+    /// `cfg.failure_detection` is zero (synchronous repair).
+    pending_repairs: Vec<(SimTime, Vec<Key>)>,
     volumes: HashMap<String, Fs>,
     /// Trace sink for migration/repair/balance events (null by default).
     obs: SharedSink,
@@ -132,6 +140,7 @@ impl SimCluster {
             twins: HashMap::new(),
             twin_set: HashSet::new(),
             inflight: HashMap::new(),
+            pending_repairs: Vec::new(),
             ring,
             volumes: HashMap::new(),
             obs: SharedSink::null(),
@@ -817,9 +826,47 @@ impl SimCluster {
         if self.ring.is_empty() {
             return;
         }
-        // Blocks the downed node held need a replacement replica.
+        // Blocks the downed node held need a replacement replica. With an
+        // oracle detector (the default) the survivors repair immediately;
+        // with a detection delay the keys sit exposed until the timeout
+        // fires (drained by `process_observed_failures`).
         let keys: Vec<Key> = self.stores[node.0].keys_in(&d2_types::KeyRange::full());
-        self.sync_keys(keys, now, SyncCtx::Repair);
+        if self.cfg.failure_detection == SimTime::ZERO {
+            self.sync_keys(keys, now, SyncCtx::Repair);
+        } else {
+            self.stats.deferred_repairs += 1;
+            self.pending_repairs
+                .push((now.saturating_add(self.cfg.failure_detection), keys));
+        }
+    }
+
+    /// Drains deferred crash repairs whose detection timeout has expired:
+    /// the survivors have now *noticed* the death and regenerate the
+    /// missing replicas. Returns the number of crashes processed. A no-op
+    /// unless [`ClusterConfig::failure_detection`] is positive.
+    pub fn process_observed_failures(&mut self, now: SimTime) -> usize {
+        let mut due = Vec::new();
+        self.pending_repairs.retain_mut(|(at, keys)| {
+            if *at <= now {
+                due.push(std::mem::take(keys));
+                false
+            } else {
+                true
+            }
+        });
+        let n = due.len();
+        for keys in due {
+            self.stats.observed_failures += 1;
+            if !self.ring.is_empty() {
+                self.sync_keys(keys, now, SyncCtx::Repair);
+            }
+        }
+        n
+    }
+
+    /// Crash repairs still waiting on failure detection.
+    pub fn pending_repair_count(&self) -> usize {
+        self.pending_repairs.len()
     }
 
     /// Brings a node back at ring position `id` (or its previous one):
@@ -1007,6 +1054,54 @@ mod tests {
                 assert!(*bytes > 0);
             }
         }
+    }
+
+    #[test]
+    fn failure_detection_defers_repair_until_the_timeout_fires() {
+        let cfg = ClusterConfig {
+            nodes: 16,
+            replicas: 3,
+            seed: 42,
+            failure_detection: SimTime::from_secs(120),
+            ..ClusterConfig::default()
+        };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        for (key, len) in skewed_keys(40) {
+            c.put_block(key, len, SimTime::ZERO);
+        }
+        let key = Key::from_fraction(0.31);
+        let victim = c.holders_of(&key)[0];
+        c.node_down(victim, SimTime::from_secs(10));
+        // The survivors have not noticed yet: nothing regenerated.
+        assert_eq!(c.stats.regenerated_blocks, 0);
+        assert_eq!(c.stats.deferred_repairs, 1);
+        assert_eq!(c.pending_repair_count(), 1);
+        // Still nothing before the detection timeout (10 s + 120 s).
+        assert_eq!(c.process_observed_failures(SimTime::from_secs(100)), 0);
+        assert_eq!(c.stats.regenerated_blocks, 0);
+        // After the timeout the deferred repair runs and the replica
+        // groups are restored.
+        assert_eq!(c.process_observed_failures(SimTime::from_secs(131)), 1);
+        assert_eq!(c.stats.observed_failures, 1);
+        assert_eq!(c.pending_repair_count(), 0);
+        assert!(c.stats.regenerated_blocks > 0);
+        assert!(!c.holders_of(&key).contains(&victim));
+        assert_eq!(c.holders_of(&key).len(), cfg.replicas);
+    }
+
+    #[test]
+    fn zero_failure_detection_repairs_synchronously() {
+        let mut c = cluster(16, SystemKind::D2);
+        for (key, len) in skewed_keys(40) {
+            c.put_block(key, len, SimTime::ZERO);
+        }
+        let key = Key::from_fraction(0.31);
+        let victim = c.holders_of(&key)[0];
+        c.node_down(victim, SimTime::from_secs(10));
+        assert_eq!(c.stats.deferred_repairs, 0);
+        assert_eq!(c.pending_repair_count(), 0);
+        assert!(c.stats.regenerated_blocks > 0, "oracle detector: immediate");
+        assert_eq!(c.process_observed_failures(SimTime::from_secs(9999)), 0);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct ClusterConfig {
     /// pointers can be used to divert blocks from full nodes to those with
     /// space" (Section 6). `None` (default) means unlimited.
     pub node_capacity_bytes: Option<u64>,
+    /// Failure-detection delay: how long after a crash the survivors
+    /// *notice* and start replica repair. `SimTime::ZERO` (default)
+    /// repairs synchronously at the crash instant — the oracle-detector
+    /// assumption the availability runs of Section 8 make. A positive
+    /// value defers repair by that much, modelling the timeout-based
+    /// detection the churn experiment exercises.
+    pub failure_detection: SimTime,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +74,7 @@ impl Default for ClusterConfig {
             erasure_k: None,
             hybrid_hash_replicas: 0,
             node_capacity_bytes: None,
+            failure_detection: SimTime::ZERO,
         }
     }
 }
@@ -85,5 +93,6 @@ mod tests {
         assert_eq!(c.remove_delay, SimTime::from_secs(30));
         assert!((c.balance.threshold - 4.0).abs() < 1e-9);
         assert!(c.use_pointers);
+        assert_eq!(c.failure_detection, SimTime::ZERO);
     }
 }

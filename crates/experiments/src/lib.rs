@@ -25,13 +25,18 @@
 //!
 //! [`obs_summary`] is not a paper artifact: it folds a `d2-obs` trace
 //! (the `--obs-out` export) into the percentile summary the binary
-//! prints.
+//! prints. [`churn`] is not a paper figure either — it *checks a paper
+//! assumption*: that lookups keep succeeding (Section 8's simulators
+//! take this for granted) while the failure trace crashes and rejoins
+//! nodes, by driving fault-injected lookups with retries against a ring
+//! whose routing tables decay and self-stabilize.
 //!
 //! Every driver returns plain data structures *and* renders the
 //! paper-style text table via its `render` function, so the binaries and
 //! benches print comparable output.
 
 pub mod balance_sim;
+pub mod churn;
 pub mod exec;
 pub mod fig10;
 pub mod fig11;

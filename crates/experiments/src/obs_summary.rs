@@ -12,10 +12,12 @@ use d2_obs::{CacheResult, Registry, TraceEvent};
 /// Folds a trace into named metrics:
 ///
 /// - histograms `lookup.hops`, `lookup.latency_us`, `fetch.transfer_us`,
-///   `fetch.total_us`, `span.dur_us`;
+///   `fetch.total_us`, `span.dur_us`, `churn.retries`, `churn.latency_us`;
 /// - counters `cache.<tier>.<hit|miss|stale>`, `fetch.count`,
 ///   `fetch.bytes`, `migration.<kind>.count`, `migration.<kind>.bytes`,
-///   `balance.moves`, `marks`;
+///   `balance.moves`, `marks`, `churn.lookups`, `churn.failed`,
+///   `churn.timeouts`, `stabilize.rounds`, `stabilize.repaired`,
+///   `stabilize.evicted`;
 /// - gauges `cache.<tier>.hit_rate`.
 pub fn registry_from_events(events: &[TraceEvent]) -> Registry {
     let mut reg = Registry::new();
@@ -49,6 +51,28 @@ pub fn registry_from_events(events: &[TraceEvent]) -> Registry {
                 reg.add(&format!("migration.{}.bytes", kind.label()), *bytes);
             }
             TraceEvent::BalanceMove { .. } => reg.inc("balance.moves"),
+            TraceEvent::ChurnLookup {
+                ok,
+                retries,
+                latency_us,
+                timeouts,
+                ..
+            } => {
+                reg.inc("churn.lookups");
+                if !*ok {
+                    reg.inc("churn.failed");
+                }
+                reg.add("churn.timeouts", *timeouts as u64);
+                reg.observe("churn.retries", *retries as u64);
+                reg.observe("churn.latency_us", *latency_us);
+            }
+            TraceEvent::Stabilize {
+                repaired, evicted, ..
+            } => {
+                reg.inc("stabilize.rounds");
+                reg.add("stabilize.repaired", *repaired as u64);
+                reg.add("stabilize.evicted", *evicted as u64);
+            }
             TraceEvent::Span { dur_us, .. } => reg.observe("span.dur_us", *dur_us),
         }
     }
@@ -200,6 +224,32 @@ mod tests {
                 dur_us: 2500,
                 items: 2,
             },
+            TraceEvent::ChurnLookup {
+                t_us: 8,
+                from: 0,
+                key: 4,
+                ok: true,
+                hops: 5,
+                retries: 2,
+                timeouts: 2,
+                latency_us: 1_200_000,
+            },
+            TraceEvent::ChurnLookup {
+                t_us: 9,
+                from: 1,
+                key: 5,
+                ok: false,
+                hops: 0,
+                retries: 8,
+                timeouts: 9,
+                latency_us: 4_000_000,
+            },
+            TraceEvent::Stabilize {
+                t_us: 10,
+                nodes: 64,
+                repaired: 3,
+                evicted: 4,
+            },
         ]
     }
 
@@ -221,6 +271,14 @@ mod tests {
         let rate = reg.gauge("cache.lookup.hit_rate").unwrap();
         assert!((rate - 1.0 / 3.0).abs() < 1e-9);
         assert!(reg.gauge("cache.block.hit_rate").is_none());
+        assert_eq!(reg.counter("churn.lookups"), 2);
+        assert_eq!(reg.counter("churn.failed"), 1);
+        assert_eq!(reg.counter("churn.timeouts"), 11);
+        assert_eq!(reg.histogram("churn.retries").unwrap().max(), 8);
+        assert_eq!(reg.histogram("churn.latency_us").unwrap().count(), 2);
+        assert_eq!(reg.counter("stabilize.rounds"), 1);
+        assert_eq!(reg.counter("stabilize.repaired"), 3);
+        assert_eq!(reg.counter("stabilize.evicted"), 4);
     }
 
     #[test]
@@ -231,7 +289,7 @@ mod tests {
         assert!(s.contains("lookup-cache hit rate: 33.3%"));
         assert!(s.contains("bytes migrated: 4096"));
         assert!(s.contains("balance moves: 1"));
-        assert!(s.contains("events: 10"));
+        assert!(s.contains("events: 13"));
     }
 
     #[test]

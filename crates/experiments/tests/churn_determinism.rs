@@ -1,0 +1,49 @@
+//! End-to-end checks for the `d2-exp churn` experiment: the rendered
+//! report and the `--obs-out` trace must be byte-identical at every
+//! `--jobs` value, and the retry/stabilization machinery must hold the
+//! lookup success rate at its acceptance floor under the default
+//! failure trace.
+
+use d2_experiments::churn;
+use d2_experiments::Scale;
+use d2_obs::{to_jsonl, SharedSink};
+use d2_ring::RetryPolicy;
+
+#[test]
+fn churn_report_and_trace_are_byte_identical_across_jobs() {
+    let mut renders = Vec::new();
+    let mut traces = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let sink = SharedSink::memory(0);
+        let churn = churn::run_traced(Scale::Quick, 42, jobs, &sink);
+        renders.push(churn.render());
+        traces.push(to_jsonl(&sink.drain()));
+    }
+    assert_eq!(renders[0], renders[1], "--jobs 1 vs 2 report diverged");
+    assert_eq!(renders[0], renders[2], "--jobs 1 vs 8 report diverged");
+    assert_eq!(traces[0], traces[1], "--jobs 1 vs 2 trace diverged");
+    assert_eq!(traces[0], traces[2], "--jobs 1 vs 8 trace diverged");
+    assert!(!traces[0].is_empty(), "traced run must emit events");
+}
+
+#[test]
+fn default_failure_trace_meets_the_availability_floor() {
+    let churn = churn::run(Scale::Quick, 42, 4);
+    let cap = RetryPolicy::default().max_retries;
+
+    let calm = churn.row(0.0).expect("0x row present");
+    assert_eq!(calm.failed, 0, "message drops alone must never fail");
+
+    let paper = churn.row(1.0).expect("1x row present");
+    assert!(
+        paper.success_rate() >= 0.999,
+        "1x churn success rate {} below the 99.9% floor",
+        paper.success_rate()
+    );
+    assert!(paper.max_retries <= cap, "retry cap exceeded");
+
+    for row in &churn.rows {
+        assert!(row.max_retries <= cap);
+        assert!(row.lookups > 0);
+    }
+}

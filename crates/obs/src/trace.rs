@@ -183,6 +183,39 @@ pub enum TraceEvent {
         /// Overloaded node being relieved.
         heavy: usize,
     },
+    /// One churn-hardened lookup under injected faults: retries,
+    /// timeouts, and the total virtual latency including backoffs
+    /// (emitted by `d2-ring`'s churn layer).
+    ChurnLookup {
+        /// Virtual time the lookup was issued.
+        t_us: u64,
+        /// Requesting node.
+        from: usize,
+        /// Looked-up key (64-bit ordered prefix).
+        key: u64,
+        /// Whether the live owner was reached.
+        ok: bool,
+        /// Successful forwarding hops.
+        hops: u32,
+        /// Retries consumed (timeout + backoff each).
+        retries: u32,
+        /// Hop attempts that timed out.
+        timeouts: u32,
+        /// Total virtual latency (delays + timeouts + backoffs).
+        latency_us: u64,
+    },
+    /// One ring self-stabilization round: successor-list repair,
+    /// long-link refresh, dead-link eviction (emitted by `d2-ring`).
+    Stabilize {
+        /// Virtual time of the round.
+        t_us: u64,
+        /// Live nodes refreshed.
+        nodes: u32,
+        /// Links added or retargeted.
+        repaired: u32,
+        /// Stale links removed.
+        evicted: u32,
+    },
     /// A completed timed span (e.g. one user task / access group).
     Span {
         /// Virtual start time.
@@ -208,6 +241,8 @@ impl TraceEvent {
             | TraceEvent::CacheProbe { t_us, .. }
             | TraceEvent::Migration { t_us, .. }
             | TraceEvent::BalanceMove { t_us, .. }
+            | TraceEvent::ChurnLookup { t_us, .. }
+            | TraceEvent::Stabilize { t_us, .. }
             | TraceEvent::Span { t_us, .. } => *t_us,
         }
     }
@@ -245,6 +280,12 @@ impl TraceEvent {
             ),
             TraceEvent::BalanceMove { t_us, mover, heavy } => format!(
                 "{{\"ev\":\"balance_move\",\"t_us\":{t_us},\"mover\":{mover},\"heavy\":{heavy}}}"
+            ),
+            TraceEvent::ChurnLookup { t_us, from, key, ok, hops, retries, timeouts, latency_us } => format!(
+                "{{\"ev\":\"churn_lookup\",\"t_us\":{t_us},\"from\":{from},\"key\":{key},\"ok\":{ok},\"hops\":{hops},\"retries\":{retries},\"timeouts\":{timeouts},\"latency_us\":{latency_us}}}"
+            ),
+            TraceEvent::Stabilize { t_us, nodes, repaired, evicted } => format!(
+                "{{\"ev\":\"stabilize\",\"t_us\":{t_us},\"nodes\":{nodes},\"repaired\":{repaired},\"evicted\":{evicted}}}"
             ),
             TraceEvent::Span { t_us, name, user, dur_us, items } => format!(
                 "{{\"ev\":\"span\",\"t_us\":{t_us},\"name\":\"{}\",\"user\":{user},\"dur_us\":{dur_us},\"items\":{items}}}",
@@ -542,6 +583,22 @@ mod tests {
                 dur_us: 50,
                 items: 3,
             },
+            TraceEvent::ChurnLookup {
+                t_us: 11,
+                from: 4,
+                key: 77,
+                ok: false,
+                hops: 6,
+                retries: 8,
+                timeouts: 9,
+                latency_us: 4_700_000,
+            },
+            TraceEvent::Stabilize {
+                t_us: 12,
+                nodes: 64,
+                repaired: 5,
+                evicted: 7,
+            },
         ];
         let a = to_jsonl(&events);
         let b = to_jsonl(&events);
@@ -552,6 +609,10 @@ mod tests {
         assert!(a.contains("\"tier\":\"lookup\""));
         assert!(a.contains("\"result\":\"stale\""));
         assert!(a.contains("\"kind\":\"pointer_resolve\""));
+        assert!(a.contains("\"ev\":\"churn_lookup\""));
+        assert!(a.contains("\"ok\":false"));
+        assert!(a.contains("\"ev\":\"stabilize\""));
+        assert!(a.contains("\"repaired\":5"));
         assert!(a.contains("cell \\\"a\\\""));
         for line in a.lines() {
             assert!(line.starts_with("{\"ev\":\"") && line.ends_with('}'));

@@ -16,6 +16,11 @@
 //!   that splits the heavy node's load in half.
 //! - [`node`] — a message-level protocol state machine (join, stabilize,
 //!   recursive lookup) used by the threaded live deployment in `d2-net`.
+//! - [`churn`] — churn-hardened routing: fault-injected lookups with
+//!   retries, per-hop timeouts, capped exponential backoff, and alternate-
+//!   successor fallback, plus the periodic self-stabilization pass that
+//!   repairs successor lists and evicts dead links (Section 8 failure
+//!   model).
 //!
 //! # Examples
 //!
@@ -31,12 +36,18 @@
 //! assert_eq!(ring.owner_of(&Key::from_fraction(0.9)), Some(a)); // wraps
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod balance;
+pub mod churn;
 pub mod messages;
 pub mod node;
 pub mod ring;
 pub mod routing;
 
 pub use balance::{BalanceConfig, BalanceOp, LoadView};
+pub use churn::{
+    ChurnLookup, FaultOracle, LookupOutcome, MessageFate, NoFaults, RetryPolicy, StabilizeStats,
+};
 pub use ring::{NodeIdx, Ring};
 pub use routing::{LookupStats, RoutingTable};

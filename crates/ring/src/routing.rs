@@ -160,6 +160,37 @@ impl Router {
         self.tables.get(node.0).and_then(|t| t.as_ref())
     }
 
+    /// Successor-list length the tables were built with.
+    pub fn succ_count(&self) -> usize {
+        self.succ_count
+    }
+
+    /// Removes the link `owner` → `dead` from `owner`'s table after a
+    /// timeout (negative feedback: the peer is presumed crashed). A
+    /// node never discards its *last* link — Chord's "keep your last
+    /// known successor" rule, without which an unlucky burst of message
+    /// drops could disconnect a perfectly healthy node. Returns whether
+    /// a link was removed.
+    pub fn evict_link(&mut self, owner: NodeIdx, dead: NodeIdx) -> bool {
+        match self.tables.get_mut(owner.0).and_then(|t| t.as_mut()) {
+            Some(t) if t.links.len() > 1 => {
+                let before = t.links.len();
+                t.links.retain(|(_, p)| *p != dead);
+                t.links.len() < before
+            }
+            _ => false,
+        }
+    }
+
+    /// Replaces (or clears) the stored table of `node`, growing the slot
+    /// vector as needed. Internal hook for the churn-stabilization code.
+    pub(crate) fn set_table(&mut self, node: NodeIdx, table: Option<RoutingTable>) {
+        if self.tables.len() <= node.0 {
+            self.tables.resize(node.0 + 1, None);
+        }
+        self.tables[node.0] = table;
+    }
+
     /// Recursively routes a lookup for `key` starting at `from`, returning
     /// hop/message counts. Stale long links (nodes that have since moved or
     /// left) are skipped; progress is guaranteed through the live ring's

@@ -1,0 +1,158 @@
+//! Property test: ring invariants survive arbitrary interleavings of
+//! join / graceful-leave / crash / rejoin, once a stabilization round
+//! runs.
+//!
+//! After any op sequence followed by `Router::stabilize_round`:
+//! 1. **Successor-list consistency** (Zave's key invariant): every live
+//!    node's first links are exactly the live ring's successors, in
+//!    ring order;
+//! 2. **No stale links**: no live node's table points at a crashed or
+//!    departed node, and every link's cached ID matches the peer's
+//!    current ring position;
+//! 3. **Routability**: every sampled key is resolvable from every
+//!    sampled origin via the churn-hardened lookup under a fault-free
+//!    oracle — terminating at the true live owner with zero retries.
+
+use d2_ring::churn::NoFaults;
+use d2_ring::routing::Router;
+use d2_ring::{LookupOutcome, NodeIdx, RetryPolicy, Ring};
+use d2_types::Key;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// A brand-new node joins at a key derived from the payload.
+    Join(u16),
+    /// A live node (picked by rank) departs gracefully: it leaves the
+    /// ring and announces it, so its own table is dropped.
+    Leave(u8),
+    /// A live node crashes: it leaves the ring but its table freezes in
+    /// place and everyone else's links to it dangle.
+    Crash(u8),
+    /// A crashed node (picked among the crashed) rejoins at its old
+    /// position and rebuilds its own table; other tables stay stale.
+    Rejoin(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => any::<u16>().prop_map(Op::Join),
+        1 => any::<u8>().prop_map(Op::Leave),
+        2 => any::<u8>().prop_map(Op::Crash),
+        2 => any::<u8>().prop_map(Op::Rejoin),
+    ]
+}
+
+/// A key unique to the payload that cannot collide with the seed nodes'
+/// positions (seeds sit at i/8 + 1/16; joiners at finer offsets).
+fn join_id(k: u16) -> Key {
+    Key::from_fraction((k as f64 + 0.25) / (u16::MAX as f64 + 1.0))
+}
+
+fn nth_live(live: &Ring, i: u8) -> Option<NodeIdx> {
+    let nodes = live.nodes();
+    if nodes.is_empty() {
+        None
+    } else {
+        Some(nodes[i as usize % nodes.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stabilization_restores_ring_invariants(ops in prop::collection::vec(arb_op(), 1..48)) {
+        const SUCC: usize = 3;
+        let mut live = Ring::new();
+        for i in 0..8 {
+            live.add_node(Key::from_fraction((i as f64 + 0.5) / 8.0));
+        }
+        let mut router = Router::build(&live, SUCC);
+        // Crashed nodes remembered by handle → old position.
+        let mut crashed: Vec<(NodeIdx, Key)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Join(k) => {
+                    let id = join_id(k);
+                    // Skip exact-position collisions (duplicate payloads,
+                    // or a crashed node's reserved spot).
+                    let occupied = live.owner_of(&id).and_then(|o| live.id_of(o)) == Some(id)
+                        || crashed.iter().any(|&(_, c)| c == id);
+                    if !occupied {
+                        let n = live.add_node(id);
+                        router.rebuild_node(&live, n);
+                    }
+                }
+                Op::Leave(i) => {
+                    if live.len() > 1 {
+                        if let Some(n) = nth_live(&live, i) {
+                            live.remove_node(n);
+                            router.remove_node(n);
+                        }
+                    }
+                }
+                Op::Crash(i) => {
+                    if live.len() > 1 {
+                        if let Some(n) = nth_live(&live, i) {
+                            let id = live.id_of(n).unwrap();
+                            live.remove_node(n);
+                            crashed.push((n, id));
+                            // Table stays frozen: links to n now dangle.
+                        }
+                    }
+                }
+                Op::Rejoin(i) => {
+                    if !crashed.is_empty() {
+                        let (n, id) = crashed.remove(i as usize % crashed.len());
+                        if live.add_node_at(n, id) {
+                            router.rebuild_node(&live, n);
+                        }
+                    }
+                }
+            }
+        }
+
+        router.stabilize_round(&live);
+
+        // (1) + (2): successor lists match the live ring; no stale links.
+        let nodes = live.nodes();
+        for &node in &nodes {
+            let t = router.table(node).expect("every live node has a table");
+            let want = (live.len() - 1).min(SUCC);
+            let mut succ = live.successor(node).unwrap();
+            for rank in 0..want {
+                prop_assert_eq!(
+                    t.links.get(rank).map(|&(_, p)| p),
+                    Some(succ),
+                    "node {:?}: successor link {} wrong", node, rank
+                );
+                succ = live.successor(succ).unwrap();
+            }
+            for &(id, peer) in &t.links {
+                prop_assert_eq!(
+                    live.id_of(peer),
+                    Some(id),
+                    "node {:?}: link to {:?} is stale", node, peer
+                );
+            }
+        }
+
+        // (3): every live key routes to its true owner from any origin,
+        // with no retries, under a fault-free oracle.
+        let policy = RetryPolicy::default();
+        let keys: Vec<Key> = (0..12).map(|i| Key::from_fraction((i as f64 + 0.37) / 12.0)).collect();
+        for (oi, &origin) in nodes.iter().enumerate().step_by(nodes.len().div_ceil(4).max(1)) {
+            let _ = oi;
+            for key in &keys {
+                let s = router.lookup_churn(&live, origin, key, &policy, &mut NoFaults, 0);
+                prop_assert_eq!(s.outcome, LookupOutcome::Success,
+                    "key {} unroutable from {:?}", key, origin);
+                prop_assert_eq!(s.owner, live.owner_of(key));
+                prop_assert_eq!(s.retries, 0);
+                prop_assert_eq!(s.timeouts, 0);
+            }
+        }
+    }
+}

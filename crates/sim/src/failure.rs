@@ -164,12 +164,15 @@ impl FailureTrace {
         if self.downs.is_empty() || self.duration == SimTime::ZERO {
             return 0.0;
         }
+        // `.max(0.0)`: summing zero intervals yields -0.0, which would
+        // print as "-0.000%" in reports.
         let total: f64 = self
             .downs
             .iter()
             .flat_map(|iv| iv.iter())
             .map(|&(s, e)| e.as_secs_f64() - s.as_secs_f64())
-            .sum();
+            .sum::<f64>()
+            .max(0.0);
         total / (self.downs.len() as f64 * self.duration.as_secs_f64())
     }
 

@@ -25,6 +25,8 @@
 //! assert!(range.contains(&Key::from_u64(15)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod encoding;
 pub mod error;
