@@ -1,0 +1,76 @@
+//! Micro-benchmark: the d2-wire frame codec on the hot inter-node path.
+//!
+//! Every live-deployment message crosses encode/decode once per hop, so
+//! codec throughput bounds cluster message rates. Three representative
+//! shapes: small fixed-size ring maintenance traffic (`FindOwner`), a
+//! pointer-heavy variable-size reply (`OwnerIs` with a successor list),
+//! and an 8 KiB block put (payload-dominated).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d2_types::{Key, KeyRange};
+use d2_wire::codec::{decode, encode, Request, WireMsg};
+use d2_wire::{PeerInfo, RingMsg};
+
+fn peer(i: u64) -> PeerInfo {
+    PeerInfo {
+        id: Key::from_u64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        addr: i as usize,
+    }
+}
+
+fn samples() -> Vec<(&'static str, WireMsg)> {
+    vec![
+        (
+            "find_owner",
+            WireMsg::Ring(RingMsg::FindOwner {
+                target: Key::from_fraction(0.61),
+                origin: 7,
+                req_id: 42,
+                hops: 3,
+            }),
+        ),
+        (
+            "owner_is_4succ",
+            WireMsg::Ring(RingMsg::OwnerIs {
+                req_id: 42,
+                owner: peer(1),
+                range: KeyRange::new(Key::from_fraction(0.1), Key::from_fraction(0.2)),
+                successors: (2..6).map(peer).collect(),
+                hops: 5,
+            }),
+        ),
+        (
+            "put_8k",
+            WireMsg::Request {
+                req_id: 99,
+                from: 11,
+                body: Request::Put {
+                    key: Key::from_fraction(0.33),
+                    fanout: 2,
+                    stored: 0,
+                    data: vec![0xAB; 8 * 1024],
+                },
+            },
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    for (name, msg) in samples() {
+        let frame = encode(&msg);
+        g.bench_function(&format!("encode_{name}"), |b| {
+            b.iter(|| black_box(encode(black_box(&msg))).len())
+        });
+        g.bench_function(&format!("decode_{name}"), |b| {
+            b.iter(|| black_box(decode(black_box(&frame)).unwrap()))
+        });
+        g.bench_function(&format!("round_trip_{name}"), |b| {
+            b.iter(|| black_box(decode(&encode(black_box(&msg))).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,278 @@
+//! One D2 node (or client operation) per OS process, over TCP.
+//!
+//! ```text
+//! d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--obs-out PATH]
+//! d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)
+//! d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
+//! d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)
+//! d2-node status --node IP:PORT
+//! d2-node stop   --node IP:PORT
+//! ```
+//!
+//! `serve` binds the listener (port 0 picks a free port), prints
+//! `LISTEN ip:port` on stdout, and runs the node until a `stop` request
+//! arrives. Without `--seed` it bootstraps a new ring; with `--seed` it
+//! joins through that address. With `--obs-out` it appends a JSONL
+//! metric snapshot (`net.bytes_{in,out}`, `net.msgs`, `net.reconnects`,
+//! RTT histograms) every second and once more on exit.
+//!
+//! See EXPERIMENTS.md ("A real cluster on localhost") for a walkthrough.
+
+use d2_net::{ClusterOps, NodeRuntime};
+use d2_ring::node::NodeConfig;
+use d2_types::Key;
+use d2_wire::client::WireClient;
+use d2_wire::metrics::NetMetrics;
+use d2_wire::tcp::{pack_addr, unpack_addr, TcpConfig, TcpTransport};
+use std::io::Write;
+use std::net::SocketAddrV4;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--obs-out PATH]\n\
+         \x20      d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)\n\
+         \x20      d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
+         \x20      d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)\n\
+         \x20      d2-node status --node IP:PORT\n\
+         \x20      d2-node stop   --node IP:PORT"
+    );
+    std::process::exit(2);
+}
+
+/// Flag values parsed from the command line.
+#[derive(Default)]
+struct Args {
+    listen: Option<SocketAddrV4>,
+    seed: Option<SocketAddrV4>,
+    node: Option<SocketAddrV4>,
+    pos: Option<f64>,
+    key: Option<Key>,
+    data: Option<String>,
+    replicas: usize,
+    obs_out: Option<String>,
+}
+
+fn parse_sock(s: &str, flag: &str) -> SocketAddrV4 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} wants IPv4 IP:PORT, got {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args {
+        replicas: 3,
+        ..Args::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--listen" => out.listen = Some(parse_sock(&val("--listen"), "--listen")),
+            "--seed" => out.seed = Some(parse_sock(&val("--seed"), "--seed")),
+            "--node" => out.node = Some(parse_sock(&val("--node"), "--node")),
+            "--pos" => match val("--pos").parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => out.pos = Some(f),
+                _ => {
+                    eprintln!("--pos wants a ring position in [0, 1]");
+                    std::process::exit(2);
+                }
+            },
+            "--key-frac" => match val("--key-frac").parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => out.key = Some(Key::from_fraction(f)),
+                _ => {
+                    eprintln!("--key-frac wants a fraction in [0, 1]");
+                    std::process::exit(2);
+                }
+            },
+            "--key-u64" => match val("--key-u64").parse::<u64>() {
+                Ok(v) => out.key = Some(Key::from_u64(v)),
+                Err(_) => {
+                    eprintln!("--key-u64 wants an unsigned integer");
+                    std::process::exit(2);
+                }
+            },
+            "--data" => out.data = Some(val("--data")),
+            "--replicas" => match val("--replicas").parse::<usize>() {
+                Ok(n) if n >= 1 => out.replicas = n,
+                _ => {
+                    eprintln!("--replicas wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--obs-out" => out.obs_out = Some(val("--obs-out")),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn serve(args: Args) {
+    let Some(listen) = args.listen else { usage() };
+    let Some(pos) = args.pos else { usage() };
+    let metrics = Arc::new(NetMetrics::new());
+    let transport = TcpTransport::bind(
+        *listen.ip(),
+        listen.port(),
+        TcpConfig::default(),
+        metrics.clone(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    // Announce the actual bound address (port 0 picks a free one) so
+    // scripts can discover it race-free.
+    println!("LISTEN {}", transport.socket_addr());
+    let _ = std::io::stdout().flush();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let obs_thread = args.obs_out.map(|path| {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| {
+                    eprintln!("open {path}: {e}");
+                    std::process::exit(1);
+                });
+            loop {
+                for _ in 0..10 {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                let line = metrics.snapshot().snapshot().to_json();
+                let _ = writeln!(file, "{line}");
+                if stop.load(Ordering::Acquire) {
+                    return; // final snapshot written above
+                }
+            }
+        })
+    });
+
+    let cfg = NodeConfig::default();
+    let id = Key::from_fraction(pos);
+    let rt = match args.seed {
+        None => NodeRuntime::bootstrap(id, cfg, transport),
+        Some(seed) => NodeRuntime::join(id, cfg, transport, pack_addr(seed)),
+    };
+    rt.run();
+
+    stop.store(true, Ordering::Release);
+    if let Some(h) = obs_thread {
+        let _ = h.join();
+    }
+}
+
+fn client_ops(node: SocketAddrV4) -> ClusterOps<TcpTransport> {
+    let metrics = Arc::new(NetMetrics::new());
+    let transport = TcpTransport::bind(
+        std::net::Ipv4Addr::LOCALHOST,
+        0,
+        TcpConfig::default(),
+        metrics.clone(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind client socket: {e}");
+        std::process::exit(1);
+    });
+    ClusterOps::new(WireClient::new(transport, metrics), vec![pack_addr(node)])
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let args = parse_args(rest);
+    match cmd.as_str() {
+        "serve" => serve(args),
+        "lookup" => {
+            let (Some(node), Some(key)) = (args.node, args.key) else {
+                usage()
+            };
+            match client_ops(node).lookup(key) {
+                Ok(owner) => println!(
+                    "owner {} at ring position {:.4}",
+                    unpack_addr(owner.addr),
+                    owner.id.to_fraction()
+                ),
+                Err(e) => {
+                    eprintln!("lookup failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "put" => {
+            let (Some(node), Some(key), Some(data)) = (args.node, args.key, args.data) else {
+                usage()
+            };
+            match client_ops(node).put(key, data.into_bytes(), args.replicas) {
+                Ok(written) => println!("stored {written} replicas"),
+                Err(e) => {
+                    eprintln!("put failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "get" => {
+            let (Some(node), Some(key)) = (args.node, args.key) else {
+                usage()
+            };
+            match client_ops(node).get(key, args.replicas) {
+                Ok(data) => println!("{}", String::from_utf8_lossy(&data)),
+                Err(e) => {
+                    eprintln!("get failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "status" => {
+            let Some(node) = args.node else { usage() };
+            match client_ops(node).status_of(pack_addr(node)) {
+                Some(st) => {
+                    println!(
+                        "node {} at ring position {:.4}",
+                        unpack_addr(st.me.addr),
+                        st.me.id.to_fraction()
+                    );
+                    match st.predecessor {
+                        Some(p) => println!("predecessor {}", unpack_addr(p.addr)),
+                        None => println!("predecessor (none)"),
+                    }
+                    for s in &st.successors {
+                        println!("successor {}", unpack_addr(s.addr));
+                    }
+                    println!("blocks {}", st.blocks);
+                }
+                None => {
+                    eprintln!("status failed: node unreachable");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "stop" => {
+            let Some(node) = args.node else { usage() };
+            if client_ops(node).stop(pack_addr(node)) {
+                println!("stopped");
+            } else {
+                eprintln!("stop failed: node unreachable");
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

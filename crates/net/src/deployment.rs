@@ -1,0 +1,364 @@
+//! An in-process cluster harness, generic over the transport.
+//!
+//! [`Deployment`] spawns one OS thread per node, each running a
+//! [`NodeRuntime`] over a [`Transport`] of the caller's choosing:
+//! [`ChannelTransport`] for deterministic tests (the default type
+//! parameter, so existing `Deployment::launch` callers are unchanged) or
+//! [`TcpTransport`] for a real localhost socket cluster via
+//! [`Deployment::launch_tcp`]. Client operations round-robin over the
+//! live nodes — the bootstrap node is only special as the *join seed*,
+//! not as a read path.
+
+use crate::ops::{ClusterOps, NodeStatus};
+use crate::runtime::NodeRuntime;
+use d2_obs::Registry;
+use d2_ring::messages::Addr;
+use d2_ring::node::NodeConfig;
+use d2_types::{Key, Result};
+use d2_wire::client::WireClient;
+use d2_wire::codec::Request;
+use d2_wire::metrics::NetMetrics;
+use d2_wire::tcp::{TcpConfig, TcpTransport};
+use d2_wire::transport::{ChannelHub, ChannelTransport, Transport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct NodeSlot {
+    addr: Addr,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A running cluster of node threads over a pluggable transport.
+pub struct Deployment<T: Transport = ChannelTransport> {
+    ops: ClusterOps<T>,
+    metrics: Arc<NetMetrics>,
+    replicas: usize,
+    seed: Addr,
+    nodes: Mutex<Vec<NodeSlot>>,
+    factory: Mutex<Box<dyn FnMut() -> T + Send>>,
+    /// Transport-specific crash-stop hook (cuts a node off from peers).
+    /// Returns whether the cut alone guarantees the node thread exits.
+    crash: Box<dyn Fn(Addr) -> bool + Send + Sync>,
+}
+
+impl Deployment<ChannelTransport> {
+    /// Launches `n` nodes with `replicas` copies per block over
+    /// in-process channels. Node 0 bootstraps the ring; the rest join
+    /// through it at evenly spaced positions (deterministic placement
+    /// keeps the example reproducible; use [`Deployment::launch_at`] for
+    /// custom positions).
+    pub fn launch(n: usize, replicas: usize) -> Deployment {
+        let ids: Vec<Key> = (0..n)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
+            .collect();
+        Self::launch_at(&ids, replicas)
+    }
+
+    /// Launches one channel-transport node per ring position in `ids`.
+    /// Nodes get addresses `0..n`; the client endpoint gets `n`.
+    pub fn launch_at(ids: &[Key], replicas: usize) -> Deployment {
+        assert!(!ids.is_empty(), "need at least one node");
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(Arc::clone(&metrics));
+        let transports: Vec<ChannelTransport> = ids.iter().map(|_| hub.open()).collect();
+        let seed = transports[0].local_addr();
+        let nodes = spawn_nodes(ids, transports, seed);
+        let client = WireClient::new(hub.open(), Arc::clone(&metrics));
+        let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
+        let factory_hub = hub.clone();
+        Deployment {
+            ops: ClusterOps::new(client, entries),
+            metrics,
+            replicas,
+            seed,
+            nodes: Mutex::new(nodes),
+            factory: Mutex::new(Box::new(move || factory_hub.open())),
+            crash: Box::new(move |addr| {
+                // Closing the slot makes peer sends fail fast and, once
+                // the mailbox drains, the node's receiver disconnects —
+                // so the thread is guaranteed to exit.
+                hub.close(addr);
+                true
+            }),
+        }
+    }
+}
+
+impl Deployment<TcpTransport> {
+    /// Launches `n` nodes over real localhost TCP sockets (each bound to
+    /// `127.0.0.1:0`), with the same evenly spaced ring placement as
+    /// [`Deployment::launch`].
+    pub fn launch_tcp(
+        n: usize,
+        replicas: usize,
+        cfg: TcpConfig,
+    ) -> std::io::Result<Deployment<TcpTransport>> {
+        assert!(n > 0, "need at least one node");
+        let ids: Vec<Key> = (0..n)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
+            .collect();
+        let metrics = Arc::new(NetMetrics::new());
+        let mut transports = Vec::with_capacity(n);
+        for _ in 0..n {
+            transports.push(TcpTransport::bind(
+                Ipv4Addr::LOCALHOST,
+                0,
+                cfg,
+                Arc::clone(&metrics),
+            )?);
+        }
+        let seed = transports[0].local_addr();
+        let nodes = spawn_nodes(&ids, transports, seed);
+        let client = WireClient::new(
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&metrics))?,
+            Arc::clone(&metrics),
+        );
+        let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
+        let factory_metrics = Arc::clone(&metrics);
+        Ok(Deployment {
+            ops: ClusterOps::new(client, entries),
+            metrics,
+            replicas,
+            seed,
+            nodes: Mutex::new(nodes),
+            factory: Mutex::new(Box::new(move || {
+                TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&factory_metrics))
+                    .expect("bind joining node on 127.0.0.1:0")
+            })),
+            // A TCP node cannot be cut off externally; killing relies on
+            // the shutdown request reaching it.
+            crash: Box::new(|_| false),
+        })
+    }
+}
+
+fn spawn_nodes<T: Transport>(ids: &[Key], transports: Vec<T>, seed: Addr) -> Vec<NodeSlot> {
+    let mut nodes = Vec::with_capacity(ids.len());
+    for (i, transport) in transports.into_iter().enumerate() {
+        let cfg = NodeConfig::default();
+        let rt = if transport.local_addr() == seed {
+            NodeRuntime::bootstrap(ids[i], cfg, transport)
+        } else {
+            NodeRuntime::join(ids[i], cfg, transport, seed)
+        };
+        let addr = rt.local_addr();
+        nodes.push(NodeSlot {
+            addr,
+            handle: Some(std::thread::spawn(move || rt.run())),
+        });
+    }
+    nodes
+}
+
+impl<T: Transport> Deployment<T> {
+    /// Joins a brand-new node at ring position `id` through the seed,
+    /// returning its address. The ring absorbs it over the next few
+    /// stabilization rounds ([`Deployment::wait_stable`] blocks until
+    /// then).
+    pub fn join_node(&self, id: Key) -> Addr {
+        let transport = (self.factory.lock())();
+        let rt = NodeRuntime::join(id, NodeConfig::default(), transport, self.seed);
+        let addr = rt.local_addr();
+        self.nodes.lock().push(NodeSlot {
+            addr,
+            handle: Some(std::thread::spawn(move || rt.run())),
+        });
+        self.refresh_entries();
+        addr
+    }
+
+    /// Kills node `addr` abruptly (crash-stop). Peers detect the death
+    /// through failed sends and stabilization repairs the ring; the dead
+    /// node's thread is reaped before returning. The seed node must stay
+    /// alive (it is the join entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is the seed or not a live node.
+    pub fn kill_node(&self, addr: Addr) {
+        assert!(addr != self.seed, "the seed node must stay alive");
+        let mut slot = {
+            let mut nodes = self.nodes.lock();
+            let i = nodes
+                .iter()
+                .position(|s| s.addr == addr)
+                .unwrap_or_else(|| panic!("no live node at addr {addr}"));
+            nodes.remove(i)
+        };
+        self.refresh_entries();
+        // Ask it to stop (fire-and-forget), then cut it off so peers
+        // fail fast. For channels the cut alone guarantees exit; for TCP
+        // we rely on the delivered shutdown request.
+        let delivered = self.ops.client().notify(addr, Request::Shutdown).is_ok();
+        let forced = (self.crash)(addr);
+        if let Some(h) = slot.handle.take() {
+            if delivered || forced {
+                let _ = h.join();
+            }
+            // Otherwise the node is unreachable and would never exit:
+            // leak the thread rather than hang the caller.
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Whether the deployment has no nodes (never true after launch).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.lock().is_empty()
+    }
+
+    /// Addresses of all live nodes.
+    pub fn live_addrs(&self) -> Vec<Addr> {
+        self.nodes.lock().iter().map(|s| s.addr).collect()
+    }
+
+    fn refresh_entries(&self) {
+        self.ops.set_entries(self.live_addrs());
+    }
+
+    /// The join seed's address.
+    pub fn seed_addr(&self) -> Addr {
+        self.seed
+    }
+
+    /// Client operations against this cluster (shared with the
+    /// `d2-node` CLI and integration tests).
+    pub fn ops(&self) -> &ClusterOps<T> {
+        &self.ops
+    }
+
+    /// The deployment-wide network metrics sheet.
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
+    /// Current `net.*` counters and RTT histograms as a registry
+    /// snapshot (ready for JSONL export).
+    pub fn metrics_registry(&self) -> Registry {
+        self.metrics.snapshot()
+    }
+
+    /// Blocks until every live node has a live predecessor and
+    /// successor and the successor cycle from the seed covers all live
+    /// nodes.
+    pub fn wait_stable(&self) {
+        for _ in 0..2000 {
+            let statuses = self.statuses();
+            let expected = self.len();
+            let live: Vec<Addr> = statuses.iter().map(|s| s.me.addr).collect();
+            let ok = statuses.len() == expected
+                && statuses.iter().all(|s| {
+                    s.predecessor
+                        .map(|p| live.contains(&p.addr))
+                        .unwrap_or(false)
+                        && s.successors
+                            .first()
+                            .map(|p| live.contains(&p.addr))
+                            .unwrap_or(false)
+                })
+                && ring_is_consistent(self.seed, &statuses);
+            if ok {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Include the final ring shape: a wedged topology and a
+        // merely-slow one need different fixes.
+        let statuses = self.statuses();
+        let mut shape = String::new();
+        for s in &statuses {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                shape,
+                "  {}: pred={:?} succs={:?}",
+                s.me.addr,
+                s.predecessor.map(|p| p.addr),
+                s.successors.iter().map(|p| p.addr).collect::<Vec<_>>()
+            );
+        }
+        panic!(
+            "ring failed to stabilize; {}/{} statuses:\n{shape}",
+            statuses.len(),
+            self.len()
+        );
+    }
+
+    /// Locates the owner of `key` via a real recursive lookup, entering
+    /// through the live nodes in round-robin order.
+    pub fn lookup(&self, key: Key) -> Result<d2_ring::messages::PeerInfo> {
+        self.ops.lookup(key)
+    }
+
+    /// Stores a block on the owner and its successors. Returns once the
+    /// whole replica chain has acked — no settling time needed before
+    /// reads.
+    pub fn put(&self, key: Key, data: Vec<u8>) -> Result<()> {
+        self.ops.put(key, data, self.replicas).map(|_| ())
+    }
+
+    /// Fetches a block from the owner (falling back to its successors).
+    pub fn get(&self, key: Key) -> Result<Vec<u8>> {
+        self.ops.get(key, self.replicas)
+    }
+
+    /// Snapshot of every reachable live node's view.
+    pub fn statuses(&self) -> Vec<NodeStatus> {
+        self.live_addrs()
+            .into_iter()
+            .filter_map(|a| self.ops.status_of(a))
+            .collect()
+    }
+
+    /// Stops all node threads gracefully and reaps them.
+    pub fn shutdown(&self) {
+        let mut nodes = std::mem::take(&mut *self.nodes.lock());
+        for slot in &mut nodes {
+            let acked = self.ops.stop(slot.addr);
+            let forced = if acked {
+                false
+            } else {
+                (self.crash)(slot.addr)
+            };
+            if let Some(h) = slot.handle.take() {
+                if acked || forced {
+                    let _ = h.join();
+                }
+            }
+        }
+        self.refresh_entries();
+    }
+}
+
+/// Following successor pointers from `seed` must visit all live nodes.
+fn ring_is_consistent(seed: Addr, statuses: &[NodeStatus]) -> bool {
+    let by_addr: HashMap<Addr, &NodeStatus> = statuses.iter().map(|s| (s.me.addr, s)).collect();
+    let mut seen = 0usize;
+    let mut cur = seed;
+    for _ in 0..statuses.len() {
+        seen += 1;
+        let Some(s) = by_addr.get(&cur) else {
+            return false;
+        };
+        let Some(next) = s.successors.first() else {
+            return false;
+        };
+        cur = next.addr;
+        if cur == seed {
+            break;
+        }
+    }
+    seen == statuses.len() && cur == seed
+}
+
+impl<T: Transport> Drop for Deployment<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,170 @@
+//! Client-side cluster operations shared by [`crate::Deployment`], the
+//! `d2-node` command-line client, and integration tests.
+//!
+//! A [`ClusterOps`] wraps a [`WireClient`] plus a rotating list of entry
+//! nodes. Lookups round-robin across the entries — every live node is an
+//! equally good first hop, so no single node is a client-side point of
+//! entry (the join *seed* is the only address with a fixed role).
+
+use d2_ring::messages::{Addr, PeerInfo};
+use d2_types::{D2Error, Key, Result};
+use d2_wire::client::{ClientError, WireClient};
+use d2_wire::codec::{Request, Response, WireStatus};
+use d2_wire::transport::Transport;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A snapshot of one node's view.
+#[derive(Clone, Debug)]
+pub struct NodeStatus {
+    /// The node's identity.
+    pub me: PeerInfo,
+    /// Its predecessor, if known.
+    pub predecessor: Option<PeerInfo>,
+    /// Its successor list.
+    pub successors: Vec<PeerInfo>,
+    /// Blocks stored locally.
+    pub blocks: usize,
+}
+
+impl From<WireStatus> for NodeStatus {
+    fn from(w: WireStatus) -> Self {
+        NodeStatus {
+            me: w.me,
+            predecessor: w.predecessor,
+            successors: w.successors,
+            blocks: w.blocks as usize,
+        }
+    }
+}
+
+/// Client operations against a running cluster, entered through a
+/// rotating set of live nodes.
+pub struct ClusterOps<T: Transport> {
+    client: WireClient<T>,
+    entries: RwLock<Vec<Addr>>,
+    next_entry: AtomicUsize,
+}
+
+impl<T: Transport> ClusterOps<T> {
+    /// Wraps `client`; lookups enter the ring through `entries` in
+    /// round-robin order.
+    pub fn new(client: WireClient<T>, entries: Vec<Addr>) -> Self {
+        ClusterOps {
+            client,
+            entries: RwLock::new(entries),
+            next_entry: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying request/response client.
+    pub fn client(&self) -> &WireClient<T> {
+        &self.client
+    }
+
+    /// Replaces the entry-node set (e.g. after churn).
+    pub fn set_entries(&self, entries: Vec<Addr>) {
+        *self.entries.write() = entries;
+    }
+
+    /// The current entry-node set.
+    pub fn entries(&self) -> Vec<Addr> {
+        self.entries.read().clone()
+    }
+
+    fn next_entry(&self) -> Option<Addr> {
+        let entries = self.entries.read();
+        if entries.is_empty() {
+            return None;
+        }
+        let i = self.next_entry.fetch_add(1, Ordering::Relaxed);
+        Some(entries[i % entries.len()])
+    }
+
+    /// Locates the owner of `key` via a real recursive lookup, entering
+    /// through the next entry node. Retries with rotated entries: a
+    /// lookup routed through a node that died mid-flight is dropped (the
+    /// sender forgets the dead hop), and the retry takes the repaired
+    /// route.
+    pub fn lookup(&self, key: Key) -> Result<PeerInfo> {
+        for attempt in 0..4u32 {
+            let Some(entry) = self.next_entry() else {
+                break;
+            };
+            let timeout = Duration::from_millis(500 * (attempt as u64 + 1));
+            match self.client.call(entry, Request::Lookup { key }, timeout) {
+                Ok(Response::Owner { owner, .. }) => return Ok(owner),
+                Ok(_) | Err(ClientError::Timeout) | Err(ClientError::Unreachable(_)) => {}
+                Err(ClientError::Closed) => break,
+            }
+        }
+        Err(D2Error::Unavailable(key))
+    }
+
+    /// Stores a block on the owner and `replicas - 1` further
+    /// successors, returning the number of copies written. The ack comes
+    /// from the *end* of the replica chain, so when this returns every
+    /// reachable replica holds the block — no settling sleep needed.
+    pub fn put(&self, key: Key, data: Vec<u8>, replicas: usize) -> Result<usize> {
+        let owner = self.lookup(key)?;
+        let req = Request::Put {
+            key,
+            fanout: replicas.saturating_sub(1) as u32,
+            stored: 0,
+            data,
+        };
+        match self.client.call(owner.addr, req, Duration::from_secs(10)) {
+            Ok(Response::PutAck { replicas }) => Ok(replicas as usize),
+            _ => Err(D2Error::Unavailable(key)),
+        }
+    }
+
+    /// Fetches a block from the owner, falling back along its successor
+    /// chain (up to `replicas` probes).
+    pub fn get(&self, key: Key, replicas: usize) -> Result<Vec<u8>> {
+        let owner = self.lookup(key)?;
+        let mut addr = owner.addr;
+        for _ in 0..replicas.max(1) {
+            match self
+                .client
+                .call(addr, Request::Get { key }, Duration::from_secs(10))
+            {
+                Ok(Response::Block { data: Some(data) }) => return Ok(data),
+                Ok(Response::Block { data: None }) => {
+                    // Ask this node's successor next.
+                    match self.status_of(addr) {
+                        Some(st) => match st.successors.first() {
+                            Some(next) => addr = next.addr,
+                            None => break,
+                        },
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        Err(D2Error::NotFound(key))
+    }
+
+    /// One node's ring view, or `None` if it cannot be reached.
+    pub fn status_of(&self, addr: Addr) -> Option<NodeStatus> {
+        match self
+            .client
+            .call(addr, Request::Status, Duration::from_secs(10))
+        {
+            Ok(Response::Status(w)) => Some(w.into()),
+            _ => None,
+        }
+    }
+
+    /// Asks the node at `addr` to stop, waiting briefly for its ack.
+    /// Returns whether the node acknowledged.
+    pub fn stop(&self, addr: Addr) -> bool {
+        matches!(
+            self.client
+                .call(addr, Request::Shutdown, Duration::from_secs(5)),
+            Ok(Response::ShutdownAck)
+        )
+    }
+}

@@ -1,0 +1,254 @@
+//! The per-node event loop, generic over the transport.
+//!
+//! A [`NodeRuntime`] is one live D2 node: the pure protocol state
+//! machine ([`ProtocolNode`]), a local block store, and a
+//! [`Transport`] endpoint. [`NodeRuntime::run`] drives it until a
+//! [`Request::Shutdown`] arrives or the transport closes — the *same*
+//! loop body whether the transport is an in-process channel or a TCP
+//! socket, which is the whole point of the [`d2_wire`] seam.
+
+use d2_ring::messages::{Addr, RingMsg};
+use d2_ring::node::{NodeConfig, ProtocolNode};
+use d2_types::Key;
+use d2_wire::codec::{Request, Response, WireMsg, WireStatus};
+use d2_wire::transport::{RecvError, Transport};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How long the event loop waits for traffic before running a
+/// stabilization tick.
+const TICK: Duration = Duration::from_millis(20);
+
+/// How long an unjoined node waits before re-sending its join. Longer
+/// than the TCP circuit breaker's backoff cap, so every retry is a real
+/// connection attempt rather than a fail-fast inside the backoff window.
+const JOIN_RETRY: Duration = Duration::from_millis(1_250);
+
+/// Bounded local re-routing budget: when a hop turns out dead we forget
+/// it and, for routed requests, immediately re-handle the message so it
+/// takes the next-best route instead of being dropped.
+const REROUTE_BUDGET: u32 = 64;
+
+/// One live node: protocol state machine + block store + transport.
+pub struct NodeRuntime<T: Transport> {
+    node: ProtocolNode,
+    store: HashMap<Key, Vec<u8>>,
+    transport: T,
+    /// Ring lookup id → (client addr, client req_id) awaiting the owner.
+    pending_lookups: HashMap<u64, (Addr, u64)>,
+    /// Join seed, kept so an unjoined node can retry: the one-shot join
+    /// message (or its ack) can be lost to a connect timeout during a
+    /// cluster-wide boot storm, and nothing else would ever re-send it.
+    seed: Option<Addr>,
+    last_join_attempt: Instant,
+}
+
+impl<T: Transport> NodeRuntime<T> {
+    /// Creates the first node of a new ring at position `id`. The node's
+    /// address is the transport's.
+    pub fn bootstrap(id: Key, cfg: NodeConfig, transport: T) -> Self {
+        let node = ProtocolNode::bootstrap(id, transport.local_addr(), cfg);
+        NodeRuntime {
+            node,
+            store: HashMap::new(),
+            transport,
+            pending_lookups: HashMap::new(),
+            seed: None,
+            last_join_attempt: Instant::now(),
+        }
+    }
+
+    /// Creates a node that joins an existing ring through `seed`,
+    /// sending the initial join traffic immediately.
+    pub fn join(id: Key, cfg: NodeConfig, transport: T, seed: Addr) -> Self {
+        let (node, join_msgs) = ProtocolNode::join(id, transport.local_addr(), cfg, seed);
+        let mut rt = NodeRuntime {
+            node,
+            store: HashMap::new(),
+            transport,
+            pending_lookups: HashMap::new(),
+            seed: Some(seed),
+            last_join_attempt: Instant::now(),
+        };
+        rt.send_all(join_msgs);
+        rt
+    }
+
+    /// The node's transport address.
+    pub fn local_addr(&self) -> Addr {
+        self.transport.local_addr()
+    }
+
+    /// Runs the event loop until shutdown, then closes the transport.
+    pub fn run(mut self) {
+        loop {
+            match self.transport.recv_timeout(TICK) {
+                Err(RecvError::Timeout) => {
+                    let out = self.node.tick();
+                    self.send_all(out);
+                    self.retry_join_if_unjoined();
+                    self.drain_completed();
+                }
+                Err(RecvError::Closed) => break,
+                Ok(WireMsg::Ring(m)) => {
+                    let out = self.node.handle(m);
+                    self.send_all(out);
+                    self.drain_completed();
+                }
+                Ok(WireMsg::Request { req_id, from, body }) => {
+                    if !self.handle_request(req_id, from, body) {
+                        break;
+                    }
+                }
+                // Nodes never issue requests, so stray responses (e.g. a
+                // late PutAck racing a chain we forwarded) are dropped.
+                Ok(WireMsg::Response { .. }) => {}
+            }
+        }
+        self.transport.shutdown();
+    }
+
+    /// Handles one client request; returns `false` on shutdown.
+    fn handle_request(&mut self, req_id: u64, from: Addr, body: Request) -> bool {
+        match body {
+            Request::Lookup { key } => {
+                let (ring_req, out) = self.node.start_lookup(key);
+                self.pending_lookups.insert(ring_req, (from, req_id));
+                self.send_all(out);
+                self.drain_completed();
+            }
+            Request::Put {
+                key,
+                fanout,
+                stored,
+                data,
+            } => self.handle_put(req_id, from, key, fanout, stored, data),
+            Request::Get { key } => {
+                self.respond(
+                    from,
+                    req_id,
+                    Response::Block {
+                        data: self.store.get(&key).cloned(),
+                    },
+                );
+            }
+            Request::Status => {
+                let status = WireStatus {
+                    me: self.node.me(),
+                    predecessor: self.node.predecessor(),
+                    successors: self.node.successors().to_vec(),
+                    blocks: self.store.len() as u64,
+                };
+                self.respond(from, req_id, Response::Status(status));
+            }
+            Request::Shutdown => {
+                self.respond(from, req_id, Response::ShutdownAck);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Replica-chain store: write the local copy, then either forward
+    /// down the successor list or — as the end of the chain — ack the
+    /// original client directly. The ack therefore means *every*
+    /// reachable replica is written, not merely the first.
+    fn handle_put(
+        &mut self,
+        req_id: u64,
+        from: Addr,
+        key: Key,
+        fanout: u32,
+        stored: u32,
+        data: Vec<u8>,
+    ) {
+        self.store.insert(key, data.clone());
+        let stored = stored + 1;
+        if fanout > 0 {
+            let me = self.node.me().addr;
+            let succs: Vec<Addr> = self
+                .node
+                .successors()
+                .iter()
+                .map(|p| p.addr)
+                .filter(|&a| a != me)
+                .collect();
+            let forward = WireMsg::Request {
+                req_id,
+                from,
+                body: Request::Put {
+                    key,
+                    fanout: fanout - 1,
+                    stored,
+                    data,
+                },
+            };
+            for succ in succs {
+                if self.transport.send(succ, &forward).is_ok() {
+                    return; // the chain continues; its end will ack
+                }
+                self.node.forget(succ);
+            }
+            // No reachable successor: this node terminates the chain.
+        }
+        self.respond(from, req_id, Response::PutAck { replicas: stored });
+    }
+
+    /// Sends ring traffic, forgetting dead hops and re-routing routed
+    /// requests through the repaired ring (bounded by [`REROUTE_BUDGET`]).
+    fn send_all(&mut self, msgs: Vec<(Addr, RingMsg)>) {
+        let mut queue = msgs;
+        let mut budget = REROUTE_BUDGET;
+        while let Some((to, msg)) = queue.pop() {
+            if self.transport.send(to, &WireMsg::Ring(msg.clone())).is_ok() {
+                continue;
+            }
+            self.node.forget(to);
+            let reroutable = matches!(msg, RingMsg::FindOwner { .. } | RingMsg::Join { .. });
+            if reroutable && budget > 0 {
+                budget -= 1;
+                queue.extend(self.node.handle(msg));
+            }
+        }
+    }
+
+    /// Re-sends the join while the node has no ring pointers: either the
+    /// original join or its ack was lost (boot-storm connect timeout),
+    /// and the join handshake is the only path that can recover.
+    fn retry_join_if_unjoined(&mut self) {
+        let Some(seed) = self.seed else { return };
+        if self.node.is_joined() || self.last_join_attempt.elapsed() < JOIN_RETRY {
+            return;
+        }
+        self.last_join_attempt = Instant::now();
+        let join = RingMsg::Join {
+            joiner: self.node.me(),
+            hops: 0,
+        };
+        let _ = self.transport.send(seed, &WireMsg::Ring(join));
+    }
+
+    /// Flushes finished lookups back to the clients that asked.
+    fn drain_completed(&mut self) {
+        for res in self.node.take_completed() {
+            if let Some((client, req_id)) = self.pending_lookups.remove(&res.req_id) {
+                self.respond(
+                    client,
+                    req_id,
+                    Response::Owner {
+                        owner: res.owner,
+                        hops: res.hops,
+                    },
+                );
+            }
+        }
+    }
+
+    fn respond(&mut self, to: Addr, req_id: u64, body: Response) {
+        let msg = WireMsg::Response { req_id, body };
+        if self.transport.send(to, &msg).is_err() {
+            // A client that vanished mid-request is not a node failure;
+            // nothing to repair.
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end: a real multi-process D2 cluster on localhost.
+//!
+//! Boots nine `d2-node` processes over TCP, stores replicated blocks
+//! through real recursive lookups, crash-kills one process, verifies the
+//! ring heals and every block stays readable, then shuts the cluster
+//! down gracefully and checks the exported `net.*` metrics.
+
+use d2_net::ops::ClusterOps;
+use d2_ring::messages::Addr;
+use d2_types::Key;
+use d2_wire::client::WireClient;
+use d2_wire::metrics::NetMetrics;
+use d2_wire::tcp::{pack_addr, TcpConfig, TcpTransport};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Kills the child on drop so a failed assertion never leaks processes.
+struct NodeProc {
+    child: Child,
+    addr: Addr,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_node(pos: f64, seed: Option<SocketAddrV4>, obs_out: Option<&str>) -> NodeProc {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_d2-node"));
+    cmd.arg("serve")
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--pos")
+        .arg(format!("{pos}"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if let Some(seed) = seed {
+        cmd.arg("--seed").arg(format!("{seed}"));
+    }
+    if let Some(path) = obs_out {
+        cmd.arg("--obs-out").arg(path);
+    }
+    let mut child = cmd.spawn().expect("spawn d2-node");
+    // The node prints `LISTEN ip:port` once the listener is bound, which
+    // makes port discovery race-free.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTEN line");
+    let sock: SocketAddrV4 = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("parse LISTEN addr");
+    NodeProc {
+        child,
+        addr: pack_addr(sock),
+    }
+}
+
+/// Following successor pointers from `start` visits every live node.
+fn ring_is_consistent(
+    start: Addr,
+    statuses: &HashMap<Addr, d2_net::NodeStatus>,
+    live: &[Addr],
+) -> bool {
+    let mut cur = start;
+    let mut seen = 0usize;
+    for _ in 0..live.len() {
+        seen += 1;
+        let Some(s) = statuses.get(&cur) else {
+            return false;
+        };
+        let Some(next) = s.successors.first() else {
+            return false;
+        };
+        if !live.contains(&next.addr) {
+            return false;
+        }
+        cur = next.addr;
+        if cur == start {
+            break;
+        }
+    }
+    seen == live.len() && cur == start
+}
+
+fn wait_stable(ops: &ClusterOps<TcpTransport>, live: &[Addr], what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let statuses: HashMap<Addr, d2_net::NodeStatus> = live
+            .iter()
+            .filter_map(|&a| ops.status_of(a).map(|s| (a, s)))
+            .collect();
+        // Predecessors must be live too: ownership ranges derive from
+        // them, so a stale dead predecessor leaves a key range unowned.
+        let preds_live = statuses.values().all(|s| {
+            s.predecessor
+                .map(|p| live.contains(&p.addr))
+                .unwrap_or(false)
+        });
+        if statuses.len() == live.len()
+            && preds_live
+            && ring_is_consistent(live[0], &statuses, live)
+        {
+            return;
+        }
+        if Instant::now() >= deadline {
+            let mut shape = String::new();
+            for &a in live {
+                use std::fmt::Write;
+                match statuses.get(&a) {
+                    Some(s) => writeln!(
+                        shape,
+                        "  {a}: pred={:?} succs={:?}",
+                        s.predecessor.map(|p| p.addr),
+                        s.successors.iter().map(|p| p.addr).collect::<Vec<_>>()
+                    )
+                    .unwrap(),
+                    None => writeln!(shape, "  {a}: <no status>").unwrap(),
+                }
+            }
+            panic!(
+                "{what}: ring failed to stabilize; have {}/{} statuses\n{shape}",
+                statuses.len(),
+                live.len()
+            );
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn test_keys() -> Vec<Key> {
+    (1..=12u64)
+        .map(|i| Key::from_fraction(i as f64 / 13.0))
+        .collect()
+}
+
+#[test]
+fn nine_process_tcp_cluster_survives_a_crash() {
+    const N: usize = 9;
+    const REPLICAS: usize = 3;
+    let obs_path = std::env::temp_dir().join(format!("d2-node-obs-{}.jsonl", std::process::id()));
+    let obs_path = obs_path.to_str().expect("utf8 temp path").to_string();
+    let _ = std::fs::remove_file(&obs_path);
+
+    // Boot the seed, then join the rest through it.
+    let seed = spawn_node(0.5 / N as f64, None, Some(&obs_path));
+    let seed_sock = d2_wire::tcp::unpack_addr(seed.addr);
+    let mut procs = vec![seed];
+    for i in 1..N {
+        procs.push(spawn_node(
+            (i as f64 + 0.5) / N as f64,
+            Some(seed_sock),
+            None,
+        ));
+    }
+    let mut live: Vec<Addr> = procs.iter().map(|p| p.addr).collect();
+
+    let metrics = Arc::new(NetMetrics::new());
+    let client = WireClient::new(
+        TcpTransport::bind(
+            Ipv4Addr::LOCALHOST,
+            0,
+            TcpConfig::default(),
+            metrics.clone(),
+        )
+        .expect("bind client"),
+        metrics,
+    );
+    let ops = ClusterOps::new(client, live.clone());
+
+    wait_stable(&ops, &live, "after boot");
+
+    // Store replicated blocks; the ack certifies the whole chain, so
+    // reads immediately afterwards need no settling sleep.
+    for (i, &k) in test_keys().iter().enumerate() {
+        let written = ops
+            .put(k, format!("block-{i}").into_bytes(), REPLICAS)
+            .unwrap_or_else(|e| panic!("put {i}: {e}"));
+        assert_eq!(written, REPLICAS, "put {i} wrote a short chain");
+    }
+    for (i, &k) in test_keys().iter().enumerate() {
+        assert_eq!(
+            ops.get(k, REPLICAS)
+                .unwrap_or_else(|e| panic!("get {i}: {e}")),
+            format!("block-{i}").into_bytes()
+        );
+    }
+
+    // Lookups enter through rotating nodes and find the right owner.
+    let owner = ops.lookup(Key::from_fraction(0.61)).expect("lookup");
+    assert!(live.contains(&owner.addr));
+
+    // Crash-kill one non-seed process (SIGKILL: no goodbye traffic).
+    let victim = procs.remove(5);
+    let victim_addr = victim.addr;
+    drop(victim);
+    live.retain(|&a| a != victim_addr);
+    ops.set_entries(live.clone());
+
+    wait_stable(&ops, &live, "after crash");
+
+    // Every block survives the crash (replicas outlive one failure).
+    for (i, &k) in test_keys().iter().enumerate() {
+        assert_eq!(
+            ops.get(k, REPLICAS)
+                .unwrap_or_else(|e| panic!("get {i} after crash: {e}")),
+            format!("block-{i}").into_bytes()
+        );
+    }
+
+    // Graceful shutdown: every surviving node acks and its process exits.
+    for p in &mut procs {
+        assert!(ops.stop(p.addr), "node did not ack shutdown");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match p.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "node exited with {status}");
+                    break;
+                }
+                None => {
+                    assert!(Instant::now() < deadline, "node did not exit after stop");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    // The seed exported live net.* metrics as JSONL.
+    let obs = std::fs::read_to_string(&obs_path).expect("read obs JSONL");
+    let last = obs.lines().last().expect("at least one snapshot line");
+    // (RTT histograms live on the client side; a serving node exports
+    // the frame counters.)
+    for key in [
+        "net.bytes_in",
+        "net.bytes_out",
+        "net.msgs",
+        "net.reconnects",
+    ] {
+        assert!(last.contains(key), "obs line missing {key}: {last}");
+    }
+    let _ = std::fs::remove_file(&obs_path);
+}

@@ -11,6 +11,11 @@ use crate::messages::{Addr, PeerInfo, RingMsg};
 use d2_types::{Key, KeyRange};
 use std::collections::HashMap;
 
+/// Forwarding budget for a `Join` before it is dropped (the joiner
+/// retries on a timer); greedy routing over transiently inconsistent
+/// successor lists can otherwise cycle a join between two nodes forever.
+const JOIN_MAX_HOPS: u32 = 64;
+
 /// Outcome of a completed lookup, surfaced to the embedding layer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LookupResult {
@@ -260,21 +265,32 @@ impl ProtocolNode {
         }
     }
 
-    /// Periodic maintenance: stabilize with the first successor and probe
+    /// Periodic maintenance: stabilize with *every* successor and probe
     /// the predecessor (Chord's `check_predecessor`) — a transport-level
     /// send failure makes the embedding layer call
     /// [`ProtocolNode::forget`], clearing the dead pointer so the true
     /// predecessor's next notify is adopted and no key range goes
     /// unowned.
+    ///
+    /// Probing the whole successor list (it is capped at
+    /// [`NodeConfig::successors`]) and not just its head matters after a
+    /// crash: a dead node in the *tail* of some neighbor's list is never
+    /// the target of that neighbor's sends, so nothing would ever evict
+    /// it, and its `Neighbors` advertisements keep re-inserting the dead
+    /// peer at the head of the lists of the nodes immediately before it
+    /// — which then probe a dead first successor every tick and can
+    /// never walk past it to their true successor. Probing the full list
+    /// evicts dead entries ring-wide within one tick, drying up the
+    /// re-advertisement at its source.
     pub fn tick(&mut self) -> Vec<(Addr, RingMsg)> {
-        let mut out = Vec::with_capacity(2);
-        if let Some(s) = self.successors.first() {
+        let mut out: Vec<(Addr, RingMsg)> = Vec::with_capacity(self.successors.len() + 1);
+        for s in &self.successors {
             if s.addr != self.me.addr {
                 out.push((s.addr, RingMsg::GetNeighbors { from: self.me.addr }));
             }
         }
         if let Some(p) = self.predecessor {
-            if p.addr != self.me.addr {
+            if p.addr != self.me.addr && !out.iter().any(|(a, _)| *a == p.addr) {
                 out.push((p.addr, RingMsg::GetNeighbors { from: self.me.addr }));
             }
         }
@@ -363,6 +379,34 @@ impl ProtocolNode {
     }
 
     fn handle_join(&mut self, joiner: PeerInfo, hops: u32) -> Vec<(Addr, RingMsg)> {
+        if hops > JOIN_MAX_HOPS {
+            // While successor lists are transiently inconsistent (mid-heal
+            // after a crash), greedy forwarding can cycle between two
+            // nodes that each believe the other is closer to the joiner.
+            // Drop the message instead of orbiting forever; the joiner
+            // re-sends its join on a timer.
+            return vec![];
+        }
+        if joiner.addr == self.me.addr {
+            // A retried join that routed back to its own sender; adopting
+            // ourselves as predecessor would fabricate a detached
+            // whole-ring owner.
+            return vec![];
+        }
+        if self.predecessor.map(|p| p.addr) == Some(joiner.addr) {
+            // Re-join after a lost ack: we already adopted this joiner as
+            // predecessor, so no other node can own its key (ownership
+            // ranges are predecessor-exclusive). Re-ack; the joiner's
+            // predecessor pointer is repaired by normal stabilization.
+            return vec![(
+                joiner.addr,
+                RingMsg::JoinAck {
+                    successor: self.me,
+                    predecessor: None,
+                    successors: self.successors.clone(),
+                },
+            )];
+        }
         if self.owns(&joiner.id) {
             // The joiner becomes our predecessor; hand it our old one.
             // (For a singleton ring the old predecessor is ourselves, which
@@ -603,6 +647,67 @@ mod tests {
     }
 
     #[test]
+    fn rejoin_after_lost_ack_is_reacked() {
+        let mut p = build_ring(&[0.2, 0.6]);
+        // A node at 0.4 joins through node 0, but its JoinAck is lost:
+        // deliver the join to the ring, then drop every message addressed
+        // to the joiner (addr 2).
+        let (mut c, join_msgs) =
+            ProtocolNode::join(Key::from_fraction(0.4), 2, NodeConfig::default(), 0);
+        p.queue.extend(join_msgs);
+        let mut dropped = 0;
+        while let Some((to, msg)) = p.queue.pop_front() {
+            if to == 2 {
+                dropped += 1;
+                continue;
+            }
+            let out = p.nodes[to].handle(msg);
+            p.queue.extend(out);
+        }
+        assert!(dropped > 0, "the ring should have acked the join");
+        assert!(!c.is_joined());
+        // The owner (node 1 at 0.6) already adopted the joiner.
+        assert_eq!(p.nodes[1].predecessor().unwrap().addr, 2);
+
+        // The joiner retries; this time messages flow. The owner must
+        // re-ack even though no node's owned range contains 0.4 anymore.
+        p.queue.push_back((
+            0,
+            RingMsg::Join {
+                joiner: c.me(),
+                hops: 0,
+            },
+        ));
+        while let Some((to, msg)) = p.queue.pop_front() {
+            if to == 2 {
+                p.queue.extend(c.handle(msg));
+            } else {
+                let out = p.nodes[to].handle(msg);
+                p.queue.extend(out);
+            }
+        }
+        assert!(c.is_joined(), "retried join must be acked");
+        assert_eq!(c.successors()[0].addr, 1);
+        // Stabilization then repairs the joiner's predecessor pointer.
+        p.nodes.push(c);
+        p.stabilize(5);
+        assert_eq!(p.nodes[2].predecessor().unwrap().addr, 0);
+        assert_eq!(p.nodes[0].successors()[0].addr, 2);
+    }
+
+    #[test]
+    fn self_join_is_ignored() {
+        let mut p = build_ring(&[0.2, 0.6]);
+        let me = p.nodes[0].me();
+        let out = p.nodes[0].handle(RingMsg::Join {
+            joiner: me,
+            hops: 0,
+        });
+        assert!(out.is_empty());
+        assert_ne!(p.nodes[0].predecessor().unwrap().addr, me.addr);
+    }
+
+    #[test]
     fn forget_removes_pointers() {
         let mut p = build_ring(&[0.2, 0.5, 0.8]);
         p.nodes[0].forget(1);
@@ -610,5 +715,72 @@ mod tests {
         // Stabilization repairs the ring around the gap.
         p.stabilize(5);
         assert!(p.nodes[0].is_joined());
+    }
+
+    /// Mirrors the live runtime's send semantics: a send to a dead
+    /// address fails and makes the *sender* forget it, exactly like
+    /// `NodeRuntime::send_all`. Runs `rounds` tick-and-drain rounds.
+    fn stabilize_with_dead(p: &mut Pump, dead: &[Addr], rounds: usize) {
+        for _ in 0..rounds {
+            let mut q: std::collections::VecDeque<(Addr, Addr, RingMsg)> = Default::default();
+            for i in 0..p.nodes.len() {
+                if dead.contains(&i) {
+                    continue;
+                }
+                for (to, m) in p.nodes[i].tick() {
+                    q.push_back((i, to, m));
+                }
+            }
+            let mut budget = 100_000;
+            while let Some((from, to, msg)) = q.pop_front() {
+                budget -= 1;
+                assert!(budget > 0, "message storm");
+                if dead.contains(&to) {
+                    p.nodes[from].forget(to);
+                    continue;
+                }
+                for (nt, nm) in p.nodes[to].handle(msg) {
+                    q.push_back((to, nt, nm));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_tail_successors_do_not_wedge_stabilization() {
+        // Two adjacent nodes (0.5, 0.6) crash. Their ring predecessor's
+        // predecessor (node 0) holds both in the *tail* of its successor
+        // list, where a head-only probe would never touch them: its
+        // Neighbors replies then re-insert the dead pair at the head of
+        // node 1's list every round, one forget per reply can't keep up
+        // with two re-added corpses, and node 1 never probes its true
+        // successor (node 4) — the ring stays split forever. Full-list
+        // probing evicts the tail entries at their source.
+        let mut p = build_ring(&[0.1, 0.3, 0.5, 0.6, 0.9]);
+        let dead = [2, 3];
+        assert!(
+            p.nodes[0]
+                .successors()
+                .iter()
+                .any(|s| dead.contains(&s.addr)),
+            "wedge precondition: node 0 must advertise a dead tail"
+        );
+        stabilize_with_dead(&mut p, &dead, 12);
+        // The ring heals across the dead arc: 0 -> 1 -> 4 -> 0.
+        assert_eq!(p.nodes[1].successors()[0].addr, 4);
+        assert_eq!(p.nodes[4].predecessor().unwrap().addr, 1);
+        assert_eq!(p.nodes[4].successors()[0].addr, 0);
+        assert_eq!(p.nodes[0].predecessor().unwrap().addr, 4);
+        // And no live node still advertises a corpse anywhere.
+        for (i, n) in p.nodes.iter().enumerate() {
+            if dead.contains(&i) {
+                continue;
+            }
+            assert!(
+                n.successors().iter().all(|s| !dead.contains(&s.addr)),
+                "node {i} still lists a dead successor: {:?}",
+                n.successors().iter().map(|s| s.addr).collect::<Vec<_>>()
+            );
+        }
     }
 }

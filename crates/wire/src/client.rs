@@ -1,0 +1,283 @@
+//! A request/response client port on top of any [`Transport`].
+//!
+//! Nodes talk to each other in one-way [`WireMsg`]s, but clients need
+//! round trips: `put` must not return before the replica chain has
+//! acked, `get` must wait for the block. [`WireClient`] owns a transport
+//! endpoint, stamps every outgoing [`Request`] with a fresh `req_id`,
+//! and runs a dispatcher thread that routes incoming [`Response`]s back
+//! to the blocked caller — so several threads can issue requests over
+//! one client concurrently.
+
+use crate::codec::{Request, Response, WireMsg};
+use crate::metrics::NetMetrics;
+use crate::transport::{RecvError, Transport, TransportError};
+use d2_ring::messages::Addr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A failed client call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The node could not be reached (dead or in reconnect backoff).
+    Unreachable(Addr),
+    /// The node was reached but no response arrived in time.
+    Timeout,
+    /// The client (or its transport) has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unreachable(a) => write!(f, "node {a} unreachable"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Closed => write!(f, "client closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+type Pending = Arc<Mutex<HashMap<u64, mpsc::Sender<Response>>>>;
+
+/// A blocking request/response client over a [`Transport`] endpoint.
+///
+/// Dropping the client shuts the dispatcher thread and the underlying
+/// transport down.
+pub struct WireClient<T: Transport> {
+    transport: Arc<T>,
+    pending: Pending,
+    next_req: AtomicU64,
+    metrics: Arc<NetMetrics>,
+    stop: Arc<AtomicBool>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<T: Transport> WireClient<T> {
+    /// Wraps `transport` as a client endpoint, recording round-trip
+    /// times into `metrics`.
+    pub fn new(transport: T, metrics: Arc<NetMetrics>) -> Self {
+        let transport = Arc::new(transport);
+        let pending: Pending = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatcher = {
+            let transport = Arc::clone(&transport);
+            let pending = Arc::clone(&pending);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || dispatch_loop(&*transport, &pending, &stop))
+        };
+        WireClient {
+            transport,
+            pending,
+            next_req: AtomicU64::new(1),
+            metrics,
+            stop,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// The client's own address (responses come back here).
+    pub fn local_addr(&self) -> Addr {
+        self.transport.local_addr()
+    }
+
+    /// Sends `body` to `node` and blocks until the matching response
+    /// arrives or `timeout` elapses. Records the round-trip time under
+    /// `net.rtt_us.<request type>`.
+    pub fn call(
+        &self,
+        node: Addr,
+        body: Request,
+        timeout: Duration,
+    ) -> Result<Response, ClientError> {
+        if self.stop.load(Ordering::Acquire) {
+            return Err(ClientError::Closed);
+        }
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let type_name = body.type_name();
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(req_id, tx);
+        let msg = WireMsg::Request {
+            req_id,
+            from: self.transport.local_addr(),
+            body,
+        };
+        let start = Instant::now();
+        let sent = self.transport.send(node, &msg);
+        let result = match sent {
+            Err(TransportError::PeerUnreachable(a)) => Err(ClientError::Unreachable(a)),
+            Err(TransportError::Closed) => Err(ClientError::Closed),
+            Ok(()) => match rx.recv_timeout(timeout) {
+                Ok(resp) => {
+                    self.metrics
+                        .record_rtt(type_name, start.elapsed().as_micros() as u64);
+                    Ok(resp)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClientError::Closed),
+            },
+        };
+        self.pending.lock().remove(&req_id);
+        result
+    }
+
+    /// Fire-and-forget: sends `body` without waiting for any response.
+    pub fn notify(&self, node: Addr, body: Request) -> Result<(), ClientError> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let msg = WireMsg::Request {
+            req_id,
+            from: self.transport.local_addr(),
+            body,
+        };
+        match self.transport.send(node, &msg) {
+            Ok(()) => Ok(()),
+            Err(TransportError::PeerUnreachable(a)) => Err(ClientError::Unreachable(a)),
+            Err(TransportError::Closed) => Err(ClientError::Closed),
+        }
+    }
+
+    /// Stops the dispatcher and shuts the transport down. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.transport.shutdown();
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+        self.pending.lock().clear();
+    }
+}
+
+impl<T: Transport> Drop for WireClient<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop<T: Transport>(transport: &T, pending: &Pending, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match transport.recv_timeout(Duration::from_millis(100)) {
+            Ok(WireMsg::Response { req_id, body }) => {
+                if let Some(tx) = pending.lock().remove(&req_id) {
+                    let _ = tx.send(body); // caller may have timed out
+                }
+            }
+            Ok(_) => {} // clients ignore ring traffic and stray requests
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Closed) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelHub;
+    use d2_types::Key;
+
+    /// A toy responder: answers every Get with an empty block.
+    fn spawn_echo_node(hub: &ChannelHub) -> (Addr, JoinHandle<()>) {
+        let t = hub.open();
+        let addr = t.local_addr();
+        let h = std::thread::spawn(move || loop {
+            match t.recv_timeout(Duration::from_millis(50)) {
+                Ok(WireMsg::Request {
+                    req_id,
+                    from,
+                    body: Request::Get { .. },
+                }) => {
+                    let resp = WireMsg::Response {
+                        req_id,
+                        body: Response::Block { data: None },
+                    };
+                    let _ = t.send(from, &resp);
+                }
+                Ok(WireMsg::Request {
+                    req_id,
+                    from,
+                    body: Request::Shutdown,
+                }) => {
+                    let _ = t.send(
+                        from,
+                        &WireMsg::Response {
+                            req_id,
+                            body: Response::ShutdownAck,
+                        },
+                    );
+                    return;
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Closed) => return,
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn call_round_trips_and_records_rtt() {
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let (node, h) = spawn_echo_node(&hub);
+        let client = WireClient::new(hub.open(), metrics.clone());
+        let resp = client
+            .call(
+                node,
+                Request::Get {
+                    key: Key::from_u64(7),
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Block { data: None });
+        assert_eq!(
+            client
+                .call(node, Request::Shutdown, Duration::from_secs(2))
+                .unwrap(),
+            Response::ShutdownAck
+        );
+        h.join().unwrap();
+        let reg = metrics.snapshot();
+        assert_eq!(reg.histogram("net.rtt_us.get").unwrap().count(), 1);
+        assert_eq!(reg.histogram("net.rtt_us.shutdown").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn call_to_dead_node_is_unreachable_not_hang() {
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let dead = hub.open();
+        let dead_addr = dead.local_addr();
+        dead.shutdown();
+        drop(dead);
+        let client = WireClient::new(hub.open(), metrics);
+        let t0 = Instant::now();
+        assert_eq!(
+            client.call(dead_addr, Request::Status, Duration::from_secs(5)),
+            Err(ClientError::Unreachable(dead_addr))
+        );
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn unanswered_call_times_out() {
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let silent = hub.open(); // never reads its mailbox
+        let client = WireClient::new(hub.open(), metrics);
+        assert_eq!(
+            client.call(
+                silent.local_addr(),
+                Request::Status,
+                Duration::from_millis(50)
+            ),
+            Err(ClientError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,828 @@
+//! The versioned, length-prefixed binary codec for inter-node traffic.
+//!
+//! Every frame on the wire is:
+//!
+//! ```text
+//! +------+------+---------+-----+----------------+------------------+
+//! | 0x44 | 0x32 | version | tag | payload length | payload ...      |
+//! | 'D'  | '2'  |  (1 B)  |(1 B)|  (4 B, BE u32) | (length bytes)   |
+//! +------+------+---------+-----+----------------+------------------+
+//! ```
+//!
+//! The two magic bytes reject cross-protocol traffic, the version byte
+//! rejects incompatible peers, and the one-byte tag names the message
+//! variant so a decoder never has to guess. Payload integers are
+//! big-endian; [`Key`]s are their raw 64 bytes; variable-length fields
+//! carry explicit counts. Decoding is strict: truncated frames, oversized
+//! length prefixes, unknown tags, and trailing bytes are all
+//! [`WireError`]s, never panics — a malformed peer costs a closed
+//! connection, not a crashed node.
+
+use d2_ring::messages::{Addr, PeerInfo, RingMsg};
+use d2_types::{D2Error, Key, KeyRange, KEY_BYTES};
+use std::fmt;
+
+/// First two bytes of every frame: `b"D2"`.
+pub const MAGIC: [u8; 2] = [0x44, 0x32];
+
+/// Current protocol version. Bump on any incompatible payload change.
+pub const VERSION: u8 = 1;
+
+/// Bytes before the payload: magic (2) + version (1) + tag (1) + length (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a single frame's payload. A length prefix above this is
+/// rejected before any allocation, so a hostile 4 GiB length cannot
+/// balloon memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Decode failures. Every variant is a clean error a transport can log
+/// and recover from (by dropping the connection); none abort the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte did not match [`VERSION`].
+    BadVersion(u8),
+    /// The tag byte named no known message variant.
+    UnknownTag(u8),
+    /// The frame ended before the announced payload did.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced payload length.
+        len: u64,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    Trailing {
+        /// Undecoded bytes at the end of the payload.
+        extra: usize,
+    },
+    /// A field held a structurally invalid value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (want {VERSION})"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} more bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after payload"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for D2Error {
+    fn from(e: WireError) -> Self {
+        D2Error::Codec(e.to_string())
+    }
+}
+
+/// A client request carried inside [`WireMsg::Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Locate the owner of `key` via a recursive ring lookup.
+    Lookup {
+        /// The key to locate.
+        key: Key,
+    },
+    /// Store a block here and replicate along the successor chain.
+    ///
+    /// Each node stores its copy, then forwards the request with `fanout`
+    /// decremented and `stored` incremented; the **last** node in the
+    /// chain (or the first that cannot forward) sends the
+    /// [`Response::PutAck`] — so an acked put means every reachable
+    /// replica is written, with no fan-out race left for callers to
+    /// sleep around.
+    Put {
+        /// The block's key.
+        key: Key,
+        /// Further successors that should also store the block.
+        fanout: u32,
+        /// Copies already written upstream in this chain.
+        stored: u32,
+        /// The block payload.
+        data: Vec<u8>,
+    },
+    /// Fetch the block stored here under `key`.
+    Get {
+        /// The block's key.
+        key: Key,
+    },
+    /// Report ring state (predecessor, successors, block count).
+    Status,
+    /// Stop this node's event loop (graceful shutdown).
+    Shutdown,
+}
+
+impl Request {
+    /// Short stable name of this request kind, used as the metric label
+    /// for per-message-type RTT histograms (`net.rtt_us.<name>`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Request::Lookup { .. } => "lookup",
+            Request::Put { .. } => "put",
+            Request::Get { .. } => "get",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One node's view of the ring, as carried by [`Response::Status`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireStatus {
+    /// The responding node's identity.
+    pub me: PeerInfo,
+    /// Its predecessor, if known.
+    pub predecessor: Option<PeerInfo>,
+    /// Its successor list.
+    pub successors: Vec<PeerInfo>,
+    /// Blocks stored locally.
+    pub blocks: u64,
+}
+
+/// A reply to a [`Request`], correlated by `req_id`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Lookup`].
+    Owner {
+        /// The owner of the looked-up key.
+        owner: PeerInfo,
+        /// Forwarding hops the lookup took.
+        hops: u32,
+    },
+    /// Reply to [`Request::Put`], sent by the end of the replica chain.
+    PutAck {
+        /// Copies written along the chain (double-counts only when the
+        /// chain wraps a ring smaller than the replication factor).
+        replicas: u32,
+    },
+    /// Reply to [`Request::Get`].
+    Block {
+        /// The block, or `None` when this node does not hold it.
+        data: Option<Vec<u8>>,
+    },
+    /// Reply to [`Request::Status`].
+    Status(WireStatus),
+    /// Reply to [`Request::Shutdown`], sent just before the node exits.
+    ShutdownAck,
+}
+
+/// Everything that travels between processes: ring protocol traffic plus
+/// the client request/response envelope.
+///
+/// Requests carry the sender's transport address so the far end of a
+/// replica chain can reply directly to the original client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMsg {
+    /// Ring maintenance / lookup traffic between nodes.
+    Ring(RingMsg),
+    /// A client-originated request.
+    Request {
+        /// Correlates the eventual [`WireMsg::Response`].
+        req_id: u64,
+        /// Transport address the response should be sent to.
+        from: Addr,
+        /// The request body.
+        body: Request,
+    },
+    /// The reply to a [`WireMsg::Request`].
+    Response {
+        /// Echo of the request's `req_id`.
+        req_id: u64,
+        /// The response body.
+        body: Response,
+    },
+}
+
+impl WireMsg {
+    /// The frame tag byte identifying this message variant.
+    pub fn tag(&self) -> u8 {
+        match self {
+            WireMsg::Ring(m) => match m {
+                RingMsg::FindOwner { .. } => TAG_FIND_OWNER,
+                RingMsg::OwnerIs { .. } => TAG_OWNER_IS,
+                RingMsg::Join { .. } => TAG_JOIN,
+                RingMsg::JoinAck { .. } => TAG_JOIN_ACK,
+                RingMsg::GetNeighbors { .. } => TAG_GET_NEIGHBORS,
+                RingMsg::Neighbors { .. } => TAG_NEIGHBORS,
+                RingMsg::Notify { .. } => TAG_NOTIFY,
+            },
+            WireMsg::Request { body, .. } => match body {
+                Request::Lookup { .. } => TAG_REQ_LOOKUP,
+                Request::Put { .. } => TAG_REQ_PUT,
+                Request::Get { .. } => TAG_REQ_GET,
+                Request::Status => TAG_REQ_STATUS,
+                Request::Shutdown => TAG_REQ_SHUTDOWN,
+            },
+            WireMsg::Response { body, .. } => match body {
+                Response::Owner { .. } => TAG_RESP_OWNER,
+                Response::PutAck { .. } => TAG_RESP_PUT_ACK,
+                Response::Block { .. } => TAG_RESP_BLOCK,
+                Response::Status(_) => TAG_RESP_STATUS,
+                Response::ShutdownAck => TAG_RESP_SHUTDOWN_ACK,
+            },
+        }
+    }
+
+    /// Short stable name of this message variant, used as a metric label.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            WireMsg::Ring(m) => match m {
+                RingMsg::FindOwner { .. } => "find_owner",
+                RingMsg::OwnerIs { .. } => "owner_is",
+                RingMsg::Join { .. } => "join",
+                RingMsg::JoinAck { .. } => "join_ack",
+                RingMsg::GetNeighbors { .. } => "get_neighbors",
+                RingMsg::Neighbors { .. } => "neighbors",
+                RingMsg::Notify { .. } => "notify",
+            },
+            WireMsg::Request { body, .. } => body.type_name(),
+            WireMsg::Response { body, .. } => match body {
+                Response::Owner { .. } => "owner",
+                Response::PutAck { .. } => "put_ack",
+                Response::Block { .. } => "block",
+                Response::Status(_) => "status",
+                Response::ShutdownAck => "shutdown_ack",
+            },
+        }
+    }
+}
+
+const TAG_FIND_OWNER: u8 = 0x01;
+const TAG_OWNER_IS: u8 = 0x02;
+const TAG_JOIN: u8 = 0x03;
+const TAG_JOIN_ACK: u8 = 0x04;
+const TAG_GET_NEIGHBORS: u8 = 0x05;
+const TAG_NEIGHBORS: u8 = 0x06;
+const TAG_NOTIFY: u8 = 0x07;
+const TAG_REQ_LOOKUP: u8 = 0x10;
+const TAG_REQ_PUT: u8 = 0x11;
+const TAG_REQ_GET: u8 = 0x12;
+const TAG_REQ_STATUS: u8 = 0x13;
+const TAG_REQ_SHUTDOWN: u8 = 0x14;
+const TAG_RESP_OWNER: u8 = 0x20;
+const TAG_RESP_PUT_ACK: u8 = 0x21;
+const TAG_RESP_BLOCK: u8 = 0x22;
+const TAG_RESP_STATUS: u8 = 0x23;
+const TAG_RESP_SHUTDOWN_ACK: u8 = 0x24;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn key(&mut self, k: &Key) {
+        self.0.extend_from_slice(k.as_bytes());
+    }
+    fn addr(&mut self, a: Addr) {
+        self.u64(a as u64);
+    }
+    fn peer(&mut self, p: &PeerInfo) {
+        self.key(&p.id);
+        self.addr(p.addr);
+    }
+    fn opt_peer(&mut self, p: &Option<PeerInfo>) {
+        match p {
+            Some(p) => {
+                self.u8(1);
+                self.peer(p);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn peers(&mut self, ps: &[PeerInfo]) {
+        debug_assert!(ps.len() <= u16::MAX as usize);
+        self.u16(ps.len() as u16);
+        for p in ps {
+            self.peer(p);
+        }
+    }
+    fn range(&mut self, r: &KeyRange) {
+        self.key(r.start());
+        self.key(r.end());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        debug_assert!(b.len() <= MAX_PAYLOAD);
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+    fn opt_bytes(&mut self, b: &Option<Vec<u8>>) {
+        match b {
+            Some(b) => {
+                self.u8(1);
+                self.bytes(b);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Encodes `msg` as one complete frame (header + payload).
+pub fn encode(msg: &WireMsg) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(HEADER_LEN + 64));
+    e.0.extend_from_slice(&MAGIC);
+    e.u8(VERSION);
+    e.u8(msg.tag());
+    e.u32(0); // length backpatched below
+    match msg {
+        WireMsg::Ring(m) => encode_ring(&mut e, m),
+        WireMsg::Request { req_id, from, body } => {
+            e.u64(*req_id);
+            e.addr(*from);
+            match body {
+                Request::Lookup { key } => e.key(key),
+                Request::Put {
+                    key,
+                    fanout,
+                    stored,
+                    data,
+                } => {
+                    e.key(key);
+                    e.u32(*fanout);
+                    e.u32(*stored);
+                    e.bytes(data);
+                }
+                Request::Get { key } => e.key(key),
+                Request::Status | Request::Shutdown => {}
+            }
+        }
+        WireMsg::Response { req_id, body } => {
+            e.u64(*req_id);
+            match body {
+                Response::Owner { owner, hops } => {
+                    e.peer(owner);
+                    e.u32(*hops);
+                }
+                Response::PutAck { replicas } => e.u32(*replicas),
+                Response::Block { data } => e.opt_bytes(data),
+                Response::Status(s) => {
+                    e.peer(&s.me);
+                    e.opt_peer(&s.predecessor);
+                    e.peers(&s.successors);
+                    e.u64(s.blocks);
+                }
+                Response::ShutdownAck => {}
+            }
+        }
+    }
+    let len = (e.0.len() - HEADER_LEN) as u32;
+    e.0[4..8].copy_from_slice(&len.to_be_bytes());
+    e.0
+}
+
+fn encode_ring(e: &mut Enc, m: &RingMsg) {
+    match m {
+        RingMsg::FindOwner {
+            target,
+            origin,
+            req_id,
+            hops,
+        } => {
+            e.key(target);
+            e.addr(*origin);
+            e.u64(*req_id);
+            e.u32(*hops);
+        }
+        RingMsg::OwnerIs {
+            req_id,
+            owner,
+            range,
+            successors,
+            hops,
+        } => {
+            e.u64(*req_id);
+            e.peer(owner);
+            e.range(range);
+            e.peers(successors);
+            e.u32(*hops);
+        }
+        RingMsg::Join { joiner, hops } => {
+            e.peer(joiner);
+            e.u32(*hops);
+        }
+        RingMsg::JoinAck {
+            successor,
+            predecessor,
+            successors,
+        } => {
+            e.peer(successor);
+            e.opt_peer(predecessor);
+            e.peers(successors);
+        }
+        RingMsg::GetNeighbors { from } => e.addr(*from),
+        RingMsg::Neighbors {
+            me,
+            predecessor,
+            successors,
+        } => {
+            e.peer(me);
+            e.opt_peer(predecessor);
+            e.peers(successors);
+        }
+        RingMsg::Notify { candidate } => e.peer(candidate),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let got = self.buf.len() - self.pos;
+        if got < n {
+            return Err(WireError::Truncated { needed: n, got });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn key(&mut self) -> Result<Key, WireError> {
+        let raw: [u8; KEY_BYTES] = self.take(KEY_BYTES)?.try_into().unwrap();
+        Ok(Key::from_bytes(raw))
+    }
+    fn addr(&mut self) -> Result<Addr, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Malformed("addr exceeds usize"))
+    }
+    fn peer(&mut self) -> Result<PeerInfo, WireError> {
+        Ok(PeerInfo {
+            id: self.key()?,
+            addr: self.addr()?,
+        })
+    }
+    fn opt_peer(&mut self) -> Result<Option<PeerInfo>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.peer()?)),
+            _ => Err(WireError::Malformed("option flag must be 0 or 1")),
+        }
+    }
+    fn peers(&mut self) -> Result<Vec<PeerInfo>, WireError> {
+        let n = self.u16()? as usize;
+        // Each peer is 72 bytes; reject counts the remaining buffer
+        // cannot possibly hold before allocating.
+        if n * (KEY_BYTES + 8) > self.buf.len() - self.pos {
+            return Err(WireError::Truncated {
+                needed: n * (KEY_BYTES + 8),
+                got: self.buf.len() - self.pos,
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.peer()?);
+        }
+        Ok(out)
+    }
+    fn range(&mut self) -> Result<KeyRange, WireError> {
+        Ok(KeyRange::new(self.key()?, self.key()?))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn opt_bytes(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes()?)),
+            _ => Err(WireError::Malformed("option flag must be 0 or 1")),
+        }
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Trailing {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validates an 8-byte frame header, returning `(tag, payload length)`.
+///
+/// Transports read exactly [`HEADER_LEN`] bytes, call this, then read the
+/// returned number of payload bytes and hand them to [`decode_payload`].
+pub fn decode_header(hdr: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
+    if hdr[..2] != MAGIC {
+        return Err(WireError::BadMagic([hdr[0], hdr[1]]));
+    }
+    if hdr[2] != VERSION {
+        return Err(WireError::BadVersion(hdr[2]));
+    }
+    let len = u32::from_be_bytes(hdr[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { len: len as u64 });
+    }
+    Ok((hdr[3], len))
+}
+
+/// Decodes the payload of a frame whose header carried `tag`. The payload
+/// must be consumed exactly; trailing bytes are an error.
+pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let msg = match tag {
+        TAG_FIND_OWNER => WireMsg::Ring(RingMsg::FindOwner {
+            target: d.key()?,
+            origin: d.addr()?,
+            req_id: d.u64()?,
+            hops: d.u32()?,
+        }),
+        TAG_OWNER_IS => WireMsg::Ring(RingMsg::OwnerIs {
+            req_id: d.u64()?,
+            owner: d.peer()?,
+            range: d.range()?,
+            successors: d.peers()?,
+            hops: d.u32()?,
+        }),
+        TAG_JOIN => WireMsg::Ring(RingMsg::Join {
+            joiner: d.peer()?,
+            hops: d.u32()?,
+        }),
+        TAG_JOIN_ACK => WireMsg::Ring(RingMsg::JoinAck {
+            successor: d.peer()?,
+            predecessor: d.opt_peer()?,
+            successors: d.peers()?,
+        }),
+        TAG_GET_NEIGHBORS => WireMsg::Ring(RingMsg::GetNeighbors { from: d.addr()? }),
+        TAG_NEIGHBORS => WireMsg::Ring(RingMsg::Neighbors {
+            me: d.peer()?,
+            predecessor: d.opt_peer()?,
+            successors: d.peers()?,
+        }),
+        TAG_NOTIFY => WireMsg::Ring(RingMsg::Notify {
+            candidate: d.peer()?,
+        }),
+        TAG_REQ_LOOKUP | TAG_REQ_PUT | TAG_REQ_GET | TAG_REQ_STATUS | TAG_REQ_SHUTDOWN => {
+            let req_id = d.u64()?;
+            let from = d.addr()?;
+            let body = match tag {
+                TAG_REQ_LOOKUP => Request::Lookup { key: d.key()? },
+                TAG_REQ_PUT => Request::Put {
+                    key: d.key()?,
+                    fanout: d.u32()?,
+                    stored: d.u32()?,
+                    data: d.bytes()?,
+                },
+                TAG_REQ_GET => Request::Get { key: d.key()? },
+                TAG_REQ_STATUS => Request::Status,
+                _ => Request::Shutdown,
+            };
+            WireMsg::Request { req_id, from, body }
+        }
+        TAG_RESP_OWNER
+        | TAG_RESP_PUT_ACK
+        | TAG_RESP_BLOCK
+        | TAG_RESP_STATUS
+        | TAG_RESP_SHUTDOWN_ACK => {
+            let req_id = d.u64()?;
+            let body = match tag {
+                TAG_RESP_OWNER => Response::Owner {
+                    owner: d.peer()?,
+                    hops: d.u32()?,
+                },
+                TAG_RESP_PUT_ACK => Response::PutAck { replicas: d.u32()? },
+                TAG_RESP_BLOCK => Response::Block {
+                    data: d.opt_bytes()?,
+                },
+                TAG_RESP_STATUS => Response::Status(WireStatus {
+                    me: d.peer()?,
+                    predecessor: d.opt_peer()?,
+                    successors: d.peers()?,
+                    blocks: d.u64()?,
+                }),
+                _ => Response::ShutdownAck,
+            };
+            WireMsg::Response { req_id, body }
+        }
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+/// Decodes one complete frame (header + payload) produced by [`encode`].
+///
+/// The frame must contain exactly one message; leftover bytes after the
+/// announced payload are a [`WireError::Trailing`] error.
+pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    let hdr: [u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
+    let (tag, len) = decode_header(&hdr)?;
+    let rest = &frame[HEADER_LEN..];
+    if rest.len() < len {
+        return Err(WireError::Truncated {
+            needed: len,
+            got: rest.len(),
+        });
+    }
+    if rest.len() > len {
+        return Err(WireError::Trailing {
+            extra: rest.len() - len,
+        });
+    }
+    decode_payload(tag, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(f: f64, addr: Addr) -> PeerInfo {
+        PeerInfo {
+            id: Key::from_fraction(f),
+            addr,
+        }
+    }
+
+    #[test]
+    fn ring_msgs_round_trip() {
+        let msgs = [
+            WireMsg::Ring(RingMsg::FindOwner {
+                target: Key::from_fraction(0.3),
+                origin: 7,
+                req_id: 42,
+                hops: 3,
+            }),
+            WireMsg::Ring(RingMsg::OwnerIs {
+                req_id: 42,
+                owner: peer(0.4, 9),
+                range: KeyRange::new(Key::from_fraction(0.3), Key::from_fraction(0.4)),
+                successors: vec![peer(0.5, 10), peer(0.6, 11)],
+                hops: 4,
+            }),
+            WireMsg::Ring(RingMsg::Join {
+                joiner: peer(0.1, 3),
+                hops: 0,
+            }),
+            WireMsg::Ring(RingMsg::JoinAck {
+                successor: peer(0.2, 4),
+                predecessor: None,
+                successors: vec![],
+            }),
+            WireMsg::Ring(RingMsg::GetNeighbors { from: 12 }),
+            WireMsg::Ring(RingMsg::Neighbors {
+                me: peer(0.7, 5),
+                predecessor: Some(peer(0.65, 4)),
+                successors: vec![peer(0.8, 6)],
+            }),
+            WireMsg::Ring(RingMsg::Notify {
+                candidate: peer(0.9, 8),
+            }),
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            assert_eq!(decode(&frame).unwrap(), msg, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let msgs = [
+            WireMsg::Request {
+                req_id: 1,
+                from: 99,
+                body: Request::Put {
+                    key: Key::from_u64(5),
+                    fanout: 2,
+                    stored: 1,
+                    data: b"block".to_vec(),
+                },
+            },
+            WireMsg::Response {
+                req_id: 1,
+                body: Response::Block {
+                    data: Some(vec![0xab; 1000]),
+                },
+            },
+            WireMsg::Response {
+                req_id: 2,
+                body: Response::Status(WireStatus {
+                    me: peer(0.5, 1),
+                    predecessor: Some(peer(0.4, 0)),
+                    successors: vec![peer(0.6, 2)],
+                    blocks: 17,
+                }),
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        let good = encode(&WireMsg::Request {
+            req_id: 0,
+            from: 0,
+            body: Request::Status,
+        });
+        let mut bad_magic = good.clone();
+        bad_magic[0] = 0xff;
+        assert!(matches!(
+            decode(&bad_magic),
+            Err(WireError::BadMagic([0xff, _]))
+        ));
+        let mut bad_version = good.clone();
+        bad_version[2] = 9;
+        assert_eq!(decode(&bad_version), Err(WireError::BadVersion(9)));
+        let mut bad_tag = good.clone();
+        bad_tag[3] = 0x7f;
+        assert_eq!(decode(&bad_tag), Err(WireError::UnknownTag(0x7f)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_errors() {
+        let frame = encode(&WireMsg::Ring(RingMsg::GetNeighbors { from: 3 }));
+        for cut in 0..frame.len() {
+            assert!(
+                matches!(decode(&frame[..cut]), Err(WireError::Truncated { .. })),
+                "cut at {cut} must be truncated"
+            );
+        }
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert_eq!(decode(&padded), Err(WireError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut frame = encode(&WireMsg::Request {
+            req_id: 0,
+            from: 0,
+            body: Request::Status,
+        });
+        frame[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn peer_count_cannot_balloon_allocation() {
+        // A Neighbors frame claiming 65535 successors in a tiny payload
+        // must fail on the count check, not allocate 65535 entries.
+        let msg = WireMsg::Ring(RingMsg::Neighbors {
+            me: peer(0.5, 1),
+            predecessor: None,
+            successors: vec![],
+        });
+        let mut frame = encode(&msg);
+        let n = frame.len();
+        frame[n - 2..].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,49 @@
+//! # d2-wire: the D2 wire protocol and pluggable transports
+//!
+//! Everything that crosses a node boundary in a live D2 deployment goes
+//! through this crate:
+//!
+//! - [`codec`] — a versioned, length-prefixed binary framing for all
+//!   inter-node traffic: ring maintenance ([`RingMsg`]), client
+//!   requests ([`Request`]) and their responses ([`Response`]). Frames
+//!   start with a 2-byte magic and a protocol version; decoding is
+//!   strict and total — malformed input yields a [`WireError`], never a
+//!   panic.
+//! - [`transport`] — the [`Transport`] trait (send / timed recv / peer
+//!   addressing / fail-fast on dead peers) plus the deterministic
+//!   in-process [`ChannelTransport`] used by tests and simulations.
+//! - [`tcp`] — [`TcpTransport`]: the same trait over real
+//!   `std::net` sockets with per-peer connection pooling and
+//!   reconnect-with-backoff (reusing [`d2_ring::RetryPolicy`]).
+//! - [`client`] — [`WireClient`], a blocking request/response port with
+//!   a dispatcher thread, used by `Deployment` front-ends and the
+//!   `d2-node` command-line client.
+//! - [`metrics`] — [`NetMetrics`]: `net.bytes_{in,out}`, `net.msgs`,
+//!   `net.reconnects`, `net.decode_errors` counters and per-message-type
+//!   RTT histograms, exported into [`d2_obs::Registry`] snapshots.
+//!
+//! The point of the seam: `d2-net`'s deployment and node event loop are
+//! generic over [`Transport`], so the *same* protocol state machine that
+//! runs deterministically over channels in unit tests also runs a real
+//! multi-process cluster over TCP.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod codec;
+pub mod metrics;
+pub mod tcp;
+pub mod transport;
+
+pub use client::{ClientError, WireClient};
+pub use codec::{
+    decode, decode_header, decode_payload, encode, Request, Response, WireError, WireMsg,
+    WireStatus, HEADER_LEN, MAX_PAYLOAD, VERSION,
+};
+pub use metrics::NetMetrics;
+pub use tcp::{pack_addr, unpack_addr, TcpConfig, TcpTransport};
+pub use transport::{ChannelHub, ChannelTransport, RecvError, Transport, TransportError};
+
+// Re-exported so transport users need not depend on d2-ring directly.
+pub use d2_ring::messages::{Addr, PeerInfo, RingMsg};

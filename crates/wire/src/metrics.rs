@@ -1,0 +1,115 @@
+//! Transport-level counters and RTT histograms, exported into
+//! [`d2_obs::Registry`] snapshots.
+
+use d2_obs::Registry;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared network metrics: every transport and client port of one
+/// deployment records into the same instance, and
+/// [`NetMetrics::snapshot_into`] folds the totals into a metric registry
+/// under the `net.*` namespace.
+///
+/// Counters are lock-free atomics (they sit on the per-frame path); the
+/// per-message-type RTT histograms live behind a mutex because they are
+/// touched once per client round trip, not per frame.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    msgs_in: AtomicU64,
+    msgs_out: AtomicU64,
+    reconnects: AtomicU64,
+    decode_errors: AtomicU64,
+    rtt: Mutex<Registry>,
+}
+
+impl NetMetrics {
+    /// Creates a zeroed metrics sheet.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    /// Records one received frame of `bytes` total size.
+    pub fn frame_in(&self, bytes: usize) {
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.msgs_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sent frame of `bytes` total size.
+    pub fn frame_out(&self, bytes: usize) {
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.msgs_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful reconnect to a peer that had failed.
+    pub fn reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame that failed to decode (and cost its connection).
+    pub fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request round trip of `us` microseconds for the
+    /// message type `name` (histogram `net.rtt_us.<name>`).
+    pub fn record_rtt(&self, name: &str, us: u64) {
+        self.rtt.lock().observe(&format!("net.rtt_us.{name}"), us);
+    }
+
+    /// Folds the current totals into `reg`: `net.bytes_{in,out}`,
+    /// `net.msgs` (plus the in/out split), `net.reconnects`,
+    /// `net.decode_errors`, and one `net.rtt_us.<type>` histogram per
+    /// message type observed.
+    pub fn snapshot_into(&self, reg: &mut Registry) {
+        let (bi, bo) = (
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+        );
+        let (mi, mo) = (
+            self.msgs_in.load(Ordering::Relaxed),
+            self.msgs_out.load(Ordering::Relaxed),
+        );
+        reg.add("net.bytes_in", bi);
+        reg.add("net.bytes_out", bo);
+        reg.add("net.msgs", mi + mo);
+        reg.add("net.msgs_in", mi);
+        reg.add("net.msgs_out", mo);
+        reg.add("net.reconnects", self.reconnects.load(Ordering::Relaxed));
+        reg.add(
+            "net.decode_errors",
+            self.decode_errors.load(Ordering::Relaxed),
+        );
+        reg.merge(&self.rtt.lock());
+    }
+
+    /// The current totals as a fresh registry.
+    pub fn snapshot(&self) -> Registry {
+        let mut reg = Registry::new();
+        self.snapshot_into(&mut reg);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_all_counters() {
+        let m = NetMetrics::new();
+        m.frame_in(100);
+        m.frame_in(28);
+        m.frame_out(64);
+        m.reconnect();
+        m.record_rtt("lookup", 1500);
+        m.record_rtt("lookup", 2500);
+        let reg = m.snapshot();
+        assert_eq!(reg.counter("net.bytes_in"), 128);
+        assert_eq!(reg.counter("net.bytes_out"), 64);
+        assert_eq!(reg.counter("net.msgs"), 3);
+        assert_eq!(reg.counter("net.reconnects"), 1);
+        assert_eq!(reg.histogram("net.rtt_us.lookup").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,477 @@
+//! A real TCP transport over `std::net` threads.
+//!
+//! One [`TcpTransport`] per node/client: a listener thread accepts
+//! inbound connections and spawns a framed reader per connection; all
+//! decoded messages funnel into one incoming queue that
+//! [`Transport::recv_timeout`] drains. Outbound, the transport keeps a
+//! pooled connection per peer, reconnecting with capped exponential
+//! backoff ([`d2_ring::RetryPolicy`]) and failing fast while a peer is
+//! inside its backoff window — a circuit breaker, so one dead peer
+//! cannot stall the node's event loop.
+//!
+//! Addresses need no directory: on IPv4 the logical [`Addr`] *is* the
+//! socket address, bijectively packed as `(ip << 16) | port` (48 bits,
+//! see [`pack_addr`]). Any peer mentioned in a ring message is therefore
+//! directly routable, exactly as slot indices are in the channel
+//! transport.
+
+use crate::codec::{self, WireMsg, HEADER_LEN};
+use crate::metrics::NetMetrics;
+use crate::transport::{RecvError, Transport, TransportError};
+use d2_ring::messages::Addr;
+use d2_ring::RetryPolicy;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Packs an IPv4 socket address into a logical [`Addr`]:
+/// `(ip as u32) << 16 | port`. The mapping is a bijection, so ring
+/// messages can carry plain `Addr`s and every peer they mention is
+/// directly routable without a membership directory.
+pub fn pack_addr(sock: SocketAddrV4) -> Addr {
+    const {
+        assert!(
+            usize::BITS >= 64,
+            "TCP addr packing needs 64-bit usize (32-bit IP + 16-bit port)"
+        )
+    };
+    ((u32::from(*sock.ip()) as usize) << 16) | sock.port() as usize
+}
+
+/// Inverse of [`pack_addr`].
+pub fn unpack_addr(addr: Addr) -> SocketAddrV4 {
+    SocketAddrV4::new(Ipv4Addr::from((addr >> 16) as u32), (addr & 0xffff) as u16)
+}
+
+/// Tuning knobs for [`TcpTransport`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// How long to wait for a connection attempt.
+    pub connect_timeout: Duration,
+    /// Per-frame write timeout; a peer that stops draining its socket is
+    /// declared unreachable after this.
+    pub write_timeout: Duration,
+    /// Reader poll slice: how often blocked readers re-check shutdown.
+    pub read_slice: Duration,
+    /// Reconnect backoff schedule, reusing the churn retry policy: after
+    /// `n` consecutive failures the next attempt waits
+    /// [`RetryPolicy::backoff_us`]`(n)` microseconds; sends inside that
+    /// window fail fast without touching the network.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(2),
+            read_slice: Duration::from_millis(100),
+            retry: RetryPolicy {
+                max_retries: u32::MAX, // reconnect forever; the breaker paces it
+                hop_timeout_us: 250_000,
+                backoff_base_us: 50_000,
+                backoff_cap_us: 1_000_000,
+            },
+        }
+    }
+}
+
+/// Outbound connection state for one peer: either a live pooled stream
+/// or a failure count driving the reconnect backoff.
+#[derive(Default)]
+struct PeerConn {
+    stream: Option<TcpStream>,
+    failures: u32,
+    retry_at: Option<Instant>,
+}
+
+struct Inner {
+    me: Addr,
+    cfg: TcpConfig,
+    shutdown: AtomicBool,
+    incoming: mpsc::Sender<WireMsg>,
+    metrics: Arc<NetMetrics>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A message transport over real TCP sockets (`std::net`, one reader
+/// thread per inbound connection, pooled outbound connections).
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+    rx: Mutex<mpsc::Receiver<WireMsg>>,
+    /// Per-peer connection state behind per-peer locks: the outer map
+    /// lock is held only to look up the entry, never across a connect
+    /// or write, so one slow peer cannot stall sends to every other.
+    pool: Mutex<HashMap<Addr, Arc<Mutex<PeerConn>>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Binds a listener on `ip:port` (port 0 picks a free port) and
+    /// starts the accept loop. The transport's [`Addr`] is derived from
+    /// the actual bound address.
+    pub fn bind(
+        ip: Ipv4Addr,
+        port: u16,
+        cfg: TcpConfig,
+        metrics: Arc<NetMetrics>,
+    ) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(SocketAddrV4::new(ip, port))?;
+        listener.set_nonblocking(true)?;
+        let bound = match listener.local_addr()? {
+            SocketAddr::V4(v4) => v4,
+            SocketAddr::V6(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "TcpTransport is IPv4-only (addr packing)",
+                ))
+            }
+        };
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::new(Inner {
+            me: pack_addr(bound),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            incoming: tx,
+            metrics,
+            readers: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(listener, inner))
+        };
+        Ok(TcpTransport {
+            inner,
+            rx: Mutex::new(rx),
+            pool: Mutex::new(HashMap::new()),
+            acceptor: Mutex::new(Some(acceptor)),
+        })
+    }
+
+    /// The socket address peers should connect to.
+    pub fn socket_addr(&self) -> SocketAddrV4 {
+        unpack_addr(self.inner.me)
+    }
+
+    fn connect(&self, to: Addr, peer: &mut PeerConn, now: Instant) -> Result<(), TransportError> {
+        if let Some(at) = peer.retry_at {
+            if now < at {
+                return Err(TransportError::PeerUnreachable(to)); // breaker open
+            }
+        }
+        let sock = SocketAddr::V4(unpack_addr(to));
+        match TcpStream::connect_timeout(&sock, self.inner.cfg.connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(self.inner.cfg.write_timeout));
+                if peer.failures > 0 {
+                    self.inner.metrics.reconnect();
+                }
+                peer.stream = Some(stream);
+                peer.retry_at = None;
+                Ok(())
+            }
+            Err(_) => {
+                peer.failures += 1;
+                let backoff = self.inner.cfg.retry.backoff_us(peer.failures);
+                peer.retry_at = Some(now + Duration::from_micros(backoff));
+                Err(TransportError::PeerUnreachable(to))
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local_addr(&self) -> Addr {
+        self.inner.me
+    }
+
+    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        if to == self.inner.me {
+            // Loopback without a socket round trip.
+            self.inner
+                .incoming
+                .send(msg.clone())
+                .map_err(|_| TransportError::Closed)?;
+            self.inner.metrics.frame_out(0);
+            self.inner.metrics.frame_in(0);
+            return Ok(());
+        }
+        let frame = codec::encode(msg);
+        let slot = Arc::clone(self.pool.lock().entry(to).or_default());
+        let mut peer = slot.lock();
+        let now = Instant::now();
+        if peer.stream.is_none() {
+            self.connect(to, &mut peer, now)?;
+        }
+        let stream = peer.stream.as_mut().expect("connected above");
+        match stream.write_all(&frame) {
+            Ok(()) => {
+                peer.failures = 0;
+                self.inner.metrics.frame_out(frame.len());
+                Ok(())
+            }
+            Err(_) => {
+                // The pooled connection died; drop it and open the
+                // breaker so the next send backs off instead of
+                // re-timing-out immediately.
+                peer.stream = None;
+                peer.failures += 1;
+                let backoff = self.inner.cfg.retry.backoff_us(peer.failures);
+                peer.retry_at = Some(now + Duration::from_micros(backoff));
+                Err(TransportError::PeerUnreachable(to))
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<WireMsg, RecvError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(RecvError::Closed);
+        }
+        match self.rx.lock().recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(h) = self.acceptor.lock().take() {
+            let _ = h.join();
+        }
+        for h in self.inner.readers.lock().drain(..) {
+            let _ = h.join();
+        }
+        self.pool.lock().clear();
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(inner.cfg.read_slice));
+                let inner2 = Arc::clone(&inner);
+                let h = std::thread::spawn(move || read_loop(stream, inner2));
+                inner.readers.lock().push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads `buf.len()` bytes, tolerating read-timeout slices (used to poll
+/// the shutdown flag). Returns `Ok(false)` on clean EOF at offset 0,
+/// `Err` on mid-frame EOF or hard IO errors, `Ok(true)` on success.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], inner: &Inner) -> io::Result<bool> {
+    let mut off = 0;
+    while off < buf.len() {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                if off == 0 {
+                    return Ok(false); // clean close between frames
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ));
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // timeout slice elapsed; re-check shutdown
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_loop(mut stream: TcpStream, inner: Arc<Inner>) {
+    let mut hdr = [0u8; HEADER_LEN];
+    loop {
+        match read_full(&mut stream, &mut hdr, &inner) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let (tag, len) = match codec::decode_header(&hdr) {
+            Ok(v) => v,
+            Err(_) => {
+                // Strict protocol: a malformed header costs the
+                // connection (we cannot resynchronize a byte stream).
+                inner.metrics.decode_error();
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(&mut stream, &mut payload, &inner) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        match codec::decode_payload(tag, &payload) {
+            Ok(msg) => {
+                inner.metrics.frame_in(HEADER_LEN + len);
+                if inner.incoming.send(msg).is_err() {
+                    return; // transport dropped
+                }
+            }
+            Err(_) => {
+                inner.metrics.decode_error();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Request;
+
+    fn msg(req_id: u64) -> WireMsg {
+        WireMsg::Request {
+            req_id,
+            from: 1,
+            body: Request::Get {
+                key: d2_types::Key::from_u64(req_id),
+            },
+        }
+    }
+
+    #[test]
+    fn addr_packing_is_bijective() {
+        for (ip, port) in [
+            (Ipv4Addr::LOCALHOST, 1u16),
+            (Ipv4Addr::new(10, 1, 2, 3), 65535),
+            (Ipv4Addr::new(255, 255, 255, 255), 0),
+        ] {
+            let sock = SocketAddrV4::new(ip, port);
+            assert_eq!(unpack_addr(pack_addr(sock)), sock);
+        }
+    }
+
+    #[test]
+    fn two_transports_exchange_frames() {
+        let m = Arc::new(NetMetrics::new());
+        let a =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        let b =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        a.send(b.local_addr(), &msg(1)).unwrap();
+        a.send(b.local_addr(), &msg(2)).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(1));
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(2));
+        // Replies flow over b's own outbound connection.
+        b.send(a.local_addr(), &msg(3)).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), msg(3));
+        let reg = m.snapshot();
+        assert!(reg.counter("net.bytes_out") > 0);
+        assert!(reg.counter("net.bytes_in") > 0);
+        assert_eq!(reg.counter("net.msgs"), 6);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dead_peer_fails_fast_and_backs_off() {
+        let m = Arc::new(NetMetrics::new());
+        let a =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        let b = TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m).unwrap();
+        let dead = b.local_addr();
+        b.shutdown();
+        drop(b);
+        assert_eq!(
+            a.send(dead, &msg(1)),
+            Err(TransportError::PeerUnreachable(dead))
+        );
+        // Inside the backoff window the breaker fails without connecting.
+        let t0 = Instant::now();
+        assert_eq!(
+            a.send(dead, &msg(2)),
+            Err(TransportError::PeerUnreachable(dead))
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "breaker must fail fast"
+        );
+        a.shutdown();
+    }
+
+    #[test]
+    fn reconnect_after_peer_restarts() {
+        let m = Arc::new(NetMetrics::new());
+        let a =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        let b =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        let b_sock = b.socket_addr();
+        let b_addr = b.local_addr();
+        a.send(b_addr, &msg(1)).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(1));
+        b.shutdown();
+        drop(b);
+        // The pooled stream is stale; the first sends fail, opening the
+        // breaker.
+        while a.send(b_addr, &msg(2)) == Ok(()) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Peer comes back on the same port.
+        let b2 = TcpTransport::bind(*b_sock.ip(), b_sock.port(), TcpConfig::default(), m.clone())
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if a.send(b_addr, &msg(3)).is_ok() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "never reconnected");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(b2.recv_timeout(Duration::from_secs(5)).unwrap(), msg(3));
+        assert!(m.snapshot().counter("net.reconnects") >= 1);
+        a.shutdown();
+        b2.shutdown();
+    }
+
+    #[test]
+    fn garbage_connection_is_dropped_not_fatal() {
+        let m = Arc::new(NetMetrics::new());
+        let a =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        let mut s = TcpStream::connect(SocketAddr::V4(a.socket_addr())).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        drop(s);
+        // The garbage costs its connection; real traffic still flows.
+        let b =
+            TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
+        b.send(a.local_addr(), &msg(9)).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), msg(9));
+        assert!(m.snapshot().counter("net.decode_errors") >= 1);
+        a.shutdown();
+        b.shutdown();
+    }
+}

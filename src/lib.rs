@@ -21,7 +21,12 @@
 //!   segmentation.
 //! - [`core`] — node composition (`D2`, `Traditional`, `TraditionalFile`)
 //!   and cluster simulation drivers.
-//! - [`net`] — a thread-per-node live deployment over channels.
+//! - [`wire`] — the live-deployment wire layer: versioned binary codec,
+//!   `Transport` trait (in-process channels or TCP), request/response
+//!   client, and `net.*` metrics.
+//! - [`net`] — the live deployment: the same protocol state machine run
+//!   thread-per-node over channels or process-per-node over TCP, plus
+//!   the `d2-node` cluster binary.
 //! - [`obs`] — structured tracing and metrics: registry, histograms,
 //!   and deterministic per-lookup JSONL trace export.
 //! - [`experiments`] — one driver per table/figure of the paper.
@@ -51,4 +56,5 @@ pub use d2_ring as ring;
 pub use d2_sim as sim;
 pub use d2_store as store;
 pub use d2_types as types;
+pub use d2_wire as wire;
 pub use d2_workload as workload;

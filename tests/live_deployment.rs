@@ -48,8 +48,8 @@ fn fs_volume_over_live_ring() {
         .unwrap();
     fs.flush(&mut io, SimTime::ZERO).unwrap();
 
-    // Give replication fan-out a moment.
-    std::thread::sleep(std::time::Duration::from_millis(200));
+    // No settling sleep: puts return only once the whole replica chain
+    // has acked, so the reader below sees every copy.
 
     // An independent reader (fresh adapter) verifies the whole chain
     // through real lookups.
@@ -102,7 +102,6 @@ fn live_ring_locality_of_d2_keys() {
         .unwrap();
     }
     fs.flush(&mut io, SimTime::ZERO).unwrap();
-    std::thread::sleep(std::time::Duration::from_millis(200));
 
     let statuses = dep.statuses();
     let busy = statuses.iter().filter(|s| s.blocks > 0).count();
