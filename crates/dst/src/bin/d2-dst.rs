@@ -1,0 +1,235 @@
+//! Command-line front-end for the deterministic simulation harness.
+//!
+//! ```text
+//! d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]
+//!               [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]
+//! d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]
+//!               [--bug-head-only] [--trace PATH]
+//! ```
+//!
+//! `sweep` runs one deterministic world per seed and exits nonzero if
+//! any fails; the first failing seed is shrunk to a minimal fault plan
+//! and printed with the replay command that reproduces it. `replay`
+//! runs a single seed and can export its full schedule trace as JSONL.
+//!
+//! See EXPERIMENTS.md ("Replaying a failing schedule") for a
+//! walkthrough.
+
+use d2_dst::{run_one, shrink, sweep, Overrides, Scenario};
+use d2_obs::trace::to_jsonl;
+use std::io::Write;
+
+/// Runs a shrink pays for itself well below this many worlds.
+const SHRINK_BUDGET: usize = 300;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]\n\
+         \x20                  [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]\n\
+         \x20      d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]\n\
+         \x20                  [--bug-head-only] [--trace PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    scenario: Scenario,
+    seeds: u64,
+    seed0: u64,
+    seed: Option<u64>,
+    jobs: usize,
+    json: Option<String>,
+    trace: Option<String>,
+    verbose: bool,
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} wants a number, got {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args {
+        scenario: Scenario::default(),
+        seeds: 64,
+        seed0: 0,
+        seed: None,
+        jobs: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        json: None,
+        trace: None,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--seeds" => out.seeds = parse_num(&val("--seeds"), "--seeds"),
+            "--seed0" => out.seed0 = parse_num(&val("--seed0"), "--seed0"),
+            "--seed" => out.seed = Some(parse_num(&val("--seed"), "--seed")),
+            "--nodes" => out.scenario.nodes = parse_num(&val("--nodes"), "--nodes"),
+            "--replicas" => out.scenario.replicas = parse_num(&val("--replicas"), "--replicas"),
+            "--puts" => out.scenario.puts = parse_num(&val("--puts"), "--puts"),
+            "--jobs" => out.jobs = parse_num(&val("--jobs"), "--jobs"),
+            "--bug-head-only" => out.scenario.probe_head_only = true,
+            "--json" => out.json = Some(val("--json")),
+            "--trace" => out.trace = Some(val("--trace")),
+            "-v" | "--verbose" => out.verbose = true,
+            _ => usage(),
+        }
+    }
+    if out.scenario.nodes < 2 || out.scenario.replicas as usize >= out.scenario.nodes {
+        eprintln!("need nodes >= 2 and replicas < nodes");
+        std::process::exit(2);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn cmd_sweep(args: Args) {
+    let results = sweep(&args.scenario, args.seed0, args.seeds, args.jobs);
+    let failed: Vec<_> = results.iter().filter(|r| !r.ok).collect();
+    if args.verbose {
+        for r in &results {
+            let verdict = if r.ok { "ok" } else { "FAIL" };
+            println!(
+                "seed {:>6}  {:4}  end {:>6.2}s  acked {}  plan {}",
+                r.seed,
+                verdict,
+                r.end_us as f64 / 1e6,
+                r.acked_puts,
+                r.plan_len
+            );
+        }
+    }
+    println!(
+        "swept seeds {}..{}: {} ok, {} failed",
+        args.seed0,
+        args.seed0 + args.seeds,
+        results.len() - failed.len(),
+        failed.len()
+    );
+
+    let mut shrunk_lines: Vec<String> = Vec::new();
+    let mut shrink_runs = 0usize;
+    if let Some(first) = failed.first() {
+        println!(
+            "first failure: seed {} — {}",
+            first.seed,
+            first
+                .violation
+                .as_deref()
+                .unwrap_or("(no violation recorded)")
+        );
+        let mut sc = args.scenario.clone();
+        sc.seed = first.seed;
+        if let Some(min) = shrink(&sc, SHRINK_BUDGET) {
+            shrink_runs = min.runs;
+            println!("minimized fault plan ({} runs spent shrinking):", min.runs);
+            for entry in &min.plan {
+                let line = entry.to_string();
+                println!("  - {line}");
+                shrunk_lines.push(line);
+            }
+            println!(
+                "still fails with: {}",
+                min.violation.as_deref().unwrap_or("(none)")
+            );
+        }
+        let bug = if args.scenario.probe_head_only {
+            " --bug-head-only"
+        } else {
+            ""
+        };
+        println!(
+            "replay: d2-dst replay --seed {} --nodes {} --replicas {} --puts {}{}",
+            first.seed, sc.nodes, sc.replicas, sc.puts, bug
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let failed_seeds: Vec<String> = failed.iter().map(|r| r.seed.to_string()).collect();
+        let plan: Vec<String> = shrunk_lines
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect();
+        let json = format!(
+            "{{\"seed0\":{},\"seeds\":{},\"ok\":{},\"failed\":[{}],\"shrink_runs\":{},\"shrunk_plan\":[{}]}}\n",
+            args.seed0,
+            args.seeds,
+            results.len() - failed.len(),
+            failed_seeds.join(","),
+            shrink_runs,
+            plan.join(",")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("summary written to {path}");
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_replay(args: Args) {
+    let Some(seed) = args.seed else { usage() };
+    let mut sc = args.scenario.clone();
+    sc.seed = seed;
+    let out = run_one(&sc, &Overrides::default());
+    println!(
+        "seed {}: {} at {:.2}s — {} delivered, {} dropped, {} duplicated, {} delayed, {} ticks, {} acked puts",
+        out.seed,
+        if out.ok { "ok" } else { "FAIL" },
+        out.end_us as f64 / 1e6,
+        out.stats.delivered,
+        out.stats.dropped,
+        out.stats.duplicated,
+        out.stats.delayed,
+        out.stats.ticks,
+        out.stats.acked_puts
+    );
+    println!("fault plan ({} entries):", out.plan.len());
+    for entry in &out.plan {
+        println!("  - {entry}");
+    }
+    if let Some(v) = &out.violation {
+        println!("violation: {v}");
+    }
+    if let Some(path) = &args.trace {
+        let jsonl = to_jsonl(&out.trace);
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(jsonl.as_bytes())) {
+            Ok(()) => println!("trace ({} events) written to {path}", out.trace.len()),
+            Err(e) => {
+                eprintln!("write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !out.ok {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let args = parse_args(rest);
+    match cmd.as_str() {
+        "sweep" => cmd_sweep(args),
+        "replay" => cmd_replay(args),
+        _ => usage(),
+    }
+}

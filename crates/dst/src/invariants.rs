@@ -1,0 +1,212 @@
+//! Safety and convergence invariants evaluated at heal-phase
+//! checkpoints.
+//!
+//! The ring checks are the classic Chord correctness conditions Zave
+//! formalized ("How to Make Chord Correct"): one ring, ordered
+//! successor lists free of corpses, every live node on the cycle, and
+//! predecessors consistent with the cycle. The storage checks encode
+//! the replica-maintenance contract on top: once the network heals,
+//! every *acked* put is readable from its current owner, and its
+//! replica count converges back to the configured factor `r` on the
+//! owner-plus-successors chain.
+//!
+//! All checks are pure reads of protocol state — they see exactly what
+//! the nodes believe, not a parallel model — and they are evaluated
+//! only at quiescent points (after fault injection has ended), where a
+//! correct protocol must have reached its fixed point. A failing run
+//! reports the *last* violation, i.e. the condition that never became
+//! true.
+
+use crate::world::SimWorld;
+use d2_ring::messages::Addr;
+use std::collections::BTreeMap;
+
+/// Evaluates every invariant; the first violated one is the verdict.
+pub fn check_all(w: &SimWorld) -> Result<(), String> {
+    let live: Vec<Addr> = w.live_nodes().map(|(a, _)| a).collect();
+    if live.len() < 2 {
+        return Err(format!("only {} live nodes — scenario bug", live.len()));
+    }
+    check_joined(w)?;
+    let order = check_one_ring(w, &live)?;
+    check_successor_lists(w, &live)?;
+    check_predecessors(w, &order)?;
+    check_puts_acked(w)?;
+    check_storage(w, &live)?;
+    Ok(())
+}
+
+/// Every live node has joined (has at least one successor).
+fn check_joined(w: &SimWorld) -> Result<(), String> {
+    for (addr, rt) in w.live_nodes() {
+        if !rt.protocol().is_joined() {
+            return Err(format!("node {addr} is alive but not joined"));
+        }
+    }
+    Ok(())
+}
+
+/// At most one ring, and it reaches every live node: following
+/// `successor[0]` from the lowest live address must cycle through
+/// exactly the live set. Returns the cycle order for the predecessor
+/// check.
+fn check_one_ring(w: &SimWorld, live: &[Addr]) -> Result<Vec<Addr>, String> {
+    let heads: BTreeMap<Addr, Addr> = w
+        .live_nodes()
+        .map(|(a, rt)| (a, rt.protocol().successors()[0].addr))
+        .collect();
+    let start = live[0];
+    let mut order = vec![start];
+    let mut at = start;
+    for _ in 0..live.len() {
+        let next = *heads
+            .get(&at)
+            .ok_or_else(|| format!("node {at} on the cycle is not live"))?;
+        if !heads.contains_key(&next) {
+            return Err(format!("node {at}'s successor head {next} is dead"));
+        }
+        if next == start {
+            if order.len() != live.len() {
+                return Err(format!(
+                    "ring cycle covers {} of {} live nodes (split ring)",
+                    order.len(),
+                    live.len()
+                ));
+            }
+            return Ok(order);
+        }
+        if order.contains(&next) {
+            return Err(format!(
+                "successor cycle re-enters at node {next} without covering the ring"
+            ));
+        }
+        order.push(next);
+        at = next;
+    }
+    Err(format!(
+        "successor chain from node {start} does not close into a ring"
+    ))
+}
+
+/// Successor lists contain no corpses, never the node itself, and are
+/// strictly ordered by clockwise distance (which also rules out
+/// duplicates).
+fn check_successor_lists(w: &SimWorld, live: &[Addr]) -> Result<(), String> {
+    for (addr, rt) in w.live_nodes() {
+        let p = rt.protocol();
+        let me = p.me();
+        let mut last_dist = None;
+        for s in p.successors() {
+            if s.addr == me.addr {
+                return Err(format!("node {addr} lists itself as a successor"));
+            }
+            if !live.contains(&s.addr) {
+                return Err(format!(
+                    "node {addr} lists dead node {} as a successor",
+                    s.addr
+                ));
+            }
+            let d = me.id.distance_to(&s.id);
+            if let Some(prev) = last_dist {
+                if d <= prev {
+                    return Err(format!(
+                        "node {addr}'s successor list is not strictly ordered"
+                    ));
+                }
+            }
+            last_dist = Some(d);
+        }
+    }
+    Ok(())
+}
+
+/// Every live node's predecessor pointer agrees with the ring cycle.
+fn check_predecessors(w: &SimWorld, order: &[Addr]) -> Result<(), String> {
+    let pred_of: BTreeMap<Addr, Addr> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, order[(i + order.len() - 1) % order.len()]))
+        .collect();
+    for (addr, rt) in w.live_nodes() {
+        let Some(p) = rt.protocol().predecessor() else {
+            return Err(format!("node {addr} has no predecessor"));
+        };
+        let want = pred_of[&addr];
+        if p.addr != want {
+            return Err(format!(
+                "node {addr}'s predecessor is {} but the ring order says {want}",
+                p.addr
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Liveness of the workload: with faults over and the client still
+/// retrying, every put must eventually be acked with all `r` copies.
+fn check_puts_acked(w: &SimWorld) -> Result<(), String> {
+    for (i, op) in w.client_ops().iter().enumerate() {
+        if !op.acked() {
+            return Err(format!("client put {i} still unacked"));
+        }
+    }
+    Ok(())
+}
+
+/// Storage convergence for every acked put: the current owner holds the
+/// block, at least `min(r, live)` live nodes hold it, and the canonical
+/// chain — the owner plus its first `r - 1` successors — is fully
+/// populated (the state replica repair must restore after any healed
+/// churn).
+fn check_storage(w: &SimWorld, live: &[Addr]) -> Result<(), String> {
+    // Ring-ordered live ids, for ownership: the owner of `key` is the
+    // first live node at or clockwise-after it.
+    let mut ids: Vec<(d2_types::Key, Addr)> = w
+        .live_nodes()
+        .map(|(a, rt)| (rt.protocol().me().id, a))
+        .collect();
+    ids.sort();
+    let owner_of =
+        |key: &d2_types::Key| -> Addr { ids.iter().find(|(id, _)| id >= key).unwrap_or(&ids[0]).1 };
+    let holders = |key: &d2_types::Key, data: &[u8]| -> Vec<Addr> {
+        w.live_nodes()
+            .filter(|(_, rt)| rt.blocks().get(key).map(Vec::as_slice) == Some(data))
+            .map(|(a, _)| a)
+            .collect()
+    };
+    let r = w.replicas() as usize;
+    for (i, op) in w.client_ops().iter().enumerate() {
+        if !op.acked() {
+            continue;
+        }
+        let key = op.key();
+        let owner = owner_of(&key);
+        let have = holders(&key, op.data());
+        if !have.contains(&owner) {
+            return Err(format!(
+                "acked put {i}: owner node {owner} does not hold the block (copies on {have:?})"
+            ));
+        }
+        let want = r.min(live.len());
+        if have.len() < want {
+            return Err(format!(
+                "acked put {i}: {} of {want} replicas present (on {have:?})",
+                have.len()
+            ));
+        }
+        // The canonical placement: owner + its first r-1 successors.
+        let (_, owner_rt) = w
+            .live_nodes()
+            .find(|&(a, _)| a == owner)
+            .expect("owner is live");
+        for s in owner_rt.protocol().successors().iter().take(r - 1) {
+            if !have.contains(&s.addr) {
+                return Err(format!(
+                    "acked put {i}: chain successor {} of owner {owner} lacks the block",
+                    s.addr
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,932 @@
+//! The simulated world: the *real* [`NodeRuntime`] over a virtual
+//! network and a virtual clock.
+//!
+//! Nothing here is a model of the node — every node in the world is the
+//! production `d2-net` runtime (protocol state machine, block store,
+//! replica repair), driven one event at a time through
+//! [`NodeRuntime::on_message`] / [`NodeRuntime::on_tick`] over a
+//! [`SimTransport`] that implements the same [`Transport`] trait as TCP.
+//! The world owns the only loop: a virtual-time event queue whose order
+//! is a pure function of the scenario seed. There are no OS threads and
+//! no sleeps, so a run is exactly reproducible — same seed, same
+//! schedule, byte-identical trace.
+//!
+//! The seed decides everything the real world leaves to chance:
+//!
+//! - per-message fates (deliver / drop / duplicate / long-delay) and
+//!   per-message latency jitter, via the stateless [`FatePolicy`];
+//! - node crashes (with the store wiped — crash-stop with disk loss),
+//!   optional restarts, and single-node network isolations, via the
+//!   plan generator in [`generate_node_events`];
+//! - the client workload's keys.
+//!
+//! Faults stop at `fault_end_us`; after that the run enters a heal
+//! phase in which periodic checkpoints evaluate the ring and storage
+//! invariants (see [`crate::invariants`]). Three consecutive clean
+//! checkpoints end the run as a pass; a deadline without them ends it
+//! as a failure carrying the last violation.
+
+use crate::fate::{FateKind, FatePolicy, FaultProbs, SplitMix};
+use crate::invariants;
+use d2_net::runtime::TICK;
+use d2_net::{Clock, NodeRuntime, SimClock};
+use d2_obs::trace::TraceEvent;
+use d2_ring::messages::{Addr, RingMsg};
+use d2_ring::node::NodeConfig;
+use d2_types::Key;
+use d2_wire::codec::{Request, Response, WireMsg};
+use d2_wire::transport::{RecvError, Transport, TransportError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One-way propagation delay before jitter, virtual µs.
+const BASE_DELAY_US: u64 = 1_000;
+/// Extra delay applied by [`FateKind::Delay`]: well past the join-retry
+/// timer, so a delayed message is genuinely stale when it lands.
+const LONG_DELAY_US: u64 = 2_000_000;
+/// Spacing between node boots (a deliberate boot storm: every joiner
+/// races every other through the same seed node).
+const BOOT_SPACING_US: u64 = 50_000;
+/// When the client workload starts, and spacing between puts.
+const PUT_START_US: u64 = 2_000_000;
+const PUT_SPACING_US: u64 = 150_000;
+/// Client per-attempt timeout before it retries through another entry.
+const OP_TIMEOUT_US: u64 = 600_000;
+/// Backoff before re-trying a put whose chain acked fewer than `r`
+/// copies (gives a truncated chain time to stop being truncated).
+const DEGRADED_RETRY_US: u64 = 200_000;
+/// Checkpoint cadence during the heal phase, and how many consecutive
+/// clean checkpoints constitute convergence. One clean sample is not
+/// enough: a wedged ring can oscillate (forget a corpse, re-adopt it
+/// from a stale advertisement) and look clean at a single instant.
+const CHECK_EVERY_US: u64 = 500_000;
+const CONSECUTIVE_OK: u32 = 3;
+
+/// Everything that parameterizes one deterministic run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The schedule seed: decides fates, node events, workload keys.
+    pub seed: u64,
+    /// Ring size. Node `i` sits at position `(i + 0.5) / nodes` and has
+    /// transport address `i`; node 0 is the bootstrap/join seed and is
+    /// never crashed or isolated (the well-known-address assumption).
+    pub nodes: usize,
+    /// Replication factor `r`. The generated plan keeps total crashes
+    /// at or below `r - 1` — the protocol's failure assumption.
+    pub replicas: u32,
+    /// Client puts issued during the run.
+    pub puts: usize,
+    /// Message fault probabilities (active before `fault_end_us`).
+    pub probs: FaultProbs,
+    /// Virtual time at which all fault injection stops.
+    pub fault_end_us: u64,
+    /// Virtual deadline: no convergence by here fails the run.
+    pub deadline_us: u64,
+    /// Re-introduce PR 4's head-only successor-probing bug in every
+    /// node, to validate that the explorer catches it.
+    pub probe_head_only: bool,
+    /// Explicit node-event script; `None` generates one from the seed.
+    pub node_events: Option<Vec<NodeEvent>>,
+    /// Targeted fault for regression scripts: silently drop the first
+    /// `n` `JoinAck` messages put on the wire.
+    pub drop_first_join_acks: u32,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            seed: 0,
+            nodes: 10,
+            replicas: 3,
+            puts: 8,
+            probs: FaultProbs::default(),
+            fault_end_us: 12_000_000,
+            deadline_us: 72_000_000,
+            probe_head_only: false,
+            node_events: None,
+            drop_first_join_acks: 0,
+        }
+    }
+}
+
+impl Scenario {
+    /// A smaller, shorter world for debug-mode unit tests.
+    pub fn small(seed: u64) -> Self {
+        Scenario {
+            seed,
+            nodes: 6,
+            puts: 4,
+            fault_end_us: 6_000_000,
+            deadline_us: 45_000_000,
+            ..Scenario::default()
+        }
+    }
+}
+
+/// A scripted or generated node-level fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// Crash-stop `node` at `at_us` (store wiped); optionally restart
+    /// it at `restart_us`, rejoining through node 0 with an empty store.
+    Crash {
+        /// The victim (never node 0).
+        node: Addr,
+        /// Crash instant.
+        at_us: u64,
+        /// Restart instant, or `None` for a permanent failure.
+        restart_us: Option<u64>,
+    },
+    /// Cut `node` off from every other node (both directions) between
+    /// `at_us` and `heal_us` — a flaky NIC, not a netsplit. The node
+    /// keeps running and keeps its store.
+    Isolate {
+        /// The victim (never node 0).
+        node: Addr,
+        /// Isolation start.
+        at_us: u64,
+        /// Isolation end.
+        heal_us: u64,
+    },
+}
+
+/// One entry of a run's fault plan: everything non-deterministic that
+/// actually happened, in a form the shrinker can neutralize one item at
+/// a time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanEntry {
+    /// A node event (indexed into the scenario's generated event list).
+    Node {
+        /// Index into the node-event list (the shrinker's handle).
+        idx: usize,
+        /// The event itself.
+        event: NodeEvent,
+    },
+    /// A non-clean message fate that was actually drawn.
+    Fault {
+        /// The message's wire sequence number (the shrinker's handle).
+        seq: u64,
+        /// What happened to it.
+        kind: FateKind,
+        /// Message variant, for human-readable plans.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlanEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanEntry::Node {
+                event:
+                    NodeEvent::Crash {
+                        node,
+                        at_us,
+                        restart_us,
+                    },
+                ..
+            } => match restart_us {
+                Some(r) => write!(
+                    f,
+                    "crash node {node} at {:.2}s, restart at {:.2}s",
+                    *at_us as f64 / 1e6,
+                    *r as f64 / 1e6
+                ),
+                None => write!(
+                    f,
+                    "crash node {node} at {:.2}s (permanent)",
+                    *at_us as f64 / 1e6
+                ),
+            },
+            PlanEntry::Node {
+                event:
+                    NodeEvent::Isolate {
+                        node,
+                        at_us,
+                        heal_us,
+                    },
+                ..
+            } => write!(
+                f,
+                "isolate node {node} at {:.2}s, heal at {:.2}s",
+                *at_us as f64 / 1e6,
+                *heal_us as f64 / 1e6
+            ),
+            PlanEntry::Fault { seq, kind, what } => {
+                write!(f, "{} {what} (wire seq {seq})", kind.label())
+            }
+        }
+    }
+}
+
+/// The shrinker's neutralization set: which plan entries to suppress on
+/// the next run. Everything else about the schedule is untouched.
+#[derive(Clone, Debug, Default)]
+pub struct Overrides {
+    /// Message seqs forced to clean delivery.
+    pub force_deliver: BTreeSet<u64>,
+    /// Node-event indexes not scheduled at all.
+    pub skip_events: BTreeSet<usize>,
+}
+
+/// Counters for one run, part of the deterministic outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Messages delivered to a live node or the client.
+    pub delivered: u64,
+    /// Messages dropped by a drawn fate.
+    pub dropped: u64,
+    /// Messages duplicated by a drawn fate.
+    pub duplicated: u64,
+    /// Messages long-delayed by a drawn fate.
+    pub delayed: u64,
+    /// In-flight messages discarded because the destination crashed.
+    pub lost_crashed: u64,
+    /// In-flight messages discarded by an isolation starting mid-flight.
+    pub lost_partition: u64,
+    /// Maintenance ticks executed across all nodes.
+    pub ticks: u64,
+    /// Client puts fully acked (all `r` replicas written).
+    pub acked_puts: u32,
+    /// Invariant checkpoints evaluated.
+    pub checkpoints: u32,
+}
+
+/// The deterministic result of one run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The seed that produced this outcome.
+    pub seed: u64,
+    /// Whether the world converged (three consecutive clean checkpoints
+    /// before the deadline).
+    pub ok: bool,
+    /// The last invariant violation observed (failing runs only).
+    pub violation: Option<String>,
+    /// Virtual time at which the run ended.
+    pub end_us: u64,
+    /// Counters.
+    pub stats: RunStats,
+    /// The fault plan that actually played out (shrinker input).
+    pub plan: Vec<PlanEntry>,
+    /// The structured trace: scheduler decisions, node events, client
+    /// progress, checkpoint verdicts. Byte-identical across replays of
+    /// the same seed (export with [`d2_obs::trace::to_jsonl`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Generates the node-event plan for a scenario from its seed (or
+/// returns the scripted plan verbatim).
+///
+/// Generated plans respect the protocol's failure assumption: at most
+/// `replicas - 1` crashes total (so an acked put can never lose every
+/// replica), victims are never node 0, and every event completes before
+/// `fault_end_us`. Isolations are single-node so the live topology
+/// stays transitively connected — like Chord, the protocol has no ring
+/// merge, so a netsplit held long enough for each side to form its own
+/// stable ring would be an unrecoverable (and expected) outcome, not a
+/// bug the sweep should flag.
+pub fn generate_node_events(sc: &Scenario) -> Vec<NodeEvent> {
+    if let Some(events) = &sc.node_events {
+        return events.clone();
+    }
+    let fe = sc.fault_end_us;
+    let mut rng = SplitMix::new(sc.seed ^ 0x0001_0000_0000_0001);
+    let mut events = Vec::new();
+    let max_crashes = (sc.replicas.saturating_sub(1) as usize).min(sc.nodes.saturating_sub(2));
+    let crashes = match rng.unit() {
+        u if u < 0.20 => 0,
+        u if u < 0.60 => 1usize.min(max_crashes),
+        _ => 2usize.min(max_crashes),
+    };
+    let mut victims = BTreeSet::new();
+    while victims.len() < crashes {
+        victims.insert(1 + rng.index(sc.nodes - 1));
+    }
+    for node in victims {
+        let at_us = rng.range(fe / 4, fe * 3 / 4);
+        let restart_us = if rng.unit() < 0.5 {
+            Some((at_us + rng.range(fe / 15, fe / 5)).min(fe - 1))
+        } else {
+            None
+        };
+        events.push(NodeEvent::Crash {
+            node,
+            at_us,
+            restart_us,
+        });
+    }
+    if rng.unit() < 0.35 {
+        let node = 1 + rng.index(sc.nodes - 1);
+        let at_us = rng.range(fe / 4, fe * 2 / 3);
+        let heal_us = (at_us + rng.range(fe / 12, fe / 4)).min(fe - 1);
+        events.push(NodeEvent::Isolate {
+            node,
+            at_us,
+            heal_us,
+        });
+    }
+    events.sort_by_key(|e| match *e {
+        NodeEvent::Crash { node, at_us, .. } => (at_us, 0, node),
+        NodeEvent::Isolate { node, at_us, .. } => (at_us, 1, node),
+    });
+    events
+}
+
+/// Shared state of the virtual network, behind the transport seam.
+struct NetInner {
+    client_addr: Addr,
+    crashed: Vec<bool>,
+    /// Partition group per node; messages cross only equal groups.
+    group: Vec<u8>,
+    /// Messages sent but not yet scheduled (drained after every step).
+    outbox: Vec<(Addr, Addr, WireMsg)>,
+}
+
+/// The in-simulation [`Transport`]: sends append to the shared outbox
+/// for the scheduler to assign fates; receives are never used because
+/// the world calls [`NodeRuntime::on_message`] directly.
+///
+/// Sends fail fast with [`TransportError::PeerUnreachable`] exactly
+/// when TCP would: the peer is crashed, or an isolation separates the
+/// two endpoints. The client address is always reachable (it models a
+/// local test client outside the faulted fabric).
+pub struct SimTransport {
+    me: Addr,
+    net: Arc<Mutex<NetInner>>,
+}
+
+impl Transport for SimTransport {
+    fn local_addr(&self) -> Addr {
+        self.me
+    }
+
+    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+        let mut net = self.net.lock();
+        if to != net.client_addr
+            && (to >= net.crashed.len() || net.crashed[to] || net.group[self.me] != net.group[to])
+        {
+            return Err(TransportError::PeerUnreachable(to));
+        }
+        let me = self.me;
+        net.outbox.push((me, to, msg.clone()));
+        Ok(())
+    }
+
+    fn recv_timeout(&self, _timeout: Duration) -> Result<WireMsg, RecvError> {
+        // The world single-steps runtimes; nothing ever blocks here.
+        Err(RecvError::Timeout)
+    }
+
+    fn shutdown(&self) {}
+}
+
+/// One scheduled occurrence in the virtual world.
+enum Ev {
+    /// Construct node `node` (bootstrap for 0, join via 0 otherwise).
+    Boot { node: Addr },
+    /// One maintenance tick of `node` (reschedules itself while live).
+    Tick { node: Addr },
+    /// A message lands at `to` (unless it crashed / was cut off since).
+    Deliver { from: Addr, to: Addr, msg: WireMsg },
+    /// A node event from the plan fires.
+    Node { idx: usize },
+    /// A crashed node comes back (empty store, rejoins via node 0).
+    Restart { node: Addr },
+    /// An isolation ends.
+    HealNode { node: Addr },
+    /// The client issues (or retries) put `op`.
+    ClientIssue { op: usize },
+    /// The client's per-attempt timer for put `op` fires.
+    ClientTimeout { op: usize, attempt: u32 },
+    /// Evaluate the invariants (heal phase only).
+    Checkpoint,
+}
+
+/// Client-side state of one put operation.
+pub(crate) struct ClientOp {
+    key: Key,
+    data: Vec<u8>,
+    acked: bool,
+    attempt: u32,
+    /// The outstanding request id, if any (stale responses are ignored).
+    cur_req: Option<u64>,
+}
+
+impl ClientOp {
+    pub(crate) fn acked(&self) -> bool {
+        self.acked
+    }
+
+    pub(crate) fn key(&self) -> Key {
+        self.key
+    }
+
+    pub(crate) fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// The simulated world. Construct with [`SimWorld::new`], consume with
+/// [`SimWorld::run`].
+pub struct SimWorld {
+    sc: Scenario,
+    clock: SimClock,
+    net: Arc<Mutex<NetInner>>,
+    nodes: Vec<Option<NodeRuntime<SimTransport, SimClock>>>,
+    node_ids: Vec<Key>,
+    node_events: Vec<NodeEvent>,
+    skip_events: BTreeSet<usize>,
+    policy: FatePolicy,
+    queue: BTreeMap<(u64, u64), Ev>,
+    next_ev: u64,
+    /// Wire sequence number of node-to-node messages (the fate handle).
+    msg_seq: u64,
+    client_addr: Addr,
+    ops: Vec<ClientOp>,
+    next_req: u64,
+    req_owner: HashMap<u64, usize>,
+    join_acks_dropped: u32,
+    faults_drawn: Vec<(u64, FateKind, &'static str)>,
+    stats: RunStats,
+    trace: Vec<TraceEvent>,
+    clean_streak: u32,
+    last_violation: Option<String>,
+    verdict: Option<bool>,
+}
+
+impl SimWorld {
+    /// Builds the world for `sc`, applying the shrinker's `overrides`.
+    pub fn new(sc: Scenario, overrides: &Overrides) -> Self {
+        assert!(sc.nodes >= 2, "a ring needs at least two nodes");
+        assert!(
+            (sc.replicas as usize) < sc.nodes,
+            "the failure assumption needs replicas < nodes"
+        );
+        assert!(sc.fault_end_us >= 4_000_000, "leave room for boot + churn");
+        let client_addr = sc.nodes;
+        let net = Arc::new(Mutex::new(NetInner {
+            client_addr,
+            crashed: vec![false; sc.nodes],
+            group: vec![0; sc.nodes],
+            outbox: Vec::new(),
+        }));
+        let node_ids: Vec<Key> = (0..sc.nodes)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / sc.nodes as f64))
+            .collect();
+        let mut policy = FatePolicy::new(sc.seed, sc.probs, sc.fault_end_us);
+        policy.force_deliver = overrides.force_deliver.clone();
+        let node_events = generate_node_events(&sc);
+
+        // Distinct workload keys drawn from the seed.
+        let mut rng = SplitMix::new(sc.seed ^ 0x0002_0000_0000_0002);
+        let mut keys: Vec<Key> = Vec::new();
+        while keys.len() < sc.puts {
+            let k = Key::from_fraction(rng.unit());
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let ops = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| ClientOp {
+                key,
+                data: format!("blk-{i}-seed-{}", sc.seed).into_bytes(),
+                acked: false,
+                attempt: 0,
+                cur_req: None,
+            })
+            .collect();
+
+        let mut world = SimWorld {
+            nodes: (0..sc.nodes).map(|_| None).collect(),
+            node_ids,
+            node_events,
+            skip_events: overrides.skip_events.clone(),
+            policy,
+            queue: BTreeMap::new(),
+            next_ev: 0,
+            msg_seq: 0,
+            client_addr,
+            ops,
+            next_req: 1,
+            req_owner: HashMap::new(),
+            join_acks_dropped: 0,
+            faults_drawn: Vec::new(),
+            stats: RunStats::default(),
+            trace: Vec::new(),
+            clean_streak: 0,
+            last_violation: None,
+            verdict: None,
+            clock: SimClock::new(),
+            net,
+            sc,
+        };
+
+        for node in 0..world.sc.nodes {
+            world.schedule(node as u64 * BOOT_SPACING_US, Ev::Boot { node });
+        }
+        for (idx, ev) in world.node_events.clone().into_iter().enumerate() {
+            if world.skip_events.contains(&idx) {
+                continue;
+            }
+            let at = match ev {
+                NodeEvent::Crash { at_us, .. } | NodeEvent::Isolate { at_us, .. } => at_us,
+            };
+            world.schedule(at, Ev::Node { idx });
+        }
+        for op in 0..world.ops.len() {
+            world.schedule(
+                PUT_START_US + op as u64 * PUT_SPACING_US,
+                Ev::ClientIssue { op },
+            );
+        }
+        let first_check = world.sc.fault_end_us + CHECK_EVERY_US;
+        world.schedule(first_check, Ev::Checkpoint);
+        world
+    }
+
+    /// Runs the world to its verdict.
+    pub fn run(mut self) -> RunOutcome {
+        while self.verdict.is_none() {
+            // The tick chains keep the queue non-empty until a verdict.
+            let Some(((t, _), ev)) = self.queue.pop_first() else {
+                break;
+            };
+            self.clock.set(t);
+            self.dispatch(t, ev);
+        }
+        let ok = self.verdict.unwrap_or(false);
+        let end_us = self.now();
+        self.mark(
+            end_us,
+            format!("verdict {}", if ok { "ok" } else { "FAIL" }),
+        );
+        let mut plan: Vec<PlanEntry> = self
+            .node_events
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| !self.skip_events.contains(idx))
+            .map(|(idx, event)| PlanEntry::Node { idx, event: *event })
+            .collect();
+        plan.extend(
+            self.faults_drawn
+                .iter()
+                .map(|&(seq, kind, what)| PlanEntry::Fault { seq, kind, what }),
+        );
+        RunOutcome {
+            seed: self.sc.seed,
+            ok,
+            violation: if ok { None } else { self.last_violation },
+            end_us,
+            stats: self.stats,
+            plan,
+            trace: self.trace,
+        }
+    }
+
+    /// Live nodes with their addresses (invariant checkers' view).
+    pub(crate) fn live_nodes(
+        &self,
+    ) -> impl Iterator<Item = (Addr, &NodeRuntime<SimTransport, SimClock>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(a, rt)| rt.as_ref().map(|rt| (a, rt)))
+    }
+
+    pub(crate) fn replicas(&self) -> u32 {
+        self.sc.replicas
+    }
+
+    pub(crate) fn client_ops(&self) -> &[ClientOp] {
+        &self.ops
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    fn schedule(&mut self, at_us: u64, ev: Ev) {
+        let seq = self.next_ev;
+        self.next_ev += 1;
+        self.queue.insert((at_us, seq), ev);
+    }
+
+    fn mark(&mut self, t_us: u64, label: String) {
+        self.trace.push(TraceEvent::Mark { t_us, label });
+    }
+
+    fn ring_cfg(&self) -> NodeConfig {
+        NodeConfig {
+            probe_head_only: self.sc.probe_head_only,
+            ..NodeConfig::default()
+        }
+    }
+
+    /// Per-node phase offset so ticks interleave instead of firing in
+    /// lockstep (which would hide ordering races).
+    fn tick_phase(&self, node: Addr) -> u64 {
+        (node as u64).wrapping_mul(1_371) % tick_us()
+    }
+
+    fn spawn_node(&mut self, t: u64, node: Addr, label: &str) {
+        let transport = SimTransport {
+            me: node,
+            net: Arc::clone(&self.net),
+        };
+        let id = self.node_ids[node];
+        let mut rt = if node == 0 {
+            NodeRuntime::bootstrap_with_clock(id, self.ring_cfg(), transport, self.clock.clone())
+        } else {
+            NodeRuntime::join_with_clock(id, self.ring_cfg(), transport, 0, self.clock.clone())
+        };
+        rt.set_replication(self.sc.replicas);
+        self.nodes[node] = Some(rt);
+        self.mark(t, format!("{label} node {node}"));
+        self.drain_outbox(t);
+        self.schedule(t + tick_us() + self.tick_phase(node), Ev::Tick { node });
+    }
+
+    fn dispatch(&mut self, t: u64, ev: Ev) {
+        match ev {
+            Ev::Boot { node } => self.spawn_node(t, node, "boot"),
+            Ev::Tick { node } => {
+                // A crashed node's tick chain simply ends; Restart
+                // starts a fresh one.
+                if self.nodes[node].is_none() {
+                    return;
+                }
+                self.nodes[node].as_mut().unwrap().on_tick();
+                self.stats.ticks += 1;
+                self.drain_outbox(t);
+                self.schedule(t + tick_us(), Ev::Tick { node });
+            }
+            Ev::Deliver { from, to, msg } => self.deliver(t, from, to, msg),
+            Ev::Node { idx } => match self.node_events[idx] {
+                NodeEvent::Crash {
+                    node, restart_us, ..
+                } => {
+                    assert_ne!(node, 0, "node 0 is the well-known seed and never fails");
+                    self.nodes[node] = None;
+                    self.net.lock().crashed[node] = true;
+                    self.mark(t, format!("crash node {node}"));
+                    if let Some(r) = restart_us {
+                        self.schedule(r.max(t + 1), Ev::Restart { node });
+                    }
+                }
+                NodeEvent::Isolate { node, heal_us, .. } => {
+                    assert_ne!(node, 0, "node 0 is the well-known seed and never fails");
+                    self.net.lock().group[node] = 1;
+                    self.mark(t, format!("isolate node {node}"));
+                    self.schedule(heal_us.max(t + 1), Ev::HealNode { node });
+                }
+            },
+            Ev::Restart { node } => {
+                self.net.lock().crashed[node] = false;
+                self.spawn_node(t, node, "restart");
+            }
+            Ev::HealNode { node } => {
+                self.net.lock().group[node] = 0;
+                self.mark(t, format!("heal node {node}"));
+            }
+            Ev::ClientIssue { op } => {
+                if !self.ops[op].acked {
+                    self.client_attempt(t, op);
+                }
+            }
+            Ev::ClientTimeout { op, attempt } => {
+                if !self.ops[op].acked && self.ops[op].attempt == attempt {
+                    self.client_attempt(t, op);
+                }
+            }
+            Ev::Checkpoint => self.checkpoint(t),
+        }
+    }
+
+    /// An in-flight message arrives (or is lost to a state change that
+    /// happened after it was sent).
+    fn deliver(&mut self, t: u64, from: Addr, to: Addr, msg: WireMsg) {
+        if to == self.client_addr {
+            self.stats.delivered += 1;
+            self.client_on_msg(t, msg);
+            return;
+        }
+        if self.nodes[to].is_none() {
+            self.stats.lost_crashed += 1;
+            return;
+        }
+        if from != self.client_addr {
+            let cut = {
+                let net = self.net.lock();
+                net.group[from] != net.group[to]
+            };
+            if cut {
+                self.stats.lost_partition += 1;
+                return;
+            }
+        }
+        self.stats.delivered += 1;
+        // Shutdown never travels inside the simulation, so the return
+        // value (continue/exit) is always `true`.
+        let _ = self.nodes[to].as_mut().unwrap().on_message(msg);
+        self.drain_outbox(t);
+    }
+
+    /// Assigns a fate and a landing time to everything nodes just sent.
+    fn drain_outbox(&mut self, t: u64) {
+        let msgs = std::mem::take(&mut self.net.lock().outbox);
+        for (from, to, msg) in msgs {
+            if to == self.client_addr {
+                // The client link is outside the faulted fabric.
+                self.schedule(t + BASE_DELAY_US, Ev::Deliver { from, to, msg });
+                continue;
+            }
+            // Targeted regression fault: lose the first JoinAck(s).
+            if self.join_acks_dropped < self.sc.drop_first_join_acks
+                && matches!(msg, WireMsg::Ring(RingMsg::JoinAck { .. }))
+            {
+                self.join_acks_dropped += 1;
+                let n = self.join_acks_dropped;
+                self.mark(t, format!("scripted drop join_ack #{n}"));
+                self.stats.dropped += 1;
+                continue;
+            }
+            let seq = self.msg_seq;
+            self.msg_seq += 1;
+            let fate = self.policy.fate(seq, t);
+            let what = msg.type_name();
+            match fate.kind {
+                FateKind::Deliver => {
+                    self.schedule(
+                        t + BASE_DELAY_US + fate.jitter_us,
+                        Ev::Deliver { from, to, msg },
+                    );
+                }
+                FateKind::Drop => {
+                    self.faults_drawn.push((seq, FateKind::Drop, what));
+                    self.stats.dropped += 1;
+                    self.mark(t, format!("fate seq={seq} drop {what} {from}->{to}"));
+                }
+                FateKind::Delay => {
+                    self.faults_drawn.push((seq, FateKind::Delay, what));
+                    self.stats.delayed += 1;
+                    self.mark(t, format!("fate seq={seq} delay {what} {from}->{to}"));
+                    self.schedule(
+                        t + BASE_DELAY_US + fate.jitter_us + LONG_DELAY_US,
+                        Ev::Deliver { from, to, msg },
+                    );
+                }
+                FateKind::Duplicate => {
+                    self.faults_drawn.push((seq, FateKind::Duplicate, what));
+                    self.stats.duplicated += 1;
+                    self.mark(t, format!("fate seq={seq} duplicate {what} {from}->{to}"));
+                    let t1 = t + BASE_DELAY_US + fate.jitter_us;
+                    self.schedule(
+                        t1,
+                        Ev::Deliver {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
+                    self.schedule(t1 + 1 + fate.dup_extra_us, Ev::Deliver { from, to, msg });
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The in-world client: issues the put workload against live entry
+    // nodes, retries on timeout, and accepts an ack only when the full
+    // replica chain reported `r` copies — mirroring what `ClusterOps`
+    // callers assert in the live deployments.
+    // -----------------------------------------------------------------
+
+    fn client_attempt(&mut self, t: u64, op: usize) {
+        let live: Vec<Addr> = self.live_nodes().map(|(a, _)| a).collect();
+        self.ops[op].attempt += 1;
+        let attempt = self.ops[op].attempt;
+        let entry = live[(op + attempt as usize) % live.len()];
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.ops[op].cur_req = Some(req_id);
+        self.req_owner.insert(req_id, op);
+        let msg = WireMsg::Request {
+            req_id,
+            from: self.client_addr,
+            body: Request::Lookup {
+                key: self.ops[op].key,
+            },
+        };
+        self.mark(
+            t,
+            format!("client put {op} attempt {attempt} via node {entry}"),
+        );
+        self.schedule(
+            t + BASE_DELAY_US,
+            Ev::Deliver {
+                from: self.client_addr,
+                to: entry,
+                msg,
+            },
+        );
+        self.schedule(t + OP_TIMEOUT_US, Ev::ClientTimeout { op, attempt });
+    }
+
+    fn client_on_msg(&mut self, t: u64, msg: WireMsg) {
+        let WireMsg::Response { req_id, body } = msg else {
+            return; // nodes only ever send responses to the client
+        };
+        let Some(&op) = self.req_owner.get(&req_id) else {
+            return;
+        };
+        if self.ops[op].cur_req != Some(req_id) || self.ops[op].acked {
+            return; // a stale attempt's response (e.g. after a timeout)
+        }
+        match body {
+            Response::Owner { owner, .. } => {
+                let put_req = self.next_req;
+                self.next_req += 1;
+                self.ops[op].cur_req = Some(put_req);
+                self.req_owner.insert(put_req, op);
+                let msg = WireMsg::Request {
+                    req_id: put_req,
+                    from: self.client_addr,
+                    body: Request::Put {
+                        key: self.ops[op].key,
+                        fanout: self.sc.replicas - 1,
+                        stored: 0,
+                        data: self.ops[op].data.clone(),
+                    },
+                };
+                self.schedule(
+                    t + BASE_DELAY_US,
+                    Ev::Deliver {
+                        from: self.client_addr,
+                        to: owner.addr,
+                        msg,
+                    },
+                );
+            }
+            Response::PutAck { replicas } => {
+                if replicas >= self.sc.replicas {
+                    self.ops[op].acked = true;
+                    self.ops[op].cur_req = None;
+                    self.stats.acked_puts += 1;
+                    self.mark(t, format!("client put {op} acked replicas={replicas}"));
+                } else {
+                    // A truncated chain (crashed / isolated successors).
+                    // Durability demands the full factor: retry after a
+                    // backoff. The bump of `attempt` invalidates the
+                    // pending timeout for this attempt.
+                    self.ops[op].cur_req = None;
+                    self.ops[op].attempt += 1;
+                    self.mark(
+                        t,
+                        format!("client put {op} degraded replicas={replicas}, retrying"),
+                    );
+                    self.schedule(t + DEGRADED_RETRY_US, Ev::ClientIssue { op });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Heal-phase checkpoints
+    // -----------------------------------------------------------------
+
+    fn checkpoint(&mut self, t: u64) {
+        self.stats.checkpoints += 1;
+        match invariants::check_all(self) {
+            Ok(()) => {
+                self.clean_streak += 1;
+                let streak = self.clean_streak;
+                self.mark(t, format!("checkpoint ok ({streak}/{CONSECUTIVE_OK})"));
+                if streak >= CONSECUTIVE_OK {
+                    self.verdict = Some(true);
+                    return;
+                }
+            }
+            Err(v) => {
+                self.clean_streak = 0;
+                self.mark(t, format!("checkpoint violation: {v}"));
+                self.last_violation = Some(v);
+            }
+        }
+        if t + CHECK_EVERY_US <= self.sc.deadline_us {
+            self.schedule(t + CHECK_EVERY_US, Ev::Checkpoint);
+        } else {
+            self.verdict = Some(false);
+            if self.last_violation.is_none() {
+                self.last_violation = Some("deadline reached with no clean checkpoint".into());
+            }
+        }
+    }
+}
+
+/// The virtual tick period: the same constant the live runtimes use.
+fn tick_us() -> u64 {
+    TICK.as_micros() as u64
+}

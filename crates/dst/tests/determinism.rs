@@ -1,0 +1,96 @@
+//! The harness's own contract: byte-identical replay from a seed, and
+//! the validation story from ISSUE — with the head-only probing bug
+//! re-introduced, a short sweep must catch it and shrink the repro to a
+//! handful of faults.
+
+use d2_dst::{run_one, shrink, sweep, Overrides, Scenario};
+use d2_obs::trace::to_jsonl;
+
+/// Same seed, same scenario — byte-identical trace and identical
+/// outcome, twice in a row. This is the property everything else
+/// (replay, shrinking, CI triage) rests on.
+#[test]
+fn same_seed_is_byte_identical() {
+    let sc = Scenario::small(411);
+    let a = run_one(&sc, &Overrides::default());
+    let b = run_one(&sc, &Overrides::default());
+    assert_eq!(a.ok, b.ok);
+    assert_eq!(a.end_us, b.end_us);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.plan.len(), b.plan.len());
+    assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace));
+}
+
+/// Different seeds draw different schedules (sanity against a constant
+/// fate function).
+#[test]
+fn different_seeds_diverge() {
+    let a = run_one(&Scenario::small(1), &Overrides::default());
+    let b = run_one(&Scenario::small(2), &Overrides::default());
+    assert_ne!(to_jsonl(&a.trace), to_jsonl(&b.trace));
+}
+
+/// The default fault mix converges on a spread of seeds: this is the
+/// tier-1 smoke slice of the big sweeps in scripts/check.sh (64 seeds)
+/// and scripts/dst.sh (1000 seeds).
+#[test]
+fn default_scenarios_converge() {
+    let sc = Scenario::small(0);
+    let results = sweep(&sc, 0, 8, 4);
+    for r in &results {
+        assert!(r.ok, "seed {} failed: {:?}", r.seed, r.violation);
+        assert_eq!(r.acked_puts as usize, sc.puts, "seed {}", r.seed);
+    }
+}
+
+/// Re-introduce PR 4's head-only successor-probing bug and assert the
+/// explorer earns its keep: some seed in a small scan fails, and
+/// shrinking reduces its fault plan to at most 10 entries (the
+/// acceptance bound; in practice a single permanent crash survives).
+#[test]
+fn sweep_catches_head_only_probing_bug() {
+    let mut sc = Scenario::small(0);
+    sc.probe_head_only = true;
+    let results = sweep(&sc, 0, 16, 4);
+    let failing = results
+        .iter()
+        .find(|r| !r.ok)
+        .expect("no seed in 0..16 tripped the head-only bug — harness lost its teeth");
+    let mut fail_sc = sc.clone();
+    fail_sc.seed = failing.seed;
+    let min = shrink(&fail_sc, 200).expect("failing seed must still fail when re-run");
+    assert!(
+        !min.plan.is_empty(),
+        "a wedge needs at least one fault to set up"
+    );
+    assert!(
+        min.plan.len() <= 10,
+        "shrunk plan has {} entries (want <= 10): {:#?}",
+        min.plan.len(),
+        min.plan
+    );
+    // The repro must name the violation so the report is actionable.
+    assert!(min.violation.is_some());
+}
+
+/// The same seeds that fail under the bug knob pass without it — the
+/// failures above are the bug's, not the harness's.
+#[test]
+fn head_only_failures_vanish_without_the_knob() {
+    let mut bugged = Scenario::small(0);
+    bugged.probe_head_only = true;
+    let failing: Vec<u64> = sweep(&bugged, 0, 16, 4)
+        .iter()
+        .filter(|r| !r.ok)
+        .map(|r| r.seed)
+        .collect();
+    assert!(!failing.is_empty());
+    for seed in failing {
+        let clean = run_one(&Scenario::small(seed), &Overrides::default());
+        assert!(
+            clean.ok,
+            "seed {seed} fails even without the bug knob: {:?}",
+            clean.violation
+        );
+    }
+}

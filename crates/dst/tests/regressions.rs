@@ -1,0 +1,124 @@
+//! PR 4's three live-cluster bugs, replayed as deterministic schedules.
+//!
+//! Each of these was originally found (and could only be reproduced) by
+//! running real processes under fault injection for minutes at a time.
+//! Here each is a scripted scenario that runs the same protocol code in
+//! milliseconds, and will fail loudly if the corresponding fix ever
+//! regresses:
+//!
+//! 1. *Dead-tail successor wedge* — a crashed node lingering deep in
+//!    successor lists was never probed and never evicted, so the ring
+//!    oscillated forever. Fixed by probing the whole list, not just the
+//!    head; `probe_head_only` re-introduces the bug for validation.
+//! 2. *Lost join ack* — a dropped `JoinAck` left the joiner waiting
+//!    forever. Fixed with a join retry timer.
+//! 3. *Join livelock* — concurrent joins under heavy message loss could
+//!    chase moving ownership forever. Fixed with a forwarding hop
+//!    budget that converts the chase into a retryable failure.
+
+use d2_dst::{run_one, FaultProbs, NodeEvent, Overrides, Scenario};
+
+/// A script-only scenario: no seed-drawn message faults, so the run
+/// exercises exactly the scripted events.
+fn scripted(seed: u64, events: Vec<NodeEvent>) -> Scenario {
+    Scenario {
+        seed,
+        probs: FaultProbs {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+        },
+        node_events: Some(events),
+        ..Scenario::default()
+    }
+}
+
+/// Bug 1: two adjacent nodes crash permanently, planting corpses at
+/// every depth of their neighbours' successor lists (r = 3, so two
+/// permanent failures is the protocol's worst tolerated case). With
+/// full-list probing the ring must evict both and re-converge; under
+/// `probe_head_only` this same script wedges.
+#[test]
+fn dead_tail_successors_are_evicted() {
+    let events = vec![
+        NodeEvent::Crash {
+            node: 4,
+            at_us: 5_000_000,
+            restart_us: None,
+        },
+        NodeEvent::Crash {
+            node: 5,
+            at_us: 5_200_000,
+            restart_us: None,
+        },
+    ];
+    let out = run_one(&scripted(17, events.clone()), &Overrides::default());
+    assert!(out.ok, "healthy probing wedged: {:?}", out.violation);
+
+    // The same schedule under the re-introduced bug must wedge —
+    // proving the test would have caught the original regression.
+    let mut bugged = scripted(17, events);
+    bugged.probe_head_only = true;
+    let out = run_one(&bugged, &Overrides::default());
+    assert!(!out.ok, "head-only probing should wedge on a dead tail");
+}
+
+/// Bug 2: the wire eats the first `JoinAck`. Without the join retry
+/// timer the victim stays unjoined forever and the `check_joined`
+/// invariant fails at every checkpoint; with it, the joiner re-sends
+/// and the ring completes.
+#[test]
+fn lost_join_ack_is_retried() {
+    let mut sc = scripted(23, Vec::new());
+    sc.drop_first_join_acks = 1;
+    let out = run_one(&sc, &Overrides::default());
+    assert!(
+        out.ok,
+        "join never recovered from a lost ack: {:?}",
+        out.violation
+    );
+    assert_eq!(out.stats.acked_puts as usize, sc.puts);
+}
+
+/// Bug 3: the join-storm livelock. Every node boots within a tick of
+/// its neighbours (instead of the default 50 ms stagger the world
+/// cannot express — so we approximate with heavy message loss during
+/// the join phase) while one early joiner crashes and restarts
+/// mid-storm, keeping ownership moving. The hop budget must turn the
+/// chase into bounded retries that eventually land.
+#[test]
+fn join_storm_with_churn_settles() {
+    let mut sc = scripted(
+        31,
+        vec![NodeEvent::Crash {
+            node: 2,
+            at_us: 1_000_000,
+            restart_us: Some(3_000_000),
+        }],
+    );
+    // A harsh wire while the ring forms: one in six messages lost.
+    sc.probs = FaultProbs {
+        drop: 0.15,
+        duplicate: 0.02,
+        delay: 0.02,
+    };
+    let out = run_one(&sc, &Overrides::default());
+    assert!(out.ok, "join storm failed to settle: {:?}", out.violation);
+}
+
+/// The lost-ack script is fate-targeted, not probabilistic: exactly the
+/// scripted number of `JoinAck`s disappear, nothing else. Two different
+/// drop counts must still both converge (the retry path is idempotent).
+#[test]
+fn repeated_join_ack_loss_still_converges() {
+    for drops in [2u32, 3] {
+        let mut sc = scripted(29, Vec::new());
+        sc.drop_first_join_acks = drops;
+        let out = run_one(&sc, &Overrides::default());
+        assert!(
+            out.ok,
+            "{drops} dropped join acks defeated the retry: {:?}",
+            out.violation
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! One D2 node (or client operation) per OS process, over TCP.
 //!
 //! ```text
-//! d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--obs-out PATH]
+//! d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]
 //! d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)
 //! d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
 //! d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)
@@ -32,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--obs-out PATH]\n\
+        "usage: d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]\n\
          \x20      d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)\n\
          \x20      d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
          \x20      d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)\n\
@@ -165,10 +165,11 @@ fn serve(args: Args) {
 
     let cfg = NodeConfig::default();
     let id = Key::from_fraction(pos);
-    let rt = match args.seed {
+    let mut rt = match args.seed {
         None => NodeRuntime::bootstrap(id, cfg, transport),
         Some(seed) => NodeRuntime::join(id, cfg, transport, pack_addr(seed)),
     };
+    rt.set_replication(args.replicas as u32);
     rt.run();
 
     stop.store(true, Ordering::Release);

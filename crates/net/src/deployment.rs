@@ -66,7 +66,7 @@ impl Deployment<ChannelTransport> {
         let hub = ChannelHub::new(Arc::clone(&metrics));
         let transports: Vec<ChannelTransport> = ids.iter().map(|_| hub.open()).collect();
         let seed = transports[0].local_addr();
-        let nodes = spawn_nodes(ids, transports, seed);
+        let nodes = spawn_nodes(ids, transports, seed, replicas);
         let client = WireClient::new(hub.open(), Arc::clone(&metrics));
         let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
         let factory_hub = hub.clone();
@@ -112,7 +112,7 @@ impl Deployment<TcpTransport> {
             )?);
         }
         let seed = transports[0].local_addr();
-        let nodes = spawn_nodes(&ids, transports, seed);
+        let nodes = spawn_nodes(&ids, transports, seed, replicas);
         let client = WireClient::new(
             TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&metrics))?,
             Arc::clone(&metrics),
@@ -136,15 +136,21 @@ impl Deployment<TcpTransport> {
     }
 }
 
-fn spawn_nodes<T: Transport>(ids: &[Key], transports: Vec<T>, seed: Addr) -> Vec<NodeSlot> {
+fn spawn_nodes<T: Transport>(
+    ids: &[Key],
+    transports: Vec<T>,
+    seed: Addr,
+    replicas: usize,
+) -> Vec<NodeSlot> {
     let mut nodes = Vec::with_capacity(ids.len());
     for (i, transport) in transports.into_iter().enumerate() {
         let cfg = NodeConfig::default();
-        let rt = if transport.local_addr() == seed {
+        let mut rt = if transport.local_addr() == seed {
             NodeRuntime::bootstrap(ids[i], cfg, transport)
         } else {
             NodeRuntime::join(ids[i], cfg, transport, seed)
         };
+        rt.set_replication(replicas as u32);
         let addr = rt.local_addr();
         nodes.push(NodeSlot {
             addr,
@@ -161,7 +167,8 @@ impl<T: Transport> Deployment<T> {
     /// then).
     pub fn join_node(&self, id: Key) -> Addr {
         let transport = (self.factory.lock())();
-        let rt = NodeRuntime::join(id, NodeConfig::default(), transport, self.seed);
+        let mut rt = NodeRuntime::join(id, NodeConfig::default(), transport, self.seed);
+        rt.set_replication(self.replicas as u32);
         let addr = rt.local_addr();
         self.nodes.lock().push(NodeSlot {
             addr,

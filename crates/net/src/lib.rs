@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod deployment;
 pub mod ops;
 pub mod runtime;
 
+pub use clock::{Clock, SimClock, SystemClock};
 pub use deployment::Deployment;
 pub use ops::{ClusterOps, NodeStatus};
 pub use runtime::NodeRuntime;

@@ -1,4 +1,4 @@
-//! The per-node event loop, generic over the transport.
+//! The per-node event loop, generic over the transport and the clock.
 //!
 //! A [`NodeRuntime`] is one live D2 node: the pure protocol state
 //! machine ([`ProtocolNode`]), a local block store, and a
@@ -6,72 +6,129 @@
 //! [`Request::Shutdown`] arrives or the transport closes — the *same*
 //! loop body whether the transport is an in-process channel or a TCP
 //! socket, which is the whole point of the [`d2_wire`] seam.
+//!
+//! The loop body is exposed as two single-step entry points so the
+//! deterministic simulation harness (`d2-dst`) can drive the *identical*
+//! runtime one event at a time with no threads and no sleeps:
+//!
+//! - [`NodeRuntime::on_message`] — handle exactly one incoming message;
+//! - [`NodeRuntime::on_tick`] — run exactly one maintenance tick
+//!   (stabilization, join retry, replica repair).
+//!
+//! All timeouts read time through the injected [`Clock`], so under a
+//! [`crate::clock::SimClock`] every timeout decision is a pure function
+//! of the schedule.
 
+use crate::clock::{Clock, SystemClock};
 use d2_ring::messages::{Addr, RingMsg};
 use d2_ring::node::{NodeConfig, ProtocolNode};
 use d2_types::Key;
 use d2_wire::codec::{Request, Response, WireMsg, WireStatus};
 use d2_wire::transport::{RecvError, Transport};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How long the event loop waits for traffic before running a
 /// stabilization tick.
-const TICK: Duration = Duration::from_millis(20);
+pub const TICK: Duration = Duration::from_millis(20);
 
 /// How long an unjoined node waits before re-sending its join. Longer
 /// than the TCP circuit breaker's backoff cap, so every retry is a real
 /// connection attempt rather than a fail-fast inside the backoff window.
-const JOIN_RETRY: Duration = Duration::from_millis(1_250);
+const JOIN_RETRY_US: u64 = 1_250_000;
 
 /// Bounded local re-routing budget: when a hop turns out dead we forget
 /// it and, for routed requests, immediately re-handle the message so it
 /// takes the next-best route instead of being dropped.
 const REROUTE_BUDGET: u32 = 64;
 
+/// Ticks between replica-repair rounds (≈ 1.28 s of real time at the
+/// 20 ms tick). Each round re-pushes owned blocks down the successor
+/// chain and re-homes blocks this node holds but no longer owns, so the
+/// replica count converges back to the configured factor after churn.
+const REPAIR_EVERY_TICKS: u64 = 64;
+
 /// One live node: protocol state machine + block store + transport.
-pub struct NodeRuntime<T: Transport> {
+pub struct NodeRuntime<T: Transport, C: Clock = SystemClock> {
     node: ProtocolNode,
     store: HashMap<Key, Vec<u8>>,
     transport: T,
+    clock: C,
     /// Ring lookup id → (client addr, client req_id) awaiting the owner.
     pending_lookups: HashMap<u64, (Addr, u64)>,
+    /// Ring lookup id → key of a repair re-home awaiting the owner.
+    pending_repairs: HashMap<u64, Key>,
     /// Join seed, kept so an unjoined node can retry: the one-shot join
     /// message (or its ack) can be lost to a connect timeout during a
     /// cluster-wide boot storm, and nothing else would ever re-send it.
     seed: Option<Addr>,
-    last_join_attempt: Instant,
+    last_join_attempt_us: u64,
+    /// Replica-maintenance target (`0` disables repair). Put chains are
+    /// always driven by the client's requested fanout; this only governs
+    /// the periodic background repair.
+    replication: u32,
+    ticks: u64,
 }
 
-impl<T: Transport> NodeRuntime<T> {
+impl<T: Transport> NodeRuntime<T, SystemClock> {
     /// Creates the first node of a new ring at position `id`. The node's
     /// address is the transport's.
     pub fn bootstrap(id: Key, cfg: NodeConfig, transport: T) -> Self {
-        let node = ProtocolNode::bootstrap(id, transport.local_addr(), cfg);
-        NodeRuntime {
-            node,
-            store: HashMap::new(),
-            transport,
-            pending_lookups: HashMap::new(),
-            seed: None,
-            last_join_attempt: Instant::now(),
-        }
+        Self::bootstrap_with_clock(id, cfg, transport, SystemClock::default())
     }
 
     /// Creates a node that joins an existing ring through `seed`,
     /// sending the initial join traffic immediately.
     pub fn join(id: Key, cfg: NodeConfig, transport: T, seed: Addr) -> Self {
+        Self::join_with_clock(id, cfg, transport, seed, SystemClock::default())
+    }
+}
+
+impl<T: Transport, C: Clock> NodeRuntime<T, C> {
+    /// [`NodeRuntime::bootstrap`] with an explicit clock (used by the
+    /// deterministic simulation harness to inject virtual time).
+    pub fn bootstrap_with_clock(id: Key, cfg: NodeConfig, transport: T, clock: C) -> Self {
+        let node = ProtocolNode::bootstrap(id, transport.local_addr(), cfg);
+        let now = clock.now_us();
+        NodeRuntime {
+            node,
+            store: HashMap::new(),
+            transport,
+            clock,
+            pending_lookups: HashMap::new(),
+            pending_repairs: HashMap::new(),
+            seed: None,
+            last_join_attempt_us: now,
+            replication: 0,
+            ticks: 0,
+        }
+    }
+
+    /// [`NodeRuntime::join`] with an explicit clock.
+    pub fn join_with_clock(id: Key, cfg: NodeConfig, transport: T, seed: Addr, clock: C) -> Self {
         let (node, join_msgs) = ProtocolNode::join(id, transport.local_addr(), cfg, seed);
+        let now = clock.now_us();
         let mut rt = NodeRuntime {
             node,
             store: HashMap::new(),
             transport,
+            clock,
             pending_lookups: HashMap::new(),
+            pending_repairs: HashMap::new(),
             seed: Some(seed),
-            last_join_attempt: Instant::now(),
+            last_join_attempt_us: now,
+            replication: 0,
+            ticks: 0,
         };
         rt.send_all(join_msgs);
         rt
+    }
+
+    /// Sets the replica-maintenance target: background repair keeps
+    /// every owned block on the owner plus `replicas - 1` successors.
+    /// `0` (the default) disables repair.
+    pub fn set_replication(&mut self, replicas: u32) {
+        self.replication = replicas;
     }
 
     /// The node's transport address.
@@ -79,33 +136,64 @@ impl<T: Transport> NodeRuntime<T> {
         self.transport.local_addr()
     }
 
+    /// Read-only view of the protocol state machine (ring pointers),
+    /// used by the simulation harness's invariant checkers.
+    pub fn protocol(&self) -> &ProtocolNode {
+        &self.node
+    }
+
+    /// Read-only view of the local block store, used by the simulation
+    /// harness's storage invariant checkers.
+    pub fn blocks(&self) -> &HashMap<Key, Vec<u8>> {
+        &self.store
+    }
+
     /// Runs the event loop until shutdown, then closes the transport.
     pub fn run(mut self) {
         loop {
             match self.transport.recv_timeout(TICK) {
-                Err(RecvError::Timeout) => {
-                    let out = self.node.tick();
-                    self.send_all(out);
-                    self.retry_join_if_unjoined();
-                    self.drain_completed();
-                }
+                Err(RecvError::Timeout) => self.on_tick(),
                 Err(RecvError::Closed) => break,
-                Ok(WireMsg::Ring(m)) => {
-                    let out = self.node.handle(m);
-                    self.send_all(out);
-                    self.drain_completed();
-                }
-                Ok(WireMsg::Request { req_id, from, body }) => {
-                    if !self.handle_request(req_id, from, body) {
+                Ok(msg) => {
+                    if !self.on_message(msg) {
                         break;
                     }
                 }
-                // Nodes never issue requests, so stray responses (e.g. a
-                // late PutAck racing a chain we forwarded) are dropped.
-                Ok(WireMsg::Response { .. }) => {}
             }
         }
         self.transport.shutdown();
+    }
+
+    /// Handles exactly one incoming message; returns `false` when the
+    /// message was a shutdown request and the loop should exit.
+    pub fn on_message(&mut self, msg: WireMsg) -> bool {
+        match msg {
+            WireMsg::Ring(m) => {
+                let out = self.node.handle(m);
+                self.send_all(out);
+                self.drain_completed();
+                true
+            }
+            WireMsg::Request { req_id, from, body } => self.handle_request(req_id, from, body),
+            // Nodes only issue fire-and-forget repair puts, so responses
+            // (e.g. a repair chain's PutAck, or a late client PutAck
+            // racing a chain we forwarded) are dropped.
+            WireMsg::Response { .. } => true,
+        }
+    }
+
+    /// Runs exactly one maintenance tick: stabilization probes, join
+    /// retry while unjoined, and (every [`REPAIR_EVERY_TICKS`]) one
+    /// replica-repair round.
+    pub fn on_tick(&mut self) {
+        let out = self.node.tick();
+        self.send_all(out);
+        self.retry_join_if_unjoined();
+        self.ticks += 1;
+        if self.replication > 0 && self.ticks % REPAIR_EVERY_TICKS == 0 {
+            self.repair_round();
+        }
+        self.drain_completed();
     }
 
     /// Handles one client request; returns `false` on shutdown.
@@ -194,6 +282,48 @@ impl<T: Transport> NodeRuntime<T> {
         self.respond(from, req_id, Response::PutAck { replicas: stored });
     }
 
+    /// One replica-repair round. Two cases per held block:
+    ///
+    /// - we *own* the key: re-push the chain so the next `replication-1`
+    ///   successors hold a copy (heals replicas lost to crash-restarts);
+    /// - we do *not* own the key (the ring moved around us, or we are a
+    ///   surviving replica of a dead owner): look the owner up and
+    ///   re-put the block through it, restoring the canonical
+    ///   owner-plus-successors placement.
+    ///
+    /// Repair puts carry `from = self`, so the chain's final PutAck
+    /// comes back here and is dropped as a stray response — no client
+    /// is waiting on it. Blocks are never deleted: an over-replicated
+    /// stale copy is garbage, a deleted last copy is data loss.
+    fn repair_round(&mut self) {
+        if !self.node.is_joined() {
+            return;
+        }
+        let me = self.node.me().addr;
+        // Sorted so repair traffic is emitted in a deterministic order —
+        // HashMap iteration order would otherwise leak the process's
+        // random hasher seed into the simulation harness's schedules.
+        let mut owned: Vec<Key> = self.store.keys().copied().collect();
+        owned.sort_unstable();
+        for key in owned {
+            let owns = match self.node.owned_range() {
+                Some(r) => r.contains(&key),
+                None => false,
+            };
+            if owns {
+                if self.replication < 2 {
+                    continue;
+                }
+                let data = self.store[&key].clone();
+                self.handle_put(0, me, key, self.replication - 1, 0, data);
+            } else {
+                let (ring_req, out) = self.node.start_lookup(key);
+                self.pending_repairs.insert(ring_req, key);
+                self.send_all(out);
+            }
+        }
+    }
+
     /// Sends ring traffic, forgetting dead hops and re-routing routed
     /// requests through the repaired ring (bounded by [`REROUTE_BUDGET`]).
     fn send_all(&mut self, msgs: Vec<(Addr, RingMsg)>) {
@@ -217,10 +347,14 @@ impl<T: Transport> NodeRuntime<T> {
     /// and the join handshake is the only path that can recover.
     fn retry_join_if_unjoined(&mut self) {
         let Some(seed) = self.seed else { return };
-        if self.node.is_joined() || self.last_join_attempt.elapsed() < JOIN_RETRY {
+        if self.node.is_joined() {
             return;
         }
-        self.last_join_attempt = Instant::now();
+        let now = self.clock.now_us();
+        if now.saturating_sub(self.last_join_attempt_us) < JOIN_RETRY_US {
+            return;
+        }
+        self.last_join_attempt_us = now;
         let join = RingMsg::Join {
             joiner: self.node.me(),
             hops: 0,
@@ -228,7 +362,8 @@ impl<T: Transport> NodeRuntime<T> {
         let _ = self.transport.send(seed, &WireMsg::Ring(join));
     }
 
-    /// Flushes finished lookups back to the clients that asked.
+    /// Flushes finished lookups: client lookups go back to the clients
+    /// that asked; repair lookups turn into a re-put through the owner.
     fn drain_completed(&mut self) {
         for res in self.node.take_completed() {
             if let Some((client, req_id)) = self.pending_lookups.remove(&res.req_id) {
@@ -240,7 +375,37 @@ impl<T: Transport> NodeRuntime<T> {
                         hops: res.hops,
                     },
                 );
+            } else if let Some(key) = self.pending_repairs.remove(&res.req_id) {
+                self.repair_rehome(key, res.owner.addr);
             }
+        }
+    }
+
+    /// Second half of a non-owned-block repair: push the block to the
+    /// owner the lookup found, which stores it and replicates down its
+    /// own successor chain.
+    fn repair_rehome(&mut self, key: Key, owner: Addr) {
+        let me = self.node.me().addr;
+        let Some(data) = self.store.get(&key).cloned() else {
+            return;
+        };
+        if owner == me {
+            // The lookup raced a ring change and we own the key after
+            // all; the next repair round handles it as an owned block.
+            return;
+        }
+        let put = WireMsg::Request {
+            req_id: 0,
+            from: me,
+            body: Request::Put {
+                key,
+                fanout: self.replication.saturating_sub(1),
+                stored: 0,
+                data,
+            },
+        };
+        if self.transport.send(owner, &put).is_err() {
+            self.node.forget(owner);
         }
     }
 

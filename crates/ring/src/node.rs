@@ -38,6 +38,13 @@ pub struct NodeConfig {
     pub successors: usize,
     /// Maximum long links retained from observed lookup traffic.
     pub max_fingers: usize,
+    /// Fault-injection knob for the deterministic simulation harness:
+    /// re-introduces PR 4's head-only successor probing (a dead tail
+    /// entry is then never probed/evicted and can wedge stabilization
+    /// ring-wide). `d2-dst` flips it to prove its schedule explorer
+    /// catches the historical bug; it must stay `false` everywhere else.
+    #[doc(hidden)]
+    pub probe_head_only: bool,
 }
 
 impl Default for NodeConfig {
@@ -45,6 +52,7 @@ impl Default for NodeConfig {
         NodeConfig {
             successors: 4,
             max_fingers: 32,
+            probe_head_only: false,
         }
     }
 }
@@ -284,7 +292,14 @@ impl ProtocolNode {
     /// re-advertisement at its source.
     pub fn tick(&mut self) -> Vec<(Addr, RingMsg)> {
         let mut out: Vec<(Addr, RingMsg)> = Vec::with_capacity(self.successors.len() + 1);
-        for s in &self.successors {
+        // `probe_head_only` deliberately resurrects the PR 4 bug for
+        // DST-harness validation (see `NodeConfig::probe_head_only`).
+        let probed = if self.cfg.probe_head_only {
+            &self.successors[..self.successors.len().min(1)]
+        } else {
+            &self.successors[..]
+        };
+        for s in probed {
             if s.addr != self.me.addr {
                 out.push((s.addr, RingMsg::GetNeighbors { from: self.me.addr }));
             }

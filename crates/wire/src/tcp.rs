@@ -121,7 +121,22 @@ impl TcpTransport {
         cfg: TcpConfig,
         metrics: Arc<NetMetrics>,
     ) -> io::Result<TcpTransport> {
-        let listener = TcpListener::bind(SocketAddrV4::new(ip, port))?;
+        // Even with port 0 (kernel-assigned, collision-free by design)
+        // the bind can transiently fail with AddrInUse when the
+        // ephemeral range is briefly exhausted by TIME_WAIT sockets —
+        // multi-process test clusters churn through hundreds of
+        // connections. Retry the rare race instead of failing the node.
+        let mut attempt: u64 = 0;
+        let listener = loop {
+            match TcpListener::bind(SocketAddrV4::new(ip, port)) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && attempt < 16 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(5 * attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        };
         listener.set_nonblocking(true)?;
         let bound = match listener.local_addr()? {
             SocketAddr::V4(v4) => v4,

@@ -19,4 +19,7 @@ cargo test --workspace -q
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> d2-dst smoke sweep (64 seeds)"
+./target/release/d2-dst sweep --seeds 64
+
 echo "OK"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The deep deterministic-simulation sweep: 1000 seeds against the full
+# fault mix, writing a machine-readable summary for dashboards.
+#
+#   ./scripts/dst.sh                      # seeds 0..1000 -> dst-sweep.json
+#   ./scripts/dst.sh 5000 2000 out.json   # 5000 seeds from 2000 -> out.json
+#
+# Exits nonzero if any seed fails; the sweep output then contains the
+# failing seed, its shrunk fault plan, and the exact replay command
+# (see EXPERIMENTS.md, "Replaying a failing schedule").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-1000}"
+SEED0="${2:-0}"
+OUT="${3:-dst-sweep.json}"
+
+cargo build --release -p d2-dst --quiet
+./target/release/d2-dst sweep --seeds "$SEEDS" --seed0 "$SEED0" --json "$OUT"

@@ -30,6 +30,9 @@
 //! - [`obs`] — structured tracing and metrics: registry, histograms,
 //!   and deterministic per-lookup JSONL trace export.
 //! - [`experiments`] — one driver per table/figure of the paper.
+//! - [`dst`] — deterministic simulation testing: the real node runtime
+//!   over a simulated transport and virtual clock, seed-driven fault
+//!   injection, ring/storage invariants, and fault-plan shrinking.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 //! ```
 
 pub use d2_core as core;
+pub use d2_dst as dst;
 pub use d2_experiments as experiments;
 pub use d2_fs as fs;
 pub use d2_net as net;
