@@ -4,7 +4,7 @@
 //! d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]
 //!               [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]
 //! d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]
-//!               [--bug-head-only] [--trace PATH]
+//!               [--bug-head-only] [--trace PATH] [-v]
 //! ```
 //!
 //! `sweep` runs one deterministic world per seed and exits nonzero if
@@ -16,7 +16,8 @@
 //! walkthrough.
 
 use d2_dst::{run_one, shrink, sweep, Overrides, Scenario};
-use d2_obs::trace::to_jsonl;
+use d2_obs::trace::{to_jsonl, TraceEvent};
+use d2_obs::{render_span_tree, SpanRecord};
 use std::io::Write;
 
 /// Runs a shrink pays for itself well below this many worlds.
@@ -27,7 +28,7 @@ fn usage() -> ! {
         "usage: d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]\n\
          \x20                  [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]\n\
          \x20      d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]\n\
-         \x20                  [--bug-head-only] [--trace PATH]"
+         \x20                  [--bug-head-only] [--trace PATH] [-v]"
     );
     std::process::exit(2);
 }
@@ -102,11 +103,17 @@ fn cmd_sweep(args: Args) {
         for r in &results {
             let verdict = if r.ok { "ok" } else { "FAIL" };
             println!(
-                "seed {:>6}  {:4}  end {:>6.2}s  acked {}  plan {}",
+                "seed {:>6}  {:4}  end {:>6.2}s  acked {}/{} ({:>5.1}%)  lookups {:>4}  hops p50/p99 {}/{}  spans {:>4}  plan {}",
                 r.seed,
                 verdict,
                 r.end_us as f64 / 1e6,
                 r.acked_puts,
+                r.puts,
+                r.put_success_rate() * 100.0,
+                r.lookups,
+                r.hops_p50,
+                r.hops_p99,
+                r.spans,
                 r.plan_len
             );
         }
@@ -118,6 +125,18 @@ fn cmd_sweep(args: Args) {
         results.len() - failed.len(),
         failed.len()
     );
+    // Cluster-level success/hop summary across the sweep, in the shape
+    // the paper's evaluation tables use (success rate, hop percentiles).
+    let issued: u64 = results.iter().map(|r| r.puts as u64).sum();
+    let acked: u64 = results.iter().map(|r| r.acked_puts as u64).sum();
+    let lookups: u64 = results.iter().map(|r| r.lookups).sum();
+    let worst_p99 = results.iter().map(|r| r.hops_p99).max().unwrap_or(0);
+    if issued > 0 {
+        println!(
+            "workload: {acked}/{issued} puts fully acked ({:.1}%), {lookups} lookups, worst hop p99 {worst_p99}",
+            acked as f64 / issued as f64 * 100.0
+        );
+    }
 
     let mut shrunk_lines: Vec<String> = Vec::new();
     let mut shrink_runs = 0usize;
@@ -205,6 +224,55 @@ fn cmd_replay(args: Args) {
     }
     if let Some(v) = &out.violation {
         println!("violation: {v}");
+    }
+    // The survivors' flight recorders ride in the trace as WireSpan
+    // events; reassemble them into the same causal trees `d2-node
+    // trace` prints for a live cluster.
+    let spans: Vec<SpanRecord> = out
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::WireSpan {
+                t_us,
+                trace_id,
+                span_id,
+                parent_span_id,
+                hop,
+                node,
+                dur_us,
+                ok,
+                op,
+                detail,
+            } => Some(SpanRecord {
+                trace_id: *trace_id,
+                span_id: *span_id,
+                parent_span_id: *parent_span_id,
+                hop: *hop,
+                node: *node,
+                start_us: *t_us,
+                dur_us: *dur_us,
+                ok: *ok,
+                op: op.clone(),
+                detail: detail.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+    println!(
+        "wire spans: {} across {} trace(s)",
+        spans.len(),
+        traces.len()
+    );
+    if args.verbose && !spans.is_empty() {
+        print!("{}", render_span_tree(&spans));
+    }
+    if let Some(hops) = out.metrics.histogram("node.lookup_hops") {
+        let s = hops.snapshot();
+        println!(
+            "lookup hops: {} lookups, p50 {}, p90 {}, p99 {}, max {}",
+            s.count, s.p50, s.p90, s.p99, s.max
+        );
     }
     if let Some(path) = &args.trace {
         let jsonl = to_jsonl(&out.trace);

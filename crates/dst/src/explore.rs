@@ -36,8 +36,30 @@ pub struct SeedResult {
     pub end_us: u64,
     /// Fully-acked client puts.
     pub acked_puts: u32,
+    /// Client puts the scenario issued.
+    pub puts: u32,
     /// Fault-plan length (node events + drawn message faults).
     pub plan_len: usize,
+    /// Ring lookups completed across all surviving nodes.
+    pub lookups: u64,
+    /// Lookup hop-count percentiles from the merged cluster registry
+    /// (`0` when no lookup completed).
+    pub hops_p50: u64,
+    /// See [`SeedResult::hops_p50`].
+    pub hops_p99: u64,
+    /// Wire spans collected from the survivors' flight recorders.
+    pub spans: usize,
+}
+
+impl SeedResult {
+    /// Fraction of issued puts that were fully acked (`r` replicas).
+    pub fn put_success_rate(&self) -> f64 {
+        if self.puts == 0 {
+            1.0
+        } else {
+            self.acked_puts as f64 / self.puts as f64
+        }
+    }
 }
 
 /// Sweeps `count` seeds starting at `seed0`, running up to `jobs`
@@ -56,13 +78,31 @@ pub fn sweep(base: &Scenario, seed0: u64, count: u64, jobs: usize) -> Vec<SeedRe
                 let mut sc = base.clone();
                 sc.seed = seed0 + i;
                 let out = run_one(&sc, &Overrides::default());
+                let hops = out.metrics.histogram("node.lookup_hops");
+                let (lookups, hops_p50, hops_p99) = match hops {
+                    Some(h) => {
+                        let s = h.snapshot();
+                        (s.count, s.p50, s.p99)
+                    }
+                    None => (0, 0, 0),
+                };
+                let spans = out
+                    .trace
+                    .iter()
+                    .filter(|e| matches!(e, d2_obs::trace::TraceEvent::WireSpan { .. }))
+                    .count();
                 let summary = SeedResult {
                     seed: out.seed,
                     ok: out.ok,
                     violation: out.violation,
                     end_us: out.end_us,
                     acked_puts: out.stats.acked_puts,
+                    puts: sc.puts as u32,
                     plan_len: out.plan.len(),
+                    lookups,
+                    hops_p50,
+                    hops_p99,
+                    spans,
                 };
                 results.lock().unwrap().push(summary);
             });

@@ -31,6 +31,7 @@ use crate::invariants;
 use d2_net::runtime::TICK;
 use d2_net::{Clock, NodeRuntime, SimClock};
 use d2_obs::trace::TraceEvent;
+use d2_obs::{Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, RingMsg};
 use d2_ring::node::NodeConfig;
 use d2_types::Key;
@@ -269,9 +270,16 @@ pub struct RunOutcome {
     /// The fault plan that actually played out (shrinker input).
     pub plan: Vec<PlanEntry>,
     /// The structured trace: scheduler decisions, node events, client
-    /// progress, checkpoint verdicts. Byte-identical across replays of
-    /// the same seed (export with [`d2_obs::trace::to_jsonl`]).
+    /// progress, checkpoint verdicts, and — appended at the end of the
+    /// run — every live node's flight-recorder spans as
+    /// [`TraceEvent::WireSpan`] events in deterministic order.
+    /// Byte-identical across replays of the same seed (export with
+    /// [`d2_obs::trace::to_jsonl`]).
     pub trace: Vec<TraceEvent>,
+    /// The surviving nodes' metric registries merged into one cluster
+    /// view (`node.lookup_hops`, `node.puts`, `node.send_failures`, ...)
+    /// — the same aggregation `d2-node top` performs on a live cluster.
+    pub metrics: Registry,
 }
 
 /// Generates the node-event plan for a scenario from its seed (or
@@ -338,8 +346,9 @@ struct NetInner {
     crashed: Vec<bool>,
     /// Partition group per node; messages cross only equal groups.
     group: Vec<u8>,
-    /// Messages sent but not yet scheduled (drained after every step).
-    outbox: Vec<(Addr, Addr, WireMsg)>,
+    /// Messages sent but not yet scheduled (drained after every step),
+    /// each with the trace context its sender put on the envelope.
+    outbox: Vec<(Addr, Addr, WireMsg, TraceCtx)>,
 }
 
 /// The in-simulation [`Transport`]: sends append to the shared outbox
@@ -360,7 +369,7 @@ impl Transport for SimTransport {
         self.me
     }
 
-    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+    fn send_traced(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError> {
         let mut net = self.net.lock();
         if to != net.client_addr
             && (to >= net.crashed.len() || net.crashed[to] || net.group[self.me] != net.group[to])
@@ -368,11 +377,11 @@ impl Transport for SimTransport {
             return Err(TransportError::PeerUnreachable(to));
         }
         let me = self.me;
-        net.outbox.push((me, to, msg.clone()));
+        net.outbox.push((me, to, msg.clone(), trace));
         Ok(())
     }
 
-    fn recv_timeout(&self, _timeout: Duration) -> Result<WireMsg, RecvError> {
+    fn recv_timeout(&self, _timeout: Duration) -> Result<(WireMsg, TraceCtx), RecvError> {
         // The world single-steps runtimes; nothing ever blocks here.
         Err(RecvError::Timeout)
     }
@@ -387,7 +396,14 @@ enum Ev {
     /// One maintenance tick of `node` (reschedules itself while live).
     Tick { node: Addr },
     /// A message lands at `to` (unless it crashed / was cut off since).
-    Deliver { from: Addr, to: Addr, msg: WireMsg },
+    /// The message is boxed so the queue's per-event footprint is not
+    /// dominated by the largest `WireMsg` variant.
+    Deliver {
+        from: Addr,
+        to: Addr,
+        msg: Box<WireMsg>,
+        trace: TraceCtx,
+    },
     /// A node event from the plan fires.
     Node { idx: usize },
     /// A crashed node comes back (empty store, rejoins via node 0).
@@ -562,6 +578,33 @@ impl SimWorld {
             end_us,
             format!("verdict {}", if ok { "ok" } else { "FAIL" }),
         );
+        // Scrape the survivors: merge their registries into the cluster
+        // view and export their flight recorders as WireSpan events, in
+        // the recorders' own deterministic (start, trace, span) order.
+        let mut metrics = Registry::new();
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for (_, rt) in self.live_nodes() {
+            metrics.merge(rt.registry());
+            spans.extend(rt.recorder().snapshot());
+        }
+        spans.sort_by(|a, b| {
+            (a.start_us, a.trace_id, a.span_id, a.node)
+                .cmp(&(b.start_us, b.trace_id, b.span_id, b.node))
+        });
+        for s in spans {
+            self.trace.push(TraceEvent::WireSpan {
+                t_us: s.start_us,
+                trace_id: s.trace_id,
+                span_id: s.span_id,
+                parent_span_id: s.parent_span_id,
+                hop: s.hop,
+                node: s.node,
+                dur_us: s.dur_us,
+                ok: s.ok,
+                op: s.op,
+                detail: s.detail,
+            });
+        }
         let mut plan: Vec<PlanEntry> = self
             .node_events
             .iter()
@@ -582,6 +625,7 @@ impl SimWorld {
             stats: self.stats,
             plan,
             trace: self.trace,
+            metrics,
         }
     }
 
@@ -662,7 +706,12 @@ impl SimWorld {
                 self.drain_outbox(t);
                 self.schedule(t + tick_us(), Ev::Tick { node });
             }
-            Ev::Deliver { from, to, msg } => self.deliver(t, from, to, msg),
+            Ev::Deliver {
+                from,
+                to,
+                msg,
+                trace,
+            } => self.deliver(t, from, to, *msg, trace),
             Ev::Node { idx } => match self.node_events[idx] {
                 NodeEvent::Crash {
                     node, restart_us, ..
@@ -706,7 +755,7 @@ impl SimWorld {
 
     /// An in-flight message arrives (or is lost to a state change that
     /// happened after it was sent).
-    fn deliver(&mut self, t: u64, from: Addr, to: Addr, msg: WireMsg) {
+    fn deliver(&mut self, t: u64, from: Addr, to: Addr, msg: WireMsg, trace: TraceCtx) {
         if to == self.client_addr {
             self.stats.delivered += 1;
             self.client_on_msg(t, msg);
@@ -729,17 +778,25 @@ impl SimWorld {
         self.stats.delivered += 1;
         // Shutdown never travels inside the simulation, so the return
         // value (continue/exit) is always `true`.
-        let _ = self.nodes[to].as_mut().unwrap().on_message(msg);
+        let _ = self.nodes[to].as_mut().unwrap().on_message(msg, trace);
         self.drain_outbox(t);
     }
 
     /// Assigns a fate and a landing time to everything nodes just sent.
     fn drain_outbox(&mut self, t: u64) {
         let msgs = std::mem::take(&mut self.net.lock().outbox);
-        for (from, to, msg) in msgs {
+        for (from, to, msg, trace) in msgs {
             if to == self.client_addr {
                 // The client link is outside the faulted fabric.
-                self.schedule(t + BASE_DELAY_US, Ev::Deliver { from, to, msg });
+                self.schedule(
+                    t + BASE_DELAY_US,
+                    Ev::Deliver {
+                        from,
+                        to,
+                        msg: Box::new(msg),
+                        trace,
+                    },
+                );
                 continue;
             }
             // Targeted regression fault: lose the first JoinAck(s).
@@ -760,7 +817,12 @@ impl SimWorld {
                 FateKind::Deliver => {
                     self.schedule(
                         t + BASE_DELAY_US + fate.jitter_us,
-                        Ev::Deliver { from, to, msg },
+                        Ev::Deliver {
+                            from,
+                            to,
+                            msg: Box::new(msg),
+                            trace,
+                        },
                     );
                 }
                 FateKind::Drop => {
@@ -774,7 +836,12 @@ impl SimWorld {
                     self.mark(t, format!("fate seq={seq} delay {what} {from}->{to}"));
                     self.schedule(
                         t + BASE_DELAY_US + fate.jitter_us + LONG_DELAY_US,
-                        Ev::Deliver { from, to, msg },
+                        Ev::Deliver {
+                            from,
+                            to,
+                            msg: Box::new(msg),
+                            trace,
+                        },
                     );
                 }
                 FateKind::Duplicate => {
@@ -787,10 +854,19 @@ impl SimWorld {
                         Ev::Deliver {
                             from,
                             to,
-                            msg: msg.clone(),
+                            msg: Box::new(msg.clone()),
+                            trace,
                         },
                     );
-                    self.schedule(t1 + 1 + fate.dup_extra_us, Ev::Deliver { from, to, msg });
+                    self.schedule(
+                        t1 + 1 + fate.dup_extra_us,
+                        Ev::Deliver {
+                            from,
+                            to,
+                            msg: Box::new(msg),
+                            trace,
+                        },
+                    );
                 }
             }
         }
@@ -802,6 +878,13 @@ impl SimWorld {
     // replica chain reported `r` copies — mirroring what `ClusterOps`
     // callers assert in the live deployments.
     // -----------------------------------------------------------------
+
+    /// Trace id of client put `op`: the small dense ids `1..=puts`, so
+    /// replayed span trees read as "trace 1 = put 0". Node joins use
+    /// their (huge) ring position as trace id and cannot collide.
+    fn op_trace_id(op: usize) -> u64 {
+        op as u64 + 1
+    }
 
     fn client_attempt(&mut self, t: u64, op: usize) {
         let live: Vec<Addr> = self.live_nodes().map(|(a, _)| a).collect();
@@ -828,7 +911,8 @@ impl SimWorld {
             Ev::Deliver {
                 from: self.client_addr,
                 to: entry,
-                msg,
+                msg: Box::new(msg),
+                trace: TraceCtx::root(Self::op_trace_id(op)),
             },
         );
         self.schedule(t + OP_TIMEOUT_US, Ev::ClientTimeout { op, attempt });
@@ -865,7 +949,8 @@ impl SimWorld {
                     Ev::Deliver {
                         from: self.client_addr,
                         to: owner.addr,
-                        msg,
+                        msg: Box::new(msg),
+                        trace: TraceCtx::root(Self::op_trace_id(op)),
                     },
                 );
             }

@@ -73,6 +73,13 @@ pub fn registry_from_events(events: &[TraceEvent]) -> Registry {
                 reg.add("stabilize.repaired", *repaired as u64);
                 reg.add("stabilize.evicted", *evicted as u64);
             }
+            TraceEvent::WireSpan { dur_us, ok, .. } => {
+                reg.inc("wire.spans");
+                if !*ok {
+                    reg.inc("wire.spans_failed");
+                }
+                reg.observe("wire.span_dur_us", *dur_us);
+            }
             TraceEvent::Span { dur_us, .. } => reg.observe("span.dur_us", *dur_us),
         }
     }

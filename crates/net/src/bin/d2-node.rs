@@ -6,6 +6,8 @@
 //! d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
 //! d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)
 //! d2-node status --node IP:PORT
+//! d2-node top    --node IP:PORT [--watch]
+//! d2-node trace  --node IP:PORT --id TRACE
 //! d2-node stop   --node IP:PORT
 //! ```
 //!
@@ -16,7 +18,17 @@
 //! metric snapshot (`net.bytes_{in,out}`, `net.msgs`, `net.reconnects`,
 //! RTT histograms) every second and once more on exit.
 //!
-//! See EXPERIMENTS.md ("A real cluster on localhost") for a walkthrough.
+//! `top` discovers the ring from `--node`, scrapes every member's
+//! metric registry and flight recorder over the wire, and prints the
+//! merged cluster view: per-node counters, cluster-wide latency
+//! percentiles, and the slowest recent operations with their trace
+//! ids. `--watch` refreshes every 2 seconds until interrupted.
+//!
+//! `trace` collects every span of one trace id (as printed by `put` or
+//! the top view) from all nodes and prints the operation's causal tree.
+//!
+//! See EXPERIMENTS.md ("A real cluster on localhost" and "Watching a
+//! live cluster") for walkthroughs.
 
 use d2_net::{ClusterOps, NodeRuntime};
 use d2_ring::node::NodeConfig;
@@ -37,6 +49,8 @@ fn usage() -> ! {
          \x20      d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
          \x20      d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)\n\
          \x20      d2-node status --node IP:PORT\n\
+         \x20      d2-node top    --node IP:PORT [--watch]\n\
+         \x20      d2-node trace  --node IP:PORT --id TRACE\n\
          \x20      d2-node stop   --node IP:PORT"
     );
     std::process::exit(2);
@@ -53,6 +67,8 @@ struct Args {
     data: Option<String>,
     replicas: usize,
     obs_out: Option<String>,
+    trace_id: Option<u64>,
+    watch: bool,
 }
 
 fn parse_sock(s: &str, flag: &str) -> SocketAddrV4 {
@@ -109,6 +125,22 @@ fn parse_args(args: &[String]) -> Args {
                 }
             },
             "--obs-out" => out.obs_out = Some(val("--obs-out")),
+            "--id" => {
+                // Trace ids print in hex; accept both spellings.
+                let s = val("--id");
+                let parsed = match s.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse(),
+                };
+                match parsed {
+                    Ok(id) if id != 0 => out.trace_id = Some(id),
+                    _ => {
+                        eprintln!("--id wants a nonzero trace id (decimal or 0x-hex)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--watch" => out.watch = true,
             _ => usage(),
         }
     }
@@ -170,6 +202,9 @@ fn serve(args: Args) {
         Some(seed) => NodeRuntime::join(id, cfg, transport, pack_addr(seed)),
     };
     rt.set_replication(args.replicas as u32);
+    // Fold this process's transport counters into MetricsDump replies,
+    // so a remote `d2-node top` sees net.* alongside the node metrics.
+    rt.set_net_metrics(metrics.clone());
     rt.run();
 
     stop.store(true, Ordering::Release);
@@ -221,8 +256,10 @@ fn main() {
             let (Some(node), Some(key), Some(data)) = (args.node, args.key, args.data) else {
                 usage()
             };
-            match client_ops(node).put(key, data.into_bytes(), args.replicas) {
-                Ok(written) => println!("stored {written} replicas"),
+            match client_ops(node).put_traced(key, data.into_bytes(), args.replicas) {
+                Ok((written, trace_id)) => {
+                    println!("stored {written} replicas (trace {trace_id:#018x})")
+                }
                 Err(e) => {
                     eprintln!("put failed: {e}");
                     std::process::exit(1);
@@ -264,6 +301,45 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        "top" => {
+            let Some(node) = args.node else { usage() };
+            let ops = client_ops(node);
+            loop {
+                let scrape = ops.scrape_all();
+                if scrape.nodes.is_empty() {
+                    eprintln!("top failed: no node reachable via {node}");
+                    std::process::exit(1);
+                }
+                let view = d2_net::render_top(&scrape, &|a| unpack_addr(a).to_string());
+                if args.watch {
+                    // Clear + home, like top(1), so the table repaints
+                    // in place.
+                    print!("\x1b[2J\x1b[H{view}");
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(Duration::from_secs(2));
+                } else {
+                    print!("{view}");
+                    break;
+                }
+            }
+        }
+        "trace" => {
+            let (Some(node), Some(trace_id)) = (args.node, args.trace_id) else {
+                usage()
+            };
+            let spans = client_ops(node).collect_trace(trace_id);
+            if spans.is_empty() {
+                eprintln!(
+                    "trace {trace_id:#018x}: no spans held anywhere in the cluster \
+                     (evicted from the flight recorders, or never recorded)"
+                );
+                std::process::exit(1);
+            }
+            print!(
+                "{}",
+                d2_net::render_trace(&spans, &|a| unpack_addr(a).to_string())
+            );
         }
         "stop" => {
             let Some(node) = args.node else { usage() };

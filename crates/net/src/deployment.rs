@@ -32,6 +32,10 @@ struct NodeSlot {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Builds a joiner's transport plus, for TCP, its private [`NetMetrics`]
+/// sheet (channel nodes share the hub sheet and return `None`).
+type TransportFactory<T> = Box<dyn FnMut() -> (T, Option<Arc<NetMetrics>>) + Send>;
+
 /// A running cluster of node threads over a pluggable transport.
 pub struct Deployment<T: Transport = ChannelTransport> {
     ops: ClusterOps<T>,
@@ -39,7 +43,9 @@ pub struct Deployment<T: Transport = ChannelTransport> {
     replicas: usize,
     seed: Addr,
     nodes: Mutex<Vec<NodeSlot>>,
-    factory: Mutex<Box<dyn FnMut() -> T + Send>>,
+    /// Builds a transport (plus, for TCP, the joining node's private
+    /// [`NetMetrics`] handle) for [`Deployment::join_node`].
+    factory: Mutex<TransportFactory<T>>,
     /// Transport-specific crash-stop hook (cuts a node off from peers).
     /// Returns whether the cut alone guarantees the node thread exits.
     crash: Box<dyn Fn(Addr) -> bool + Send + Sync>,
@@ -66,7 +72,12 @@ impl Deployment<ChannelTransport> {
         let hub = ChannelHub::new(Arc::clone(&metrics));
         let transports: Vec<ChannelTransport> = ids.iter().map(|_| hub.open()).collect();
         let seed = transports[0].local_addr();
-        let nodes = spawn_nodes(ids, transports, seed, replicas);
+        // Channel nodes share the hub-wide metrics sheet, so they do NOT
+        // get a per-node handle — every node folding the same shared
+        // totals into its MetricsDump would multiply them by n in the
+        // merged cluster view.
+        let node_metrics = ids.iter().map(|_| None).collect();
+        let nodes = spawn_nodes(ids, transports, node_metrics, seed, replicas);
         let client = WireClient::new(hub.open(), Arc::clone(&metrics));
         let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
         let factory_hub = hub.clone();
@@ -76,7 +87,7 @@ impl Deployment<ChannelTransport> {
             replicas,
             seed,
             nodes: Mutex::new(nodes),
-            factory: Mutex::new(Box::new(move || factory_hub.open())),
+            factory: Mutex::new(Box::new(move || (factory_hub.open(), None))),
             crash: Box::new(move |addr| {
                 // Closing the slot makes peer sends fail fast and, once
                 // the mailbox drains, the node's receiver disconnects —
@@ -101,24 +112,30 @@ impl Deployment<TcpTransport> {
         let ids: Vec<Key> = (0..n)
             .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
             .collect();
+        // Every TCP node gets a *private* metrics sheet: its counters
+        // travel back in MetricsDump responses, and the merged cluster
+        // view stays a sum of disjoint per-node sheets. The deployment
+        // field keeps the client socket's sheet.
         let metrics = Arc::new(NetMetrics::new());
         let mut transports = Vec::with_capacity(n);
+        let mut node_metrics: Vec<Option<Arc<NetMetrics>>> = Vec::with_capacity(n);
         for _ in 0..n {
+            let nm = Arc::new(NetMetrics::new());
             transports.push(TcpTransport::bind(
                 Ipv4Addr::LOCALHOST,
                 0,
                 cfg,
-                Arc::clone(&metrics),
+                Arc::clone(&nm),
             )?);
+            node_metrics.push(Some(nm));
         }
         let seed = transports[0].local_addr();
-        let nodes = spawn_nodes(&ids, transports, seed, replicas);
+        let nodes = spawn_nodes(&ids, transports, node_metrics, seed, replicas);
         let client = WireClient::new(
             TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&metrics))?,
             Arc::clone(&metrics),
         );
         let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
-        let factory_metrics = Arc::clone(&metrics);
         Ok(Deployment {
             ops: ClusterOps::new(client, entries),
             metrics,
@@ -126,8 +143,10 @@ impl Deployment<TcpTransport> {
             seed,
             nodes: Mutex::new(nodes),
             factory: Mutex::new(Box::new(move || {
-                TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&factory_metrics))
-                    .expect("bind joining node on 127.0.0.1:0")
+                let nm = Arc::new(NetMetrics::new());
+                let t = TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&nm))
+                    .expect("bind joining node on 127.0.0.1:0");
+                (t, Some(nm))
             })),
             // A TCP node cannot be cut off externally; killing relies on
             // the shutdown request reaching it.
@@ -139,11 +158,12 @@ impl Deployment<TcpTransport> {
 fn spawn_nodes<T: Transport>(
     ids: &[Key],
     transports: Vec<T>,
+    node_metrics: Vec<Option<Arc<NetMetrics>>>,
     seed: Addr,
     replicas: usize,
 ) -> Vec<NodeSlot> {
     let mut nodes = Vec::with_capacity(ids.len());
-    for (i, transport) in transports.into_iter().enumerate() {
+    for (i, (transport, nm)) in transports.into_iter().zip(node_metrics).enumerate() {
         let cfg = NodeConfig::default();
         let mut rt = if transport.local_addr() == seed {
             NodeRuntime::bootstrap(ids[i], cfg, transport)
@@ -151,6 +171,9 @@ fn spawn_nodes<T: Transport>(
             NodeRuntime::join(ids[i], cfg, transport, seed)
         };
         rt.set_replication(replicas as u32);
+        if let Some(nm) = nm {
+            rt.set_net_metrics(nm);
+        }
         let addr = rt.local_addr();
         nodes.push(NodeSlot {
             addr,
@@ -166,9 +189,12 @@ impl<T: Transport> Deployment<T> {
     /// stabilization rounds ([`Deployment::wait_stable`] blocks until
     /// then).
     pub fn join_node(&self, id: Key) -> Addr {
-        let transport = (self.factory.lock())();
+        let (transport, nm) = (self.factory.lock())();
         let mut rt = NodeRuntime::join(id, NodeConfig::default(), transport, self.seed);
         rt.set_replication(self.replicas as u32);
+        if let Some(nm) = nm {
+            rt.set_net_metrics(nm);
+        }
         let addr = rt.local_addr();
         self.nodes.lock().push(NodeSlot {
             addr,
@@ -250,6 +276,13 @@ impl<T: Transport> Deployment<T> {
     /// snapshot (ready for JSONL export).
     pub fn metrics_registry(&self) -> Registry {
         self.metrics.snapshot()
+    }
+
+    /// Scrapes every live node's registry and flight recorder over the
+    /// wire and merges them into the cluster view (see
+    /// [`ClusterOps::scrape`]).
+    pub fn scrape(&self) -> crate::ops::ClusterScrape {
+        self.ops.scrape(&self.live_addrs())
     }
 
     /// Blocks until every live node has a live predecessor and

@@ -42,11 +42,13 @@ pub mod clock;
 pub mod deployment;
 pub mod ops;
 pub mod runtime;
+pub mod telemetry;
 
 pub use clock::{Clock, SimClock, SystemClock};
 pub use deployment::Deployment;
-pub use ops::{ClusterOps, NodeStatus};
+pub use ops::{ClusterOps, ClusterScrape, NodeScrape, NodeStatus};
 pub use runtime::NodeRuntime;
+pub use telemetry::{render_top, render_trace};
 
 #[cfg(test)]
 mod tests {

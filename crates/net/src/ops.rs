@@ -6,13 +6,15 @@
 //! equally good first hop, so no single node is a client-side point of
 //! entry (the join *seed* is the only address with a fixed role).
 
+use d2_obs::{Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, PeerInfo};
 use d2_types::{D2Error, Key, Result};
 use d2_wire::client::{ClientError, WireClient};
 use d2_wire::codec::{Request, Response, WireStatus};
 use d2_wire::transport::Transport;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// A snapshot of one node's view.
@@ -39,23 +41,88 @@ impl From<WireStatus> for NodeStatus {
     }
 }
 
+/// One node's remotely scraped telemetry: its metric registry plus the
+/// contents of its flight recorder.
+#[derive(Clone, Debug)]
+pub struct NodeScrape {
+    /// The scraped node.
+    pub addr: Addr,
+    /// Its metric registry (`node.*` counters and histograms, plus
+    /// `net.*` when the node carries its own transport-metrics handle).
+    pub registry: Registry,
+    /// Its recent + notable spans.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A whole-cluster scrape: every reachable node's telemetry plus the
+/// merged cluster view (counters summed, gauges maxed, histograms
+/// bucket-merged — so cluster-wide p50/p90/p99 come from real
+/// distributions, not averages of averages).
+#[derive(Clone, Debug)]
+pub struct ClusterScrape {
+    /// Per-node scrapes, in the order the nodes were asked.
+    pub nodes: Vec<NodeScrape>,
+    /// All per-node registries merged into one.
+    pub merged: Registry,
+}
+
+impl ClusterScrape {
+    /// Every scraped span across the cluster, deduplicated by
+    /// `(trace, span)` and sorted by `(start, trace, span, node)`.
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for node in &self.nodes {
+            for s in &node.spans {
+                if seen.insert((s.trace_id, s.span_id)) {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.start_us, a.trace_id, a.span_id, a.node)
+                .cmp(&(b.start_us, b.trace_id, b.span_id, b.node))
+        });
+        out
+    }
+}
+
 /// Client operations against a running cluster, entered through a
 /// rotating set of live nodes.
 pub struct ClusterOps<T: Transport> {
     client: WireClient<T>,
     entries: RwLock<Vec<Addr>>,
     next_entry: AtomicUsize,
+    next_trace: AtomicU64,
 }
 
 impl<T: Transport> ClusterOps<T> {
     /// Wraps `client`; lookups enter the ring through `entries` in
     /// round-robin order.
     pub fn new(client: WireClient<T>, entries: Vec<Addr>) -> Self {
+        // Seed traced ops from the wall clock so two client processes
+        // against the same cluster draw disjoint trace ids.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
         ClusterOps {
             client,
             entries: RwLock::new(entries),
             next_entry: AtomicUsize::new(0),
+            next_trace: AtomicU64::new(nanos),
         }
+    }
+
+    /// A fresh nonzero trace id for one client operation (splitmix of a
+    /// wall-clock-seeded counter).
+    pub fn fresh_trace_id(&self) -> u64 {
+        let mut z = self
+            .next_trace
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)).max(1)
     }
 
     /// The underlying request/response client.
@@ -88,12 +155,21 @@ impl<T: Transport> ClusterOps<T> {
     /// sender forgets the dead hop), and the retry takes the repaired
     /// route.
     pub fn lookup(&self, key: Key) -> Result<PeerInfo> {
+        self.lookup_traced(key, TraceCtx::NONE)
+    }
+
+    /// [`ClusterOps::lookup`] with an explicit trace context: every node
+    /// the lookup touches records a span under `trace`'s id.
+    pub fn lookup_traced(&self, key: Key, trace: TraceCtx) -> Result<PeerInfo> {
         for attempt in 0..4u32 {
             let Some(entry) = self.next_entry() else {
                 break;
             };
             let timeout = Duration::from_millis(500 * (attempt as u64 + 1));
-            match self.client.call(entry, Request::Lookup { key }, timeout) {
+            match self
+                .client
+                .call_traced(entry, Request::Lookup { key }, timeout, trace)
+            {
                 Ok(Response::Owner { owner, .. }) => return Ok(owner),
                 Ok(_) | Err(ClientError::Timeout) | Err(ClientError::Unreachable(_)) => {}
                 Err(ClientError::Closed) => break,
@@ -107,15 +183,29 @@ impl<T: Transport> ClusterOps<T> {
     /// from the *end* of the replica chain, so when this returns every
     /// reachable replica holds the block — no settling sleep needed.
     pub fn put(&self, key: Key, data: Vec<u8>, replicas: usize) -> Result<usize> {
-        let owner = self.lookup(key)?;
+        self.put_traced(key, data, replicas)
+            .map(|(written, _)| written)
+    }
+
+    /// [`ClusterOps::put`] under a fresh trace: the lookup and the
+    /// replica chain share one trace id, returned alongside the replica
+    /// count so the caller can ask `collect_trace` (or `d2-node trace`)
+    /// for the operation's causal span tree.
+    pub fn put_traced(&self, key: Key, data: Vec<u8>, replicas: usize) -> Result<(usize, u64)> {
+        let trace_id = self.fresh_trace_id();
+        let ctx = TraceCtx::root(trace_id);
+        let owner = self.lookup_traced(key, ctx)?;
         let req = Request::Put {
             key,
             fanout: replicas.saturating_sub(1) as u32,
             stored: 0,
             data,
         };
-        match self.client.call(owner.addr, req, Duration::from_secs(10)) {
-            Ok(Response::PutAck { replicas }) => Ok(replicas as usize),
+        match self
+            .client
+            .call_traced(owner.addr, req, Duration::from_secs(10), ctx)
+        {
+            Ok(Response::PutAck { replicas }) => Ok((replicas as usize, trace_id)),
             _ => Err(D2Error::Unavailable(key)),
         }
     }
@@ -156,6 +246,77 @@ impl<T: Transport> ClusterOps<T> {
             Ok(Response::Status(w)) => Some(w.into()),
             _ => None,
         }
+    }
+
+    /// One node's metric registry and flight-recorder spans, or `None`
+    /// if the node cannot be reached (or sends back inconsistent
+    /// histogram parts).
+    pub fn metrics_of(&self, addr: Addr) -> Option<NodeScrape> {
+        match self
+            .client
+            .call(addr, Request::MetricsDump, Duration::from_secs(10))
+        {
+            Ok(Response::Metrics(m)) => Some(NodeScrape {
+                addr,
+                registry: m.to_registry().ok()?,
+                spans: m.spans,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Walks the ring from the entry set, following predecessor and
+    /// successor pointers until no new address appears, and returns
+    /// every discovered node in address order. One reachable entry is
+    /// enough to enumerate the whole cluster.
+    pub fn discover(&self) -> Vec<Addr> {
+        let mut known: BTreeSet<Addr> = self.entries.read().iter().copied().collect();
+        let mut todo: Vec<Addr> = known.iter().copied().collect();
+        while let Some(addr) = todo.pop() {
+            let Some(st) = self.status_of(addr) else {
+                continue;
+            };
+            let peers = st
+                .predecessor
+                .iter()
+                .chain(st.successors.iter())
+                .map(|p| p.addr)
+                .chain(std::iter::once(st.me.addr));
+            for p in peers {
+                if known.insert(p) {
+                    todo.push(p);
+                }
+            }
+        }
+        known.into_iter().collect()
+    }
+
+    /// Scrapes every node in `addrs` and merges the registries into the
+    /// cluster view. Unreachable nodes are skipped (a scrape is a
+    /// telemetry read, not a health check).
+    pub fn scrape(&self, addrs: &[Addr]) -> ClusterScrape {
+        let nodes: Vec<NodeScrape> = addrs.iter().filter_map(|&a| self.metrics_of(a)).collect();
+        let mut merged = Registry::new();
+        for n in &nodes {
+            merged.merge(&n.registry);
+        }
+        ClusterScrape { nodes, merged }
+    }
+
+    /// Discovers the ring from the entry set and scrapes every node
+    /// found — the one-call backing of `d2-node top`.
+    pub fn scrape_all(&self) -> ClusterScrape {
+        self.scrape(&self.discover())
+    }
+
+    /// Collects every span of `trace_id` held anywhere in the cluster,
+    /// deduplicated and in deterministic order — feed the result to
+    /// [`d2_obs::render_span_tree`] to print the operation's causal
+    /// story.
+    pub fn collect_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans = self.scrape_all().all_spans();
+        spans.retain(|s| s.trace_id == trace_id);
+        spans
     }
 
     /// Asks the node at `addr` to stop, waiting briefly for its ack.

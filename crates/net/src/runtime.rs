@@ -20,12 +20,16 @@
 //! of the schedule.
 
 use crate::clock::{Clock, SystemClock};
+use d2_obs::flight::{FLIGHT_CAPACITY, SLOW_THRESHOLD_US};
+use d2_obs::{FlightRecorder, Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, RingMsg};
 use d2_ring::node::{NodeConfig, ProtocolNode};
 use d2_types::Key;
-use d2_wire::codec::{Request, Response, WireMsg, WireStatus};
+use d2_wire::codec::{Request, Response, WireMetrics, WireMsg, WireStatus};
+use d2_wire::metrics::NetMetrics;
 use d2_wire::transport::{RecvError, Transport};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long the event loop waits for traffic before running a
@@ -48,14 +52,24 @@ const REROUTE_BUDGET: u32 = 64;
 /// replica count converges back to the configured factor after churn.
 const REPAIR_EVERY_TICKS: u64 = 64;
 
+/// A client lookup in flight: who asked, plus the trace context and
+/// start time so the completion can be recorded as a causally-linked
+/// span with a real duration.
+struct PendingLookup {
+    client: Addr,
+    req_id: u64,
+    ctx: TraceCtx,
+    start_us: u64,
+}
+
 /// One live node: protocol state machine + block store + transport.
 pub struct NodeRuntime<T: Transport, C: Clock = SystemClock> {
     node: ProtocolNode,
     store: HashMap<Key, Vec<u8>>,
     transport: T,
     clock: C,
-    /// Ring lookup id → (client addr, client req_id) awaiting the owner.
-    pending_lookups: HashMap<u64, (Addr, u64)>,
+    /// Ring lookup id → in-flight client lookup awaiting the owner.
+    pending_lookups: HashMap<u64, PendingLookup>,
     /// Ring lookup id → key of a repair re-home awaiting the owner.
     pending_repairs: HashMap<u64, Key>,
     /// Join seed, kept so an unjoined node can retry: the one-shot join
@@ -68,6 +82,25 @@ pub struct NodeRuntime<T: Transport, C: Clock = SystemClock> {
     /// the periodic background repair.
     replication: u32,
     ticks: u64,
+    /// This node's own metrics: `node.*` counters and histograms,
+    /// scraped remotely via [`Request::MetricsDump`].
+    registry: Registry,
+    /// Bounded ring of recent + notable (slow/failed) spans.
+    recorder: FlightRecorder,
+    /// Transport-level counters to fold into metric dumps, when this
+    /// node has a dedicated [`NetMetrics`] (per-node in TCP
+    /// deployments; shared in channel deployments, where it is omitted
+    /// here to avoid double counting).
+    net_metrics: Option<Arc<NetMetrics>>,
+    /// Monotonic input to the deterministic span-id hash.
+    span_seq: u64,
+    /// Outgoing trace context while handling a traced message: the
+    /// incoming context's child (same trace, this node's span as
+    /// parent, one hop deeper). [`TraceCtx::NONE`] outside handling.
+    cur_ctx: TraceCtx,
+    /// Success flag of the message currently being handled; cleared by
+    /// failed sends and missed gets so the span records `ok = false`.
+    cur_ok: bool,
 }
 
 impl<T: Transport> NodeRuntime<T, SystemClock> {
@@ -101,6 +134,12 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             last_join_attempt_us: now,
             replication: 0,
             ticks: 0,
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(FLIGHT_CAPACITY, SLOW_THRESHOLD_US),
+            net_metrics: None,
+            span_seq: 0,
+            cur_ctx: TraceCtx::NONE,
+            cur_ok: true,
         }
     }
 
@@ -119,8 +158,35 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             last_join_attempt_us: now,
             replication: 0,
             ticks: 0,
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(FLIGHT_CAPACITY, SLOW_THRESHOLD_US),
+            net_metrics: None,
+            span_seq: 0,
+            cur_ctx: TraceCtx::NONE,
+            cur_ok: true,
+        };
+        // Joins get their own trace, so `d2-node trace` can replay how a
+        // node entered the ring. The id is derived from the node's ring
+        // position: deterministic, and unique per joiner with
+        // overwhelming probability.
+        let trace_id = join_trace_id(id);
+        let span = rt.alloc_span();
+        let start = rt.clock.now_us();
+        rt.cur_ctx = TraceCtx {
+            trace_id,
+            span_id: span,
+            hop: 1,
         };
         rt.send_all(join_msgs);
+        rt.push_span(
+            TraceCtx::root(trace_id),
+            span,
+            start,
+            true,
+            "join.start",
+            format!("seed={seed}"),
+        );
+        rt.cur_ctx = TraceCtx::NONE;
         rt
     }
 
@@ -129,6 +195,70 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
     /// `0` (the default) disables repair.
     pub fn set_replication(&mut self, replicas: u32) {
         self.replication = replicas;
+    }
+
+    /// Attaches a transport-metrics handle whose counters are folded
+    /// into this node's [`Request::MetricsDump`] responses. TCP
+    /// deployments give each node its own handle; channel deployments
+    /// share one hub-wide handle and skip this to avoid every node
+    /// re-reporting the same totals.
+    pub fn set_net_metrics(&mut self, metrics: Arc<NetMetrics>) {
+        self.net_metrics = Some(metrics);
+    }
+
+    /// This node's own metric registry (scraped via
+    /// [`Request::MetricsDump`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// This node's flight recorder, used by the simulation harness to
+    /// collect spans after a run.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Deterministic nonzero span id: a hash of (address, sequence), so
+    /// the same schedule replayed in the simulation harness allocates
+    /// the same span ids.
+    fn alloc_span(&mut self) -> u64 {
+        self.span_seq += 1;
+        let mut z = (self.transport.local_addr() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.span_seq);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)).max(1)
+    }
+
+    /// Records one span under `parent` (no-op when untraced): the span's
+    /// hop and parent id come from the context, the duration from the
+    /// clock.
+    fn push_span(
+        &mut self,
+        parent: TraceCtx,
+        span_id: u64,
+        start_us: u64,
+        ok: bool,
+        op: &str,
+        detail: String,
+    ) {
+        if !parent.is_traced() {
+            return;
+        }
+        let now = self.clock.now_us();
+        self.recorder.push(SpanRecord {
+            trace_id: parent.trace_id,
+            span_id,
+            parent_span_id: parent.span_id,
+            hop: parent.hop,
+            node: self.transport.local_addr() as u64,
+            start_us,
+            dur_us: now.saturating_sub(start_us),
+            ok,
+            op: op.to_string(),
+            detail,
+        });
     }
 
     /// The node's transport address.
@@ -154,8 +284,8 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             match self.transport.recv_timeout(TICK) {
                 Err(RecvError::Timeout) => self.on_tick(),
                 Err(RecvError::Closed) => break,
-                Ok(msg) => {
-                    if !self.on_message(msg) {
+                Ok((msg, trace)) => {
+                    if !self.on_message(msg, trace) {
                         break;
                     }
                 }
@@ -166,8 +296,39 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
 
     /// Handles exactly one incoming message; returns `false` when the
     /// message was a shutdown request and the loop should exit.
-    pub fn on_message(&mut self, msg: WireMsg) -> bool {
-        match msg {
+    ///
+    /// `trace` is the message's envelope context. When traced, this node
+    /// allocates its own span, records the handling step into the flight
+    /// recorder, and forwards any caused messages (ring traffic, put
+    /// chains) with [`TraceCtx::child`] — so one client operation yields
+    /// one causally-linked span tree across every node it touched.
+    pub fn on_message(&mut self, msg: WireMsg, trace: TraceCtx) -> bool {
+        let start_us = self.clock.now_us();
+        let op = msg.type_name();
+        self.registry.inc(&format!("node.msgs_in.{op}"));
+        let span = if trace.is_traced() {
+            let s = self.alloc_span();
+            self.cur_ctx = trace.child(s);
+            s
+        } else {
+            self.cur_ctx = TraceCtx::NONE;
+            0
+        };
+        self.cur_ok = true;
+        let detail = match &msg {
+            WireMsg::Ring(RingMsg::FindOwner { hops, .. }) => format!("hops={hops}"),
+            WireMsg::Ring(RingMsg::Join { joiner, .. }) => format!("joiner={}", joiner.addr),
+            WireMsg::Request {
+                body: Request::Put { fanout, stored, .. },
+                ..
+            } => format!("fanout={fanout} stored={stored}"),
+            WireMsg::Request {
+                body: Request::Lookup { key } | Request::Get { key },
+                ..
+            } => format!("key={:.4}", key.to_fraction()),
+            _ => String::new(),
+        };
+        let cont = match msg {
             WireMsg::Ring(m) => {
                 let out = self.node.handle(m);
                 self.send_all(out);
@@ -179,18 +340,22 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             // (e.g. a repair chain's PutAck, or a late client PutAck
             // racing a chain we forwarded) are dropped.
             WireMsg::Response { .. } => true,
-        }
+        };
+        let ok = self.cur_ok;
+        self.push_span(trace, span, start_us, ok, op, detail);
+        self.cur_ctx = TraceCtx::NONE;
+        cont
     }
 
     /// Runs exactly one maintenance tick: stabilization probes, join
-    /// retry while unjoined, and (every [`REPAIR_EVERY_TICKS`]) one
+    /// retry while unjoined, and (every `REPAIR_EVERY_TICKS` ticks) one
     /// replica-repair round.
     pub fn on_tick(&mut self) {
         let out = self.node.tick();
         self.send_all(out);
         self.retry_join_if_unjoined();
         self.ticks += 1;
-        if self.replication > 0 && self.ticks % REPAIR_EVERY_TICKS == 0 {
+        if self.replication > 0 && self.ticks.is_multiple_of(REPAIR_EVERY_TICKS) {
             self.repair_round();
         }
         self.drain_completed();
@@ -200,8 +365,17 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
     fn handle_request(&mut self, req_id: u64, from: Addr, body: Request) -> bool {
         match body {
             Request::Lookup { key } => {
+                self.registry.inc("node.lookups");
                 let (ring_req, out) = self.node.start_lookup(key);
-                self.pending_lookups.insert(ring_req, (from, req_id));
+                self.pending_lookups.insert(
+                    ring_req,
+                    PendingLookup {
+                        client: from,
+                        req_id,
+                        ctx: self.cur_ctx,
+                        start_us: self.clock.now_us(),
+                    },
+                );
                 self.send_all(out);
                 self.drain_completed();
             }
@@ -212,13 +386,13 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 data,
             } => self.handle_put(req_id, from, key, fanout, stored, data),
             Request::Get { key } => {
-                self.respond(
-                    from,
-                    req_id,
-                    Response::Block {
-                        data: self.store.get(&key).cloned(),
-                    },
-                );
+                self.registry.inc("node.gets");
+                let data = self.store.get(&key).cloned();
+                if data.is_none() {
+                    self.registry.inc("node.get_misses");
+                    self.cur_ok = false;
+                }
+                self.respond(from, req_id, Response::Block { data });
             }
             Request::Status => {
                 let status = WireStatus {
@@ -228,6 +402,17 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                     blocks: self.store.len() as u64,
                 };
                 self.respond(from, req_id, Response::Status(status));
+            }
+            Request::MetricsDump => {
+                let mut reg = self.registry.clone();
+                reg.set_gauge("node.blocks", self.store.len() as f64);
+                reg.set_gauge("node.ring_position", self.node.me().id.to_fraction());
+                reg.add("node.spans_dropped", self.recorder.dropped());
+                if let Some(nm) = &self.net_metrics {
+                    nm.snapshot_into(&mut reg);
+                }
+                let dump = WireMetrics::from_registry(&reg, self.recorder.snapshot());
+                self.respond(from, req_id, Response::Metrics(Box::new(dump)));
             }
             Request::Shutdown => {
                 self.respond(from, req_id, Response::ShutdownAck);
@@ -250,6 +435,7 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         stored: u32,
         data: Vec<u8>,
     ) {
+        self.registry.inc("node.puts");
         self.store.insert(key, data.clone());
         let stored = stored + 1;
         if fanout > 0 {
@@ -272,14 +458,34 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 },
             };
             for succ in succs {
-                if self.transport.send(succ, &forward).is_ok() {
+                if self
+                    .transport
+                    .send_traced(succ, &forward, self.cur_ctx)
+                    .is_ok()
+                {
                     return; // the chain continues; its end will ack
                 }
+                self.record_send_failure(succ);
                 self.node.forget(succ);
             }
             // No reachable successor: this node terminates the chain.
         }
+        self.registry.observe("node.put_replicas", stored as u64);
         self.respond(from, req_id, Response::PutAck { replicas: stored });
+    }
+
+    /// Notes a failed send: a counter, a failure flag on the current
+    /// span, and (when traced) a dedicated `send.fail` child span so the
+    /// trace tree shows exactly where an operation lost a hop.
+    fn record_send_failure(&mut self, to: Addr) {
+        self.registry.inc("node.send_failures");
+        self.cur_ok = false;
+        if self.cur_ctx.is_traced() {
+            let span = self.alloc_span();
+            let now = self.clock.now_us();
+            let ctx = self.cur_ctx;
+            self.push_span(ctx, span, now, false, "send.fail", format!("to={to}"));
+        }
     }
 
     /// One replica-repair round. Two cases per held block:
@@ -330,9 +536,14 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         let mut queue = msgs;
         let mut budget = REROUTE_BUDGET;
         while let Some((to, msg)) = queue.pop() {
-            if self.transport.send(to, &WireMsg::Ring(msg.clone())).is_ok() {
+            if self
+                .transport
+                .send_traced(to, &WireMsg::Ring(msg.clone()), self.cur_ctx)
+                .is_ok()
+            {
                 continue;
             }
+            self.record_send_failure(to);
             self.node.forget(to);
             let reroutable = matches!(msg, RingMsg::FindOwner { .. } | RingMsg::Join { .. });
             if reroutable && budget > 0 {
@@ -355,21 +566,55 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             return;
         }
         self.last_join_attempt_us = now;
+        self.registry.inc("node.join_retries");
+        let trace_id = join_trace_id(self.node.me().id);
+        let span = self.alloc_span();
         let join = RingMsg::Join {
             joiner: self.node.me(),
             hops: 0,
         };
-        let _ = self.transport.send(seed, &WireMsg::Ring(join));
+        let ctx = TraceCtx {
+            trace_id,
+            span_id: span,
+            hop: 1,
+        };
+        let sent = self
+            .transport
+            .send_traced(seed, &WireMsg::Ring(join), ctx)
+            .is_ok();
+        self.push_span(
+            TraceCtx::root(trace_id),
+            span,
+            now,
+            sent,
+            "join.retry",
+            format!("seed={seed}"),
+        );
     }
 
     /// Flushes finished lookups: client lookups go back to the clients
     /// that asked; repair lookups turn into a re-put through the owner.
     fn drain_completed(&mut self) {
         for res in self.node.take_completed() {
-            if let Some((client, req_id)) = self.pending_lookups.remove(&res.req_id) {
+            if let Some(p) = self.pending_lookups.remove(&res.req_id) {
+                self.registry.observe("node.lookup_hops", res.hops as u64);
+                let dur = self.clock.now_us().saturating_sub(p.start_us);
+                self.registry.observe("node.lookup_us", dur);
+                if p.ctx.is_traced() {
+                    let span = self.alloc_span();
+                    let (ctx, start) = (p.ctx, p.start_us);
+                    self.push_span(
+                        ctx,
+                        span,
+                        start,
+                        true,
+                        "lookup.done",
+                        format!("hops={} owner={}", res.hops, res.owner.addr),
+                    );
+                }
                 self.respond(
-                    client,
-                    req_id,
+                    p.client,
+                    p.req_id,
                     Response::Owner {
                         owner: res.owner,
                         hops: res.hops,
@@ -416,4 +661,12 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             // nothing to repair.
         }
     }
+}
+
+/// Trace id of a node's join trace, folded from both halves of its key
+/// so it is distinct whether the key was placed by ring fraction (top
+/// bits populated) or built from a small integer (low bits populated).
+fn join_trace_id(id: Key) -> u64 {
+    let hi = (id.to_fraction() * u64::MAX as f64) as u64;
+    (hi ^ id.to_u64_lossy()).max(1)
 }

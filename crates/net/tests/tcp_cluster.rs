@@ -200,6 +200,62 @@ fn nine_process_tcp_cluster_survives_a_crash() {
     let owner = ops.lookup(Key::from_fraction(0.61)).expect("lookup");
     assert!(live.contains(&owner.addr));
 
+    // A traced put: the lookup and the replica chain share one trace id,
+    // and every node that touched the block recorded a span under it.
+    let traced_key = Key::from_fraction(0.345);
+    let (written, trace_id) = ops
+        .put_traced(traced_key, b"traced-block".to_vec(), REPLICAS)
+        .expect("traced put");
+    assert_eq!(written, REPLICAS);
+
+    // Ring discovery from the entry set enumerates the whole cluster.
+    let discovered = ops.discover();
+    for &a in &live {
+        assert!(discovered.contains(&a), "discover missed node {a}");
+    }
+
+    // Remote scrape of all nine nodes, mid-run: the merged registry must
+    // be exactly the sum of the per-node sheets (counters sum; each
+    // node's private net.* counters are disjoint).
+    let scrape = ops.scrape(&live);
+    assert_eq!(scrape.nodes.len(), N, "scrape missed a node");
+    for counter in ["net.msgs", "net.bytes_in", "net.bytes_out", "node.puts"] {
+        let per_node: u64 = scrape
+            .nodes
+            .iter()
+            .map(|n| n.registry.counter(counter))
+            .sum();
+        assert_eq!(
+            scrape.merged.counter(counter),
+            per_node,
+            "merged {counter} disagrees with per-node sum"
+        );
+    }
+    // Nodes talked TCP to each other, so the merged frame counters are
+    // live, and every put fed the cluster-wide replica distribution.
+    assert!(scrape.merged.counter("net.msgs") > 0);
+    assert!(scrape.merged.counter("node.puts") >= test_keys().len() as u64);
+    assert!(scrape.merged.histogram("node.put_replicas").is_some());
+
+    // The traced put's spans are collectable from the flight recorders
+    // and cover at least the replica chain.
+    let spans = ops.collect_trace(trace_id);
+    let span_nodes: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.node).collect();
+    assert!(
+        span_nodes.len() >= REPLICAS,
+        "trace {trace_id:#x} seen on {} node(s), wanted >= {REPLICAS}; spans: {spans:?}",
+        span_nodes.len()
+    );
+    // The chain put shows up as causally linked: some span's parent is
+    // another collected span (cross-node parent/child edge).
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.parent_span_id != 0 && ids.contains(&s.parent_span_id)),
+        "no cross-span causal edge in {spans:?}"
+    );
+
     // Crash-kill one non-seed process (SIGKILL: no goodbye traffic).
     let victim = procs.remove(5);
     let victim_addr = victim.addr;

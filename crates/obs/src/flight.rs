@@ -1,0 +1,383 @@
+//! Causal trace context and the per-node flight recorder.
+//!
+//! One client operation (a lookup, a replicated put) fans out across
+//! several nodes: the entry node forwards `FindOwner` around the ring,
+//! the owner walks the put down its successor chain, the tail acks the
+//! client directly. To reconstruct that story from a *running* cluster,
+//! every wire frame carries a compact [`TraceCtx`] — `trace_id` names
+//! the operation, `span_id` names the sender's handling step, `hop`
+//! counts forwarding depth — and every node records a bounded ring
+//! buffer of [`SpanRecord`]s (the [`FlightRecorder`]) that a scraper
+//! can collect remotely and reassemble with [`render_span_tree`].
+//!
+//! Everything here is plain data with deterministic ordering, so the
+//! DST harness can emit byte-identical span trees for the same seed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Compact causal trace context carried in every wire envelope.
+///
+/// `trace_id == 0` means "untraced" — background chatter (stabilization
+/// probes, metric scrapes) travels with [`TraceCtx::NONE`] and records
+/// nothing. A traced message's receiver allocates its own span, records
+/// it with `span_id` as the parent, and forwards child messages with
+/// [`TraceCtx::child`] (same trace, new span, `hop + 1`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Names the end-to-end client operation; 0 = untraced.
+    pub trace_id: u64,
+    /// The sender's span: the parent of whatever the receiver records.
+    pub span_id: u64,
+    /// Forwarding depth so far (saturates at 255).
+    pub hop: u8,
+}
+
+impl TraceCtx {
+    /// The untraced context: all zeros, recorded nowhere.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+        hop: 0,
+    };
+
+    /// A fresh root context for a new client operation.
+    pub fn root(trace_id: u64) -> Self {
+        TraceCtx {
+            trace_id,
+            span_id: 0,
+            hop: 0,
+        }
+    }
+
+    /// Whether this context should be recorded and propagated.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The context for a message caused by span `span_id` of this trace:
+    /// same trace, new parent span, one hop deeper.
+    pub fn child(&self, span_id: u64) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id,
+            hop: self.hop.saturating_add(1),
+        }
+    }
+}
+
+/// One recorded handling step on one node, causally linked to its
+/// parent span by `parent_span_id` (0 = root: the client itself).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The operation this span belongs to.
+    pub trace_id: u64,
+    /// This span's own id (unique within the trace).
+    pub span_id: u64,
+    /// The span that caused this one; 0 when the client is the parent.
+    pub parent_span_id: u64,
+    /// Forwarding depth at which this span ran.
+    pub hop: u8,
+    /// Address of the node that recorded the span.
+    pub node: u64,
+    /// Start time in the recording node's clock, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds (0 for instantaneous handling steps).
+    pub dur_us: u64,
+    /// Whether the step succeeded (failed sends / missing blocks clear it).
+    pub ok: bool,
+    /// What ran: `"lookup"`, `"find_owner"`, `"put.chain"`, ...
+    pub op: String,
+    /// Free-form detail (key fraction, hop counts, replica counts).
+    pub detail: String,
+}
+
+/// Default capacity of each flight-recorder ring.
+pub const FLIGHT_CAPACITY: usize = 256;
+/// Default slow-op threshold: spans at least this long are retained in
+/// the notable ring even after the recent ring has evicted them.
+pub const SLOW_THRESHOLD_US: u64 = 50_000;
+
+/// A bounded in-memory recorder of recent spans plus a second ring of
+/// *notable* ones (slow or failed), so a scrape shortly after an
+/// incident still sees the interesting spans even under message load.
+///
+/// Memory is strictly bounded: two rings of at most `capacity` records
+/// each; everything older is dropped (and counted in
+/// [`FlightRecorder::dropped`]).
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    slow_us: u64,
+    recent: VecDeque<SpanRecord>,
+    notable: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FLIGHT_CAPACITY, SLOW_THRESHOLD_US)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` recent spans and
+    /// `capacity` notable (slow ≥ `slow_us` or failed) spans.
+    pub fn new(capacity: usize, slow_us: u64) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            slow_us,
+            recent: VecDeque::new(),
+            notable: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records one span, evicting the oldest when full. Untraced spans
+    /// (`trace_id == 0`) are ignored.
+    pub fn push(&mut self, span: SpanRecord) {
+        if span.trace_id == 0 {
+            return;
+        }
+        if !span.ok || span.dur_us >= self.slow_us {
+            if self.notable.len() == self.capacity {
+                self.notable.pop_front();
+            }
+            self.notable.push_back(span.clone());
+        }
+        if self.recent.len() == self.capacity {
+            self.recent.pop_front();
+            self.dropped += 1;
+        }
+        self.recent.push_back(span);
+    }
+
+    /// Spans evicted from the recent ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of spans currently held in the recent ring.
+    pub fn len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.recent.is_empty() && self.notable.is_empty()
+    }
+
+    /// Every held span — recent plus still-notable — deduplicated by
+    /// span id and sorted by `(start_us, trace_id, span_id)` so the
+    /// snapshot is deterministic for a deterministic clock.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut out: Vec<SpanRecord> = Vec::with_capacity(self.recent.len());
+        for span in self.recent.iter().chain(self.notable.iter()) {
+            if seen.insert((span.trace_id, span.span_id)) {
+                out.push(span.clone());
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.start_us, a.trace_id, a.span_id).cmp(&(b.start_us, b.trace_id, b.span_id))
+        });
+        out
+    }
+
+    /// The notable (slow or failed) spans, oldest first.
+    pub fn notable(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.notable.iter()
+    }
+}
+
+/// Renders a set of spans (possibly from many nodes and many traces) as
+/// indented causal trees, one per trace, ordered by trace id.
+///
+/// Spans whose parent is absent (recorded on a crashed node, or evicted
+/// from a ring) are shown at the root level so partial traces still
+/// read coherently. Timestamps are printed relative to the earliest
+/// span of each trace; note that across *different* nodes' system
+/// clocks they are only approximately comparable.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    render_span_tree_with(spans, &|n| n.to_string())
+}
+
+/// [`render_span_tree`] with a caller-supplied node formatter, for
+/// callers whose node ids are packed transport addresses rather than
+/// small indices (`d2-node trace` prints `ip:port`).
+pub fn render_span_tree_with(spans: &[SpanRecord], fmt_node: &dyn Fn(u64) -> String) -> String {
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        if s.trace_id != 0 {
+            by_trace.entry(s.trace_id).or_default().push(s);
+        }
+    }
+    let mut out = String::new();
+    for (trace_id, mut spans) in by_trace {
+        spans.sort_by_key(|s| (s.start_us, s.span_id));
+        let t0 = spans.first().map(|s| s.start_us).unwrap_or(0);
+        let nodes: BTreeSet<u64> = spans.iter().map(|s| s.node).collect();
+        out.push_str(&format!(
+            "trace {:#018x} — {} span(s) across {} node(s)\n",
+            trace_id,
+            spans.len(),
+            nodes.len()
+        ));
+        // Children keyed by parent span id, already in (start, span) order.
+        let present: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for s in &spans {
+            if s.parent_span_id != 0 && present.contains(&s.parent_span_id) {
+                children.entry(s.parent_span_id).or_default().push(s);
+            } else {
+                roots.push(s);
+            }
+        }
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
+        for root in roots {
+            render_subtree(&mut out, root, &children, &mut visited, 1, t0, fmt_node);
+        }
+    }
+    out
+}
+
+fn render_subtree(
+    out: &mut String,
+    span: &SpanRecord,
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    visited: &mut BTreeSet<u64>,
+    depth: usize,
+    t0: u64,
+    fmt_node: &dyn Fn(u64) -> String,
+) {
+    if !visited.insert(span.span_id) {
+        return; // malformed parent cycle: render each span once
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&format!(
+        "+- [node {}] {} hop={} t=+{}us",
+        fmt_node(span.node),
+        span.op,
+        span.hop,
+        span.start_us.saturating_sub(t0)
+    ));
+    if span.dur_us > 0 {
+        out.push_str(&format!(" dur={}us", span.dur_us));
+    }
+    if !span.detail.is_empty() {
+        out.push(' ');
+        out.push_str(&span.detail);
+    }
+    if !span.ok {
+        out.push_str(" FAIL");
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&span.span_id) {
+        for kid in kids {
+            render_subtree(out, kid, children, visited, depth + 1, t0, fmt_node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, hop: u8, node: u64, t: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: parent,
+            hop,
+            node,
+            start_us: t,
+            dur_us: 0,
+            ok: true,
+            op: "step".into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn trace_ctx_child_advances_hop_and_parent() {
+        let root = TraceCtx::root(42);
+        assert!(root.is_traced());
+        assert!(!TraceCtx::NONE.is_traced());
+        let c = root.child(7);
+        assert_eq!(c.trace_id, 42);
+        assert_eq!(c.span_id, 7);
+        assert_eq!(c.hop, 1);
+        let mut deep = c;
+        for _ in 0..300 {
+            deep = deep.child(9);
+        }
+        assert_eq!(deep.hop, 255, "hop saturates");
+    }
+
+    #[test]
+    fn recorder_bounds_memory_and_keeps_notable() {
+        let mut rec = FlightRecorder::new(4, 1_000);
+        // A failed span early on, then a flood of fast successes.
+        let mut bad = span(1, 100, 0, 0, 9, 10);
+        bad.ok = false;
+        rec.push(bad);
+        for i in 0..20u64 {
+            rec.push(span(1, 200 + i, 100, 1, 9, 20 + i));
+        }
+        assert_eq!(rec.len(), 4);
+        assert!(rec.dropped() > 0);
+        let snap = rec.snapshot();
+        // The failure survived eviction via the notable ring.
+        assert!(snap.iter().any(|s| s.span_id == 100 && !s.ok));
+        // Slow spans are notable too.
+        let mut slow = span(1, 999, 100, 1, 9, 50);
+        slow.dur_us = 5_000;
+        rec.push(slow);
+        assert!(rec.notable().any(|s| s.span_id == 999));
+        // Untraced spans are ignored entirely.
+        rec.push(span(0, 1, 0, 0, 9, 60));
+        assert!(rec.snapshot().iter().all(|s| s.trace_id != 0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deduplicated() {
+        let mut rec = FlightRecorder::new(8, 0); // everything notable
+        rec.push(span(2, 5, 0, 0, 1, 30));
+        rec.push(span(1, 4, 0, 0, 2, 20));
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 2, "notable duplicates collapse");
+        assert!(snap[0].start_us <= snap[1].start_us);
+    }
+
+    #[test]
+    fn span_tree_renders_causal_indentation() {
+        let spans = vec![
+            span(7, 1, 0, 0, 0, 100),
+            span(7, 2, 1, 1, 1, 110),
+            span(7, 3, 2, 2, 2, 120),
+            span(7, 9, 777, 3, 3, 130), // orphan: parent missing
+        ];
+        let tree = render_span_tree(&spans);
+        assert!(tree.contains("4 span(s) across 4 node(s)"));
+        let l1 = tree.find("[node 0]").unwrap();
+        let l2 = tree.find("[node 1]").unwrap();
+        let l3 = tree.find("[node 2]").unwrap();
+        assert!(l1 < l2 && l2 < l3);
+        // Indentation deepens along the causal chain.
+        let indent = |pos: usize| tree[..pos].rfind('\n').map(|n| pos - n).unwrap_or(pos);
+        assert!(indent(l2) > indent(l1));
+        assert!(indent(l3) > indent(l2));
+        // Orphans still render (at root level).
+        assert!(tree.contains("[node 3]"));
+    }
+
+    #[test]
+    fn cyclic_parents_do_not_hang_the_renderer() {
+        let spans = vec![span(3, 1, 2, 0, 0, 10), span(3, 2, 1, 0, 0, 11)];
+        let tree = render_span_tree(&spans);
+        assert!(tree.contains("trace"));
+    }
+}

@@ -15,15 +15,22 @@
 //!   a zero-cost disabled default;
 //! - [`to_jsonl`] — deterministic JSONL export (same seed ⇒ byte-
 //!   identical bytes), so traces can be committed, diffed, and gated in
-//!   CI alongside `BENCH_*.json`.
+//!   CI alongside `BENCH_*.json`;
+//! - [`flight`] — the causal tracing layer: a compact [`TraceCtx`]
+//!   carried in every wire envelope, the bounded per-node
+//!   [`FlightRecorder`] of recent/slow/failed [`SpanRecord`]s that
+//!   remote scrapes collect, and [`render_span_tree`] to reassemble
+//!   one client operation's cross-node story.
 //!
 //! No dependencies beyond `serde`; time is plain virtual microseconds so
 //! the crate sits below `d2-sim` in the dependency graph.
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{render_span_tree, render_span_tree_with, FlightRecorder, SpanRecord, TraceCtx};
 pub use metrics::{Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use trace::{
     to_jsonl, CacheResult, CacheTier, MemorySink, MigrationKind, NullSink, SharedSink, TraceEvent,

@@ -143,8 +143,16 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) of recorded values, up to bucket
-    /// resolution. Always within `[self.min(), self.max()]`; 0 when
-    /// empty.
+    /// resolution. Always within `[self.min(), self.max()]`.
+    ///
+    /// # Empty-histogram contract
+    ///
+    /// On an empty histogram every summary accessor returns zero —
+    /// `quantile` (any `q`), [`Histogram::min`], [`Histogram::max`],
+    /// [`Histogram::mean`] — and [`Histogram::snapshot`] returns an
+    /// all-zero [`HistogramSnapshot`]. Callers (the `d2-top`
+    /// aggregator, JSON exports) may rely on this instead of guarding
+    /// every read with a `count() == 0` check.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -176,6 +184,60 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// The raw bucket counts, lowest bucket first. The last bucket is
+    /// always non-zero when the histogram is non-empty (no trailing
+    /// zeros), which wire encodings rely on for canonical round trips.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from its raw parts (the inverse of reading
+    /// [`Histogram::count`]/[`Histogram::sum`]/[`Histogram::min`]/
+    /// [`Histogram::max`]/[`Histogram::buckets`]), validating the
+    /// invariants a hostile or corrupted wire payload could violate:
+    /// bucket counts must sum to `count`, the bucket vector must not
+    /// exceed the indexable range, and `min`/`max` must be ordered.
+    /// Returns `None` when the parts are inconsistent. An empty
+    /// histogram (`count == 0`) must carry `sum == 0`, `min == 0`,
+    /// `max == 0` and an all-zero bucket vector.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        mut buckets: Vec<u64>,
+    ) -> Option<Histogram> {
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        if buckets.len() > bucket_index(u64::MAX) + 1 {
+            return None;
+        }
+        let mut total = 0u64;
+        for &b in &buckets {
+            total = total.checked_add(b)?;
+        }
+        if total != count {
+            return None;
+        }
+        if count == 0 {
+            if sum != 0 || min != 0 || max != 0 {
+                return None;
+            }
+            return Some(Histogram::new());
+        }
+        if min > max {
+            return None;
+        }
+        Some(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
     }
 
     /// Fixed-quantile summary of this histogram.
@@ -281,6 +343,16 @@ impl Registry {
         self.histograms.get(name)
     }
 
+    /// Merges a pre-built histogram into histogram `name` (creating it
+    /// empty first). This is how a histogram decoded off the wire
+    /// enters a local registry without replaying its samples.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
@@ -291,14 +363,35 @@ impl Registry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Merges another registry into this one: counters add, gauges take
-    /// the other's value, histograms merge.
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// merge, and gauges take the **maximum** of the two values.
+    ///
+    /// # Gauge merge semantics
+    ///
+    /// Gauges deliberately merge by `max`, not last-write-wins: a
+    /// cluster scrape merges one registry per node in whatever order
+    /// the nodes answered, and the aggregate must not depend on that
+    /// order. `max` makes `merge` commutative and associative (up to
+    /// snapshot equality) for every metric kind, which the `d2-top`
+    /// aggregation relies on and a property test enforces. Per-node
+    /// gauge values (block counts, ring positions) remain meaningful
+    /// only in the per-node registries; the merged gauge is a "worst
+    /// case across the cluster" number. (NaN inputs follow
+    /// [`f64::max`]: the non-NaN operand wins.)
     pub fn merge(&mut self, other: &Registry) {
         for (k, &v) in &other.counters {
             self.add(k, v);
         }
         for (k, &v) in &other.gauges {
-            self.gauges.insert(k.clone(), v);
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(v))
+                .or_insert(v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -384,12 +477,88 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_zeroed() {
+        // The documented empty-histogram contract: every summary
+        // accessor returns 0, for every quantile, and the snapshot is
+        // exactly the all-zero snapshot.
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
-        assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "quantile({q}) on empty");
+        }
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        // Merging an empty histogram is a no-op both ways.
+        let mut a = Histogram::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_garbage() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 17, 4096, 123_456_789] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), h.buckets().to_vec())
+                .unwrap();
+        assert_eq!(rebuilt, h);
+        // Empty round trip.
+        assert_eq!(
+            Histogram::from_parts(0, 0, 0, 0, vec![]).unwrap(),
+            Histogram::new()
+        );
+        assert_eq!(
+            Histogram::from_parts(0, 0, 0, 0, vec![0, 0]).unwrap(),
+            Histogram::new(),
+            "trailing zeros are canonicalized away"
+        );
+        // Inconsistent parts are refused.
+        assert!(
+            Histogram::from_parts(2, 5, 1, 4, vec![1]).is_none(),
+            "count mismatch"
+        );
+        assert!(
+            Histogram::from_parts(1, 5, 9, 4, vec![0, 1]).is_none(),
+            "min > max"
+        );
+        assert!(
+            Histogram::from_parts(0, 5, 0, 0, vec![]).is_none(),
+            "empty with sum"
+        );
+        assert!(
+            Histogram::from_parts(2, 5, 1, 4, vec![1; 100_000]).is_none(),
+            "bucket vector beyond indexable range"
+        );
+        assert!(
+            Histogram::from_parts(u64::MAX, 0, 0, 1, vec![u64::MAX, u64::MAX]).is_none(),
+            "bucket sum overflow"
+        );
+    }
+
+    #[test]
+    fn gauge_merge_takes_max_in_any_order() {
+        let mut a = Registry::new();
+        a.set_gauge("g", 1.0);
+        let mut b = Registry::new();
+        b.set_gauge("g", 3.0);
+        b.set_gauge("only_b", -2.5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.gauge("g"), Some(3.0));
+        assert_eq!(ba.gauge("g"), Some(3.0));
+        assert_eq!(ab.gauge("only_b"), Some(-2.5));
+        assert_eq!(ab.snapshot(), ba.snapshot());
     }
 
     #[test]

@@ -216,6 +216,32 @@ pub enum TraceEvent {
         /// Stale links removed.
         evicted: u32,
     },
+    /// One causally-linked wire span collected from a node's
+    /// [`crate::FlightRecorder`]: the DST harness exports these so a
+    /// shrunk failing seed yields the same cross-node causal narrative
+    /// `d2-node trace` prints for a live cluster.
+    WireSpan {
+        /// Start time on the recording node's clock.
+        t_us: u64,
+        /// The client operation this span belongs to.
+        trace_id: u64,
+        /// This span's id.
+        span_id: u64,
+        /// The causing span (0 = the client).
+        parent_span_id: u64,
+        /// Forwarding depth.
+        hop: u8,
+        /// Recording node.
+        node: u64,
+        /// Duration (0 for instantaneous steps).
+        dur_us: u64,
+        /// Whether the step succeeded.
+        ok: bool,
+        /// Operation label (`"lookup"`, `"put.chain"`, ...).
+        op: String,
+        /// Free-form detail.
+        detail: String,
+    },
     /// A completed timed span (e.g. one user task / access group).
     Span {
         /// Virtual start time.
@@ -243,6 +269,7 @@ impl TraceEvent {
             | TraceEvent::BalanceMove { t_us, .. }
             | TraceEvent::ChurnLookup { t_us, .. }
             | TraceEvent::Stabilize { t_us, .. }
+            | TraceEvent::WireSpan { t_us, .. }
             | TraceEvent::Span { t_us, .. } => *t_us,
         }
     }
@@ -286,6 +313,13 @@ impl TraceEvent {
             ),
             TraceEvent::Stabilize { t_us, nodes, repaired, evicted } => format!(
                 "{{\"ev\":\"stabilize\",\"t_us\":{t_us},\"nodes\":{nodes},\"repaired\":{repaired},\"evicted\":{evicted}}}"
+            ),
+            TraceEvent::WireSpan {
+                t_us, trace_id, span_id, parent_span_id, hop, node, dur_us, ok, op, detail,
+            } => format!(
+                "{{\"ev\":\"wire_span\",\"t_us\":{t_us},\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_span_id\":{parent_span_id},\"hop\":{hop},\"node\":{node},\"dur_us\":{dur_us},\"ok\":{ok},\"op\":\"{}\",\"detail\":\"{}\"}}",
+                crate::json::escape(op),
+                crate::json::escape(detail)
             ),
             TraceEvent::Span { t_us, name, user, dur_us, items } => format!(
                 "{{\"ev\":\"span\",\"t_us\":{t_us},\"name\":\"{}\",\"user\":{user},\"dur_us\":{dur_us},\"items\":{items}}}",
@@ -598,6 +632,18 @@ mod tests {
                 nodes: 64,
                 repaired: 5,
                 evicted: 7,
+            },
+            TraceEvent::WireSpan {
+                t_us: 13,
+                trace_id: 0xBEEF,
+                span_id: 2,
+                parent_span_id: 1,
+                hop: 3,
+                node: 6,
+                dur_us: 250,
+                ok: true,
+                op: "put.chain".into(),
+                detail: "stored=2/3".into(),
             },
         ];
         let a = to_jsonl(&events);

@@ -1,0 +1,129 @@
+//! Property tests for the merge algebra behind cluster-wide
+//! aggregation: `Registry::merge` and `Histogram::merge` must be
+//! commutative and associative up to snapshot equality, or the merged
+//! view `d2-node top` prints would depend on scrape order.
+//!
+//! Gauge merge is *max* (not sum or last-write): the only fold that is
+//! commutative and associative for point-in-time readings.
+
+use d2_obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Counter, gauge, and histogram fragments drawn from a 3-name pool so
+/// merged registries genuinely collide on names.
+type RegParts = (
+    Vec<(String, u64)>,
+    Vec<(String, f64)>,
+    Vec<(String, Vec<u64>)>,
+);
+
+fn registry_of(parts: &RegParts) -> Registry {
+    let (counters, gauges, hists) = parts;
+    let mut reg = Registry::new();
+    for (name, v) in counters {
+        reg.add(name, *v);
+    }
+    for (name, v) in gauges {
+        // set_gauge overwrites; last write per name wins, like a real
+        // point-in-time reading.
+        reg.set_gauge(name, *v);
+    }
+    for (name, samples) in hists {
+        for &s in samples {
+            reg.observe(name, s);
+        }
+    }
+    reg
+}
+
+fn arb_parts() -> impl Strategy<Value = RegParts> {
+    (
+        prop::collection::vec(("[a-c]", 0u64..1_000), 0..5),
+        prop::collection::vec(("[a-c]", 0.0f64..=100.0), 0..5),
+        prop::collection::vec(
+            ("[a-c]", prop::collection::vec(0u64..1_000_000, 0..15)),
+            0..4,
+        ),
+    )
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+        c in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.buckets(), right.buckets());
+    }
+
+    #[test]
+    fn registry_merge_is_commutative(a in arb_parts(), b in arb_parts()) {
+        let mut ab = registry_of(&a);
+        ab.merge(&registry_of(&b));
+        let mut ba = registry_of(&b);
+        ba.merge(&registry_of(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    #[test]
+    fn registry_merge_is_associative(
+        a in arb_parts(),
+        b in arb_parts(),
+        c in arb_parts(),
+    ) {
+        let mut left = registry_of(&a);
+        left.merge(&registry_of(&b));
+        left.merge(&registry_of(&c));
+        let mut bc = registry_of(&b);
+        bc.merge(&registry_of(&c));
+        let mut right = registry_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    #[test]
+    fn gauge_merge_takes_the_max(a in arb_parts(), b in arb_parts()) {
+        let ra = registry_of(&a);
+        let rb = registry_of(&b);
+        let mut merged = ra.clone();
+        merged.merge(&rb);
+        for (name, v) in merged.gauges() {
+            let expect = match (ra.gauge(name), rb.gauge(name)) {
+                (Some(x), Some(y)) => x.max(y),
+                (Some(x), None) | (None, Some(x)) => x,
+                (None, None) => unreachable!("merged gauge from nowhere"),
+            };
+            prop_assert_eq!(v, expect, "gauge {} must merge as max", name);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 use crate::codec::{Request, Response, WireMsg};
 use crate::metrics::NetMetrics;
 use crate::transport::{RecvError, Transport, TransportError};
+use d2_obs::TraceCtx;
 use d2_ring::messages::Addr;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -87,12 +88,28 @@ impl<T: Transport> WireClient<T> {
 
     /// Sends `body` to `node` and blocks until the matching response
     /// arrives or `timeout` elapses. Records the round-trip time under
-    /// `net.rtt_us.<request type>`.
+    /// `net.rtt_us.<request type>`. The request travels untraced;
+    /// see [`WireClient::call_traced`] to start a causal trace.
     pub fn call(
         &self,
         node: Addr,
         body: Request,
         timeout: Duration,
+    ) -> Result<Response, ClientError> {
+        self.call_traced(node, body, timeout, TraceCtx::NONE)
+    }
+
+    /// [`WireClient::call`], but the request's envelope carries `trace`
+    /// — typically [`TraceCtx::root`] with a fresh trace id, making this
+    /// call the root span of a causally-linked cross-node span tree
+    /// that `d2-node trace <id>` can later reassemble from the nodes'
+    /// flight recorders.
+    pub fn call_traced(
+        &self,
+        node: Addr,
+        body: Request,
+        timeout: Duration,
+        trace: TraceCtx,
     ) -> Result<Response, ClientError> {
         if self.stop.load(Ordering::Acquire) {
             return Err(ClientError::Closed);
@@ -107,7 +124,7 @@ impl<T: Transport> WireClient<T> {
             body,
         };
         let start = Instant::now();
-        let sent = self.transport.send(node, &msg);
+        let sent = self.transport.send_traced(node, &msg, trace);
         let result = match sent {
             Err(TransportError::PeerUnreachable(a)) => Err(ClientError::Unreachable(a)),
             Err(TransportError::Closed) => Err(ClientError::Closed),
@@ -163,7 +180,7 @@ impl<T: Transport> Drop for WireClient<T> {
 fn dispatch_loop<T: Transport>(transport: &T, pending: &Pending, stop: &AtomicBool) {
     while !stop.load(Ordering::Acquire) {
         match transport.recv_timeout(Duration::from_millis(100)) {
-            Ok(WireMsg::Response { req_id, body }) => {
+            Ok((WireMsg::Response { req_id, body }, _)) => {
                 if let Some(tx) = pending.lock().remove(&req_id) {
                     let _ = tx.send(body); // caller may have timed out
                 }
@@ -187,22 +204,28 @@ mod tests {
         let addr = t.local_addr();
         let h = std::thread::spawn(move || loop {
             match t.recv_timeout(Duration::from_millis(50)) {
-                Ok(WireMsg::Request {
-                    req_id,
-                    from,
-                    body: Request::Get { .. },
-                }) => {
+                Ok((
+                    WireMsg::Request {
+                        req_id,
+                        from,
+                        body: Request::Get { .. },
+                    },
+                    _,
+                )) => {
                     let resp = WireMsg::Response {
                         req_id,
                         body: Response::Block { data: None },
                     };
                     let _ = t.send(from, &resp);
                 }
-                Ok(WireMsg::Request {
-                    req_id,
-                    from,
-                    body: Request::Shutdown,
-                }) => {
+                Ok((
+                    WireMsg::Request {
+                        req_id,
+                        from,
+                        body: Request::Shutdown,
+                    },
+                    _,
+                )) => {
                     let _ = t.send(
                         from,
                         &WireMsg::Response {

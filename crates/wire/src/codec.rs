@@ -17,7 +17,24 @@
 //! length prefixes, unknown tags, and trailing bytes are all
 //! [`WireError`]s, never panics — a malformed peer costs a closed
 //! connection, not a crashed node.
+//!
+//! # Version 2: the trace block
+//!
+//! Version 2 frames carry a fixed 17-byte **trace block** at the start
+//! of the payload, before the tagged message body:
+//!
+//! ```text
+//! | trace_id (8 B) | span_id (8 B) | hop (1 B) | message body ... |
+//! ```
+//!
+//! The block is the [`TraceCtx`] of the *sending* span: an all-zero
+//! trace id means "untraced" and costs nothing downstream. Carrying the
+//! context at the envelope level (rather than inside each message
+//! variant) means no message body changed shape between v1 and v2, so
+//! decoders accept both versions: a v1 payload is exactly a v2 payload
+//! minus the trace block, and decodes with [`TraceCtx::NONE`].
 
+use d2_obs::{Histogram, Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, PeerInfo, RingMsg};
 use d2_types::{D2Error, Key, KeyRange, KEY_BYTES};
 use std::fmt;
@@ -26,7 +43,15 @@ use std::fmt;
 pub const MAGIC: [u8; 2] = [0x44, 0x32];
 
 /// Current protocol version. Bump on any incompatible payload change.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+
+/// Oldest version this decoder still accepts. v1 frames are v2 frames
+/// without the leading trace block; they decode with [`TraceCtx::NONE`].
+pub const MIN_VERSION: u8 = 1;
+
+/// Size of the v2 trace block at the start of every payload:
+/// trace id (8) + span id (8) + hop (1).
+pub const TRACE_LEN: usize = 17;
 
 /// Bytes before the payload: magic (2) + version (1) + tag (1) + length (4).
 pub const HEADER_LEN: usize = 8;
@@ -42,7 +67,7 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 pub enum WireError {
     /// The first two bytes were not [`MAGIC`].
     BadMagic([u8; 2]),
-    /// The version byte did not match [`VERSION`].
+    /// The version byte was outside [`MIN_VERSION`]..=[`VERSION`].
     BadVersion(u8),
     /// The tag byte named no known message variant.
     UnknownTag(u8),
@@ -71,7 +96,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
-            WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (want {VERSION})"),
+            WireError::BadVersion(v) => write!(
+                f,
+                "unsupported wire version {v} (want {MIN_VERSION}..={VERSION})"
+            ),
             WireError::UnknownTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
             WireError::Truncated { needed, got } => {
                 write!(f, "truncated frame: needed {needed} more bytes, got {got}")
@@ -126,6 +154,11 @@ pub enum Request {
     },
     /// Report ring state (predecessor, successors, block count).
     Status,
+    /// Dump this node's metrics registry and flight recorder
+    /// ([`Response::Metrics`]). This is the remote-scrape request behind
+    /// `d2-node top` and `d2-node trace`; it replaces exit-time-only
+    /// metric export.
+    MetricsDump,
     /// Stop this node's event loop (graceful shutdown).
     Shutdown,
 }
@@ -139,6 +172,7 @@ impl Request {
             Request::Put { .. } => "put",
             Request::Get { .. } => "get",
             Request::Status => "status",
+            Request::MetricsDump => "metrics_dump",
             Request::Shutdown => "shutdown",
         }
     }
@@ -155,6 +189,89 @@ pub struct WireStatus {
     pub successors: Vec<PeerInfo>,
     /// Blocks stored locally.
     pub blocks: u64,
+}
+
+/// One histogram on the wire: full log-bucket counts, not just the
+/// summary quantiles, so the scraper can [`Histogram::merge`] per-node
+/// distributions and compute *cluster-wide* percentiles exactly as if
+/// every sample had been recorded in one place.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Metric name (`"net.rtt_us.put"`, `"node.lookup_us"`, ...).
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Log-bucket counts, as [`Histogram::buckets`] exposes them.
+    pub buckets: Vec<u64>,
+}
+
+/// A node's full metrics dump, carried by [`Response::Metrics`]: the
+/// registry (counters, gauges, histograms with complete buckets) plus
+/// the bounded flight recorder of recent and notable spans.
+///
+/// Gauges travel as raw `f64` bit patterns so the message type stays
+/// `Eq` and the encoding is byte-exact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Counter values by name, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name (as [`f64::to_bits`]), in name order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms with full bucket vectors, in name order.
+    pub histograms: Vec<WireHistogram>,
+    /// The node's flight-recorder snapshot: recent spans plus retained
+    /// slow/failed ones, deduplicated and time-ordered.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl WireMetrics {
+    /// Captures `reg` plus a span snapshot into wire form.
+    pub fn from_registry(reg: &Registry, spans: Vec<SpanRecord>) -> WireMetrics {
+        WireMetrics {
+            counters: reg.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: reg
+                .gauges()
+                .map(|(k, v)| (k.to_string(), v.to_bits()))
+                .collect(),
+            histograms: reg
+                .histograms()
+                .map(|(k, h)| WireHistogram {
+                    name: k.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    buckets: h.buckets().to_vec(),
+                })
+                .collect(),
+            spans,
+        }
+    }
+
+    /// Rebuilds a [`Registry`] from the dump. Histograms whose parts are
+    /// inconsistent (a hostile or buggy peer) are rejected as
+    /// [`WireError::Malformed`] rather than silently skewing aggregates.
+    pub fn to_registry(&self) -> Result<Registry, WireError> {
+        let mut reg = Registry::new();
+        for (k, v) in &self.counters {
+            reg.add(k, *v);
+        }
+        for (k, bits) in &self.gauges {
+            reg.set_gauge(k, f64::from_bits(*bits));
+        }
+        for wh in &self.histograms {
+            let h = Histogram::from_parts(wh.count, wh.sum, wh.min, wh.max, wh.buckets.clone())
+                .ok_or(WireError::Malformed("inconsistent histogram parts"))?;
+            reg.merge_histogram(&wh.name, &h);
+        }
+        Ok(reg)
+    }
 }
 
 /// A reply to a [`Request`], correlated by `req_id`.
@@ -180,6 +297,9 @@ pub enum Response {
     },
     /// Reply to [`Request::Status`].
     Status(WireStatus),
+    /// Reply to [`Request::MetricsDump`]: the node's registry and
+    /// flight-recorder snapshot.
+    Metrics(Box<WireMetrics>),
     /// Reply to [`Request::Shutdown`], sent just before the node exits.
     ShutdownAck,
 }
@@ -229,6 +349,7 @@ impl WireMsg {
                 Request::Put { .. } => TAG_REQ_PUT,
                 Request::Get { .. } => TAG_REQ_GET,
                 Request::Status => TAG_REQ_STATUS,
+                Request::MetricsDump => TAG_REQ_METRICS,
                 Request::Shutdown => TAG_REQ_SHUTDOWN,
             },
             WireMsg::Response { body, .. } => match body {
@@ -236,6 +357,7 @@ impl WireMsg {
                 Response::PutAck { .. } => TAG_RESP_PUT_ACK,
                 Response::Block { .. } => TAG_RESP_BLOCK,
                 Response::Status(_) => TAG_RESP_STATUS,
+                Response::Metrics(_) => TAG_RESP_METRICS,
                 Response::ShutdownAck => TAG_RESP_SHUTDOWN_ACK,
             },
         }
@@ -259,6 +381,7 @@ impl WireMsg {
                 Response::PutAck { .. } => "put_ack",
                 Response::Block { .. } => "block",
                 Response::Status(_) => "status",
+                Response::Metrics(_) => "metrics",
                 Response::ShutdownAck => "shutdown_ack",
             },
         }
@@ -277,11 +400,13 @@ const TAG_REQ_PUT: u8 = 0x11;
 const TAG_REQ_GET: u8 = 0x12;
 const TAG_REQ_STATUS: u8 = 0x13;
 const TAG_REQ_SHUTDOWN: u8 = 0x14;
+const TAG_REQ_METRICS: u8 = 0x15;
 const TAG_RESP_OWNER: u8 = 0x20;
 const TAG_RESP_PUT_ACK: u8 = 0x21;
 const TAG_RESP_BLOCK: u8 = 0x22;
 const TAG_RESP_STATUS: u8 = 0x23;
 const TAG_RESP_SHUTDOWN_ACK: u8 = 0x24;
+const TAG_RESP_METRICS: u8 = 0x25;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -346,15 +471,70 @@ impl Enc {
             None => self.u8(0),
         }
     }
+    fn str_(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.u16(s.len() as u16);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn span(&mut self, s: &SpanRecord) {
+        self.u64(s.trace_id);
+        self.u64(s.span_id);
+        self.u64(s.parent_span_id);
+        self.u8(s.hop);
+        self.u64(s.node);
+        self.u64(s.start_us);
+        self.u64(s.dur_us);
+        self.u8(s.ok as u8);
+        self.str_(&s.op);
+        self.str_(&s.detail);
+    }
+    fn metrics(&mut self, m: &WireMetrics) {
+        self.u32(m.counters.len() as u32);
+        for (k, v) in &m.counters {
+            self.str_(k);
+            self.u64(*v);
+        }
+        self.u32(m.gauges.len() as u32);
+        for (k, bits) in &m.gauges {
+            self.str_(k);
+            self.u64(*bits);
+        }
+        self.u32(m.histograms.len() as u32);
+        for h in &m.histograms {
+            self.str_(&h.name);
+            self.u64(h.count);
+            self.u64(h.sum);
+            self.u64(h.min);
+            self.u64(h.max);
+            self.u16(h.buckets.len() as u16);
+            for b in &h.buckets {
+                self.u64(*b);
+            }
+        }
+        self.u32(m.spans.len() as u32);
+        for s in &m.spans {
+            self.span(s);
+        }
+    }
 }
 
-/// Encodes `msg` as one complete frame (header + payload).
+/// Encodes `msg` as one complete untraced frame (header + payload).
+/// Equivalent to [`encode_traced`] with [`TraceCtx::NONE`].
 pub fn encode(msg: &WireMsg) -> Vec<u8> {
-    let mut e = Enc(Vec::with_capacity(HEADER_LEN + 64));
+    encode_traced(msg, TraceCtx::NONE)
+}
+
+/// Encodes `msg` as one complete v2 frame carrying `trace` in the
+/// payload's leading trace block.
+pub fn encode_traced(msg: &WireMsg, trace: TraceCtx) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(HEADER_LEN + TRACE_LEN + 64));
     e.0.extend_from_slice(&MAGIC);
     e.u8(VERSION);
     e.u8(msg.tag());
     e.u32(0); // length backpatched below
+    e.u64(trace.trace_id);
+    e.u64(trace.span_id);
+    e.u8(trace.hop);
     match msg {
         WireMsg::Ring(m) => encode_ring(&mut e, m),
         WireMsg::Request { req_id, from, body } => {
@@ -374,7 +554,7 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
                     e.bytes(data);
                 }
                 Request::Get { key } => e.key(key),
-                Request::Status | Request::Shutdown => {}
+                Request::Status | Request::MetricsDump | Request::Shutdown => {}
             }
         }
         WireMsg::Response { req_id, body } => {
@@ -392,6 +572,7 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
                     e.peers(&s.successors);
                     e.u64(s.blocks);
                 }
+                Response::Metrics(m) => e.metrics(m),
                 Response::ShutdownAck => {}
             }
         }
@@ -536,6 +717,89 @@ impl<'a> Dec<'a> {
             _ => Err(WireError::Malformed("option flag must be 0 or 1")),
         }
     }
+    fn str_(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed("string not utf-8"))
+    }
+    fn span(&mut self) -> Result<SpanRecord, WireError> {
+        Ok(SpanRecord {
+            trace_id: self.u64()?,
+            span_id: self.u64()?,
+            parent_span_id: self.u64()?,
+            hop: self.u8()?,
+            node: self.u64()?,
+            start_us: self.u64()?,
+            dur_us: self.u64()?,
+            ok: match self.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bool flag must be 0 or 1")),
+            },
+            op: self.str_()?,
+            detail: self.str_()?,
+        })
+    }
+    /// Rejects a claimed element count the remaining buffer cannot
+    /// possibly hold (each element being at least `min_size` bytes),
+    /// before any allocation.
+    fn check_count(&self, n: usize, min_size: usize) -> Result<(), WireError> {
+        let got = self.buf.len() - self.pos;
+        if n.saturating_mul(min_size) > got {
+            return Err(WireError::Truncated {
+                needed: n * min_size,
+                got,
+            });
+        }
+        Ok(())
+    }
+    fn metrics(&mut self) -> Result<WireMetrics, WireError> {
+        let nc = self.u32()? as usize;
+        self.check_count(nc, 10)?;
+        let mut counters = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            counters.push((self.str_()?, self.u64()?));
+        }
+        let ng = self.u32()? as usize;
+        self.check_count(ng, 10)?;
+        let mut gauges = Vec::with_capacity(ng);
+        for _ in 0..ng {
+            gauges.push((self.str_()?, self.u64()?));
+        }
+        let nh = self.u32()? as usize;
+        self.check_count(nh, 36)?;
+        let mut histograms = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let name = self.str_()?;
+            let (count, sum, min, max) = (self.u64()?, self.u64()?, self.u64()?, self.u64()?);
+            let nb = self.u16()? as usize;
+            self.check_count(nb, 8)?;
+            let mut buckets = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                buckets.push(self.u64()?);
+            }
+            histograms.push(WireHistogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            });
+        }
+        let ns = self.u32()? as usize;
+        self.check_count(ns, 54)?;
+        let mut spans = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            spans.push(self.span()?);
+        }
+        Ok(WireMetrics {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        })
+    }
     fn finish(self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::Trailing {
@@ -546,30 +810,50 @@ impl<'a> Dec<'a> {
     }
 }
 
-/// Validates an 8-byte frame header, returning `(tag, payload length)`.
+/// Validates an 8-byte frame header, returning
+/// `(version, tag, payload length)`.
 ///
 /// Transports read exactly [`HEADER_LEN`] bytes, call this, then read the
-/// returned number of payload bytes and hand them to [`decode_payload`].
-pub fn decode_header(hdr: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
+/// returned number of payload bytes and hand them (with the version) to
+/// [`decode_payload`]. Any version in [`MIN_VERSION`]..=[`VERSION`] is
+/// accepted; the version decides whether the payload starts with a
+/// trace block.
+pub fn decode_header(hdr: &[u8; HEADER_LEN]) -> Result<(u8, u8, usize), WireError> {
     if hdr[..2] != MAGIC {
         return Err(WireError::BadMagic([hdr[0], hdr[1]]));
     }
-    if hdr[2] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&hdr[2]) {
         return Err(WireError::BadVersion(hdr[2]));
     }
     let len = u32::from_be_bytes(hdr[4..8].try_into().unwrap()) as usize;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized { len: len as u64 });
     }
-    Ok((hdr[3], len))
+    Ok((hdr[2], hdr[3], len))
 }
 
-/// Decodes the payload of a frame whose header carried `tag`. The payload
-/// must be consumed exactly; trailing bytes are an error.
-pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
+/// Decodes the payload of a `version` frame whose header carried `tag`.
+/// The payload must be consumed exactly; trailing bytes are an error.
+///
+/// v2 payloads start with the 17-byte trace block; v1 payloads have
+/// none and decode with [`TraceCtx::NONE`].
+pub fn decode_payload(
+    version: u8,
+    tag: u8,
+    payload: &[u8],
+) -> Result<(WireMsg, TraceCtx), WireError> {
     let mut d = Dec {
         buf: payload,
         pos: 0,
+    };
+    let trace = if version >= 2 {
+        TraceCtx {
+            trace_id: d.u64()?,
+            span_id: d.u64()?,
+            hop: d.u8()?,
+        }
+    } else {
+        TraceCtx::NONE
     };
     let msg = match tag {
         TAG_FIND_OWNER => WireMsg::Ring(RingMsg::FindOwner {
@@ -603,7 +887,8 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
         TAG_NOTIFY => WireMsg::Ring(RingMsg::Notify {
             candidate: d.peer()?,
         }),
-        TAG_REQ_LOOKUP | TAG_REQ_PUT | TAG_REQ_GET | TAG_REQ_STATUS | TAG_REQ_SHUTDOWN => {
+        TAG_REQ_LOOKUP | TAG_REQ_PUT | TAG_REQ_GET | TAG_REQ_STATUS | TAG_REQ_METRICS
+        | TAG_REQ_SHUTDOWN => {
             let req_id = d.u64()?;
             let from = d.addr()?;
             let body = match tag {
@@ -616,6 +901,7 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
                 },
                 TAG_REQ_GET => Request::Get { key: d.key()? },
                 TAG_REQ_STATUS => Request::Status,
+                TAG_REQ_METRICS => Request::MetricsDump,
                 _ => Request::Shutdown,
             };
             WireMsg::Request { req_id, from, body }
@@ -624,6 +910,7 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
         | TAG_RESP_PUT_ACK
         | TAG_RESP_BLOCK
         | TAG_RESP_STATUS
+        | TAG_RESP_METRICS
         | TAG_RESP_SHUTDOWN_ACK => {
             let req_id = d.u64()?;
             let body = match tag {
@@ -641,6 +928,7 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
                     successors: d.peers()?,
                     blocks: d.u64()?,
                 }),
+                TAG_RESP_METRICS => Response::Metrics(Box::new(d.metrics()?)),
                 _ => Response::ShutdownAck,
             };
             WireMsg::Response { req_id, body }
@@ -648,14 +936,21 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
         other => return Err(WireError::UnknownTag(other)),
     };
     d.finish()?;
-    Ok(msg)
+    Ok((msg, trace))
 }
 
-/// Decodes one complete frame (header + payload) produced by [`encode`].
+/// Decodes one complete frame, discarding the trace block. Equivalent to
+/// `decode_traced(frame).map(|(msg, _)| msg)`.
+pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
+    decode_traced(frame).map(|(msg, _)| msg)
+}
+
+/// Decodes one complete frame (header + payload) produced by
+/// [`encode_traced`], returning the message and its trace context.
 ///
 /// The frame must contain exactly one message; leftover bytes after the
 /// announced payload are a [`WireError::Trailing`] error.
-pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
+pub fn decode_traced(frame: &[u8]) -> Result<(WireMsg, TraceCtx), WireError> {
     if frame.len() < HEADER_LEN {
         return Err(WireError::Truncated {
             needed: HEADER_LEN,
@@ -663,7 +958,7 @@ pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
         });
     }
     let hdr: [u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
-    let (tag, len) = decode_header(&hdr)?;
+    let (version, tag, len) = decode_header(&hdr)?;
     let rest = &frame[HEADER_LEN..];
     if rest.len() < len {
         return Err(WireError::Truncated {
@@ -676,7 +971,7 @@ pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
             extra: rest.len() - len,
         });
     }
-    decode_payload(tag, rest)
+    decode_payload(version, tag, rest)
 }
 
 #[cfg(test)]
@@ -809,6 +1104,161 @@ mod tests {
         });
         frame[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(decode(&frame), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope() {
+        let msg = WireMsg::Request {
+            req_id: 7,
+            from: 3,
+            body: Request::Lookup {
+                key: Key::from_fraction(0.25),
+            },
+        };
+        let trace = TraceCtx {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0x1234,
+            hop: 5,
+        };
+        let frame = encode_traced(&msg, trace);
+        assert_eq!(frame[2], VERSION);
+        let (got, got_trace) = decode_traced(&frame).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(got_trace, trace);
+        // Untraced encode carries the all-zero context.
+        let (got, got_trace) = decode_traced(&encode(&msg)).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(got_trace, TraceCtx::NONE);
+        assert!(!got_trace.is_traced());
+    }
+
+    #[test]
+    fn v1_frames_without_trace_block_still_decode() {
+        // A v1 peer sends the same tagged body with no trace block:
+        // strip the 17-byte block, rewrite version and length.
+        for msg in [
+            WireMsg::Ring(RingMsg::GetNeighbors { from: 3 }),
+            WireMsg::Request {
+                req_id: 9,
+                from: 2,
+                body: Request::Put {
+                    key: Key::from_u64(5),
+                    fanout: 2,
+                    stored: 0,
+                    data: b"v1 block".to_vec(),
+                },
+            },
+            WireMsg::Response {
+                req_id: 9,
+                body: Response::PutAck { replicas: 3 },
+            },
+        ] {
+            let v2 = encode(&msg);
+            let mut v1 = Vec::with_capacity(v2.len() - TRACE_LEN);
+            v1.extend_from_slice(&v2[..HEADER_LEN]);
+            v1.extend_from_slice(&v2[HEADER_LEN + TRACE_LEN..]);
+            v1[2] = 1;
+            let len = (v1.len() - HEADER_LEN) as u32;
+            v1[4..8].copy_from_slice(&len.to_be_bytes());
+            let (got, trace) = decode_traced(&v1).unwrap();
+            assert_eq!(got, msg);
+            assert_eq!(trace, TraceCtx::NONE);
+        }
+    }
+
+    #[test]
+    fn metrics_dump_round_trips() {
+        let mut reg = Registry::new();
+        reg.add("net.msgs_in", 42);
+        reg.add("net.msgs_out", 40);
+        reg.set_gauge("node.ring_position", 0.625);
+        reg.set_gauge("node.blocks", 17.0);
+        for v in [10u64, 200, 3000, 40_000] {
+            reg.observe("node.lookup_us", v);
+        }
+        let spans = vec![
+            SpanRecord {
+                trace_id: 1,
+                span_id: 2,
+                parent_span_id: 0,
+                hop: 0,
+                node: 3,
+                start_us: 100,
+                dur_us: 50,
+                ok: true,
+                op: "put".into(),
+                detail: "fanout=2".into(),
+            },
+            SpanRecord {
+                trace_id: 1,
+                span_id: 9,
+                parent_span_id: 2,
+                hop: 1,
+                node: 4,
+                start_us: 120,
+                dur_us: 80_000,
+                ok: false,
+                op: "put".into(),
+                detail: "send failed".into(),
+            },
+        ];
+        let dump = WireMetrics::from_registry(&reg, spans.clone());
+        let msg = WireMsg::Request {
+            req_id: 5,
+            from: 1,
+            body: Request::MetricsDump,
+        };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        let resp = WireMsg::Response {
+            req_id: 5,
+            body: Response::Metrics(Box::new(dump.clone())),
+        };
+        let got = decode(&encode(&resp)).unwrap();
+        assert_eq!(got, resp);
+        // And the registry reconstructs bit-exactly.
+        let WireMsg::Response {
+            body: Response::Metrics(m),
+            ..
+        } = got
+        else {
+            panic!("wrong variant");
+        };
+        let rebuilt = m.to_registry().unwrap();
+        assert_eq!(rebuilt.snapshot(), reg.snapshot());
+        assert_eq!(rebuilt.gauge("node.ring_position"), Some(0.625));
+        assert_eq!(m.spans, spans);
+    }
+
+    #[test]
+    fn hostile_metrics_dump_is_rejected() {
+        // Inconsistent histogram parts must not build a registry.
+        let dump = WireMetrics {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![WireHistogram {
+                name: "evil".into(),
+                count: 10,
+                sum: 5,
+                min: 0,
+                max: 1,
+                buckets: vec![1],
+            }],
+            spans: vec![],
+        };
+        assert_eq!(
+            dump.to_registry(),
+            Err(WireError::Malformed("inconsistent histogram parts"))
+        );
+        // A frame claiming 2^32-1 spans in a tiny payload fails on the
+        // count check, before allocating.
+        let msg = WireMsg::Response {
+            req_id: 1,
+            body: Response::Metrics(Box::default()),
+        };
+        let mut frame = encode(&msg);
+        let n = frame.len();
+        frame[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub mod transport;
 
 pub use client::{ClientError, WireClient};
 pub use codec::{
-    decode, decode_header, decode_payload, encode, Request, Response, WireError, WireMsg,
-    WireStatus, HEADER_LEN, MAX_PAYLOAD, VERSION,
+    decode, decode_header, decode_payload, decode_traced, encode, encode_traced, Request, Response,
+    WireError, WireHistogram, WireMetrics, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD,
+    MIN_VERSION, TRACE_LEN, VERSION,
 };
 pub use metrics::NetMetrics;
 pub use tcp::{pack_addr, unpack_addr, TcpConfig, TcpTransport};

@@ -18,6 +18,7 @@
 use crate::codec::{self, WireMsg, HEADER_LEN};
 use crate::metrics::NetMetrics;
 use crate::transport::{RecvError, Transport, TransportError};
+use d2_obs::TraceCtx;
 use d2_ring::messages::Addr;
 use d2_ring::RetryPolicy;
 use parking_lot::Mutex;
@@ -94,7 +95,7 @@ struct Inner {
     me: Addr,
     cfg: TcpConfig,
     shutdown: AtomicBool,
-    incoming: mpsc::Sender<WireMsg>,
+    incoming: mpsc::Sender<(WireMsg, TraceCtx)>,
     metrics: Arc<NetMetrics>,
     readers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -103,7 +104,7 @@ struct Inner {
 /// thread per inbound connection, pooled outbound connections).
 pub struct TcpTransport {
     inner: Arc<Inner>,
-    rx: Mutex<mpsc::Receiver<WireMsg>>,
+    rx: Mutex<mpsc::Receiver<(WireMsg, TraceCtx)>>,
     /// Per-peer connection state behind per-peer locks: the outer map
     /// lock is held only to look up the entry, never across a connect
     /// or write, so one slow peer cannot stall sends to every other.
@@ -206,7 +207,7 @@ impl Transport for TcpTransport {
         self.inner.me
     }
 
-    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+    fn send_traced(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
@@ -214,13 +215,13 @@ impl Transport for TcpTransport {
             // Loopback without a socket round trip.
             self.inner
                 .incoming
-                .send(msg.clone())
+                .send((msg.clone(), trace))
                 .map_err(|_| TransportError::Closed)?;
             self.inner.metrics.frame_out(0);
             self.inner.metrics.frame_in(0);
             return Ok(());
         }
-        let frame = codec::encode(msg);
+        let frame = codec::encode_traced(msg, trace);
         let slot = Arc::clone(self.pool.lock().entry(to).or_default());
         let mut peer = slot.lock();
         let now = Instant::now();
@@ -247,12 +248,12 @@ impl Transport for TcpTransport {
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<WireMsg, RecvError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<(WireMsg, TraceCtx), RecvError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(RecvError::Closed);
         }
         match self.rx.lock().recv_timeout(timeout) {
-            Ok(msg) => Ok(msg),
+            Ok(pair) => Ok(pair),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
         }
@@ -333,7 +334,7 @@ fn read_loop(mut stream: TcpStream, inner: Arc<Inner>) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
-        let (tag, len) = match codec::decode_header(&hdr) {
+        let (version, tag, len) = match codec::decode_header(&hdr) {
             Ok(v) => v,
             Err(_) => {
                 // Strict protocol: a malformed header costs the
@@ -347,10 +348,10 @@ fn read_loop(mut stream: TcpStream, inner: Arc<Inner>) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
-        match codec::decode_payload(tag, &payload) {
-            Ok(msg) => {
+        match codec::decode_payload(version, tag, &payload) {
+            Ok(pair) => {
                 inner.metrics.frame_in(HEADER_LEN + len);
-                if inner.incoming.send(msg).is_err() {
+                if inner.incoming.send(pair).is_err() {
                     return; // transport dropped
                 }
             }
@@ -397,12 +398,23 @@ mod tests {
         let b =
             TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
         a.send(b.local_addr(), &msg(1)).unwrap();
-        a.send(b.local_addr(), &msg(2)).unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(1));
-        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(2));
+        let ctx = TraceCtx::root(0x5151).child(0x99);
+        a.send_traced(b.local_addr(), &msg(2), ctx).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (msg(1), TraceCtx::NONE)
+        );
+        // The trace context survives the socket round trip.
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (msg(2), ctx)
+        );
         // Replies flow over b's own outbound connection.
         b.send(a.local_addr(), &msg(3)).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), msg(3));
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (msg(3), TraceCtx::NONE)
+        );
         let reg = m.snapshot();
         assert!(reg.counter("net.bytes_out") > 0);
         assert!(reg.counter("net.bytes_in") > 0);
@@ -447,7 +459,7 @@ mod tests {
         let b_sock = b.socket_addr();
         let b_addr = b.local_addr();
         a.send(b_addr, &msg(1)).unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), msg(1));
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().0, msg(1));
         b.shutdown();
         drop(b);
         // The pooled stream is stale; the first sends fail, opening the
@@ -466,7 +478,7 @@ mod tests {
             assert!(Instant::now() < deadline, "never reconnected");
             std::thread::sleep(Duration::from_millis(20));
         }
-        assert_eq!(b2.recv_timeout(Duration::from_secs(5)).unwrap(), msg(3));
+        assert_eq!(b2.recv_timeout(Duration::from_secs(5)).unwrap().0, msg(3));
         assert!(m.snapshot().counter("net.reconnects") >= 1);
         a.shutdown();
         b2.shutdown();
@@ -484,7 +496,7 @@ mod tests {
         let b =
             TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, TcpConfig::default(), m.clone()).unwrap();
         b.send(a.local_addr(), &msg(9)).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), msg(9));
+        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap().0, msg(9));
         assert!(m.snapshot().counter("net.decode_errors") >= 1);
         a.shutdown();
         b.shutdown();

@@ -11,6 +11,7 @@
 
 use crate::codec::WireMsg;
 use crate::metrics::NetMetrics;
+use d2_obs::TraceCtx;
 use d2_ring::messages::Addr;
 use parking_lot::{Mutex, RwLock};
 use std::sync::mpsc;
@@ -58,11 +59,19 @@ pub trait Transport: Send + Sync + 'static {
     /// This endpoint's own address (where peers reach it).
     fn local_addr(&self) -> Addr;
 
-    /// Sends `msg` to `to`, failing fast when the peer is unreachable.
-    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError>;
+    /// Sends `msg` to `to` carrying `trace` in the envelope, failing
+    /// fast when the peer is unreachable.
+    fn send_traced(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError>;
 
-    /// Receives the next message, waiting at most `timeout`.
-    fn recv_timeout(&self, timeout: Duration) -> Result<WireMsg, RecvError>;
+    /// Sends `msg` untraced. Equivalent to [`Transport::send_traced`]
+    /// with [`TraceCtx::NONE`].
+    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+        self.send_traced(to, msg, TraceCtx::NONE)
+    }
+
+    /// Receives the next message and its envelope trace context,
+    /// waiting at most `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(WireMsg, TraceCtx), RecvError>;
 
     /// Stops the transport: wakes blocked receivers and releases
     /// sockets/threads. Idempotent.
@@ -78,9 +87,12 @@ pub trait Transport: Send + Sync + 'static {
 /// fast, exactly like a refused TCP connection.
 #[derive(Clone, Default)]
 pub struct ChannelHub {
-    slots: Arc<RwLock<Vec<mpsc::Sender<WireMsg>>>>,
+    slots: Arc<RwLock<Vec<TracedSender>>>,
     metrics: Arc<NetMetrics>,
 }
+
+/// A mailbox sender carrying each message with its trace context.
+type TracedSender = mpsc::Sender<(WireMsg, TraceCtx)>;
 
 impl ChannelHub {
     /// Creates an empty hub recording into `metrics`.
@@ -119,7 +131,7 @@ impl ChannelHub {
 pub struct ChannelTransport {
     me: Addr,
     hub: ChannelHub,
-    rx: Mutex<mpsc::Receiver<WireMsg>>,
+    rx: Mutex<mpsc::Receiver<(WireMsg, TraceCtx)>>,
 }
 
 impl Transport for ChannelTransport {
@@ -127,7 +139,7 @@ impl Transport for ChannelTransport {
         self.me
     }
 
-    fn send(&self, to: Addr, msg: &WireMsg) -> Result<(), TransportError> {
+    fn send_traced(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError> {
         let tx = self
             .hub
             .slots
@@ -135,17 +147,17 @@ impl Transport for ChannelTransport {
             .get(to)
             .cloned()
             .ok_or(TransportError::PeerUnreachable(to))?;
-        tx.send(msg.clone())
+        tx.send((msg.clone(), trace))
             .map_err(|_| TransportError::PeerUnreachable(to))?;
         self.hub.metrics.frame_out(0);
         Ok(())
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<WireMsg, RecvError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<(WireMsg, TraceCtx), RecvError> {
         match self.rx.lock().recv_timeout(timeout) {
-            Ok(msg) => {
+            Ok(pair) => {
                 self.hub.metrics.frame_in(0);
-                Ok(msg)
+                Ok(pair)
             }
             Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
@@ -178,9 +190,16 @@ mod tests {
         assert_eq!(a.local_addr(), 0);
         assert_eq!(b.local_addr(), 1);
         a.send(1, &msg(1)).unwrap();
-        a.send(1, &msg(2)).unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), msg(1));
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), msg(2));
+        let ctx = TraceCtx::root(0xAB).child(7);
+        a.send_traced(1, &msg(2), ctx).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            (msg(1), TraceCtx::NONE)
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            (msg(2), ctx)
+        );
         assert_eq!(
             b.recv_timeout(Duration::from_millis(10)),
             Err(RecvError::Timeout)

@@ -3,11 +3,12 @@
 //! headers, random garbage, oversized length prefixes) always yield a
 //! `WireError` — never a panic, never a silent mis-decode.
 
+use d2_obs::{Histogram, SpanRecord, TraceCtx};
 use d2_ring::messages::{PeerInfo, RingMsg};
 use d2_types::{Key, KeyRange};
 use d2_wire::codec::{
-    decode, decode_header, encode, Request, Response, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD,
-    VERSION,
+    decode, decode_header, decode_traced, encode, encode_traced, Request, Response, WireHistogram,
+    WireMetrics, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION, TRACE_LEN, VERSION,
 };
 use proptest::prelude::*;
 
@@ -100,8 +101,71 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }),
         arb_key().prop_map(|key| Request::Get { key }),
         Just(Request::Status),
+        Just(Request::MetricsDump),
         Just(Request::Shutdown),
     ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,4}\\.[a-z]{1,8}"
+}
+
+fn arb_span() -> impl Strategy<Value = SpanRecord> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+        (arb_name(), arb_name()),
+    )
+        .prop_map(
+            |(
+                (trace_id, span_id, parent_span_id, hop),
+                (node, start_us, dur_us, ok),
+                (op, detail),
+            )| SpanRecord {
+                trace_id,
+                span_id,
+                parent_span_id,
+                hop,
+                node,
+                start_us,
+                dur_us,
+                ok,
+                op,
+                detail,
+            },
+        )
+}
+
+fn arb_wire_metrics() -> impl Strategy<Value = WireMetrics> {
+    // Histograms are built by actually recording samples, so their
+    // parts are always self-consistent (as a real node's would be).
+    let arb_hist =
+        (arb_name(), prop::collection::vec(any::<u64>(), 0..8)).prop_map(|(name, samples)| {
+            let mut h = Histogram::new();
+            for v in samples {
+                h.record(v);
+            }
+            WireHistogram {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets: h.buckets().to_vec(),
+            }
+        });
+    (
+        prop::collection::vec((arb_name(), any::<u64>()), 0..4),
+        prop::collection::vec((arb_name(), any::<u64>()), 0..4),
+        prop::collection::vec(arb_hist, 0..3),
+        prop::collection::vec(arb_span(), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms, spans)| WireMetrics {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -123,8 +187,29 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 })
             }
         ),
+        arb_wire_metrics().prop_map(|m| Response::Metrics(Box::new(m))),
         Just(Response::ShutdownAck),
     ]
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceCtx> {
+    (any::<u64>(), any::<u64>(), any::<u8>()).prop_map(|(trace_id, span_id, hop)| TraceCtx {
+        trace_id,
+        span_id,
+        hop,
+    })
+}
+
+/// Rewrites a v2 frame as the equivalent v1 frame: drop the trace
+/// block, set the version byte, fix the length prefix.
+fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+    let mut v1 = Vec::with_capacity(v2.len() - TRACE_LEN);
+    v1.extend_from_slice(&v2[..HEADER_LEN]);
+    v1.extend_from_slice(&v2[HEADER_LEN + TRACE_LEN..]);
+    v1[2] = 1;
+    let len = (v1.len() - HEADER_LEN) as u32;
+    v1[4..8].copy_from_slice(&len.to_be_bytes());
+    v1
 }
 
 fn arb_wire_msg() -> impl Strategy<Value = WireMsg> {
@@ -164,7 +249,28 @@ proptest! {
         prop_assert_eq!(len, frame.len() - HEADER_LEN);
         let mut hdr = [0u8; HEADER_LEN];
         hdr.copy_from_slice(&frame[..HEADER_LEN]);
-        prop_assert_eq!(decode_header(&hdr).unwrap(), (msg.tag(), len));
+        prop_assert_eq!(decode_header(&hdr).unwrap(), (VERSION, msg.tag(), len));
+    }
+
+    /// The envelope trace context round-trips bit-exactly on every
+    /// message variant.
+    #[test]
+    fn trace_context_round_trips(msg in arb_wire_msg(), trace in arb_trace()) {
+        let frame = encode_traced(&msg, trace);
+        let (got, got_trace) = decode_traced(&frame).unwrap();
+        prop_assert_eq!(got, msg);
+        prop_assert_eq!(got_trace, trace);
+    }
+
+    /// Version compatibility: a v1 frame (same body, no trace block)
+    /// decodes to the same message with `TraceCtx::NONE`.
+    #[test]
+    fn v1_frames_decode_without_trace_block(msg in arb_wire_msg()) {
+        let v1 = downgrade_to_v1(&encode(&msg));
+        prop_assert_eq!(v1[2], MIN_VERSION);
+        let (got, trace) = decode_traced(&v1).unwrap();
+        prop_assert_eq!(got, msg);
+        prop_assert_eq!(trace, TraceCtx::NONE);
     }
 
     /// Any strict prefix of a valid frame is an error, at every cut.
@@ -185,11 +291,16 @@ proptest! {
         prop_assert!(decode(&frame).is_err());
     }
 
-    /// A corrupted magic or version byte rejects the frame outright.
+    /// A corrupted magic byte, or a version byte outside the accepted
+    /// window, rejects the frame outright. (Version bytes *inside* the
+    /// window are legal by design — see `v1_frames_decode_without_trace_block`.)
     #[test]
     fn corrupt_magic_or_version_is_an_error(msg in arb_wire_msg(), byte in any::<u8>(), pos in 0usize..3) {
         let mut frame = encode(&msg);
         prop_assume!(frame[pos] != byte);
+        if pos == 2 {
+            prop_assume!(!(MIN_VERSION..=VERSION).contains(&byte));
+        }
         frame[pos] = byte;
         prop_assert!(decode(&frame).is_err());
     }
@@ -197,7 +308,7 @@ proptest! {
     /// An unknown tag byte is rejected even with a plausible header.
     #[test]
     fn unknown_tags_are_an_error(msg in arb_wire_msg(), tag in any::<u8>()) {
-        let valid = matches!(tag, 0x01..=0x07 | 0x10..=0x14 | 0x20..=0x24);
+        let valid = matches!(tag, 0x01..=0x07 | 0x10..=0x15 | 0x20..=0x25);
         prop_assume!(!valid);
         let mut frame = encode(&msg);
         frame[3] = tag;

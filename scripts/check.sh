@@ -22,4 +22,7 @@ cargo build --release --workspace
 echo "==> d2-dst smoke sweep (64 seeds)"
 ./target/release/d2-dst sweep --seeds 64
 
+echo "==> telemetry smoke (3-node cluster scrape, merged snapshot JSON)"
+cargo run --release --quiet --example telemetry >/dev/null
+
 echo "OK"
