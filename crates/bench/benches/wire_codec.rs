@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use d2_types::{Key, KeyRange};
-use d2_wire::codec::{decode, encode, Request, WireMsg};
+use d2_wire::codec::{decode, encode, encode_into, Request, WireMsg};
 use d2_wire::{PeerInfo, RingMsg};
 
 fn peer(i: u64) -> PeerInfo {
@@ -61,6 +61,16 @@ fn bench(c: &mut Criterion) {
         let frame = encode(&msg);
         g.bench_function(&format!("encode_{name}"), |b| {
             b.iter(|| black_box(encode(black_box(&msg))).len())
+        });
+        // The zero-copy path: encode into a reused scratch buffer, as
+        // the TCP transport's per-peer send path does — same bytes, no
+        // per-frame allocation.
+        g.bench_function(&format!("encode_into_{name}"), |b| {
+            let mut buf = Vec::with_capacity(frame.len());
+            b.iter(|| {
+                buf.clear();
+                black_box(encode_into(&mut buf, black_box(&msg)))
+            })
         });
         g.bench_function(&format!("decode_{name}"), |b| {
             b.iter(|| black_box(decode(black_box(&frame)).unwrap()))

@@ -46,7 +46,7 @@ pub mod telemetry;
 
 pub use clock::{Clock, SimClock, SystemClock};
 pub use deployment::Deployment;
-pub use ops::{ClusterOps, ClusterScrape, NodeScrape, NodeStatus};
+pub use ops::{BatchOutcome, ClusterOps, ClusterScrape, NodeScrape, NodeStatus, PipelineConfig};
 pub use runtime::NodeRuntime;
 pub use telemetry::{render_top, render_trace};
 

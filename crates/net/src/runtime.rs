@@ -436,40 +436,48 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         data: Vec<u8>,
     ) {
         self.registry.inc("node.puts");
-        self.store.insert(key, data.clone());
         let stored = stored + 1;
-        if fanout > 0 {
-            let me = self.node.me().addr;
-            let succs: Vec<Addr> = self
-                .node
-                .successors()
-                .iter()
-                .map(|p| p.addr)
-                .filter(|&a| a != me)
-                .collect();
-            let forward = WireMsg::Request {
-                req_id,
-                from,
-                body: Request::Put {
-                    key,
-                    fanout: fanout - 1,
-                    stored,
-                    data,
-                },
-            };
-            for succ in succs {
-                if self
-                    .transport
-                    .send_traced(succ, &forward, self.cur_ctx)
-                    .is_ok()
-                {
-                    return; // the chain continues; its end will ack
-                }
-                self.record_send_failure(succ);
-                self.node.forget(succ);
-            }
-            // No reachable successor: this node terminates the chain.
+        if fanout == 0 {
+            // End of the chain: the block moves straight into the store
+            // — the fanout-0 hot path copies nothing.
+            self.store.insert(key, data);
+            self.registry.observe("node.put_replicas", stored as u64);
+            self.respond(from, req_id, Response::PutAck { replicas: stored });
+            return;
         }
+        // Mid-chain: the local copy is a clone because `data` travels on
+        // in the forwarded request.
+        self.store.insert(key, data.clone());
+        let me = self.node.me().addr;
+        let succs: Vec<Addr> = self
+            .node
+            .successors()
+            .iter()
+            .map(|p| p.addr)
+            .filter(|&a| a != me)
+            .collect();
+        let forward = WireMsg::Request {
+            req_id,
+            from,
+            body: Request::Put {
+                key,
+                fanout: fanout - 1,
+                stored,
+                data,
+            },
+        };
+        for succ in succs {
+            if self
+                .transport
+                .send_traced(succ, &forward, self.cur_ctx)
+                .is_ok()
+            {
+                return; // the chain continues; its end will ack
+            }
+            self.record_send_failure(succ);
+            self.node.forget(succ);
+        }
+        // No reachable successor: this node terminates the chain.
         self.registry.observe("node.put_replicas", stored as u64);
         self.respond(from, req_id, Response::PutAck { replicas: stored });
     }

@@ -1,0 +1,74 @@
+//! The windowed batch API ([`ClusterOps::put_many`] /
+//! [`ClusterOps::get_many`]) against an in-process channel cluster:
+//! every op resolves to the right key, misses read as misses, and
+//! failures stay per-op.
+
+use d2_net::{Deployment, PipelineConfig};
+use d2_types::{D2Error, Key};
+use std::time::Duration;
+
+fn cfg(window: usize) -> PipelineConfig {
+    PipelineConfig {
+        window,
+        // Short per-op timeout: lookups dropped during ring
+        // stabilization retry quickly instead of stalling the test.
+        op_timeout: Duration::from_secs(1),
+    }
+}
+
+#[test]
+fn put_many_then_get_many_round_trips_every_key() {
+    let d = Deployment::launch(5, 2);
+    let items: Vec<(Key, Vec<u8>)> = (0..40u64)
+        .map(|i| (Key::from_u64(i), format!("block-{i}").into_bytes()))
+        .collect();
+    let keys: Vec<Key> = items.iter().map(|(k, _)| *k).collect();
+
+    let puts = d.ops().put_many(items, 2, cfg(8));
+    assert_eq!(puts.len(), 40);
+    for p in &puts {
+        let written = *p.result.as_ref().expect("batch put failed");
+        assert!(written >= 1, "put {} wrote no replica", p.index);
+        assert!(p.latency > Duration::ZERO);
+    }
+
+    let gets = d.ops().get_many(&keys, cfg(8));
+    assert_eq!(gets.len(), 40);
+    for (i, g) in gets.iter().enumerate() {
+        assert_eq!(g.index, i, "outcomes come back in submission order");
+        assert_eq!(g.key, keys[i]);
+        assert_eq!(
+            g.result.as_ref().expect("batch get failed"),
+            &format!("block-{i}").into_bytes(),
+            "get {i} returned the wrong block"
+        );
+    }
+    d.shutdown();
+}
+
+#[test]
+fn get_many_reports_misses_per_op() {
+    let d = Deployment::launch(3, 1);
+    d.ops()
+        .put(Key::from_u64(1), b"present".to_vec(), 1)
+        .unwrap();
+    let keys = [Key::from_u64(1), Key::from_u64(999)];
+    let gets = d.ops().get_many(&keys, cfg(4));
+    assert_eq!(gets[0].result.as_ref().unwrap(), &b"present".to_vec());
+    match &gets[1].result {
+        Err(D2Error::NotFound(k)) => assert_eq!(*k, Key::from_u64(999)),
+        other => panic!("expected NotFound for missing key, got {other:?}"),
+    }
+    d.shutdown();
+}
+
+#[test]
+fn window_of_one_degrades_to_serial_but_still_completes() {
+    let d = Deployment::launch(3, 1);
+    let items: Vec<(Key, Vec<u8>)> = (100..110u64)
+        .map(|i| (Key::from_u64(i), vec![i as u8; 32]))
+        .collect();
+    let puts = d.ops().put_many(items, 1, cfg(1));
+    assert!(puts.iter().all(|p| p.result.is_ok()));
+    d.shutdown();
+}

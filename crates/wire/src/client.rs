@@ -7,6 +7,13 @@
 //! and runs a dispatcher thread that routes incoming [`Response`]s back
 //! to the blocked caller — so several threads can issue requests over
 //! one client concurrently.
+//!
+//! Because correlation is per-`req_id`, the client also supports
+//! *pipelining*: [`WireClient::submit`] sends a request and returns a
+//! [`PendingReply`] handle immediately, so one caller can keep a whole
+//! window of requests in flight and harvest responses as they land —
+//! each with its own deadline, none head-of-line-blocking the others.
+//! [`WireClient::call`] is just `submit(..)?.wait()`.
 
 use crate::codec::{Request, Response, WireMsg};
 use crate::metrics::NetMetrics;
@@ -45,6 +52,95 @@ impl std::error::Error for ClientError {}
 
 type Pending = Arc<Mutex<HashMap<u64, mpsc::Sender<Response>>>>;
 
+/// One in-flight request submitted with [`WireClient::submit`].
+///
+/// The handle owns the pending-map entry for its `req_id`: resolving it
+/// (via [`PendingReply::wait`] or [`PendingReply::poll`]) or dropping it
+/// unregisters the request, after which a late response counts as
+/// `net.orphan_responses`. The round-trip time of a successful reply is
+/// recorded under `net.rtt_us.<request type>` exactly as with
+/// [`WireClient::call`].
+pub struct PendingReply {
+    rx: mpsc::Receiver<Response>,
+    pending: Pending,
+    metrics: Arc<NetMetrics>,
+    req_id: u64,
+    type_name: &'static str,
+    start: Instant,
+    deadline: Instant,
+    resolved: bool,
+}
+
+impl PendingReply {
+    /// The request id this handle is waiting on (diagnostics only).
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+
+    /// Marks the reply resolved and unregisters the pending entry so a
+    /// late response is counted as an orphan instead of queued nowhere.
+    fn settle(&mut self) {
+        self.resolved = true;
+        self.pending.lock().remove(&self.req_id);
+    }
+
+    /// Blocks until the response arrives or this request's deadline
+    /// passes. Consumes the handle.
+    pub fn wait(mut self) -> Result<Response, ClientError> {
+        let timeout = self.deadline.saturating_duration_since(Instant::now());
+        let result = match self.rx.recv_timeout(timeout) {
+            Ok(resp) => {
+                self.metrics
+                    .record_rtt(self.type_name, self.start.elapsed().as_micros() as u64);
+                Ok(resp)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClientError::Closed),
+        };
+        self.settle();
+        result
+    }
+
+    /// Non-blocking check: `Some(outcome)` exactly once when the reply
+    /// lands (or its deadline passes), `None` while still in flight and
+    /// after the outcome has been delivered. This is the primitive that
+    /// lets a windowed batch driver sweep many in-flight requests
+    /// without blocking on any single one.
+    pub fn poll(&mut self) -> Option<Result<Response, ClientError>> {
+        if self.resolved {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(resp) => {
+                self.metrics
+                    .record_rtt(self.type_name, self.start.elapsed().as_micros() as u64);
+                self.settle();
+                Some(Ok(resp))
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                if Instant::now() >= self.deadline {
+                    self.settle();
+                    Some(Err(ClientError::Timeout))
+                } else {
+                    None
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.settle();
+                Some(Err(ClientError::Closed))
+            }
+        }
+    }
+}
+
+impl Drop for PendingReply {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.pending.lock().remove(&self.req_id);
+        }
+    }
+}
+
 /// A blocking request/response client over a [`Transport`] endpoint.
 ///
 /// Dropping the client shuts the dispatcher thread and the underlying
@@ -69,7 +165,8 @@ impl<T: Transport> WireClient<T> {
             let transport = Arc::clone(&transport);
             let pending = Arc::clone(&pending);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || dispatch_loop(&*transport, &pending, &stop))
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || dispatch_loop(&*transport, &pending, &stop, &metrics))
         };
         WireClient {
             transport,
@@ -111,6 +208,33 @@ impl<T: Transport> WireClient<T> {
         timeout: Duration,
         trace: TraceCtx,
     ) -> Result<Response, ClientError> {
+        self.submit_traced(node, body, timeout, trace)?.wait()
+    }
+
+    /// Sends `body` to `node` and returns immediately with a
+    /// [`PendingReply`] handle; the response (or a timeout after
+    /// `timeout`) is harvested later via [`PendingReply::wait`] or
+    /// [`PendingReply::poll`]. Errors here mean the request never left
+    /// this process (dead peer, closed client). The request travels
+    /// untraced; see [`WireClient::submit_traced`].
+    pub fn submit(
+        &self,
+        node: Addr,
+        body: Request,
+        timeout: Duration,
+    ) -> Result<PendingReply, ClientError> {
+        self.submit_traced(node, body, timeout, TraceCtx::NONE)
+    }
+
+    /// [`WireClient::submit`] with an explicit trace context on the
+    /// request envelope.
+    pub fn submit_traced(
+        &self,
+        node: Addr,
+        body: Request,
+        timeout: Duration,
+        trace: TraceCtx,
+    ) -> Result<PendingReply, ClientError> {
         if self.stop.load(Ordering::Acquire) {
             return Err(ClientError::Closed);
         }
@@ -124,22 +248,23 @@ impl<T: Transport> WireClient<T> {
             body,
         };
         let start = Instant::now();
-        let sent = self.transport.send_traced(node, &msg, trace);
-        let result = match sent {
-            Err(TransportError::PeerUnreachable(a)) => Err(ClientError::Unreachable(a)),
-            Err(TransportError::Closed) => Err(ClientError::Closed),
-            Ok(()) => match rx.recv_timeout(timeout) {
-                Ok(resp) => {
-                    self.metrics
-                        .record_rtt(type_name, start.elapsed().as_micros() as u64);
-                    Ok(resp)
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
-                Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClientError::Closed),
-            },
-        };
-        self.pending.lock().remove(&req_id);
-        result
+        if let Err(e) = self.transport.send_traced(node, &msg, trace) {
+            self.pending.lock().remove(&req_id);
+            return Err(match e {
+                TransportError::PeerUnreachable(a) => ClientError::Unreachable(a),
+                TransportError::Closed => ClientError::Closed,
+            });
+        }
+        Ok(PendingReply {
+            rx,
+            pending: Arc::clone(&self.pending),
+            metrics: Arc::clone(&self.metrics),
+            req_id,
+            type_name,
+            start,
+            deadline: start + timeout,
+            resolved: false,
+        })
     }
 
     /// Fire-and-forget: sends `body` without waiting for any response.
@@ -177,12 +302,26 @@ impl<T: Transport> Drop for WireClient<T> {
     }
 }
 
-fn dispatch_loop<T: Transport>(transport: &T, pending: &Pending, stop: &AtomicBool) {
+fn dispatch_loop<T: Transport>(
+    transport: &T,
+    pending: &Pending,
+    stop: &AtomicBool,
+    metrics: &NetMetrics,
+) {
     while !stop.load(Ordering::Acquire) {
         match transport.recv_timeout(Duration::from_millis(100)) {
             Ok((WireMsg::Response { req_id, body }, _)) => {
-                if let Some(tx) = pending.lock().remove(&req_id) {
-                    let _ = tx.send(body); // caller may have timed out
+                match pending.lock().remove(&req_id) {
+                    Some(tx) => {
+                        let _ = tx.send(body); // caller may have timed out
+                    }
+                    None => {
+                        // A reply whose caller already gave up (or a
+                        // confused peer). Counted, not dropped silently:
+                        // a storm of these means the cluster answers
+                        // slower than clients are willing to wait.
+                        metrics.orphan_response();
+                    }
                 }
             }
             Ok(_) => {} // clients ignore ring traffic and stray requests
@@ -286,6 +425,156 @@ mod tests {
             Err(ClientError::Unreachable(dead_addr))
         );
         assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn late_response_counts_as_orphan() {
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let slow = hub.open();
+        let slow_addr = slow.local_addr();
+        let h = std::thread::spawn(move || {
+            // Reply well after the caller's 30ms deadline.
+            let (msg, _) = slow.recv_timeout(Duration::from_secs(5)).unwrap();
+            if let WireMsg::Request { req_id, from, .. } = msg {
+                std::thread::sleep(Duration::from_millis(150));
+                let _ = slow.send(
+                    from,
+                    &WireMsg::Response {
+                        req_id,
+                        body: Response::Block { data: None },
+                    },
+                );
+            }
+        });
+        let client = WireClient::new(hub.open(), metrics.clone());
+        assert_eq!(
+            client.call(slow_addr, Request::Status, Duration::from_millis(30)),
+            Err(ClientError::Timeout)
+        );
+        h.join().unwrap();
+        // The dispatcher sees the late reply with no pending caller.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().counter("net.orphan_responses") == 0 {
+            assert!(Instant::now() < deadline, "orphan never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(metrics.snapshot().counter("net.orphan_responses"), 1);
+    }
+
+    #[test]
+    fn pipelined_replies_resolve_out_of_order_without_hol_blocking() {
+        const K: usize = 8;
+        const DROPPED: u64 = 3; // key whose response is never sent
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let node = hub.open();
+        let node_addr = node.local_addr();
+        // Collect all K requests first, then answer them in *reverse*
+        // order, dropping one — an adversarial reordering no serial
+        // client would ever see.
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < K {
+                if let (
+                    WireMsg::Request {
+                        req_id,
+                        from,
+                        body: Request::Get { key },
+                    },
+                    _,
+                ) = node.recv_timeout(Duration::from_secs(5)).unwrap()
+                {
+                    got.push((req_id, from, key));
+                }
+            }
+            for (req_id, from, key) in got.into_iter().rev() {
+                if key == Key::from_u64(DROPPED) {
+                    continue;
+                }
+                let _ = node.send(
+                    from,
+                    &WireMsg::Response {
+                        req_id,
+                        body: Response::Block {
+                            data: Some(key.as_bytes().to_vec()),
+                        },
+                    },
+                );
+            }
+        });
+        let client = WireClient::new(hub.open(), metrics);
+        let timeout = Duration::from_millis(400);
+        let t0 = Instant::now();
+        let handles: Vec<PendingReply> = (0..K as u64)
+            .map(|i| {
+                client
+                    .submit(
+                        node_addr,
+                        Request::Get {
+                            key: Key::from_u64(i),
+                        },
+                        timeout,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        // Every reply lands on the handle whose key it answers, and the
+        // dropped one times out alone — it must not delay the others.
+        for (i, h) in handles.into_iter().enumerate() {
+            let res = h.wait();
+            if i as u64 == DROPPED {
+                assert_eq!(res, Err(ClientError::Timeout));
+            } else {
+                assert_eq!(
+                    res,
+                    Ok(Response::Block {
+                        data: Some(Key::from_u64(i as u64).as_bytes().to_vec())
+                    }),
+                    "reply routed to the wrong caller for key {i}"
+                );
+            }
+        }
+        // All K round trips (incl. one timeout) overlapped: total wall
+        // time is about one window, not K serial round trips.
+        assert!(
+            t0.elapsed() < timeout * 3,
+            "pipelined window head-of-line blocked: {:?}",
+            t0.elapsed()
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_resolves_once() {
+        let metrics = Arc::new(NetMetrics::new());
+        let hub = ChannelHub::new(metrics.clone());
+        let (node, h) = spawn_echo_node(&hub);
+        let client = WireClient::new(hub.open(), metrics);
+        let mut p = client
+            .submit(
+                node,
+                Request::Get {
+                    key: Key::from_u64(1),
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let outcome = loop {
+            if let Some(res) = p.poll() {
+                break res;
+            }
+            assert!(Instant::now() < deadline, "reply never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(outcome, Ok(Response::Block { data: None }));
+        // The outcome is delivered exactly once.
+        assert_eq!(p.poll(), None);
+        client
+            .call(node, Request::Shutdown, Duration::from_secs(2))
+            .unwrap();
+        h.join().unwrap();
     }
 
     #[test]

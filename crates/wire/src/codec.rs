@@ -412,9 +412,9 @@ const TAG_RESP_METRICS: u8 = 0x25;
 // Encoding
 // ---------------------------------------------------------------------
 
-struct Enc(Vec<u8>);
+struct Enc<'a>(&'a mut Vec<u8>);
 
-impl Enc {
+impl Enc<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -527,7 +527,30 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
 /// Encodes `msg` as one complete v2 frame carrying `trace` in the
 /// payload's leading trace block.
 pub fn encode_traced(msg: &WireMsg, trace: TraceCtx) -> Vec<u8> {
-    let mut e = Enc(Vec::with_capacity(HEADER_LEN + TRACE_LEN + 64));
+    let mut buf = Vec::with_capacity(HEADER_LEN + TRACE_LEN + 64);
+    encode_traced_into(&mut buf, msg, trace);
+    buf
+}
+
+/// Appends one complete untraced frame to `buf`, returning the frame's
+/// size in bytes. Equivalent to [`encode_traced_into`] with
+/// [`TraceCtx::NONE`].
+pub fn encode_into(buf: &mut Vec<u8>, msg: &WireMsg) -> usize {
+    encode_traced_into(buf, msg, TraceCtx::NONE)
+}
+
+/// Appends one complete v2 frame (header + trace block + payload) to
+/// `buf`, returning the frame's size in bytes.
+///
+/// The output is byte-identical to [`encode_traced`]; the difference is
+/// allocation. `buf` is *appended to*, never cleared, which serves both
+/// zero-copy idioms: a per-peer scratch buffer cleared by the caller
+/// between frames (steady-state sends allocate nothing once the buffer
+/// has grown to the working frame size), and write coalescing, where
+/// several frames accumulate in one buffer and leave in one syscall.
+pub fn encode_traced_into(buf: &mut Vec<u8>, msg: &WireMsg, trace: TraceCtx) -> usize {
+    let start = buf.len();
+    let mut e = Enc(buf);
     e.0.extend_from_slice(&MAGIC);
     e.u8(VERSION);
     e.u8(msg.tag());
@@ -577,12 +600,12 @@ pub fn encode_traced(msg: &WireMsg, trace: TraceCtx) -> Vec<u8> {
             }
         }
     }
-    let len = (e.0.len() - HEADER_LEN) as u32;
-    e.0[4..8].copy_from_slice(&len.to_be_bytes());
-    e.0
+    let len = (e.0.len() - start - HEADER_LEN) as u32;
+    e.0[start + 4..start + 8].copy_from_slice(&len.to_be_bytes());
+    e.0.len() - start
 }
 
-fn encode_ring(e: &mut Enc, m: &RingMsg) {
+fn encode_ring(e: &mut Enc<'_>, m: &RingMsg) {
     match m {
         RingMsg::FindOwner {
             target,
@@ -1093,6 +1116,38 @@ mod tests {
         let mut padded = frame.clone();
         padded.push(0);
         assert_eq!(decode(&padded), Err(WireError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let a = WireMsg::Ring(RingMsg::GetNeighbors { from: 3 });
+        let b = WireMsg::Request {
+            req_id: 7,
+            from: 1,
+            body: Request::Put {
+                key: Key::from_u64(9),
+                fanout: 2,
+                stored: 0,
+                data: b"coalesce me".to_vec(),
+            },
+        };
+        let trace = TraceCtx::root(0xFEED).child(0x11);
+        // Append semantics: two frames in one buffer, each byte-identical
+        // to its standalone encoding, with the reported lengths exact.
+        let mut buf = Vec::new();
+        let la = encode_into(&mut buf, &a);
+        let lb = encode_traced_into(&mut buf, &b, trace);
+        assert_eq!(la, encode(&a).len());
+        assert_eq!(lb, encode_traced(&b, trace).len());
+        assert_eq!(&buf[..la], &encode(&a)[..]);
+        assert_eq!(&buf[la..], &encode_traced(&b, trace)[..]);
+        // Reuse idiom: clear + re-encode allocates nothing further and
+        // still produces the canonical frame.
+        let cap = buf.capacity();
+        buf.clear();
+        encode_into(&mut buf, &a);
+        assert_eq!(buf, encode(&a));
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

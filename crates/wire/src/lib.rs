@@ -15,9 +15,11 @@
 //! - [`tcp`] — [`TcpTransport`]: the same trait over real
 //!   `std::net` sockets with per-peer connection pooling and
 //!   reconnect-with-backoff (reusing [`d2_ring::RetryPolicy`]).
-//! - [`client`] — [`WireClient`], a blocking request/response port with
-//!   a dispatcher thread, used by `Deployment` front-ends and the
-//!   `d2-node` command-line client.
+//! - [`client`] — [`WireClient`], a request/response port with a
+//!   dispatcher thread, used by `Deployment` front-ends and the
+//!   `d2-node` command-line client. Blocking `call`s and pipelined
+//!   `submit` → [`PendingReply`] handles share one `req_id` space, so a
+//!   caller can keep a whole window of requests in flight.
 //! - [`metrics`] — [`NetMetrics`]: `net.bytes_{in,out}`, `net.msgs`,
 //!   `net.reconnects`, `net.decode_errors` counters and per-message-type
 //!   RTT histograms, exported into [`d2_obs::Registry`] snapshots.
@@ -36,11 +38,11 @@ pub mod metrics;
 pub mod tcp;
 pub mod transport;
 
-pub use client::{ClientError, WireClient};
+pub use client::{ClientError, PendingReply, WireClient};
 pub use codec::{
-    decode, decode_header, decode_payload, decode_traced, encode, encode_traced, Request, Response,
-    WireError, WireHistogram, WireMetrics, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD,
-    MIN_VERSION, TRACE_LEN, VERSION,
+    decode, decode_header, decode_payload, decode_traced, encode, encode_into, encode_traced,
+    encode_traced_into, Request, Response, WireError, WireHistogram, WireMetrics, WireMsg,
+    WireStatus, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION, TRACE_LEN, VERSION,
 };
 pub use metrics::NetMetrics;
 pub use tcp::{pack_addr, unpack_addr, TcpConfig, TcpTransport};

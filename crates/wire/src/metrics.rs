@@ -21,6 +21,9 @@ pub struct NetMetrics {
     msgs_out: AtomicU64,
     reconnects: AtomicU64,
     decode_errors: AtomicU64,
+    orphan_responses: AtomicU64,
+    loopback_msgs: AtomicU64,
+    coalesced_frames: AtomicU64,
     rtt: Mutex<Registry>,
 }
 
@@ -38,8 +41,14 @@ impl NetMetrics {
 
     /// Records one sent frame of `bytes` total size.
     pub fn frame_out(&self, bytes: usize) {
+        self.frames_out(1, bytes);
+    }
+
+    /// Records `frames` sent frames totalling `bytes` — one coalesced
+    /// write that carried a whole batch.
+    pub fn frames_out(&self, frames: u64, bytes: usize) {
         self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.msgs_out.fetch_add(1, Ordering::Relaxed);
+        self.msgs_out.fetch_add(frames, Ordering::Relaxed);
     }
 
     /// Records a successful reconnect to a peer that had failed.
@@ -50,6 +59,30 @@ impl NetMetrics {
     /// Records a frame that failed to decode (and cost its connection).
     pub fn decode_error(&self) {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response whose `req_id` matched no pending request — a
+    /// reply that arrived after its caller timed out (or a confused
+    /// peer). A storm of these is how `d2-node top` spots a cluster
+    /// answering slower than its clients are willing to wait.
+    pub fn orphan_response(&self) {
+        self.orphan_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message delivered over the loopback short-circuit (no
+    /// socket, no encoded frame). Counted separately from
+    /// `net.msgs_{in,out}` so mean-frame-size math over
+    /// `net.bytes_* / net.msgs_*` only ever divides real wire traffic.
+    pub fn loopback_msg(&self) {
+        self.loopback_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batched write: `frames` frames left in one syscall.
+    /// Only drains of two or more frames count — the steady state of an
+    /// uncontended peer is one frame per write and would drown the
+    /// signal.
+    pub fn coalesced_write(&self, frames: u64) {
+        self.coalesced_frames.fetch_add(frames, Ordering::Relaxed);
     }
 
     /// Records one request round trip of `us` microseconds for the
@@ -81,6 +114,18 @@ impl NetMetrics {
             "net.decode_errors",
             self.decode_errors.load(Ordering::Relaxed),
         );
+        reg.add(
+            "net.orphan_responses",
+            self.orphan_responses.load(Ordering::Relaxed),
+        );
+        reg.add(
+            "net.loopback_msgs",
+            self.loopback_msgs.load(Ordering::Relaxed),
+        );
+        reg.add(
+            "net.coalesced_frames",
+            self.coalesced_frames.load(Ordering::Relaxed),
+        );
         reg.merge(&self.rtt.lock());
     }
 
@@ -105,11 +150,18 @@ mod tests {
         m.reconnect();
         m.record_rtt("lookup", 1500);
         m.record_rtt("lookup", 2500);
+        m.orphan_response();
+        m.loopback_msg();
+        m.loopback_msg();
+        m.coalesced_write(3);
         let reg = m.snapshot();
         assert_eq!(reg.counter("net.bytes_in"), 128);
         assert_eq!(reg.counter("net.bytes_out"), 64);
         assert_eq!(reg.counter("net.msgs"), 3);
         assert_eq!(reg.counter("net.reconnects"), 1);
+        assert_eq!(reg.counter("net.orphan_responses"), 1);
+        assert_eq!(reg.counter("net.loopback_msgs"), 2);
+        assert_eq!(reg.counter("net.coalesced_frames"), 3);
         assert_eq!(reg.histogram("net.rtt_us.lookup").unwrap().count(), 2);
     }
 }

@@ -7,8 +7,9 @@ use d2_obs::{Histogram, SpanRecord, TraceCtx};
 use d2_ring::messages::{PeerInfo, RingMsg};
 use d2_types::{Key, KeyRange};
 use d2_wire::codec::{
-    decode, decode_header, decode_traced, encode, encode_traced, Request, Response, WireHistogram,
-    WireMetrics, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION, TRACE_LEN, VERSION,
+    decode, decode_header, decode_traced, encode, encode_into, encode_traced, encode_traced_into,
+    Request, Response, WireHistogram, WireMetrics, WireMsg, WireStatus, HEADER_LEN, MAX_PAYLOAD,
+    MIN_VERSION, TRACE_LEN, VERSION,
 };
 use proptest::prelude::*;
 
@@ -250,6 +251,25 @@ proptest! {
         let mut hdr = [0u8; HEADER_LEN];
         hdr.copy_from_slice(&frame[..HEADER_LEN]);
         prop_assert_eq!(decode_header(&hdr).unwrap(), (VERSION, msg.tag(), len));
+    }
+
+    /// The zero-copy path is byte-identical to the allocating one, for
+    /// every message variant, traced (v2) and untraced alike — and
+    /// `encode_into` appends (returning the frame length) rather than
+    /// clobbering what the buffer already holds, since the TCP
+    /// transport's coalescing queue packs many frames into one buffer.
+    #[test]
+    fn encode_into_matches_encode_bytewise(msg in arb_wire_msg(), trace in arb_trace()) {
+        let mut buf = b"prefix".to_vec();
+        let n = encode_into(&mut buf, &msg);
+        prop_assert_eq!(&buf[..6], &b"prefix"[..]);
+        prop_assert_eq!(n, buf.len() - 6);
+        prop_assert_eq!(&buf[6..], &encode(&msg)[..]);
+
+        let mut traced = Vec::new();
+        let tn = encode_traced_into(&mut traced, &msg, trace);
+        prop_assert_eq!(tn, traced.len());
+        prop_assert_eq!(&traced[..], &encode_traced(&msg, trace)[..]);
     }
 
     /// The envelope trace context round-trips bit-exactly on every

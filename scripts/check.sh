@@ -25,4 +25,29 @@ echo "==> d2-dst smoke sweep (64 seeds)"
 echo "==> telemetry smoke (3-node cluster scrape, merged snapshot JSON)"
 cargo run --release --quiet --example telemetry >/dev/null
 
+echo "==> d2-load smoke (small pipelined run vs 3-process TCP cluster)"
+SMOKE_TMP="$(mktemp -d)"
+SMOKE_PIDS=()
+smoke_cleanup() {
+    for p in "${SMOKE_PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$SMOKE_TMP"
+}
+trap smoke_cleanup EXIT
+./target/release/d2-node serve --listen 127.0.0.1:0 --pos 0.17 --replicas 2 \
+    > "$SMOKE_TMP/n0.out" 2>/dev/null &
+SMOKE_PIDS+=($!)
+for _ in $(seq 1 50); do
+    grep -q LISTEN "$SMOKE_TMP/n0.out" 2>/dev/null && break
+    sleep 0.1
+done
+SMOKE_SEED=$(grep -oE '[0-9.]+:[0-9]+' "$SMOKE_TMP/n0.out" | head -1)
+for pos in 0.50 0.83; do
+    ./target/release/d2-node serve --listen 127.0.0.1:0 --seed "$SMOKE_SEED" \
+        --pos "$pos" --replicas 2 > /dev/null 2>&1 &
+    SMOKE_PIDS+=($!)
+done
+sleep 2
+./target/release/d2-load --node "$SMOKE_SEED" --workers 2 --ops 200 --keys 32 \
+    --replicas 2 --timeout-ms 5000 | grep throughput
+
 echo "OK"
