@@ -296,11 +296,13 @@ fn main() {
             .map(|k| format!("\"{k}\": {}", merged.counter(k)))
             .collect();
         println!(
-            "{{\"bench\": \"wire\", \"mode\": \"{mode}\", \"workers\": {}, \"window\": {}, \
+            "{{\"bench\": \"wire\", \"mode\": \"{mode}\", \"nodes\": {}, \"workers\": {}, \
+             \"window\": {}, \
              \"ops\": {done}, \"errors\": {errors}, \"keys\": {}, \"value_bytes\": {}, \
              \"get_ratio\": {}, \"zipf_theta\": {}, \"replicas\": {}, \"wall_ms\": {}, \
              \"throughput_ops_s\": {:.1}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
              \"p99\": {}, \"p999\": {}, \"mean\": {:.1}, \"max\": {}}}, \"net\": {{{}}}}}",
+            entries.len(),
             args.workers,
             cfg.window,
             args.keys,

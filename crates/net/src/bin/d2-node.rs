@@ -1,14 +1,16 @@
 //! One D2 node (or client operation) per OS process, over TCP.
 //!
 //! ```text
-//! d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]
-//! d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)
-//! d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
-//! d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)
-//! d2-node status --node IP:PORT
-//! d2-node top    --node IP:PORT [--watch]
-//! d2-node trace  --node IP:PORT --id TRACE
-//! d2-node stop   --node IP:PORT
+//! d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]
+//! d2-node serve-many --nodes N [--port P] [--replicas R] [--tick-ms T] [--join-batch B] [--obs-out PATH]
+//! d2-node lookup     --node IP:PORT (--key-frac F | --key-u64 N)
+//! d2-node put        --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
+//! d2-node get        --node IP:PORT (--key-frac F | --key-u64 N)
+//! d2-node status     --node IP:PORT
+//! d2-node check      --node IP:PORT [--expect N]
+//! d2-node top        --node IP:PORT [--watch]
+//! d2-node trace      --node IP:PORT --id TRACE
+//! d2-node stop       --node IP:PORT [--all]
 //! ```
 //!
 //! `serve` binds the listener (port 0 picks a free port), prints
@@ -17,6 +19,21 @@
 //! joins through that address. With `--obs-out` it appends a JSONL
 //! metric snapshot (`net.bytes_{in,out}`, `net.msgs`, `net.reconnects`,
 //! RTT histograms) every second and once more on exit.
+//!
+//! `serve-many` hosts a whole N-node cluster in this one process: one
+//! reactor, one multiplexer thread, node `i` at virtual address
+//! `127.0.0.1+i` on the shared port. It prints `LISTEN 127.0.0.1:port`,
+//! `JOINED k/N` progress lines during the staged boot, `STABLE N` when
+//! every node is a ring member, then runs until every node is stopped
+//! (e.g. `d2-node stop --node 127.0.0.1:PORT --all`). This is the
+//! 1,000-node deployment mode — see EXPERIMENTS.md ("Booting a
+//! 1,000-node cluster on one machine") for FD-limit prerequisites.
+//!
+//! `check` discovers every ring member from `--node` and runs the Zave
+//! ring-invariant suite over their status snapshots (joined, corpse-free,
+//! ordered successor lists, one sorted cycle, consistent predecessors),
+//! printing each violation; exit status 1 if anything fails (or fewer
+//! than `--expect N` nodes are found), 0 on a clean bill.
 //!
 //! `top` discovers the ring from `--node`, scrapes every member's
 //! metric registry and flight recorder over the wire, and prints the
@@ -30,7 +47,7 @@
 //! See EXPERIMENTS.md ("A real cluster on localhost" and "Watching a
 //! live cluster") for walkthroughs.
 
-use d2_net::{ClusterOps, NodeRuntime};
+use d2_net::{check_ring, ClusterOps, ManyCluster, ManyConfig, NodeRuntime};
 use d2_ring::node::NodeConfig;
 use d2_types::Key;
 use d2_wire::client::WireClient;
@@ -44,14 +61,16 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: d2-node serve  --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]\n\
-         \x20      d2-node lookup --node IP:PORT (--key-frac F | --key-u64 N)\n\
-         \x20      d2-node put    --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
-         \x20      d2-node get    --node IP:PORT (--key-frac F | --key-u64 N)\n\
-         \x20      d2-node status --node IP:PORT\n\
-         \x20      d2-node top    --node IP:PORT [--watch]\n\
-         \x20      d2-node trace  --node IP:PORT --id TRACE\n\
-         \x20      d2-node stop   --node IP:PORT"
+        "usage: d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]\n\
+         \x20      d2-node serve-many --nodes N [--port P] [--replicas R] [--tick-ms T] [--join-batch B] [--obs-out PATH]\n\
+         \x20      d2-node lookup     --node IP:PORT (--key-frac F | --key-u64 N)\n\
+         \x20      d2-node put        --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
+         \x20      d2-node get        --node IP:PORT (--key-frac F | --key-u64 N)\n\
+         \x20      d2-node status     --node IP:PORT\n\
+         \x20      d2-node check      --node IP:PORT [--expect N]\n\
+         \x20      d2-node top        --node IP:PORT [--watch]\n\
+         \x20      d2-node trace      --node IP:PORT --id TRACE\n\
+         \x20      d2-node stop       --node IP:PORT [--all]"
     );
     std::process::exit(2);
 }
@@ -69,6 +88,12 @@ struct Args {
     obs_out: Option<String>,
     trace_id: Option<u64>,
     watch: bool,
+    nodes: Option<usize>,
+    port: u16,
+    tick_ms: Option<u64>,
+    join_batch: Option<usize>,
+    expect: Option<usize>,
+    all: bool,
 }
 
 fn parse_sock(s: &str, flag: &str) -> SocketAddrV4 {
@@ -141,6 +166,42 @@ fn parse_args(args: &[String]) -> Args {
                 }
             }
             "--watch" => out.watch = true,
+            "--nodes" => match val("--nodes").parse::<usize>() {
+                Ok(n) if n >= 1 => out.nodes = Some(n),
+                _ => {
+                    eprintln!("--nodes wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--port" => match val("--port").parse::<u16>() {
+                Ok(p) => out.port = p,
+                Err(_) => {
+                    eprintln!("--port wants a port number");
+                    std::process::exit(2);
+                }
+            },
+            "--tick-ms" => match val("--tick-ms").parse::<u64>() {
+                Ok(t) if t >= 1 => out.tick_ms = Some(t),
+                _ => {
+                    eprintln!("--tick-ms wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--join-batch" => match val("--join-batch").parse::<usize>() {
+                Ok(b) if b >= 1 => out.join_batch = Some(b),
+                _ => {
+                    eprintln!("--join-batch wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--expect" => match val("--expect").parse::<usize>() {
+                Ok(n) if n >= 1 => out.expect = Some(n),
+                _ => {
+                    eprintln!("--expect wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--all" => out.all = true,
             _ => usage(),
         }
     }
@@ -167,33 +228,9 @@ fn serve(args: Args) {
     let _ = std::io::stdout().flush();
 
     let stop = Arc::new(AtomicBool::new(false));
-    let obs_thread = args.obs_out.map(|path| {
-        let metrics = Arc::clone(&metrics);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .unwrap_or_else(|e| {
-                    eprintln!("open {path}: {e}");
-                    std::process::exit(1);
-                });
-            loop {
-                for _ in 0..10 {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-                let line = metrics.snapshot().snapshot().to_json();
-                let _ = writeln!(file, "{line}");
-                if stop.load(Ordering::Acquire) {
-                    return; // final snapshot written above
-                }
-            }
-        })
-    });
+    let obs_thread = args
+        .obs_out
+        .map(|path| spawn_obs(path, Arc::clone(&metrics), Arc::clone(&stop)));
 
     let cfg = NodeConfig::default();
     let id = Key::from_fraction(pos);
@@ -207,6 +244,91 @@ fn serve(args: Args) {
     rt.set_net_metrics(metrics.clone());
     rt.run();
 
+    stop.store(true, Ordering::Release);
+    if let Some(h) = obs_thread {
+        let _ = h.join();
+    }
+}
+
+/// Appends a JSONL metrics snapshot to `path` every second until `stop`
+/// flips, plus one final snapshot — shared by `serve` and `serve-many`.
+fn spawn_obs(
+    path: String,
+    metrics: Arc<NetMetrics>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| {
+                eprintln!("open {path}: {e}");
+                std::process::exit(1);
+            });
+        loop {
+            for _ in 0..10 {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            let line = metrics.snapshot().snapshot().to_json();
+            let _ = writeln!(file, "{line}");
+            if stop.load(Ordering::Acquire) {
+                return; // final snapshot written above
+            }
+        }
+    })
+}
+
+fn serve_many(args: Args) {
+    let Some(n) = args.nodes else { usage() };
+    let mut cfg = ManyConfig::for_nodes(n);
+    cfg.port = args.port;
+    cfg.replicas = args.replicas as u32;
+    if let Some(t) = args.tick_ms {
+        cfg.tick = Duration::from_millis(t);
+    }
+    if let Some(b) = args.join_batch {
+        cfg.join_batch = b;
+    }
+    let metrics = Arc::new(NetMetrics::new());
+    let cluster = ManyCluster::launch(cfg, Arc::clone(&metrics)).unwrap_or_else(|e| {
+        eprintln!("launch {n}-node cluster: {e}");
+        std::process::exit(1);
+    });
+    // Node 0's address is the canonical client entry point; the other
+    // nodes live at 127.0.0.1+i on the same port.
+    println!("LISTEN 127.0.0.1:{}", cluster.port());
+    let _ = std::io::stdout().flush();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let obs_thread = args
+        .obs_out
+        .map(|path| spawn_obs(path, Arc::clone(&metrics), Arc::clone(&stop)));
+
+    // Boot progress, then STABLE once the staged join choreography is
+    // done — scripts gate on these banners.
+    let mut last = 0;
+    while cluster.joined() < n && !cluster.finished() {
+        let j = cluster.joined();
+        if j != last {
+            println!("JOINED {j}/{n}");
+            let _ = std::io::stdout().flush();
+            last = j;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if cluster.joined() >= n {
+        println!("STABLE {n}");
+        let _ = std::io::stdout().flush();
+    }
+
+    // Serve until every node has been stopped over the wire.
+    while !cluster.finished() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
     stop.store(true, Ordering::Release);
     if let Some(h) = obs_thread {
         let _ = h.join();
@@ -236,6 +358,7 @@ fn main() {
     let args = parse_args(rest);
     match cmd.as_str() {
         "serve" => serve(args),
+        "serve-many" => serve_many(args),
         "lookup" => {
             let (Some(node), Some(key)) = (args.node, args.key) else {
                 usage()
@@ -302,6 +425,39 @@ fn main() {
                 }
             }
         }
+        "check" => {
+            let Some(node) = args.node else { usage() };
+            let ops = client_ops(node);
+            // discover() keeps the entry address in the set even when
+            // it is unreachable, so reachability is judged by who
+            // actually answered a status probe.
+            let members = ops.discover();
+            let statuses: Vec<d2_net::NodeStatus> =
+                members.iter().filter_map(|&a| ops.status_of(a)).collect();
+            if statuses.is_empty() {
+                eprintln!("check failed: no node reachable via {node}");
+                std::process::exit(1);
+            }
+            let report = check_ring(&statuses);
+            println!(
+                "checked {} nodes, {} stored blocks",
+                report.nodes, report.total_blocks
+            );
+            for v in &report.violations {
+                println!("violation: {v}");
+            }
+            let mut failed = !report.ok();
+            if let Some(expect) = args.expect {
+                if statuses.len() < expect {
+                    eprintln!("expected {expect} nodes, found {}", statuses.len());
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            println!("ok: all ring invariants hold");
+        }
         "top" => {
             let Some(node) = args.node else { usage() };
             let ops = client_ops(node);
@@ -343,7 +499,25 @@ fn main() {
         }
         "stop" => {
             let Some(node) = args.node else { usage() };
-            if client_ops(node).stop(pack_addr(node)) {
+            let ops = client_ops(node);
+            if args.all {
+                // Discover the whole ring first, then stop each member
+                // directly — each node acks its own shutdown before the
+                // next is asked, so the drain is deterministic.
+                let members = ops.discover();
+                let mut stopped = 0usize;
+                for &a in &members {
+                    if ops.stop(a) {
+                        stopped += 1;
+                    } else {
+                        eprintln!("stop failed: {} did not ack", unpack_addr(a));
+                    }
+                }
+                println!("stopped {stopped}/{} nodes", members.len());
+                if stopped < members.len() {
+                    std::process::exit(1);
+                }
+            } else if ops.stop(pack_addr(node)) {
                 println!("stopped");
             } else {
                 eprintln!("stop failed: node unreachable");

@@ -17,6 +17,13 @@
 //!   reconnect-with-backoff.
 //! - the `d2-node` binary (in this crate) runs one [`NodeRuntime`] per
 //!   OS *process*, for multi-process clusters — see EXPERIMENTS.md.
+//! - `d2-node serve-many` ([`many`]) multiplexes *N* [`NodeRuntime`]s
+//!   over one reactor in one process — the paper-scale deployment
+//!   (1,000 nodes on one machine) with a constant OS thread count.
+//!
+//! [`invariants::check_ring`] asserts the Zave ring invariants against
+//! live status snapshots, shared by `d2-node check`, the test suites,
+//! and the cluster smoke in `scripts/check.sh`.
 //!
 //! Replica writes are chain-acked: a [`Deployment::put`] returns only
 //! after the last node of the replica chain has stored the block, so
@@ -40,12 +47,16 @@
 
 pub mod clock;
 pub mod deployment;
+pub mod invariants;
+pub mod many;
 pub mod ops;
 pub mod runtime;
 pub mod telemetry;
 
 pub use clock::{Clock, SimClock, SystemClock};
 pub use deployment::Deployment;
+pub use invariants::{check_ring, RingReport};
+pub use many::{ManyCluster, ManyConfig};
 pub use ops::{BatchOutcome, ClusterOps, ClusterScrape, NodeScrape, NodeStatus, PipelineConfig};
 pub use runtime::NodeRuntime;
 pub use telemetry::{render_top, render_trace};

@@ -1,0 +1,437 @@
+//! Single-process many-nodes mode: N [`NodeRuntime`]s multiplexed over
+//! one [`TcpReactor`] by one scheduler thread.
+//!
+//! The paper's headline deployment is ~1,000 live instances (§9.1); a
+//! thread-per-node deployment cannot get there on one machine. This
+//! module can, by exploiting two facts:
+//!
+//! - the node event loop is already *single-steppable* — the
+//!   deterministic simulation harness drives [`NodeRuntime::on_message`]
+//!   / [`NodeRuntime::on_tick`] one event at a time, so a scheduler
+//!   thread can interleave a thousand nodes the same way;
+//! - the reactor transport multiplexes any number of *virtual
+//!   endpoints* over one socket: node `i` advertises `127.0.0.1+i` on
+//!   the shared port (the whole `127/8` block routes locally on
+//!   Linux), inbound frames demux by the IP the remote dialed, and
+//!   co-hosted nodes reach each other over the loopback fast path —
+//!   no socket, no frame, no syscall.
+//!
+//! Total OS threads per process: the caller's, the multiplexer, and
+//! the reactor's poller — constant in N.
+//!
+//! ## Boot choreography
+//!
+//! A thousand nodes joining through one seed at once is a join storm:
+//! every join lands on the same adopter while the ring is small.
+//! Two measures keep boot smooth:
+//!
+//! - **Staged joins.** Nodes spawn in batches of
+//!   [`ManyConfig::join_batch`]; the next batch starts only when the
+//!   current one is fully joined (the per-node join retry recovers any
+//!   join lost in the crowd).
+//! - **Bit-reversed placement.** The `i`-th spawned node takes ring
+//!   position `bitrev(i)` (scaled to the unit ring), so each wave of
+//!   joiners bisects the existing gaps uniformly — adopters spread
+//!   across the whole ring instead of hammering the seed's arc.
+//!
+//! Ticks share one timer wheel (a due-time heap), staggered so
+//! stabilization traffic spreads over the tick interval instead of
+//! arriving as N-node bursts.
+
+use crate::clock::{Clock, SystemClock};
+use crate::runtime::NodeRuntime;
+use d2_ring::messages::Addr;
+use d2_ring::node::NodeConfig;
+use d2_types::Key;
+use d2_wire::metrics::NetMetrics;
+use d2_wire::reactor::{Delivery, TcpEndpoint, TcpReactor};
+use d2_wire::tcp::TcpConfig;
+use d2_wire::transport::Transport;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ManyCluster`].
+#[derive(Clone, Copy, Debug)]
+pub struct ManyConfig {
+    /// How many nodes to host.
+    pub nodes: usize,
+    /// Replica-maintenance target passed to every node.
+    pub replicas: u32,
+    /// Listen port (0 picks a free port). The listener binds
+    /// `0.0.0.0:port` so every virtual `127.x.y.z` address is dialable.
+    pub port: u16,
+    /// Per-node maintenance tick interval. Scaled up with N by
+    /// [`ManyConfig::for_nodes`]: N nodes ticking every `tick` is
+    /// `N/tick` events per second through one scheduler thread.
+    pub tick: Duration,
+    /// How many nodes join concurrently during boot.
+    pub join_batch: usize,
+    /// Ring configuration for every node.
+    pub node: NodeConfig,
+    /// Transport tuning.
+    pub tcp: TcpConfig,
+}
+
+impl ManyConfig {
+    /// Sensible defaults for an `n`-node single-process cluster: tick
+    /// scaled so total tick load stays around 4k events/s, joins in
+    /// batches of 64.
+    pub fn for_nodes(n: usize) -> ManyConfig {
+        ManyConfig {
+            nodes: n.max(1),
+            replicas: 3,
+            port: 0,
+            tick: Duration::from_micros((n as u64 * 250).max(20_000)),
+            join_batch: 64,
+            node: NodeConfig::default(),
+            tcp: TcpConfig::default(),
+        }
+    }
+}
+
+/// An N-node cluster hosted in this process: one reactor, one
+/// multiplexer thread, N virtual endpoints. Nodes are first-class ring
+/// members — external clients (`d2-load`, `d2-node`) connect to any
+/// `127.0.0.1+i:port` exactly as they would to a standalone node.
+pub struct ManyCluster {
+    reactor: Arc<TcpReactor>,
+    addrs: Vec<Addr>,
+    spawned: Arc<AtomicUsize>,
+    joined: Arc<AtomicUsize>,
+    live: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    mux: Option<JoinHandle<()>>,
+}
+
+impl ManyCluster {
+    /// Boots the cluster: binds the reactor, spawns the multiplexer,
+    /// and starts the staged join choreography. Returns immediately —
+    /// poll [`ManyCluster::joined`] or [`ManyCluster::wait_joined`]
+    /// for boot progress.
+    pub fn launch(cfg: ManyConfig, metrics: Arc<NetMetrics>) -> io::Result<ManyCluster> {
+        let n = cfg.nodes.max(1);
+        let reactor = Arc::new(TcpReactor::bind(
+            Ipv4Addr::UNSPECIFIED,
+            cfg.port,
+            cfg.tcp,
+            metrics,
+        )?);
+        let port = reactor.port();
+        let addrs: Vec<Addr> = (0..n)
+            .map(|i| d2_wire::tcp::pack_addr(std::net::SocketAddrV4::new(node_ip(i), port)))
+            .collect();
+        let spawned = Arc::new(AtomicUsize::new(0));
+        let joined = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mux = {
+            let reactor = Arc::clone(&reactor);
+            let addrs = addrs.clone();
+            let (spawned, joined, live, stop) = (
+                Arc::clone(&spawned),
+                Arc::clone(&joined),
+                Arc::clone(&live),
+                Arc::clone(&stop),
+            );
+            std::thread::Builder::new()
+                .name("d2-mux".into())
+                .spawn(move || mux_loop(cfg, reactor, addrs, spawned, joined, live, stop))?
+        };
+        Ok(ManyCluster {
+            reactor,
+            addrs,
+            spawned,
+            joined,
+            live,
+            stop,
+            mux: Some(mux),
+        })
+    }
+
+    /// The shared listen port.
+    pub fn port(&self) -> u16 {
+        self.reactor.port()
+    }
+
+    /// Every hosted node's address, in spawn order (`addrs()[0]` is the
+    /// bootstrap node — the canonical client entry point).
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// How many nodes have been spawned so far.
+    pub fn spawned(&self) -> usize {
+        self.spawned.load(Ordering::Acquire)
+    }
+
+    /// How many nodes have joined the ring so far.
+    pub fn joined(&self) -> usize {
+        self.joined.load(Ordering::Acquire)
+    }
+
+    /// How many nodes are currently live (spawned and not stopped).
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every configured node has joined (true) or the
+    /// timeout expires (false).
+    pub fn wait_joined(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.joined() < self.addrs.len() {
+            if Instant::now() > deadline || self.finished() {
+                return self.joined() >= self.addrs.len();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Whether the multiplexer has exited — every node stopped (e.g.
+    /// via `d2-node stop --all`) or [`ManyCluster::shutdown`] ran.
+    pub fn finished(&self) -> bool {
+        self.mux.as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// Blocks until the multiplexer exits or the timeout expires.
+    pub fn wait_finished(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.finished() {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Hard-stops the cluster: the multiplexer drops every node and the
+    /// reactor closes its sockets. For a graceful drain, send every
+    /// node a shutdown request first (`d2-node stop --all`).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.mux.take() {
+            let _ = h.join();
+        }
+        self.reactor.shutdown();
+    }
+}
+
+impl Drop for ManyCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Virtual IP of node `i`: `127.0.0.1 + i`. The whole `127/8` block is
+/// loopback on Linux, so every address is dialable with no interface
+/// configuration.
+pub fn node_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(Ipv4Addr::new(127, 0, 0, 1)) + i as u32)
+}
+
+/// Ring position of the `i`-th spawned node: bit-reversed index scaled
+/// to the unit ring, so sequential spawns bisect the largest gaps and
+/// join adopters spread uniformly.
+fn ring_fraction(i: usize, n: usize) -> f64 {
+    let bits = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
+    let r = (i as u64).reverse_bits() >> (64 - bits);
+    (r as f64 + 0.5) / (1u64 << bits) as f64
+}
+
+struct NodePlan {
+    index: usize,
+    addr: Addr,
+    id: Key,
+}
+
+/// Join seed for node `index` when `joined_base` nodes (indices
+/// `0..joined_base`) are already ring members: spread the join *lookup*
+/// load across every joined node. Seeding through a not-yet-joined
+/// neighbor would serialize each batch behind the join-retry timer.
+fn seed_for(index: usize, joined_base: usize, addrs: &[Addr]) -> Addr {
+    addrs[index % joined_base.max(1)]
+}
+
+/// The multiplexer: spawns nodes in staged batches, routes every
+/// delivery to its node, and drives ticks off one due-time heap.
+#[allow(clippy::too_many_arguments)]
+fn mux_loop(
+    cfg: ManyConfig,
+    reactor: Arc<TcpReactor>,
+    addrs: Vec<Addr>,
+    spawned_ctr: Arc<AtomicUsize>,
+    joined_ctr: Arc<AtomicUsize>,
+    live_ctr: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+) {
+    let clock = SystemClock::default();
+    let tick_us = cfg.tick.as_micros() as u64;
+    let n = addrs.len();
+    let (tx, rx) = mpsc::channel::<Delivery>();
+    let mut runtimes: HashMap<Addr, NodeRuntime<TcpEndpoint>> = HashMap::new();
+    let mut timers: BinaryHeap<Reverse<(u64, Addr)>> = BinaryHeap::new();
+    let mut to_spawn: VecDeque<NodePlan> = (0..n)
+        .map(|i| NodePlan {
+            index: i,
+            addr: addrs[i],
+            id: Key::from_fraction(ring_fraction(i, n)),
+        })
+        .collect();
+    // Nodes not yet observed joined; bounded by the join batch size.
+    let mut unjoined: Vec<Addr> = Vec::new();
+
+    let spawn = |plan: NodePlan,
+                 seed: Addr,
+                 runtimes: &mut HashMap<Addr, NodeRuntime<TcpEndpoint>>,
+                 timers: &mut BinaryHeap<Reverse<(u64, Addr)>>,
+                 unjoined: &mut Vec<Addr>|
+     -> io::Result<()> {
+        let ep = reactor.open_with_queue(node_ip(plan.index), tx.clone())?;
+        let mut rt = if plan.index == 0 {
+            NodeRuntime::bootstrap(plan.id, cfg.node, ep)
+        } else {
+            NodeRuntime::join(plan.id, cfg.node, ep, seed)
+        };
+        rt.set_replication(cfg.replicas);
+        // Stagger this node's tick phase across the interval.
+        let due = clock.now_us() + (plan.index as u64 * tick_us) / n as u64;
+        timers.push(Reverse((due, plan.addr)));
+        if plan.index > 0 {
+            unjoined.push(plan.addr);
+        }
+        runtimes.insert(plan.addr, rt);
+        spawned_ctr.fetch_add(1, Ordering::Release);
+        Ok(())
+    };
+
+    while !stop.load(Ordering::Acquire) {
+        let now = clock.now_us();
+
+        // Fire due ticks.
+        while let Some(&Reverse((due, addr))) = timers.peek() {
+            if due > now {
+                break;
+            }
+            timers.pop();
+            if let Some(rt) = runtimes.get_mut(&addr) {
+                rt.on_tick();
+                timers.push(Reverse((now + tick_us, addr)));
+            }
+        }
+
+        // Staged joins: once the current batch is fully joined, release
+        // the next one.
+        if !to_spawn.is_empty() || !unjoined.is_empty() {
+            unjoined.retain(|a| runtimes.get(a).is_some_and(|rt| !rt.protocol().is_joined()));
+            if unjoined.is_empty() {
+                // Every node spawned so far has joined; they are all
+                // valid seeds for the batch being released.
+                let joined_base = n - to_spawn.len();
+                for _ in 0..cfg.join_batch.max(1) {
+                    let Some(plan) = to_spawn.pop_front() else {
+                        break;
+                    };
+                    let seed = seed_for(plan.index, joined_base, &addrs);
+                    if spawn(plan, seed, &mut runtimes, &mut timers, &mut unjoined).is_err() {
+                        // Endpoint registration failed (reactor shut
+                        // down); give up on spawning more.
+                        to_spawn.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        live_ctr.store(runtimes.len(), Ordering::Release);
+        joined_ctr.store(
+            runtimes.len().saturating_sub(unjoined.len()),
+            Ordering::Release,
+        );
+
+        if runtimes.is_empty() && to_spawn.is_empty() {
+            break; // every node stopped: the cluster is done
+        }
+
+        // Deliver traffic until the next tick is due (bounded wait so
+        // stop/tick checks stay responsive).
+        let next_due = timers.peek().map_or(now + tick_us, |&Reverse((d, _))| d);
+        let wait = Duration::from_micros(next_due.saturating_sub(now).clamp(100, 5_000));
+        match rx.recv_timeout(wait) {
+            Ok(d) => {
+                deliver(d, &mut runtimes, &mut unjoined, &live_ctr);
+                // Drain a bounded burst before re-checking timers.
+                for _ in 0..512 {
+                    match rx.try_recv() {
+                        Ok(d) => deliver(d, &mut runtimes, &mut unjoined, &live_ctr),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Hard stop (or natural drain): unregister every endpoint so
+    // stragglers fail fast.
+    for (_, rt) in runtimes.drain() {
+        rt.transport().shutdown();
+    }
+    live_ctr.store(0, Ordering::Release);
+}
+
+fn deliver(
+    (dst, msg, trace): Delivery,
+    runtimes: &mut HashMap<Addr, NodeRuntime<TcpEndpoint>>,
+    unjoined: &mut Vec<Addr>,
+    live_ctr: &Arc<AtomicUsize>,
+) {
+    let Some(rt) = runtimes.get_mut(&dst) else {
+        return; // stopped node: drop, like any dead peer's mail
+    };
+    if !rt.on_message(msg, trace) {
+        // Graceful per-node stop (Request::Shutdown, already acked).
+        if let Some(rt) = runtimes.remove(&dst) {
+            rt.transport().shutdown();
+        }
+        unjoined.retain(|&a| a != dst);
+        live_ctr.store(runtimes.len(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ips_are_distinct_loopback() {
+        assert_eq!(node_ip(0), Ipv4Addr::new(127, 0, 0, 1));
+        assert_eq!(node_ip(1), Ipv4Addr::new(127, 0, 0, 2));
+        assert_eq!(node_ip(255), Ipv4Addr::new(127, 0, 1, 0));
+        assert_eq!(node_ip(999), Ipv4Addr::new(127, 0, 3, 232));
+    }
+
+    #[test]
+    fn ring_fractions_are_distinct_and_spread() {
+        for n in [2usize, 7, 64, 100, 256, 1000] {
+            let mut fs: Vec<f64> = (0..n).map(|i| ring_fraction(i, n)).collect();
+            fs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in fs.windows(2) {
+                assert!(w[0] < w[1], "positions must be distinct (n={n})");
+            }
+            assert!(fs[0] >= 0.0 && *fs.last().unwrap() < 1.0);
+            // Early spawns bisect: the first 4 positions of any large n
+            // land in 4 different quarters of the ring.
+            if n >= 8 {
+                let quarters: std::collections::HashSet<u64> =
+                    (0..4).map(|i| (ring_fraction(i, n) * 4.0) as u64).collect();
+                assert_eq!(quarters.len(), 4, "first four spawns spread (n={n})");
+            }
+        }
+    }
+}

@@ -48,6 +48,8 @@ fn bad_arguments_exit_2_with_usage() {
         &["status"],                                            // missing --node
         &["stop", "--node"],                                    // flag without value
         &["status", "--node", "127.0.0.1:1", "--bogus", "x"],   // unknown flag
+        &["serve-many"],                                        // missing --nodes
+        &["check"],                                             // missing --node
     ];
     for args in cases {
         let (code, stderr) = run(args);
@@ -76,6 +78,11 @@ fn malformed_values_exit_2() {
             "--replicas",
             "0",
         ],
+        &["serve-many", "--nodes", "0"],    // zero nodes is nonsense
+        &["serve-many", "--nodes", "many"], // not a number
+        &["serve-many", "--nodes", "4", "--join-batch", "0"],
+        &["serve-many", "--nodes", "4", "--tick-ms", "0"],
+        &["check", "--node", "127.0.0.1:1", "--expect", "0"],
     ];
     for args in cases {
         let (code, stderr) = run(args);
@@ -99,7 +106,9 @@ fn operations_against_dead_node_exit_1() {
         ],
         &["get", "--node", &node, "--key-u64", "7"],
         &["status", "--node", &node],
+        &["check", "--node", &node],
         &["stop", "--node", &node],
+        &["stop", "--node", &node, "--all"],
     ];
     for args in cases {
         let (code, stderr) = run(args);

@@ -265,6 +265,27 @@ fn nine_process_tcp_cluster_survives_a_crash() {
 
     wait_stable(&ops, &live, "after crash");
 
+    // The healed ring passes the full Zave invariant suite: joined,
+    // corpse-free, ordered successor lists, one sorted cycle,
+    // consistent predecessors — the same checks `d2-node check` runs.
+    // Polled: the suite asserts quiescent properties, and stabilization
+    // may still be converging predecessors right after the heal.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let statuses: Vec<d2_net::NodeStatus> =
+            live.iter().filter_map(|&a| ops.status_of(a)).collect();
+        let report = d2_net::check_ring(&statuses);
+        if statuses.len() == live.len() && report.ok() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "healed ring never satisfied the invariant suite: {:?}",
+            report.violations
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
     // Every block survives the crash (replicas outlive one failure).
     for (i, &k) in test_keys().iter().enumerate() {
         assert_eq!(

@@ -1,0 +1,308 @@
+//! Per-connection read/write state machines for the reactor.
+//!
+//! The poller thread ([`crate::reactor`]) owns every socket of a
+//! transport and drives each one through a small state machine instead
+//! of parking a thread on it:
+//!
+//! - [`InboundConn`] accumulates bytes across readiness events and
+//!   decodes complete frames. A frame may arrive split across
+//!   arbitrarily many reads (TCP guarantees nothing about boundaries);
+//!   the tail that does not end on a frame boundary is carried in a
+//!   per-connection buffer until the next readable event.
+//! - [`OutboundConn`] owns the *carry buffer* for writes the socket
+//!   would not accept in one go: when the kernel send buffer fills
+//!   (`WouldBlock` mid-batch), the unwritten suffix stays in the carry
+//!   and is retried on later poll iterations, so a stalled peer never
+//!   blocks the poller thread — it merely stops consuming its own
+//!   pending queue until the carry drains.
+//!
+//! Both halves also keep a [`ScanClock`]: without epoll, the poller
+//! discovers readiness by polling each socket with a nonblocking
+//! syscall, and the clock decays the per-connection scan rate
+//! exponentially while a connection is idle (fresh and recently-active
+//! connections are scanned every iteration; long-idle ones at the
+//! configured cap). This keeps the syscall budget of a process with
+//! thousands of idle connections bounded while hot connections stay at
+//! minimum latency.
+
+use crate::codec::{self, HEADER_LEN};
+use crate::metrics::NetMetrics;
+use crate::reactor::Delivery;
+use d2_ring::messages::Addr;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+
+/// What one pump or flush pass observed on a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Bytes moved: the connection is hot, scan it again immediately.
+    Active,
+    /// Nothing to do right now (the socket returned `WouldBlock`).
+    Idle,
+    /// The connection is dead — EOF, a hard IO error, or protocol
+    /// garbage (the stream cannot be resynchronized) — and must be
+    /// dropped by the caller.
+    Closed,
+}
+
+/// Exponential-decay scan schedule for one connection.
+///
+/// `due` gates how often the poller spends a syscall probing this
+/// socket: every iteration while the connection is active, backing off
+/// ×2 per idle probe up to the configured cap. Any activity snaps the
+/// schedule back to hot.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanClock {
+    next_us: u64,
+    backoff_us: u64,
+}
+
+impl ScanClock {
+    /// A hot clock: due immediately.
+    pub fn hot() -> ScanClock {
+        ScanClock {
+            next_us: 0,
+            backoff_us: 0,
+        }
+    }
+
+    /// Whether this connection should be probed at time `now_us`.
+    pub fn due(&self, now_us: u64) -> bool {
+        now_us >= self.next_us
+    }
+
+    /// Records the outcome of a probe at `now_us`: activity resets the
+    /// schedule to hot; idleness doubles the backoff from `floor_us` up
+    /// to `cap_us`.
+    pub fn record(&mut self, state: ConnState, now_us: u64, floor_us: u64, cap_us: u64) {
+        match state {
+            ConnState::Active => *self = ScanClock::hot(),
+            _ => {
+                self.backoff_us = (self.backoff_us * 2).clamp(floor_us.max(1), cap_us.max(1));
+                self.next_us = now_us + self.backoff_us;
+            }
+        }
+    }
+}
+
+/// Encoded-but-unsent frames for one peer, appended by senders under a
+/// short lock ([`crate::reactor`] owns one per peer slot). The poller
+/// swaps the whole buffer into an [`OutboundConn`] carry and writes it
+/// as one batch — the PR 7 combining-lock write path, with the poller
+/// as the one designated drainer.
+#[derive(Default)]
+pub struct PendingFrames {
+    /// Concatenated encoded frames awaiting the poller.
+    pub buf: Vec<u8>,
+    /// How many frames `buf` currently holds.
+    pub frames: u64,
+}
+
+/// The read state machine for one accepted connection.
+pub struct InboundConn {
+    stream: TcpStream,
+    dst: Addr,
+    /// Unconsumed tail of the byte stream: bytes after the last
+    /// complete frame boundary, carried across readiness events.
+    buf: Vec<u8>,
+    /// Scan schedule (public so the poller can gate and update it).
+    pub scan: ScanClock,
+}
+
+impl InboundConn {
+    /// Wraps a freshly accepted nonblocking stream. `dst` is the local
+    /// address the remote dialed (packed), used by the poller as the
+    /// demux key selecting which endpoint mailbox receives the frames.
+    pub fn new(stream: TcpStream, dst: Addr) -> InboundConn {
+        InboundConn {
+            stream,
+            dst,
+            buf: Vec::new(),
+            scan: ScanClock::hot(),
+        }
+    }
+
+    /// The packed local address the remote dialed — which virtual
+    /// endpoint this connection's frames are for.
+    pub fn dst(&self) -> Addr {
+        self.dst
+    }
+
+    /// Reads everything currently available (into `scratch`, a shared
+    /// read buffer), decodes every complete frame, and delivers each to
+    /// `tx` (frames for an unregistered endpoint are decoded and
+    /// dropped when `tx` is `None`). Returns [`ConnState::Closed`] on
+    /// EOF, IO error, or a malformed frame — a byte stream cannot be
+    /// resynchronized after garbage, so the connection is the unit of
+    /// protocol failure, exactly as in the threaded transport.
+    pub fn pump(
+        &mut self,
+        scratch: &mut [u8],
+        tx: Option<&mpsc::Sender<Delivery>>,
+        metrics: &NetMetrics,
+    ) -> ConnState {
+        let mut moved = false;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => return ConnState::Closed,
+                Ok(n) => {
+                    moved = true;
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    if self.decode_frames(tx, metrics).is_err() {
+                        return ConnState::Closed;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ConnState::Closed,
+            }
+        }
+        if moved {
+            ConnState::Active
+        } else {
+            ConnState::Idle
+        }
+    }
+
+    /// Decodes every complete frame at the front of `buf`; leaves any
+    /// partial frame in place for the next readiness event.
+    fn decode_frames(
+        &mut self,
+        tx: Option<&mpsc::Sender<Delivery>>,
+        metrics: &NetMetrics,
+    ) -> Result<(), ()> {
+        let mut off = 0;
+        while self.buf.len() - off >= HEADER_LEN {
+            let hdr: [u8; HEADER_LEN] = self.buf[off..off + HEADER_LEN]
+                .try_into()
+                .expect("slice is HEADER_LEN");
+            let (version, tag, len) = match codec::decode_header(&hdr) {
+                Ok(v) => v,
+                Err(_) => {
+                    metrics.decode_error();
+                    return Err(());
+                }
+            };
+            if self.buf.len() - off - HEADER_LEN < len {
+                break; // payload still in flight
+            }
+            let payload = &self.buf[off + HEADER_LEN..off + HEADER_LEN + len];
+            match codec::decode_payload(version, tag, payload) {
+                Ok((msg, trace)) => {
+                    metrics.frame_in(HEADER_LEN + len);
+                    if let Some(tx) = tx {
+                        // A dropped mailbox is the endpoint's problem,
+                        // not the connection's.
+                        let _ = tx.send((self.dst, msg, trace));
+                    }
+                }
+                Err(_) => {
+                    metrics.decode_error();
+                    return Err(());
+                }
+            }
+            off += HEADER_LEN + len;
+        }
+        if off > 0 {
+            self.buf.drain(..off);
+        }
+        Ok(())
+    }
+}
+
+/// The write state machine for one pooled outbound connection.
+pub struct OutboundConn {
+    stream: TcpStream,
+    /// Carry buffer: a batch swapped out of the peer's pending queue,
+    /// written as far as the socket allows. `off` marks how much of it
+    /// has already reached the kernel.
+    carry: Vec<u8>,
+    off: usize,
+    frames: u64,
+    /// Scan schedule for EOF probing (public so the poller can gate and
+    /// update it).
+    pub scan: ScanClock,
+}
+
+impl OutboundConn {
+    /// Wraps a freshly dialed nonblocking stream.
+    pub fn new(stream: TcpStream) -> OutboundConn {
+        OutboundConn {
+            stream,
+            carry: Vec::new(),
+            off: 0,
+            frames: 0,
+            scan: ScanClock::hot(),
+        }
+    }
+
+    /// Whether a previous flush left unwritten bytes in the carry.
+    pub fn has_backlog(&self) -> bool {
+        self.off < self.carry.len()
+    }
+
+    /// How many frames the carry currently holds (written or not) —
+    /// the reactor's drain accounting charges them off when the batch
+    /// completes or the connection dies.
+    pub fn frames_in_carry(&self) -> u64 {
+        self.frames
+    }
+
+    /// Swaps the peer's pending queue into the (empty) carry buffer.
+    /// The buffers are reused forever, so the steady-state write path
+    /// allocates nothing.
+    pub fn load(&mut self, pending: &mut PendingFrames) {
+        debug_assert!(!self.has_backlog(), "load over a backlog loses bytes");
+        self.carry.clear();
+        self.off = 0;
+        std::mem::swap(&mut self.carry, &mut pending.buf);
+        self.frames = std::mem::take(&mut pending.frames);
+    }
+
+    /// Writes as much of the carry as the socket accepts.
+    ///
+    /// Returns `Ok(true)` when the whole batch drained (counting it
+    /// into `metrics` — `net.msgs_out`/`net.bytes_out` therefore trail
+    /// the syscalls slightly), `Ok(false)` when the kernel buffer
+    /// filled mid-batch (backlog retained for a later iteration), and
+    /// `Err` when the connection died.
+    pub fn flush(&mut self, metrics: &NetMetrics) -> io::Result<bool> {
+        while self.has_backlog() {
+            match self.stream.write(&self.carry[self.off..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.carry.is_empty() {
+            metrics.frames_out(self.frames, self.carry.len());
+            if self.frames >= 2 {
+                metrics.coalesced_write(self.frames);
+            }
+            self.carry.clear();
+            self.off = 0;
+            self.frames = 0;
+        }
+        Ok(true)
+    }
+
+    /// Probes the read side of this outbound connection. Peers never
+    /// send data on connections they accepted (replies travel over the
+    /// peer's own outbound connection), so the only things to see here
+    /// are EOF and RST — early notice that the peer restarted or died,
+    /// letting the next send re-dial instead of writing into a corpse.
+    pub fn probe_eof(&mut self, scratch: &mut [u8]) -> ConnState {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => return ConnState::Closed,
+                Ok(_) => continue, // unexpected chatter; discard
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ConnState::Idle,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ConnState::Closed,
+            }
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //! - [`tcp`] — [`TcpTransport`]: the same trait over real
 //!   `std::net` sockets with per-peer connection pooling and
 //!   reconnect-with-backoff (reusing [`d2_ring::RetryPolicy`]).
+//! - [`reactor`] / [`conn`] — the event loop under the TCP transport:
+//!   one poller thread per process drives every accept, read, and
+//!   buffered write through per-connection state machines, and a
+//!   [`TcpReactor`] can host many virtual endpoints (distinct loopback
+//!   IPs on one socket) — the substrate of `d2-node serve-many`.
 //! - [`client`] — [`WireClient`], a request/response port with a
 //!   dispatcher thread, used by `Deployment` front-ends and the
 //!   `d2-node` command-line client. Blocking `call`s and pipelined
@@ -34,7 +39,9 @@
 
 pub mod client;
 pub mod codec;
+pub mod conn;
 pub mod metrics;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 
@@ -45,6 +52,7 @@ pub use codec::{
     WireStatus, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION, TRACE_LEN, VERSION,
 };
 pub use metrics::NetMetrics;
+pub use reactor::{Delivery, TcpEndpoint, TcpReactor};
 pub use tcp::{pack_addr, unpack_addr, TcpConfig, TcpTransport};
 pub use transport::{ChannelHub, ChannelTransport, RecvError, Transport, TransportError};
 

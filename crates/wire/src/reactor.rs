@@ -1,0 +1,637 @@
+//! The event-loop core of the TCP transport: one poller thread per
+//! [`TcpReactor`] drives every accept, read, and buffered write the
+//! process owns, replacing the acceptor-plus-reader-per-connection
+//! thread model. Total thread count is O(1) per process instead of
+//! O(connections) — the property that lets one machine host a
+//! 1,000-node cluster (`d2-node serve-many`).
+//!
+//! ## Structure
+//!
+//! A reactor is a listener plus any number of registered *endpoints* —
+//! virtual transport addresses sharing the one socket. `TcpTransport`
+//! (the common case) is a reactor with exactly one endpoint; `d2-node
+//! serve-many` opens one endpoint per hosted node, each a distinct
+//! loopback IP on the shared port ([`crate::tcp::pack_addr`] keeps
+//! addresses bijective, so ring messages need no directory). Inbound
+//! demux is free: the accepted socket's *local* address is whatever IP
+//! the remote dialed, which names the endpoint.
+//!
+//! ## Send path
+//!
+//! Senders never touch a socket. A send encodes the frame into the
+//! peer's pending queue (the PR 7 combining-lock buffer), marks the
+//! peer dirty, and unparks the poller, which swaps whole batches into
+//! the connection's carry buffer and writes them with single syscalls.
+//! Two exceptions stay on the sender's thread, on purpose:
+//!
+//! - **Dialing.** The first send to a disconnected peer performs the
+//!   blocking `connect_timeout` inline and only hands the established
+//!   (nonblocking) stream to the poller. This preserves fail-fast
+//!   semantics: a send to a dead peer returns `PeerUnreachable` in one
+//!   connect timeout, synchronously — the eviction/reroute logic in
+//!   the layers above depends on that, and a poller-side dial would
+//!   convert it into a silent timeout.
+//! - **Loopback.** A destination registered on the *same* reactor is
+//!   delivered straight to its mailbox, no socket and no frame — the
+//!   fast path that makes co-hosted nodes in `serve-many` cheap.
+//!
+//! Batched sends keep the PR 7 loss contract: once a frame is queued
+//! (`Ok`), a later connection death takes the whole batch with it,
+//! exactly as TCP itself may lose kernel-buffered bytes; every protocol
+//! layer above already tolerates message loss. A peer that stops
+//! draining its socket is bounded by `max_pending_bytes`: further sends
+//! fail fast with `PeerUnreachable` instead of buffering without limit.
+//!
+//! ## Readiness without epoll
+//!
+//! The poller discovers readiness by nonblocking probes, not epoll —
+//! the crate is dependency-free `std` by design. Each connection's
+//! [`ScanClock`](crate::conn::ScanClock) decays its probe rate
+//! exponentially while idle (hot
+//! connections are probed every iteration), keeping the syscall budget
+//! bounded with thousands of mostly-idle connections. The loop parks
+//! for `poll_interval` when an iteration moves no bytes and is unparked
+//! early by any sender, so the write path never waits for a tick.
+
+use crate::codec::WireMsg;
+use crate::conn::{ConnState, InboundConn, OutboundConn, PendingFrames};
+use crate::metrics::NetMetrics;
+use crate::tcp::{pack_addr, TcpConfig};
+use crate::transport::{RecvError, Transport, TransportError};
+use d2_obs::TraceCtx;
+use d2_ring::messages::Addr;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One delivered message: the (packed) local address it arrived for —
+/// which virtual endpoint — plus the message and its trace context.
+/// Endpoints opened with a private mailbox receive exactly their own
+/// address; a shared queue (`open_with_queue`) sees every co-hosted
+/// node's traffic and routes by this field.
+pub type Delivery = (Addr, WireMsg, TraceCtx);
+
+/// One peer's outbound state: the pending queue senders append encoded
+/// frames to, the link state guarding dial attempts, and lock-free
+/// mirrors letting the hot paths skip both mutexes.
+#[derive(Default)]
+struct PeerSlot {
+    pending: Mutex<PendingFrames>,
+    link: Mutex<PeerLink>,
+    /// Breaker deadline in µs since the reactor epoch; 0 = closed.
+    /// Authoritative copy is `PeerLink::retry_at`.
+    retry_at_us: AtomicU64,
+    /// True while this peer sits in the poller's dirty list, so a burst
+    /// of sends enqueues it once, not once per frame.
+    queued: AtomicBool,
+}
+
+/// Dial/breaker state for one peer. `connected` means an established
+/// stream for this peer is either staged for adoption or owned by the
+/// poller; it says nothing about the peer still being alive.
+#[derive(Default)]
+struct PeerLink {
+    connected: bool,
+    /// Whether this peer was ever successfully dialed — a later
+    /// successful dial is then a *re*connect (`net.reconnects`), even
+    /// when the old connection ended with a clean EOF rather than a
+    /// dial failure.
+    ever_connected: bool,
+    failures: u32,
+    retry_at: Option<Instant>,
+}
+
+struct Shared {
+    port: u16,
+    cfg: TcpConfig,
+    /// Zero point for every µs timestamp in the reactor.
+    epoch: Instant,
+    shutdown: AtomicBool,
+    metrics: Arc<NetMetrics>,
+    /// The poller's thread handle, for sender-side unpark.
+    poller: Mutex<Option<std::thread::Thread>>,
+    poller_join: Mutex<Option<JoinHandle<()>>>,
+    /// Registered endpoints: packed virtual address → mailbox.
+    endpoints: RwLock<HashMap<Addr, mpsc::Sender<Delivery>>>,
+    /// Per-peer outbound slots. The map lock is held only for lookup,
+    /// never across a connect or write.
+    pool: Mutex<HashMap<Addr, Arc<PeerSlot>>>,
+    /// Peers with freshly queued frames, awaiting a poller pass.
+    dirty: Mutex<Vec<Addr>>,
+    /// Streams dialed by senders, awaiting poller adoption.
+    adopted: Mutex<Vec<(Addr, TcpStream)>>,
+    /// Frames accepted by `send_from` but not yet written to a socket
+    /// (or dropped with a dead connection). Lets [`TcpReactor::shutdown`]
+    /// drain in-flight replies — e.g. the ShutdownAck a node queues
+    /// right before closing its transport — instead of killing them.
+    unsent: AtomicU64,
+}
+
+impl Shared {
+    fn us_since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    fn wake_poller(&self) {
+        if let Some(t) = &*self.poller.lock() {
+            t.unpark();
+        }
+    }
+
+    /// Drops a peer's queued frames (connection failed or died),
+    /// keeping the `unsent` drain counter balanced.
+    fn clear_pending(&self, slot: &PeerSlot) {
+        let mut q = slot.pending.lock();
+        self.unsent.fetch_sub(q.frames, Ordering::AcqRel);
+        q.buf.clear();
+        q.frames = 0;
+    }
+
+    /// Arms the reconnect backoff window (and its lock-free mirror)
+    /// after `link.failures` consecutive failures.
+    fn open_breaker(&self, slot: &PeerSlot, link: &mut PeerLink, now: Instant) {
+        let backoff = self.cfg.retry.backoff_us(link.failures);
+        let at = now + Duration::from_micros(backoff);
+        link.retry_at = Some(at);
+        // `max(1)`: 0 is the breaker-closed sentinel.
+        slot.retry_at_us
+            .store(self.us_since_epoch(at).max(1), Ordering::Release);
+    }
+
+    /// The whole send path. Runs on the sender's thread; only queue
+    /// operations and (for a disconnected peer) one dial ever block.
+    fn send_from(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // Loopback fast path: a destination on this reactor gets the
+        // message straight into its mailbox — no socket, no frame.
+        if let Some(tx) = self.endpoints.read().get(&to).cloned() {
+            tx.send((to, msg.clone(), trace))
+                .map_err(|_| TransportError::PeerUnreachable(to))?;
+            self.metrics.loopback_msg();
+            return Ok(());
+        }
+        let slot = Arc::clone(self.pool.lock().entry(to).or_default());
+        // Breaker fast path: while the backoff window is open, fail
+        // without queueing a frame or contending on the peer locks.
+        let retry_at = slot.retry_at_us.load(Ordering::Acquire);
+        if retry_at != 0 && self.us_since_epoch(Instant::now()) < retry_at {
+            return Err(TransportError::PeerUnreachable(to));
+        }
+        {
+            let mut q = slot.pending.lock();
+            if q.buf.len() >= self.cfg.max_pending_bytes {
+                // The peer has stopped draining its socket; bound the
+                // queue instead of buffering without limit. Callers
+                // treat this like any other unreachable peer.
+                return Err(TransportError::PeerUnreachable(to));
+            }
+            q.frames += 1;
+            crate::codec::encode_traced_into(&mut q.buf, msg, trace);
+            self.unsent.fetch_add(1, Ordering::AcqRel);
+        }
+        let mut link = slot.link.lock();
+        if !link.connected {
+            let now = Instant::now();
+            if let Some(at) = link.retry_at {
+                if now < at {
+                    // Lost the race with a concurrent breaker-opener;
+                    // the frame dies with the failed connection.
+                    self.clear_pending(&slot);
+                    return Err(TransportError::PeerUnreachable(to));
+                }
+            }
+            let sock = SocketAddr::V4(crate::tcp::unpack_addr(to));
+            match TcpStream::connect_timeout(&sock, self.cfg.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    if link.failures > 0 || link.ever_connected {
+                        self.metrics.reconnect();
+                    }
+                    link.connected = true;
+                    link.ever_connected = true;
+                    link.failures = 0;
+                    link.retry_at = None;
+                    slot.retry_at_us.store(0, Ordering::Release);
+                    self.adopted.lock().push((to, stream));
+                }
+                Err(_) => {
+                    link.failures += 1;
+                    self.open_breaker(&slot, &mut link, now);
+                    self.clear_pending(&slot);
+                    return Err(TransportError::PeerUnreachable(to));
+                }
+            }
+        }
+        drop(link);
+        if !slot.queued.swap(true, Ordering::AcqRel) {
+            self.dirty.lock().push(to);
+        }
+        self.wake_poller();
+        Ok(())
+    }
+}
+
+/// The event-loop TCP transport core: a listener, a poller thread, and
+/// a registry of virtual endpoints sharing the socket. Use
+/// [`crate::tcp::TcpTransport`] for the ordinary one-endpoint case;
+/// use the reactor directly to multiplex many nodes over one socket.
+pub struct TcpReactor {
+    shared: Arc<Shared>,
+}
+
+impl TcpReactor {
+    /// Binds a listener on `listen_ip:port` (port 0 picks a free port)
+    /// and starts the poller thread. Binding `0.0.0.0` accepts dials to
+    /// *any* local IP on the port — required for virtual endpoints on
+    /// distinct loopback addresses (the whole `127/8` block routes
+    /// locally on Linux).
+    pub fn bind(
+        listen_ip: Ipv4Addr,
+        port: u16,
+        cfg: TcpConfig,
+        metrics: Arc<NetMetrics>,
+    ) -> io::Result<TcpReactor> {
+        // Even with port 0 (kernel-assigned, collision-free by design)
+        // the bind can transiently fail with AddrInUse when the
+        // ephemeral range is briefly exhausted by TIME_WAIT sockets —
+        // multi-process test clusters churn through hundreds of
+        // connections. Retry the rare race instead of failing the node.
+        let mut attempt: u64 = 0;
+        let listener = loop {
+            match TcpListener::bind(SocketAddrV4::new(listen_ip, port)) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && attempt < 16 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(5 * attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        listener.set_nonblocking(true)?;
+        let bound = match listener.local_addr()? {
+            SocketAddr::V4(v4) => v4,
+            SocketAddr::V6(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "TcpReactor is IPv4-only (addr packing)",
+                ))
+            }
+        };
+        let shared = Arc::new(Shared {
+            port: bound.port(),
+            cfg,
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            metrics,
+            poller: Mutex::new(None),
+            poller_join: Mutex::new(None),
+            endpoints: RwLock::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            dirty: Mutex::new(Vec::new()),
+            adopted: Mutex::new(Vec::new()),
+            unsent: AtomicU64::new(0),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("d2-poller".into())
+                .spawn(move || poll_loop(listener, shared))?
+        };
+        *shared.poller_join.lock() = Some(handle);
+        Ok(TcpReactor { shared })
+    }
+
+    /// The port the listener is bound to.
+    pub fn port(&self) -> u16 {
+        self.shared.port
+    }
+
+    /// Opens an endpoint at `ip` (on the reactor's port) with a private
+    /// mailbox. Fails with `AddrInUse` if the address already has an
+    /// endpoint on this reactor.
+    pub fn open(&self, ip: Ipv4Addr) -> io::Result<TcpEndpoint> {
+        let (tx, rx) = mpsc::channel();
+        let ep = self.register(ip, tx)?;
+        Ok(TcpEndpoint {
+            rx: Some(Mutex::new(rx)),
+            ..ep
+        })
+    }
+
+    /// Opens an endpoint at `ip` delivering into a caller-supplied
+    /// shared queue — the many-nodes multiplexer feeds every hosted
+    /// node from one queue and routes by the [`Delivery`] address. The
+    /// returned endpoint's own `recv_timeout` always reports `Closed`;
+    /// receive from the shared queue instead.
+    pub fn open_with_queue(
+        &self,
+        ip: Ipv4Addr,
+        tx: mpsc::Sender<Delivery>,
+    ) -> io::Result<TcpEndpoint> {
+        self.register(ip, tx)
+    }
+
+    fn register(&self, ip: Ipv4Addr, tx: mpsc::Sender<Delivery>) -> io::Result<TcpEndpoint> {
+        let me = pack_addr(SocketAddrV4::new(ip, self.shared.port));
+        let mut eps = self.shared.endpoints.write();
+        if eps.contains_key(&me) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "endpoint already registered on this reactor",
+            ));
+        }
+        eps.insert(me, tx);
+        Ok(TcpEndpoint {
+            shared: Arc::clone(&self.shared),
+            me,
+            rx: None,
+        })
+    }
+
+    /// How many endpoints are currently registered.
+    pub fn endpoint_count(&self) -> usize {
+        self.shared.endpoints.read().len()
+    }
+
+    /// Stops the reactor: drains queued outbound frames (bounded), joins
+    /// the poller, closes every socket, and wakes all endpoint receivers
+    /// (their mailboxes disconnect). Idempotent.
+    ///
+    /// The drain matters for graceful stops: a node queues its
+    /// ShutdownAck and closes its transport immediately after, and the
+    /// reply must reach the socket before the poller dies. Frames stuck
+    /// behind a stalled peer are abandoned when the window closes.
+    pub fn shutdown(&self) {
+        if !self.shared.shutdown.load(Ordering::Acquire) {
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while self.shared.unsent.load(Ordering::Acquire) != 0 && Instant::now() < deadline {
+                self.shared.wake_poller();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.wake_poller();
+        if let Some(h) = self.shared.poller_join.lock().take() {
+            let _ = h.join();
+        }
+        // Dropping the mailbox senders disconnects blocked receivers.
+        self.shared.endpoints.write().clear();
+        self.shared.pool.lock().clear();
+    }
+}
+
+impl Drop for TcpReactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One virtual transport address on a [`TcpReactor`]. Implements
+/// [`Transport`], so a `NodeRuntime` runs over an endpoint exactly as
+/// it runs over a whole `TcpTransport` — co-hosted endpoints reach each
+/// other over the loopback fast path, everyone else over the shared
+/// socket.
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+    me: Addr,
+    /// `None` for endpoints delivering into a shared queue.
+    rx: Option<Mutex<mpsc::Receiver<Delivery>>>,
+}
+
+impl Transport for TcpEndpoint {
+    fn local_addr(&self) -> Addr {
+        self.me
+    }
+
+    fn send_traced(&self, to: Addr, msg: &WireMsg, trace: TraceCtx) -> Result<(), TransportError> {
+        self.shared.send_from(to, msg, trace)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(WireMsg, TraceCtx), RecvError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RecvError::Closed);
+        }
+        let Some(rx) = &self.rx else {
+            // Shared-queue endpoints have no private mailbox.
+            return Err(RecvError::Closed);
+        };
+        match rx.lock().recv_timeout(timeout) {
+            Ok((_, msg, trace)) => Ok((msg, trace)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    /// Unregisters this endpoint (its address stops resolving; inbound
+    /// frames for it are dropped). The reactor keeps running for its
+    /// other endpoints.
+    fn shutdown(&self) {
+        self.shared.endpoints.write().remove(&self.me);
+    }
+}
+
+/// The poller: owns the listener and every connection, loops over
+/// adopt → accept → flush-dirty → retry-backlog → scan-reads, and
+/// parks for `poll_interval` when an iteration moves nothing.
+fn poll_loop(listener: TcpListener, shared: Arc<Shared>) {
+    *shared.poller.lock() = Some(std::thread::current());
+    let floor_us = shared.cfg.poll_interval.as_micros() as u64;
+    let cap_us = (shared.cfg.idle_scan_cap.as_micros() as u64).max(floor_us);
+    let mut inbound: Vec<InboundConn> = Vec::new();
+    let mut outbound: HashMap<Addr, OutboundConn> = HashMap::new();
+    let mut blocked: Vec<Addr> = Vec::new();
+    let mut dead: Vec<Addr> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let now_us = shared.us_since_epoch(Instant::now());
+        let mut moved = false;
+
+        // Adopt streams dialed by senders since the last pass.
+        for (addr, stream) in shared.adopted.lock().drain(..) {
+            outbound.insert(addr, OutboundConn::new(stream));
+            moved = true;
+        }
+
+        // Accept everything waiting on the listener.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let dst = match stream.local_addr() {
+                        // The address the remote dialed names the
+                        // endpoint this connection is for.
+                        Ok(SocketAddr::V4(v4)) => pack_addr(v4),
+                        _ => continue,
+                    };
+                    inbound.push(InboundConn::new(stream, dst));
+                    moved = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Flush peers with freshly queued frames.
+        let mut dirty = std::mem::take(&mut *shared.dirty.lock());
+        for addr in dirty.drain(..) {
+            let Some(slot) = shared.pool.lock().get(&addr).cloned() else {
+                continue;
+            };
+            slot.queued.store(false, Ordering::Release);
+            match flush_peer(addr, &slot, &mut outbound, &shared) {
+                FlushOutcome::Done => moved = true,
+                FlushOutcome::Backlog => {
+                    moved = true;
+                    if !blocked.contains(&addr) {
+                        blocked.push(addr);
+                    }
+                }
+                FlushOutcome::Dead => moved = true,
+                FlushOutcome::Missing => {
+                    // The stream is staged in `adopted` but we drained
+                    // that list before the sender pushed (or a sender
+                    // is mid-dial, holding the link lock); requeue for
+                    // the next pass. `try_lock` keeps the poller from
+                    // blocking behind a dial in progress.
+                    let maybe_connected = slot.link.try_lock().is_none_or(|l| l.connected);
+                    if maybe_connected && !slot.queued.swap(true, Ordering::AcqRel) {
+                        shared.dirty.lock().push(addr);
+                    }
+                }
+            }
+        }
+
+        // Retry carries blocked on a full kernel buffer.
+        blocked.retain(|&addr| {
+            let Some(slot) = shared.pool.lock().get(&addr).cloned() else {
+                return false;
+            };
+            matches!(
+                flush_peer(addr, &slot, &mut outbound, &shared),
+                FlushOutcome::Backlog
+            )
+        });
+
+        // Scan inbound connections that are due.
+        let mut i = 0;
+        while i < inbound.len() {
+            if inbound[i].scan.due(now_us) {
+                let tx = shared.endpoints.read().get(&inbound[i].dst()).cloned();
+                let state = inbound[i].pump(&mut scratch, tx.as_ref(), &shared.metrics);
+                if state == ConnState::Closed {
+                    inbound.swap_remove(i);
+                    continue;
+                }
+                moved |= state == ConnState::Active;
+                inbound[i].scan.record(state, now_us, floor_us, cap_us);
+            }
+            i += 1;
+        }
+
+        // Probe outbound connections for EOF/RST — early notice that a
+        // peer restarted, so the next send re-dials instead of writing
+        // into a corpse.
+        dead.clear();
+        for (&addr, conn) in outbound.iter_mut() {
+            if conn.scan.due(now_us) && !conn.has_backlog() {
+                let state = conn.probe_eof(&mut scratch);
+                if state == ConnState::Closed {
+                    dead.push(addr);
+                } else {
+                    conn.scan.record(state, now_us, floor_us, cap_us);
+                }
+            }
+        }
+        for addr in dead.drain(..) {
+            outbound.remove(&addr);
+            if let Some(slot) = shared.pool.lock().get(&addr).cloned() {
+                // A graceful close is not a dial failure: mark the link
+                // down without opening the breaker, so the next send
+                // dials fresh immediately.
+                if let Some(mut link) = slot.link.try_lock() {
+                    link.connected = false;
+                }
+                shared.clear_pending(&slot);
+            }
+        }
+
+        if moved {
+            // Stay hot through a burst; yield so node threads on a
+            // saturated box still get the core.
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(shared.cfg.poll_interval);
+        }
+    }
+}
+
+enum FlushOutcome {
+    /// Pending queue drained to the socket.
+    Done,
+    /// Kernel buffer full; carry retained for a later pass.
+    Backlog,
+    /// The connection died mid-write (breaker opened, batch lost).
+    Dead,
+    /// No adopted connection for this peer (yet).
+    Missing,
+}
+
+/// Swap-and-write loop for one peer: repeatedly swaps the pending queue
+/// into the connection's carry and writes it, until the queue is
+/// observed empty or the socket pushes back.
+fn flush_peer(
+    addr: Addr,
+    slot: &PeerSlot,
+    outbound: &mut HashMap<Addr, OutboundConn>,
+    shared: &Shared,
+) -> FlushOutcome {
+    let Some(conn) = outbound.get_mut(&addr) else {
+        return FlushOutcome::Missing;
+    };
+    loop {
+        if !conn.has_backlog() {
+            let mut q = slot.pending.lock();
+            if q.buf.is_empty() {
+                return FlushOutcome::Done;
+            }
+            conn.load(&mut q);
+        }
+        let in_carry = conn.frames_in_carry();
+        match conn.flush(&shared.metrics) {
+            Ok(true) => {
+                // The whole carry reached the kernel: charge those
+                // frames off the shutdown-drain ledger.
+                shared.unsent.fetch_sub(in_carry, Ordering::AcqRel);
+                continue; // batch drained; more may have queued
+            }
+            Ok(false) => return FlushOutcome::Backlog,
+            Err(_) => {
+                // The pooled connection died; the carried batch dies
+                // with it (TCP gives the same guarantee: a successful
+                // write only means the kernel buffered the bytes).
+                // Open the breaker so the next send backs off instead
+                // of re-dialing immediately.
+                shared.unsent.fetch_sub(in_carry, Ordering::AcqRel);
+                outbound.remove(&addr);
+                let now = Instant::now();
+                if let Some(mut link) = slot.link.try_lock() {
+                    link.connected = false;
+                    link.failures += 1;
+                    shared.open_breaker(slot, &mut link, now);
+                }
+                shared.clear_pending(slot);
+                return FlushOutcome::Dead;
+            }
+        }
+    }
+}

@@ -50,4 +50,27 @@ sleep 2
 ./target/release/d2-load --node "$SMOKE_SEED" --workers 2 --ops 200 --keys 32 \
     --replicas 2 --timeout-ms 5000 | grep throughput
 
+echo "==> serve-many smoke (256 nodes in one process: boot, puts, invariants, drain)"
+./target/release/d2-node serve-many --nodes 256 --replicas 3 \
+    > "$SMOKE_TMP/many.out" 2>&1 &
+MANY_PID=$!
+SMOKE_PIDS+=("$MANY_PID")
+for _ in $(seq 1 240); do
+    grep -q "^STABLE" "$SMOKE_TMP/many.out" 2>/dev/null && break
+    kill -0 "$MANY_PID" 2>/dev/null || { cat "$SMOKE_TMP/many.out"; exit 1; }
+    sleep 0.5
+done
+grep -q "^STABLE" "$SMOKE_TMP/many.out" || {
+    echo "serve-many never stabilized:"; cat "$SMOKE_TMP/many.out"; exit 1; }
+MANY_ENTRY=$(awk '/^LISTEN/ { print $2; exit }' "$SMOKE_TMP/many.out")
+./target/release/d2-load --node "$MANY_ENTRY" --workers 2 --ops 100 --keys 25 \
+    --get-ratio 0 --replicas 3 --timeout-ms 10000 | grep throughput
+./target/release/d2-node check --node "$MANY_ENTRY" --expect 256
+./target/release/d2-node stop --node "$MANY_ENTRY" --all
+for _ in $(seq 1 60); do
+    kill -0 "$MANY_PID" 2>/dev/null || break
+    sleep 0.5
+done
+kill -0 "$MANY_PID" 2>/dev/null && { echo "serve-many did not exit after stop --all"; exit 1; }
+
 echo "OK"
