@@ -11,6 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use d2_bench::{availability_fixture, AVAIL_WARMUP_DAYS};
 use d2_core::{AvailabilitySim, ClusterConfig, SystemKind};
+use d2_ec::RedundancyPolicy;
 use d2_sim::{FailureTrace, SimTime};
 use d2_workload::split_tasks;
 use rand::rngs::StdRng;
@@ -43,8 +44,7 @@ fn bench(c: &mut Criterion) {
         (
             "erasure 2-of-4",
             ClusterConfig {
-                replicas: 4,
-                erasure_k: Some(2),
+                redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
                 ..base
             },
         ),
@@ -78,8 +78,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_redundancy");
     g.sample_size(10);
     let quick_cfg = ClusterConfig {
-        replicas: 4,
-        erasure_k: Some(2),
+        redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
         ..base
     };
     g.bench_function("erasure_availability_run", |bencher| {

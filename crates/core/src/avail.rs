@@ -199,6 +199,9 @@ impl AvailabilitySim {
                     // timeout expires (no-op with the default oracle
                     // detector, where node_down repaired synchronously).
                     self.cluster.process_observed_failures(at);
+                    // Lazy erasure repair drains its budgeted queue here
+                    // (no-op under replication, which repairs eagerly).
+                    self.cluster.run_repair_round(at);
                     self.cluster.run_balance_round(at, false);
                     self.cluster.resolve_stale_pointers(at);
                     // Periodic repair: in-flight copies that have since

@@ -51,6 +51,15 @@ pub struct ClusterStats {
     pub deferred_repairs: u64,
     /// Deferred repairs whose detection timeout has since fired.
     pub observed_failures: u64,
+    /// Bytes spent regenerating erasure fragments from the lazy repair
+    /// queue (a subset of `migration_bytes`).
+    pub repair_bytes: u64,
+    /// Repair bytes deferred because a node's repair budget was empty
+    /// (the same key may be counted again on a later throttled round).
+    pub repair_throttled_bytes: u64,
+    /// Repairs skipped because enough fragments survived (lazy repair's
+    /// whole point: a loss above the threshold `m` costs nothing).
+    pub repairs_skipped_lazy: u64,
 }
 
 /// Why a replica-group repair is running — decides whether the balance
@@ -106,6 +115,16 @@ pub struct SimCluster {
     /// survivors notice, keys the dead node held)`. Empty whenever
     /// `cfg.failure_detection` is zero (synchronous repair).
     pending_repairs: Vec<(SimTime, Vec<Key>)>,
+    /// Lazy erasure-repair queue: keys whose surviving fragment count
+    /// dropped below the repair threshold `m`, waiting for budget.
+    /// Ordered (BTreeSet) so draining is deterministic. Always empty
+    /// under replication, which repairs eagerly.
+    repair_queue: std::collections::BTreeSet<Key>,
+    /// Per-node repair token buckets (bytes), refilled at
+    /// `cfg.repair_budget_bps` by [`SimCluster::run_repair_round`].
+    repair_tokens: Vec<u64>,
+    /// When the repair buckets were last refilled.
+    last_repair_refill: SimTime,
     volumes: HashMap<String, Fs>,
     /// Trace sink for migration/repair/balance events (null by default).
     obs: SharedSink,
@@ -141,6 +160,9 @@ impl SimCluster {
             twin_set: HashSet::new(),
             inflight: HashMap::new(),
             pending_repairs: Vec::new(),
+            repair_queue: std::collections::BTreeSet::new(),
+            repair_tokens: vec![0; ring.capacity()],
+            last_repair_refill: SimTime::ZERO,
             ring,
             volumes: HashMap::new(),
             obs: SharedSink::null(),
@@ -221,16 +243,39 @@ impl SimCluster {
     /// Bytes each group member stores for a block of `len` bytes: the full
     /// block under replication, `len/k` under k-of-n erasure coding.
     fn stored_len(&self, len: u32) -> u32 {
-        match self.cfg.erasure_k {
-            Some(k) => len.div_ceil(k as u32).max(1),
-            None => len,
+        let policy = self.cfg.redundancy_policy();
+        if policy.is_erasure() {
+            (policy.stored_len(len as u64) as u32).max(1)
+        } else {
+            len
         }
     }
 
     /// Reachable copies required to read a block (1 replica, or k erasure
     /// fragments).
     fn min_live(&self) -> usize {
-        self.cfg.erasure_k.unwrap_or(1)
+        self.cfg.redundancy_policy().min_fragments()
+    }
+
+    /// Consecutive successors a block occupies: `r` copies, or `n`
+    /// erasure fragments.
+    fn group_size(&self) -> usize {
+        self.cfg.redundancy_policy().group_size()
+    }
+
+    /// The payload group member `position` stores for a `frag`-byte
+    /// share: a fragment (carrying its code-word index) under erasure
+    /// coding, a plain size placeholder under replication.
+    fn member_payload(&self, position: usize, frag: u32) -> Payload {
+        if self.cfg.redundancy_policy().is_erasure() {
+            Payload::Fragment {
+                index: position as u8,
+                generation: 0,
+                len: frag,
+            }
+        } else {
+            Payload::Size(frag)
+        }
     }
 
     /// The hashed twin key for hybrid replica placement.
@@ -260,8 +305,10 @@ impl SimCluster {
         for old in self.holders_of(&key) {
             self.store_remove(old, &key);
         }
-        for node in self.ring.replica_group(&key, self.cfg.replicas) {
-            self.put_or_divert(node, key, frag, now);
+        let group = self.ring.replica_group(&key, self.group_size());
+        for (pos, node) in group.into_iter().enumerate() {
+            let payload = self.member_payload(pos, frag);
+            self.put_or_divert(node, key, payload, now);
         }
         if self.cfg.hybrid_hash_replicas > 0 {
             let twin = Self::twin_key(&key);
@@ -288,7 +335,7 @@ impl SimCluster {
         for old in self.holders_of(&key) {
             self.store_remove(old, &key);
         }
-        for node in self.ring.replica_group(&key, self.cfg.replicas) {
+        for node in self.ring.replica_group(&key, self.group_size()) {
             self.store_put(node, key, Payload::Data(data.clone()), now);
         }
     }
@@ -298,14 +345,15 @@ impl SimCluster {
     /// leaving a pointer on the full node (Section 6 / PAST). The full
     /// node sheds load at its next balance move, so the indirection is
     /// temporary.
-    fn put_or_divert(&mut self, node: NodeIdx, key: Key, frag: u32, now: SimTime) {
+    fn put_or_divert(&mut self, node: NodeIdx, key: Key, payload: Payload, now: SimTime) {
+        let frag = payload.len();
         let Some(cap) = self.cfg.node_capacity_bytes else {
-            self.store_put(node, key, Payload::Size(frag), now);
+            self.store_put(node, key, payload, now);
             return;
         };
         let fits = |s: &Self, n: NodeIdx| s.stores[n.0].data_bytes() + frag as u64 <= cap;
         if fits(self, node) {
-            self.store_put(node, key, Payload::Size(frag), now);
+            self.store_put(node, key, payload, now);
             return;
         }
         // Walk successors for a node with space (skipping existing
@@ -318,7 +366,7 @@ impl SimCluster {
                 break;
             }
             if !self.stores[c.0].contains(&key) && fits(self, c) {
-                self.store_put(c, key, Payload::Size(frag), now);
+                self.store_put(c, key, payload, now);
                 self.store_put(
                     node,
                     key,
@@ -334,7 +382,7 @@ impl SimCluster {
             }
             candidate = self.ring.successor(c);
         }
-        self.store_put(node, key, Payload::Size(frag), now);
+        self.store_put(node, key, payload, now);
     }
 
     /// Removes a block (and its hybrid twin) from every holder after the
@@ -406,8 +454,10 @@ impl SimCluster {
         for (key, len) in blocks {
             self.sizes.insert(key, len);
             let frag = self.stored_len(len);
-            for node in self.ring.replica_group(&key, self.cfg.replicas) {
-                self.store_put(node, key, Payload::Size(frag), SimTime::ZERO);
+            let group = self.ring.replica_group(&key, self.group_size());
+            for (pos, node) in group.into_iter().enumerate() {
+                let payload = self.member_payload(pos, frag);
+                self.store_put(node, key, payload, SimTime::ZERO);
             }
             if self.cfg.hybrid_hash_replicas > 0 {
                 let twin = Self::twin_key(&key);
@@ -565,10 +615,11 @@ impl SimCluster {
                 continue;
             };
             // Twin (safeguard) blocks use the smaller hybrid group.
-            let group_size = if self.twin_set.contains(&key) {
+            let is_twin = self.twin_set.contains(&key);
+            let group_size = if is_twin {
                 self.cfg.hybrid_hash_replicas
             } else {
-                self.cfg.replicas
+                self.group_size()
             };
             // Per-member bytes: a fragment under erasure coding.
             let frag = self.stored_len(len);
@@ -578,7 +629,7 @@ impl SimCluster {
             // in-flight regeneration transfer cannot seed further copies,
             // which is exactly why simultaneous whole-group failures lose
             // data until a member recovers (prefer sources in the group).
-            let source = holders
+            let live_sources: Vec<NodeIdx> = holders
                 .iter()
                 .copied()
                 .filter(|h| {
@@ -588,6 +639,10 @@ impl SimCluster {
                             .map(|b| !b.payload.is_pointer() && b.stored_at <= now)
                             .unwrap_or(false)
                 })
+                .collect();
+            let source = live_sources
+                .iter()
+                .copied()
                 .max_by_key(|h| group.contains(h));
             let Some(source) = source else {
                 // No reachable copy right now: the block is unavailable
@@ -595,6 +650,15 @@ impl SimCluster {
                 // a later resync repairs the group).
                 continue;
             };
+            // Erasure regeneration decodes from k fragments: with fewer
+            // survivors there is nothing to regenerate *from* — leave the
+            // remnants alone until a holder returns.
+            if !is_twin
+                && self.cfg.redundancy_policy().is_erasure()
+                && live_sources.len() < self.min_live()
+            {
+                continue;
+            }
             // 0) Repair broken pointers: a live member whose pointer
             // target died (or dropped the block) re-points at a live
             // holder right away — waiting for the stabilization time
@@ -623,7 +687,7 @@ impl SimCluster {
                 }
             }
             // 1) Add missing group members.
-            for &member in &group {
+            for (pos, &member) in group.iter().enumerate() {
                 if self.stores[member.0].contains(&key) || !self.node_up[member.0] {
                     continue;
                 }
@@ -664,7 +728,24 @@ impl SimCluster {
                     if !balancing {
                         self.stats.regenerated_blocks += 1;
                     }
-                    let payload = self.copy_payload(source, &key, frag);
+                    let payload = if !is_twin && self.cfg.redundancy_policy().is_erasure() {
+                        // A regenerated fragment takes the member's slot in
+                        // the code word, same generation as the survivors.
+                        let generation = self.stores[source.0]
+                            .get(&key)
+                            .map(|b| match b.payload {
+                                Payload::Fragment { generation, .. } => generation,
+                                _ => 0,
+                            })
+                            .unwrap_or(0);
+                        Payload::Fragment {
+                            index: pos as u8,
+                            generation,
+                            len: frag,
+                        }
+                    } else {
+                        self.copy_payload(source, &key, frag)
+                    };
                     self.store_put(member, key, payload, done);
                     if done > now {
                         self.inflight.insert((member.0, key), (source.0, done));
@@ -782,7 +863,7 @@ impl SimCluster {
                 let group_size = if self.twin_set.contains(&key) {
                     self.cfg.hybrid_hash_replicas
                 } else {
-                    self.cfg.replicas
+                    self.group_size()
                 };
                 let group = self.ring.replica_group(&key, group_size);
                 let still_referenced = self.holders_of(&key).into_iter().any(|h| {
@@ -832,7 +913,13 @@ impl SimCluster {
         // fires (drained by `process_observed_failures`).
         let keys: Vec<Key> = self.stores[node.0].keys_in(&d2_types::KeyRange::full());
         if self.cfg.failure_detection == SimTime::ZERO {
-            self.sync_keys(keys, now, SyncCtx::Repair);
+            if self.cfg.redundancy_policy().is_erasure() {
+                // Lazy repair: triage into the budgeted queue instead of
+                // regenerating at the crash instant.
+                self.enqueue_repairs(keys, now);
+            } else {
+                self.sync_keys(keys, now, SyncCtx::Repair);
+            }
         } else {
             self.stats.deferred_repairs += 1;
             self.pending_repairs
@@ -858,7 +945,11 @@ impl SimCluster {
         for keys in due {
             self.stats.observed_failures += 1;
             if !self.ring.is_empty() {
-                self.sync_keys(keys, now, SyncCtx::Repair);
+                if self.cfg.redundancy_policy().is_erasure() {
+                    self.enqueue_repairs(keys, now);
+                } else {
+                    self.sync_keys(keys, now, SyncCtx::Repair);
+                }
             }
         }
         n
@@ -867,6 +958,106 @@ impl SimCluster {
     /// Crash repairs still waiting on failure detection.
     pub fn pending_repair_count(&self) -> usize {
         self.pending_repairs.len()
+    }
+
+    /// Keys queued for lazy erasure repair (below the threshold `m`,
+    /// waiting on budget or a usable source).
+    pub fn repair_queue_len(&self) -> usize {
+        self.repair_queue.len()
+    }
+
+    /// Triage for lazy erasure repair: a key whose surviving fragment
+    /// count is still at or above the threshold `m` costs nothing (the
+    /// skip *is* the saving); one below `m` joins the budgeted queue.
+    fn enqueue_repairs(&mut self, keys: Vec<Key>, now: SimTime) {
+        let m = self.cfg.effective_repair_threshold();
+        for key in keys {
+            if !self.sizes.contains_key(&key) || self.repair_queue.contains(&key) {
+                continue;
+            }
+            if self.reachable_copies(&key, now) >= m {
+                self.stats.repairs_skipped_lazy += 1;
+            } else {
+                self.repair_queue.insert(key);
+            }
+        }
+    }
+
+    /// One pass of budgeted lazy erasure repair: refills each node's
+    /// token bucket at [`ClusterConfig::repair_budget_bps`] (a zero
+    /// budget is unlimited), then drains the queue in key order.
+    /// Regenerating a block's missing fragments costs a full block of
+    /// gather reads per fragment (the erasure-coding tax the paper's
+    /// Section 3 alludes to), charged to the group owner's bucket; keys
+    /// that would overdraw it stay queued and are counted as throttled.
+    /// Returns the number of blocks repaired. A no-op under replication.
+    pub fn run_repair_round(&mut self, now: SimTime) -> usize {
+        let bps = self.cfg.repair_budget_bps;
+        let dt_us = now.saturating_sub(self.last_repair_refill).as_micros();
+        self.last_repair_refill = now;
+        if bps > 0 {
+            let add = bps.saturating_mul(dt_us) / 1_000_000;
+            // Unused budget carries over up to one hour's worth: enough to
+            // absorb a burst after a quiet window without unbounding the
+            // long-run rate.
+            let cap = bps.saturating_mul(3600);
+            for t in &mut self.repair_tokens {
+                *t = (*t + add).min(cap);
+            }
+        }
+        if self.repair_queue.is_empty() {
+            return 0;
+        }
+        let m = self.cfg.effective_repair_threshold();
+        let keys: Vec<Key> = self.repair_queue.iter().copied().collect();
+        let mut repaired = 0;
+        for key in keys {
+            let Some(&len) = self.sizes.get(&key) else {
+                self.repair_queue.remove(&key);
+                continue;
+            };
+            let survivors = self.reachable_copies(&key, now);
+            if survivors >= m {
+                // Recovered on its own (a holder returned, or an earlier
+                // transfer arrived): nothing to regenerate after all.
+                self.repair_queue.remove(&key);
+                self.stats.repairs_skipped_lazy += 1;
+                continue;
+            }
+            if survivors < self.min_live() {
+                // Not reconstructable right now; keep it queued in case a
+                // holder comes back.
+                continue;
+            }
+            let group = self.ring.replica_group(&key, self.group_size());
+            let missing = group
+                .iter()
+                .filter(|&&mem| self.node_up[mem.0] && !self.stores[mem.0].contains(&key))
+                .count() as u64;
+            if missing == 0 {
+                self.repair_queue.remove(&key);
+                continue;
+            }
+            let Some(&owner) = group.first() else {
+                continue;
+            };
+            // Each regenerated fragment reads k fragments (~ one block).
+            let cost = (len as u64).saturating_mul(missing);
+            if bps > 0 && self.repair_tokens[owner.0] < cost {
+                self.stats.repair_throttled_bytes += cost;
+                continue;
+            }
+            let before = self.stats.migration_bytes;
+            self.sync_keys([key], now, SyncCtx::Repair);
+            let spent = self.stats.migration_bytes - before;
+            self.stats.repair_bytes += spent;
+            if bps > 0 {
+                self.repair_tokens[owner.0] = self.repair_tokens[owner.0].saturating_sub(spent);
+            }
+            self.repair_queue.remove(&key);
+            repaired += 1;
+        }
+        repaired
     }
 
     /// Brings a node back at ring position `id` (or its previous one):
@@ -894,7 +1085,7 @@ impl SimCluster {
             .into_iter()
             .collect();
         if let Some(range) = self.ring.range_of(node) {
-            for n in self.ring.replica_group(range.end(), self.cfg.replicas + 1) {
+            for n in self.ring.replica_group(range.end(), self.group_size() + 1) {
                 for k in self.stores[n.0].keys_in(&d2_types::KeyRange::full()) {
                     keys.insert(k);
                 }
@@ -988,6 +1179,7 @@ impl LoadView for Loads<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use d2_ec::RedundancyPolicy;
 
     fn cluster(n: usize, system: SystemKind) -> SimCluster {
         let cfg = ClusterConfig {
@@ -1335,19 +1527,23 @@ mod tests {
     fn erasure_requires_k_live_fragments() {
         let cfg = ClusterConfig {
             nodes: 12,
-            replicas: 4,
-            erasure_k: Some(2),
+            redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
             seed: 8,
             ..ClusterConfig::default()
         };
         let mut c = SimCluster::new(SystemKind::D2, &cfg);
         let key = Key::from_fraction(0.5);
         c.put_block(key, 8192, SimTime::ZERO);
-        // 4 fragments of 4096 each.
+        // 4 fragments of 4096 each, carrying their code-word index.
         let holders = c.holders_of(&key);
         assert_eq!(holders.len(), 4);
-        for h in &holders {
-            assert_eq!(c.stores[h.0].get(&key).unwrap().payload.len(), 4096);
+        for (pos, h) in holders.iter().enumerate() {
+            let payload = &c.stores[h.0].get(&key).unwrap().payload;
+            assert_eq!(payload.len(), 4096);
+            assert!(
+                matches!(payload, Payload::Fragment { index, .. } if *index == pos as u8),
+                "holder {pos} must store its code-word slot"
+            );
         }
         assert!(c.is_available(&key, SimTime::ZERO));
         // Kill fragments one at a time at the same instant (suppress
@@ -1375,8 +1571,7 @@ mod tests {
         let mut rep = cluster(12, SystemKind::D2);
         let cfg = ClusterConfig {
             nodes: 12,
-            replicas: 4,
-            erasure_k: Some(2),
+            redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
             seed: 42,
             ..ClusterConfig::default()
         };
@@ -1391,6 +1586,107 @@ mod tests {
         assert_eq!(rep_bytes, 3 * 50 * 8192);
         assert_eq!(ec_bytes, 4 * 50 * 4096);
         assert!(ec_bytes < rep_bytes);
+    }
+
+    #[test]
+    fn lazy_repair_skips_losses_above_threshold() {
+        // ec(2,4) has default repair threshold m = 3: losing one of four
+        // fragments costs nothing; losing a second queues a repair.
+        let cfg = ClusterConfig {
+            nodes: 12,
+            redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
+            seed: 8,
+            ..ClusterConfig::default()
+        };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        let key = Key::from_fraction(0.5);
+        c.put_block(key, 8192, SimTime::ZERO);
+        let holders = c.holders_of(&key);
+        let t1 = SimTime::from_secs(10);
+        c.node_down(holders[0], t1);
+        assert_eq!(c.repair_queue_len(), 0, "3 survivors >= m: no repair");
+        assert_eq!(c.stats.repairs_skipped_lazy, 1);
+        assert_eq!(c.stats.repair_bytes, 0);
+        assert!(c.is_available(&key, t1));
+
+        let t2 = SimTime::from_secs(20);
+        c.node_down(holders[1], t2);
+        assert_eq!(c.repair_queue_len(), 1, "2 survivors < m: queued");
+        assert!(c.is_available(&key, t2), "still decodable from k = 2");
+
+        let t3 = SimTime::from_secs(30);
+        let repaired = c.run_repair_round(t3);
+        assert_eq!(repaired, 1);
+        assert_eq!(c.repair_queue_len(), 0);
+        assert!(c.stats.repair_bytes > 0);
+        // Regeneration restored the full group on the shifted successors.
+        let t4 = SimTime::from_secs(4_000);
+        assert_eq!(c.reachable_copies(&key, t4), 4);
+    }
+
+    #[test]
+    fn repair_budget_throttles_then_releases() {
+        let cfg = ClusterConfig {
+            nodes: 12,
+            redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
+            repair_budget_bps: 10,
+            seed: 8,
+            ..ClusterConfig::default()
+        };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        let key = Key::from_fraction(0.5);
+        c.put_block(key, 8192, SimTime::ZERO);
+        let holders = c.holders_of(&key);
+        c.node_down(holders[0], SimTime::from_secs(1));
+        c.node_down(holders[1], SimTime::from_secs(2));
+        assert_eq!(c.repair_queue_len(), 1);
+
+        // Two missing 4096-byte fragments cost a full 8192-byte gather
+        // each; at 10 B/s the bucket holds ~100 bytes after 10 s.
+        assert_eq!(c.run_repair_round(SimTime::from_secs(10)), 0);
+        assert_eq!(c.repair_queue_len(), 1, "budget empty: still queued");
+        assert!(c.stats.repair_throttled_bytes >= 16_384);
+        assert_eq!(c.stats.repair_bytes, 0);
+
+        // After an hour the bucket has accrued enough for both fragments.
+        let late = SimTime::from_secs(3_600);
+        assert_eq!(c.run_repair_round(late), 1);
+        assert_eq!(c.repair_queue_len(), 0);
+        assert_eq!(c.stats.repair_bytes, 16_384);
+        // Spend never exceeds what the budget accrued over the window.
+        assert!(c.stats.repair_bytes <= 10 * 3_600);
+    }
+
+    #[test]
+    fn unreconstructable_keys_wait_in_queue_for_a_returning_holder() {
+        let cfg = ClusterConfig {
+            nodes: 12,
+            redundancy: Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 }),
+            seed: 8,
+            ..ClusterConfig::default()
+        };
+        let mut c = SimCluster::new(SystemKind::D2, &cfg);
+        let key = Key::from_fraction(0.5);
+        c.put_block(key, 8192, SimTime::ZERO);
+        let holders = c.holders_of(&key);
+        let ids: Vec<Key> = holders.iter().map(|&h| c.ring.id_of(h).unwrap()).collect();
+        for (i, &h) in holders.iter().enumerate().take(3) {
+            c.node_down(h, SimTime::from_secs(1 + i as u64));
+        }
+        // One fragment left: below k, the repair round must not drop the
+        // key (and must not fabricate data).
+        let t = SimTime::from_secs(100);
+        assert!(!c.is_available(&key, t));
+        assert_eq!(c.run_repair_round(t), 0);
+        assert_eq!(c.repair_queue_len(), 1);
+        // A holder returns: now k fragments are reachable and the queued
+        // repair can regenerate the rest.
+        c.node_up_at(holders[0], ids[0], SimTime::from_secs(200));
+        let t2 = SimTime::from_secs(300);
+        assert!(c.run_repair_round(t2) <= 1);
+        let t3 = SimTime::from_secs(4_000);
+        assert!(c.is_available(&key, t3));
+        assert!(c.reachable_copies(&key, t3) >= 3);
     }
 
     #[test]

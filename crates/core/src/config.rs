@@ -1,5 +1,6 @@
 //! Cluster configuration with the paper's defaults.
 
+use d2_ec::RedundancyPolicy;
 use d2_ring::BalanceConfig;
 use d2_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -32,11 +33,23 @@ pub struct ClusterConfig {
     /// Whether the load balancer uses block pointers to defer migration
     /// (Section 6). Disable for the ablation in Table 4's discussion.
     pub use_pointers: bool,
-    /// Erasure coding (paper Section 3's discussed alternative to whole-
-    /// block replication): `Some(k)` stores `replicas` fragments of
-    /// `len/k` bytes on the replica group and requires any `k` of them to
-    /// reconstruct a block. `None` (default) is whole-block replication.
-    pub erasure_k: Option<usize>,
+    /// Redundancy backend (paper Section 3's replication-vs-coding
+    /// trade-off). `None` (default) is whole-block replication at
+    /// [`ClusterConfig::replicas`]; `Some(policy)` selects the policy
+    /// explicitly — `ErasureCode { k, n }` stores `n` fragments of
+    /// `len/k` bytes on `n` consecutive successors and reconstructs a
+    /// block from any `k` of them.
+    pub redundancy: Option<RedundancyPolicy>,
+    /// Lazy-repair threshold `m` (erasure mode only): a block's fragments
+    /// are regenerated only once the survivor count drops *below* `m`,
+    /// with `k <= m < n`. `None` (default) uses
+    /// [`RedundancyPolicy::default_repair_threshold`] — halfway between
+    /// "still decodable" and "fully redundant".
+    pub repair_threshold: Option<usize>,
+    /// Repair-budget rate limit in bytes/sec per node for lazy erasure
+    /// repair traffic (gather + regenerated fragments). `0` (default)
+    /// means unlimited — repair is still lazy but never throttled.
+    pub repair_budget_bps: u64,
     /// Hybrid replica placement (the paper's Section 11 future work):
     /// additionally store this many safeguard replicas at a *hashed* twin
     /// key, combining locality-preserving and consistent-hashing
@@ -71,10 +84,36 @@ impl Default for ClusterConfig {
             balance: BalanceConfig::default(),
             successors: 4,
             use_pointers: true,
-            erasure_k: None,
+            redundancy: None,
+            repair_threshold: None,
+            repair_budget_bps: 0,
             hybrid_hash_replicas: 0,
             node_capacity_bytes: None,
             failure_detection: SimTime::ZERO,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The effective redundancy policy: `redundancy` if set, else
+    /// whole-block replication at [`ClusterConfig::replicas`].
+    pub fn redundancy_policy(&self) -> RedundancyPolicy {
+        self.redundancy
+            .unwrap_or(RedundancyPolicy::Replicate { r: self.replicas })
+    }
+
+    /// The effective lazy-repair threshold `m` for the policy: the
+    /// explicit [`ClusterConfig::repair_threshold`] clamped to
+    /// `[k, n - 1]`, else the policy default. Replication repairs any
+    /// missing member (`m = r`).
+    pub fn effective_repair_threshold(&self) -> usize {
+        let policy = self.redundancy_policy();
+        match self.repair_threshold {
+            Some(m) => m.clamp(
+                policy.min_fragments(),
+                policy.group_size().saturating_sub(1).max(1),
+            ),
+            None => policy.default_repair_threshold(),
         }
     }
 }

@@ -22,5 +22,6 @@ pub mod perf;
 pub use avail::{AvailabilityReport, AvailabilitySim, TaskProfile};
 pub use cluster::{ClusterStats, SimCluster};
 pub use config::ClusterConfig;
+pub use d2_ec::RedundancyPolicy;
 pub use d2_types::SystemKind;
 pub use perf::{Parallelism, PerfConfig, PerfReport, PerfSim};

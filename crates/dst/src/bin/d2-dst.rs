@@ -2,10 +2,17 @@
 //!
 //! ```text
 //! d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]
-//!               [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]
-//! d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]
-//!               [--bug-head-only] [--trace PATH] [-v]
+//!               [--ec K/N] [--repair-budget BPS] [--puts P] [--jobs J]
+//!               [--bug-head-only] [--json PATH] [-v]
+//! d2-dst replay --seed S [--nodes N] [--replicas R] [--ec K/N]
+//!               [--repair-budget BPS] [--puts P] [--bug-head-only]
+//!               [--trace PATH] [-v]
 //! ```
+//!
+//! `--ec K/N` runs every node in erasure-coded fragment mode (any `K`
+//! of `N` fragments reconstruct a block) instead of whole-block
+//! replication; `--repair-budget` caps each node's lazy-repair traffic
+//! in bytes of virtual time per second (`0` = unlimited).
 //!
 //! `sweep` runs one deterministic world per seed and exits nonzero if
 //! any fails; the first failing seed is shrunk to a minimal fault plan
@@ -15,7 +22,7 @@
 //! See EXPERIMENTS.md ("Replaying a failing schedule") for a
 //! walkthrough.
 
-use d2_dst::{run_one, shrink, sweep, Overrides, Scenario};
+use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario};
 use d2_obs::trace::{to_jsonl, TraceEvent};
 use d2_obs::{render_span_tree, SpanRecord};
 use std::io::Write;
@@ -26,8 +33,10 @@ const SHRINK_BUDGET: usize = 300;
 fn usage() -> ! {
     eprintln!(
         "usage: d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]\n\
-         \x20                  [--puts P] [--jobs J] [--bug-head-only] [--json PATH] [-v]\n\
-         \x20      d2-dst replay --seed S [--nodes N] [--replicas R] [--puts P]\n\
+         \x20                  [--ec K/N] [--repair-budget BPS] [--puts P] [--jobs J]\n\
+         \x20                  [--bug-head-only] [--json PATH] [-v]\n\
+         \x20      d2-dst replay --seed S [--nodes N] [--replicas R] [--ec K/N]\n\
+         \x20                  [--repair-budget BPS] [--puts P]\n\
          \x20                  [--bug-head-only] [--trace PATH] [-v]"
     );
     std::process::exit(2);
@@ -49,6 +58,21 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
         eprintln!("{flag} wants a number, got {s:?}");
         std::process::exit(2);
     })
+}
+
+/// Parses `--ec K/N` (e.g. `4/8`): K data fragments, N total, K < N.
+fn parse_ec(s: &str) -> RedundancyPolicy {
+    let parts: Vec<&str> = s.split('/').collect();
+    if let [k, n] = parts[..] {
+        if let (Ok(k), Ok(n)) = (k.parse::<usize>(), n.parse::<usize>()) {
+            let policy = RedundancyPolicy::ErasureCode { k, n };
+            if policy.validate().is_ok() {
+                return policy;
+            }
+        }
+    }
+    eprintln!("--ec wants K/N with 1 <= K < N <= 255 (e.g. --ec 4/8), got {s:?}");
+    std::process::exit(2);
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -76,6 +100,11 @@ fn parse_args(args: &[String]) -> Args {
             "--seed" => out.seed = Some(parse_num(&val("--seed"), "--seed")),
             "--nodes" => out.scenario.nodes = parse_num(&val("--nodes"), "--nodes"),
             "--replicas" => out.scenario.replicas = parse_num(&val("--replicas"), "--replicas"),
+            "--ec" => out.scenario.redundancy = Some(parse_ec(&val("--ec"))),
+            "--repair-budget" => {
+                out.scenario.repair_budget_bps =
+                    parse_num(&val("--repair-budget"), "--repair-budget")
+            }
             "--puts" => out.scenario.puts = parse_num(&val("--puts"), "--puts"),
             "--jobs" => out.jobs = parse_num(&val("--jobs"), "--jobs"),
             "--bug-head-only" => out.scenario.probe_head_only = true,
@@ -85,8 +114,12 @@ fn parse_args(args: &[String]) -> Args {
             _ => usage(),
         }
     }
-    if out.scenario.nodes < 2 || out.scenario.replicas as usize >= out.scenario.nodes {
-        eprintln!("need nodes >= 2 and replicas < nodes");
+    let group = match out.scenario.redundancy {
+        Some(p) => p.group_size(),
+        None => out.scenario.replicas as usize,
+    };
+    if out.scenario.nodes < 2 || group >= out.scenario.nodes {
+        eprintln!("need nodes >= 2 and the redundancy group (replicas, or N with --ec) < nodes");
         std::process::exit(2);
     }
     out
@@ -169,8 +202,12 @@ fn cmd_sweep(args: Args) {
         } else {
             ""
         };
+        let ec = match args.scenario.redundancy {
+            Some(RedundancyPolicy::ErasureCode { k, n }) => format!(" --ec {k}/{n}"),
+            _ => String::new(),
+        };
         println!(
-            "replay: d2-dst replay --seed {} --nodes {} --replicas {} --puts {}{}",
+            "replay: d2-dst replay --seed {} --nodes {} --replicas {} --puts {}{ec}{}",
             first.seed, sc.nodes, sc.replicas, sc.puts, bug
         );
     }

@@ -19,10 +19,12 @@
 //!
 //! - [`invariants`] — Zave-style ring invariants (one ring covering all
 //!   live nodes, ordered corpse-free successor lists, cycle-consistent
-//!   predecessors) plus storage invariants (every acked put readable
-//!   from its owner, replica count converged back to `r` on the
-//!   owner-plus-successors chain), evaluated at quiescent checkpoints
-//!   after fault injection ends;
+//!   predecessors) plus storage invariants (replicated scenarios:
+//!   every acked put readable from its owner, replica count converged
+//!   back to `r` on the owner-plus-successors chain; erasure-coded
+//!   scenarios: every acked put reconstructable from at least
+//!   `min(k, live)` surviving fragments), evaluated at quiescent
+//!   checkpoints after fault injection ends;
 //! - [`explore`] — parallel seed sweeps ([`explore::sweep`]) and
 //!   delta-debugging fault-plan minimization ([`explore::shrink`]) that
 //!   turn "seed 7134 fails" into a handful of named faults;
@@ -42,6 +44,7 @@ pub mod fate;
 pub mod invariants;
 pub mod world;
 
+pub use d2_net::RedundancyPolicy;
 pub use explore::{run_one, shrink, sweep, SeedResult, ShrinkResult};
 pub use fate::{Fate, FateKind, FatePolicy, FaultProbs, SplitMix};
 pub use world::{

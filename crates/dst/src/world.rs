@@ -29,7 +29,7 @@
 use crate::fate::{FateKind, FatePolicy, FaultProbs, SplitMix};
 use crate::invariants;
 use d2_net::runtime::TICK;
-use d2_net::{Clock, NodeRuntime, SimClock};
+use d2_net::{Clock, NodeRuntime, RedundancyPolicy, SimClock};
 use d2_obs::trace::TraceEvent;
 use d2_obs::{Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, RingMsg};
@@ -93,6 +93,19 @@ pub struct Scenario {
     /// Targeted fault for regression scripts: silently drop the first
     /// `n` `JoinAck` messages put on the wire.
     pub drop_first_join_acks: u32,
+    /// Redundancy backend override. `None` runs plain replication at
+    /// factor [`Scenario::replicas`]; `Some(ErasureCode { k, n })` runs
+    /// every node in fragment mode, where a put encodes into `n`
+    /// fragments (any `k` reconstruct) and the generated crash budget
+    /// becomes `n - k` instead of `replicas - 1`.
+    pub redundancy: Option<RedundancyPolicy>,
+    /// Lazy-repair trigger override (`None` = the policy default): a
+    /// key regenerates only once its surviving fragments drop below
+    /// this.
+    pub repair_threshold: Option<usize>,
+    /// Per-node repair budget in bytes of virtual time per second
+    /// (`0` = unlimited).
+    pub repair_budget_bps: u64,
 }
 
 impl Default for Scenario {
@@ -108,6 +121,9 @@ impl Default for Scenario {
             probe_head_only: false,
             node_events: None,
             drop_first_join_acks: 0,
+            redundancy: None,
+            repair_threshold: None,
+            repair_budget_bps: 0,
         }
     }
 }
@@ -122,6 +138,35 @@ impl Scenario {
             fault_end_us: 6_000_000,
             deadline_us: 45_000_000,
             ..Scenario::default()
+        }
+    }
+
+    /// The default-size world with every node in erasure-coded fragment
+    /// mode (`k` of `n`).
+    pub fn ec(seed: u64, k: usize, n: usize) -> Self {
+        Scenario {
+            seed,
+            redundancy: Some(RedundancyPolicy::ErasureCode { k, n }),
+            ..Scenario::default()
+        }
+    }
+
+    /// Distinct copies (replica mode) or fragments (EC mode) a put must
+    /// land before the client counts it as fully acked.
+    pub(crate) fn required_acks(&self) -> u32 {
+        match self.redundancy {
+            Some(p) => p.group_size() as u32,
+            None => self.replicas,
+        }
+    }
+
+    /// Concurrent crashes an acked put survives by construction —
+    /// `r - 1` under replication, `n - k` under erasure coding. The
+    /// generated fault plan never exceeds this.
+    pub fn failure_budget(&self) -> usize {
+        match self.redundancy {
+            Some(p) => p.group_size() - p.min_fragments(),
+            None => self.replicas.saturating_sub(1) as usize,
         }
     }
 }
@@ -286,8 +331,9 @@ pub struct RunOutcome {
 /// returns the scripted plan verbatim).
 ///
 /// Generated plans respect the protocol's failure assumption: at most
-/// `replicas - 1` crashes total (so an acked put can never lose every
-/// replica), victims are never node 0, and every event completes before
+/// [`Scenario::failure_budget`] crashes total — `r - 1` replicated,
+/// `n - k` erasure-coded — (so an acked put can never lose every
+/// copy), victims are never node 0, and every event completes before
 /// `fault_end_us`. Isolations are single-node so the live topology
 /// stays transitively connected — like Chord, the protocol has no ring
 /// merge, so a netsplit held long enough for each side to form its own
@@ -300,7 +346,7 @@ pub fn generate_node_events(sc: &Scenario) -> Vec<NodeEvent> {
     let fe = sc.fault_end_us;
     let mut rng = SplitMix::new(sc.seed ^ 0x0001_0000_0000_0001);
     let mut events = Vec::new();
-    let max_crashes = (sc.replicas.saturating_sub(1) as usize).min(sc.nodes.saturating_sub(2));
+    let max_crashes = sc.failure_budget().min(sc.nodes.saturating_sub(2));
     let crashes = match rng.unit() {
         u if u < 0.20 => 0,
         u if u < 0.60 => 1usize.min(max_crashes),
@@ -475,9 +521,12 @@ impl SimWorld {
     pub fn new(sc: Scenario, overrides: &Overrides) -> Self {
         assert!(sc.nodes >= 2, "a ring needs at least two nodes");
         assert!(
-            (sc.replicas as usize) < sc.nodes,
-            "the failure assumption needs replicas < nodes"
+            (sc.required_acks() as usize) < sc.nodes,
+            "the failure assumption needs the redundancy group < nodes"
         );
+        if let Some(p) = sc.redundancy {
+            p.validate().expect("scenario redundancy policy");
+        }
         assert!(sc.fault_end_us >= 4_000_000, "leave room for boot + churn");
         let client_addr = sc.nodes;
         let net = Arc::new(Mutex::new(NetInner {
@@ -643,6 +692,10 @@ impl SimWorld {
         self.sc.replicas
     }
 
+    pub(crate) fn redundancy(&self) -> Option<RedundancyPolicy> {
+        self.sc.redundancy
+    }
+
     pub(crate) fn client_ops(&self) -> &[ClientOp] {
         &self.ops
     }
@@ -662,10 +715,16 @@ impl SimWorld {
     }
 
     fn ring_cfg(&self) -> NodeConfig {
-        NodeConfig {
+        let mut cfg = NodeConfig {
             probe_head_only: self.sc.probe_head_only,
             ..NodeConfig::default()
-        }
+        };
+        // An erasure group of `n` members needs `n - 1` successors,
+        // which a wide code pushes past the default list length.
+        cfg.successors = cfg
+            .successors
+            .max((self.sc.required_acks() as usize).saturating_sub(1));
+        cfg
     }
 
     /// Per-node phase offset so ticks interleave instead of firing in
@@ -686,6 +745,9 @@ impl SimWorld {
             NodeRuntime::join_with_clock(id, self.ring_cfg(), transport, 0, self.clock.clone())
         };
         rt.set_replication(self.sc.replicas);
+        if let Some(policy) = self.sc.redundancy {
+            rt.set_redundancy(policy, self.sc.repair_threshold, self.sc.repair_budget_bps);
+        }
         self.nodes[node] = Some(rt);
         self.mark(t, format!("{label} node {node}"));
         self.drain_outbox(t);
@@ -939,7 +1001,9 @@ impl SimWorld {
                     from: self.client_addr,
                     body: Request::Put {
                         key: self.ops[op].key,
-                        fanout: self.sc.replicas - 1,
+                        // EC owners ignore the requested fanout — the
+                        // policy's group size decides.
+                        fanout: self.sc.required_acks() - 1,
                         stored: 0,
                         data: self.ops[op].data.clone(),
                     },
@@ -955,7 +1019,10 @@ impl SimWorld {
                 );
             }
             Response::PutAck { replicas } => {
-                if replicas >= self.sc.replicas {
+                // In EC mode the ack carries the fragment count; full
+                // durability is the whole group, just as it is all `r`
+                // copies under replication.
+                if replicas >= self.sc.required_acks() {
                     self.ops[op].acked = true;
                     self.ops[op].cur_req = None;
                     self.stats.acked_puts += 1;

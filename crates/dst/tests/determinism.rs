@@ -3,7 +3,7 @@
 //! re-introduced, a short sweep must catch it and shrink the repro to a
 //! handful of faults.
 
-use d2_dst::{run_one, shrink, sweep, Overrides, Scenario};
+use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario};
 use d2_obs::trace::to_jsonl;
 
 /// Same seed, same scenario — byte-identical trace and identical
@@ -36,6 +36,36 @@ fn different_seeds_diverge() {
 #[test]
 fn default_scenarios_converge() {
     let sc = Scenario::small(0);
+    let results = sweep(&sc, 0, 8, 4);
+    for r in &results {
+        assert!(r.ok, "seed {} failed: {:?}", r.seed, r.violation);
+        assert_eq!(r.acked_puts as usize, sc.puts, "seed {}", r.seed);
+    }
+}
+
+/// Erasure-coded worlds replay byte-identically too: the fragment path
+/// adds owner-side encode, gather, and repair state that the seed (via
+/// the virtual clock's write generations) must fully determine.
+#[test]
+fn ec_same_seed_is_byte_identical() {
+    let mut sc = Scenario::small(77);
+    sc.redundancy = Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 });
+    let a = run_one(&sc, &Overrides::default());
+    let b = run_one(&sc, &Overrides::default());
+    assert_eq!(a.ok, b.ok);
+    assert_eq!(a.end_us, b.end_us);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace));
+}
+
+/// The default fault mix also converges with every node in (2, 4)
+/// fragment mode: puts ack all four fragments, and each checkpoint
+/// holds the reconstructability invariant instead of the replica-chain
+/// one.
+#[test]
+fn ec_default_scenarios_converge() {
+    let mut sc = Scenario::small(0);
+    sc.redundancy = Some(RedundancyPolicy::ErasureCode { k: 2, n: 4 });
     let results = sweep(&sc, 0, 8, 4);
     for r in &results {
         assert!(r.ok, "seed {} failed: {:?}", r.seed, r.violation);

@@ -16,7 +16,7 @@
 //!    chase moving ownership forever. Fixed with a forwarding hop
 //!    budget that converts the chase into a retryable failure.
 
-use d2_dst::{run_one, FaultProbs, NodeEvent, Overrides, Scenario};
+use d2_dst::{run_one, FaultProbs, NodeEvent, Overrides, RedundancyPolicy, Scenario};
 
 /// A script-only scenario: no seed-drawn message faults, so the run
 /// exercises exactly the scripted events.
@@ -104,6 +104,49 @@ fn join_storm_with_churn_settles() {
     };
     let out = run_one(&sc, &Overrides::default());
     assert!(out.ok, "join storm failed to settle: {:?}", out.violation);
+}
+
+/// Erasure-coded repair under a throttled budget: with `(k = 3, n = 6)`
+/// fragments, crash `⌈(n − k) / 2⌉ = 2` adjacent fragment holders
+/// permanently. Keys owned just counterclockwise of the victims lose
+/// two of six fragments — below the default lazy-repair threshold
+/// (`m = 5`) — so the owners must queue them and regenerate within the
+/// configured byte budget, and the run must still converge with every
+/// put reconstructable. Adjacent victims matter: they sit together in
+/// the same placement groups regardless of how far successor-list
+/// convergence had gotten when each put landed.
+#[test]
+fn ec_adjacent_holder_crashes_heal_within_repair_budget() {
+    let mut sc = scripted(
+        51,
+        vec![
+            NodeEvent::Crash {
+                node: 4,
+                at_us: 5_000_000,
+                restart_us: None,
+            },
+            NodeEvent::Crash {
+                node: 5,
+                at_us: 5_200_000,
+                restart_us: None,
+            },
+        ],
+    );
+    sc.redundancy = Some(RedundancyPolicy::ErasureCode { k: 3, n: 6 });
+    // A deliberately small budget: repairs trickle over several token
+    // refills instead of bursting in one round.
+    sc.repair_budget_bps = 200;
+    let out = run_one(&sc, &Overrides::default());
+    assert!(
+        out.ok,
+        "EC world never re-converged after adjacent holder crashes: {:?}",
+        out.violation
+    );
+    assert_eq!(out.stats.acked_puts as usize, sc.puts);
+    assert!(
+        out.metrics.counter("ec.repaired_fragments") > 0,
+        "no key dropped below the repair threshold — the script lost its teeth"
+    );
 }
 
 /// The lost-ack script is fate-targeted, not probabilistic: exactly the

@@ -1,0 +1,145 @@
+//! GF(2^8) arithmetic: the field behind the Reed–Solomon coder.
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo the primitive polynomial `x^8 + x^4 + x^3 +
+//! x^2 + 1` (0x11d). Multiplication and inversion go through log/exp
+//! tables built at compile time, so the hot encode loop is two table
+//! reads and an add — no branching on the field internals.
+
+/// The primitive polynomial defining the field (0x11d).
+const POLY: usize = 0x11d;
+
+/// Builds the log and (doubled) exp tables at compile time.
+///
+/// `EXP` is 512 entries so `EXP[log a + log b]` never needs a modular
+/// reduction: the largest reachable index is `254 + 254 = 508`.
+const fn build_tables() -> ([u8; 256], [u8; 512]) {
+    let mut log = [0u8; 256];
+    let mut exp = [0u8; 512];
+    let mut x: usize = 1;
+    let mut i: usize = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        log[x] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Indices 510 and 511 are unreachable (log values cap at 254), but
+    // the table is total so lookups can never read uninitialized data.
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    (log, exp)
+}
+
+const TABLES: ([u8; 256], [u8; 512]) = build_tables();
+/// `LOG[a]` = discrete log of `a` base the generator (undefined at 0).
+pub const LOG: [u8; 256] = TABLES.0;
+/// `EXP[i]` = generator to the `i`-th power, doubled to skip reduction.
+pub const EXP: [u8; 512] = TABLES.1;
+
+/// Field addition (== subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via the log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. `a` must be non-zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "0 has no inverse in GF(2^8)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division: `a / b`. `b` must be non-zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    debug_assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        EXP[255 + LOG[a as usize] as usize - LOG[b as usize] as usize]
+    }
+}
+
+/// `base` raised to the `e`-th power.
+#[inline]
+pub fn pow(base: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let l = (LOG[base as usize] as usize * e) % 255;
+    EXP[l]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse_maps() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply reduced mod POLY, checked exhaustively on
+        // a sample grid plus the axioms below.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY as u16;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        for a in 0..=255u16 {
+            for b in (0..=255u16).step_by(7) {
+                assert_eq!(mul(a as u8, b as u8), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul() {
+        for base in [0u8, 1, 2, 3, 29, 142, 255] {
+            let mut acc = 1u8;
+            for e in 0..20 {
+                assert_eq!(pow(base, e), acc, "base {base} e {e}");
+                acc = mul(acc, base);
+            }
+        }
+    }
+}

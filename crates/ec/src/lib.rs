@@ -1,0 +1,608 @@
+//! D2-EC: the erasure-coded redundancy backend.
+//!
+//! The paper buys durability with whole-block replication — `r` copies
+//! on consecutive successors — which multiplies both storage and repair
+//! bandwidth by `r`. This crate provides the alternative: a pure-std
+//! **systematic Reed–Solomon coder over GF(2^8)** ([`Codec`]) that
+//! encodes a block into `n` fragments of `ceil(len / k)` bytes such
+//! that *any* `k` of them reconstruct the block, and the
+//! [`RedundancyPolicy`] abstraction that lets the rest of the system
+//! choose between replication and erasure coding without knowing which
+//! one is in effect.
+//!
+//! Design points:
+//!
+//! - **Systematic**: fragments `0..k` are the data itself, split into
+//!   `k` shards. A reader that can reach the first `k` holders copies
+//!   bytes without any field arithmetic; the decoder detects this case.
+//! - **Any-k decodability by construction**: the encode matrix is a
+//!   Vandermonde matrix (distinct evaluation points, so every `k × k`
+//!   row submatrix is invertible) post-multiplied by the inverse of its
+//!   top square, which makes the top `k` rows the identity without
+//!   disturbing the any-k property.
+//! - **Self-verifying fragments**: every [`Fragment`] carries its index,
+//!   a generation number, and a checksum over both plus the payload.
+//!   Decoding a corrupted or cross-generation fragment set returns a
+//!   typed [`EcError`] — it never panics and never returns wrong bytes
+//!   silently.
+//!
+//! No unsafe code, no dependencies beyond `serde` (for policy configs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf;
+
+use serde::{Deserialize, Serialize};
+
+/// How a block's durability is bought: whole copies or fragments.
+///
+/// This is the knob the cluster configuration exposes; everything else
+/// (placement group size, minimum live holders for a read, stored bytes
+/// per holder, repair thresholds) derives from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundancyPolicy {
+    /// Store `r` full copies on `r` consecutive successors (the
+    /// paper's scheme).
+    Replicate {
+        /// Number of whole-block copies.
+        r: usize,
+    },
+    /// Store `n` Reed–Solomon fragments on `n` consecutive successors;
+    /// any `k` reconstruct the block.
+    ErasureCode {
+        /// Data fragments needed to reconstruct.
+        k: usize,
+        /// Total fragments stored.
+        n: usize,
+    },
+}
+
+impl RedundancyPolicy {
+    /// Number of consecutive successors a block (or its fragments)
+    /// occupies.
+    pub fn group_size(&self) -> usize {
+        match *self {
+            RedundancyPolicy::Replicate { r } => r,
+            RedundancyPolicy::ErasureCode { n, .. } => n,
+        }
+    }
+
+    /// Minimum live holders needed to read a block.
+    pub fn min_fragments(&self) -> usize {
+        match *self {
+            RedundancyPolicy::Replicate { .. } => 1,
+            RedundancyPolicy::ErasureCode { k, .. } => k,
+        }
+    }
+
+    /// Bytes stored *per holder* for a block of `len` bytes.
+    pub fn stored_len(&self, len: u64) -> u64 {
+        match *self {
+            RedundancyPolicy::Replicate { .. } => len,
+            RedundancyPolicy::ErasureCode { k, .. } => len.div_ceil(k as u64),
+        }
+    }
+
+    /// Total stored bytes across the group over the logical bytes:
+    /// `r` for replication, `n / k` for erasure coding.
+    pub fn storage_factor(&self) -> f64 {
+        match *self {
+            RedundancyPolicy::Replicate { r } => r as f64,
+            RedundancyPolicy::ErasureCode { k, n } => n as f64 / k as f64,
+        }
+    }
+
+    /// True for the erasure-coded variant.
+    pub fn is_erasure(&self) -> bool {
+        matches!(self, RedundancyPolicy::ErasureCode { .. })
+    }
+
+    /// The default lazy-repair threshold `m`: regenerate only once the
+    /// number of surviving fragments drops below `m`. Sits halfway into
+    /// the parity margin (`k + ceil((n - k) / 2)`, clamped to
+    /// `[k, n - 1]`), so a single lost fragment does not trigger a
+    /// repair storm but reconstructability never gets close to the
+    /// cliff. Replication repairs eagerly (`m = r`, i.e. any loss).
+    pub fn default_repair_threshold(&self) -> usize {
+        match *self {
+            RedundancyPolicy::Replicate { r } => r,
+            RedundancyPolicy::ErasureCode { k, n } => (k + (n - k).div_ceil(2)).clamp(k, n - 1),
+        }
+    }
+
+    /// Checks the parameters are usable (`r >= 1`; `1 <= k <= n <= 255`).
+    pub fn validate(&self) -> Result<(), EcError> {
+        match *self {
+            RedundancyPolicy::Replicate { r } if r >= 1 => Ok(()),
+            RedundancyPolicy::ErasureCode { k, n } if k >= 1 && k <= n && n <= 255 => Ok(()),
+            RedundancyPolicy::Replicate { r } => Err(EcError::BadParams { k: r, n: r }),
+            RedundancyPolicy::ErasureCode { k, n } => Err(EcError::BadParams { k, n }),
+        }
+    }
+
+    /// Short human-readable label (`r=3`, `ec(4,8)`): used by the
+    /// redundancy ablation and log lines.
+    pub fn label(&self) -> String {
+        match *self {
+            RedundancyPolicy::Replicate { r } => format!("r={r}"),
+            RedundancyPolicy::ErasureCode { k, n } => format!("ec({k},{n})"),
+        }
+    }
+}
+
+/// Everything that can go wrong encoding or decoding fragments.
+///
+/// Decoding never panics: malformed input maps to one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcError {
+    /// Unusable `(k, n)` parameters.
+    BadParams {
+        /// Offending `k`.
+        k: usize,
+        /// Offending `n`.
+        n: usize,
+    },
+    /// Fewer than `k` usable fragments were supplied.
+    NotEnoughFragments {
+        /// Distinct, verified fragments available.
+        have: usize,
+        /// Fragments required (`k`).
+        need: usize,
+    },
+    /// A fragment's checksum does not match its contents.
+    Corrupt {
+        /// Index of the offending fragment.
+        index: u8,
+    },
+    /// Fragments from different generations were mixed.
+    GenerationMismatch {
+        /// Generation of the first fragment seen.
+        expected: u64,
+        /// The disagreeing generation.
+        found: u64,
+    },
+    /// A fragment's index is outside `0..n`.
+    BadIndex {
+        /// The out-of-range index.
+        index: u8,
+    },
+    /// A fragment's payload length disagrees with the block length.
+    LengthMismatch {
+        /// Index of the offending fragment.
+        index: u8,
+    },
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EcError::BadParams { k, n } => write!(f, "unusable erasure parameters k={k} n={n}"),
+            EcError::NotEnoughFragments { have, need } => {
+                write!(f, "not enough fragments: have {have}, need {need}")
+            }
+            EcError::Corrupt { index } => write!(f, "fragment {index} failed its checksum"),
+            EcError::GenerationMismatch { expected, found } => {
+                write!(
+                    f,
+                    "fragment generation mismatch: expected {expected}, found {found}"
+                )
+            }
+            EcError::BadIndex { index } => write!(f, "fragment index {index} out of range"),
+            EcError::LengthMismatch { index } => {
+                write!(f, "fragment {index} has the wrong payload length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// One erasure-coded fragment of a block.
+///
+/// `check` is computed by [`Codec::encode`] (and by [`Fragment::new`])
+/// over the index, generation, and payload; [`Fragment::verify`]
+/// recomputes it, which is how the decoder rejects bit rot and stale
+/// writes instead of producing garbage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Position in the code word (`0..n`; `0..k` are systematic).
+    pub index: u8,
+    /// Write generation: fragments of different generations of the same
+    /// key never mix.
+    pub generation: u64,
+    /// The fragment payload (`ceil(len / k)` bytes).
+    pub data: Vec<u8>,
+    /// FNV-1a checksum over index, generation, and payload.
+    pub check: u64,
+}
+
+impl Fragment {
+    /// Builds a fragment, computing its checksum.
+    pub fn new(index: u8, generation: u64, data: Vec<u8>) -> Self {
+        let check = Self::checksum(index, generation, &data);
+        Fragment {
+            index,
+            generation,
+            data,
+            check,
+        }
+    }
+
+    /// Recomputes the checksum and compares it to the stored one.
+    pub fn verify(&self) -> bool {
+        Self::checksum(self.index, self.generation, &self.data) == self.check
+    }
+
+    /// FNV-1a 64-bit over the identifying header and the payload.
+    fn checksum(index: u8, generation: u64, data: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut step = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        step(index);
+        for b in generation.to_le_bytes() {
+            step(b);
+        }
+        for &b in data {
+            step(b);
+        }
+        h
+    }
+}
+
+/// A systematic `(k, n)` Reed–Solomon coder over GF(2^8).
+///
+/// Construction precomputes the `n × k` encode matrix; encode and
+/// decode are then straight-line table arithmetic. `k = n` degenerates
+/// to plain striping (no parity), which the policy layer never asks
+/// for but the math permits.
+#[derive(Clone, Debug)]
+pub struct Codec {
+    k: usize,
+    n: usize,
+    /// `n × k` encode matrix; top `k` rows are the identity.
+    matrix: Vec<Vec<u8>>,
+}
+
+impl Codec {
+    /// Builds a coder for `(k, n)`. Fails on unusable parameters.
+    pub fn new(k: usize, n: usize) -> Result<Self, EcError> {
+        RedundancyPolicy::ErasureCode { k, n }.validate()?;
+        // Vandermonde rows over distinct points 0..n: any k of them are
+        // linearly independent. Post-multiplying by the inverse of the
+        // top square makes the code systematic while preserving that.
+        let vander: Vec<Vec<u8>> = (0..n)
+            .map(|i| (0..k).map(|j| gf::pow(i as u8, j)).collect())
+            .collect();
+        let top_inv = invert(vander[..k].to_vec())
+            .expect("a Vandermonde top square over distinct points is invertible");
+        let matrix = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        let mut acc = 0u8;
+                        for (t, inv_row) in top_inv.iter().enumerate() {
+                            acc = gf::add(acc, gf::mul(vander[i][t], inv_row[j]));
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Codec { k, n, matrix })
+    }
+
+    /// Builds the coder a policy calls for (`None` for replication).
+    pub fn for_policy(policy: RedundancyPolicy) -> Option<Codec> {
+        match policy {
+            RedundancyPolicy::Replicate { .. } => None,
+            RedundancyPolicy::ErasureCode { k, n } => {
+                Some(Codec::new(k, n).expect("policy validated before the codec is built"))
+            }
+        }
+    }
+
+    /// Data fragments needed to reconstruct.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total fragments produced.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Payload bytes per fragment for a block of `len` bytes.
+    pub fn fragment_len(&self, len: usize) -> usize {
+        len.div_ceil(self.k)
+    }
+
+    /// Encodes `data` into `n` self-verifying fragments.
+    ///
+    /// Fragments `0..k` are the data shards (zero-padded at the tail);
+    /// `k..n` are parity. The original length is *not* stored in the
+    /// fragments — the caller keeps it and passes it to [`decode`].
+    ///
+    /// [`decode`]: Codec::decode
+    pub fn encode(&self, data: &[u8], generation: u64) -> Vec<Fragment> {
+        let flen = self.fragment_len(data.len());
+        let shard = |j: usize, b: usize| -> u8 {
+            let pos = j * flen + b;
+            if pos < data.len() {
+                data[pos]
+            } else {
+                0
+            }
+        };
+        (0..self.n)
+            .map(|i| {
+                let mut out = vec![0u8; flen];
+                if i < self.k {
+                    for (b, o) in out.iter_mut().enumerate() {
+                        *o = shard(i, b);
+                    }
+                } else {
+                    for j in 0..self.k {
+                        let c = self.matrix[i][j];
+                        if c == 0 {
+                            continue;
+                        }
+                        for (b, o) in out.iter_mut().enumerate() {
+                            *o = gf::add(*o, gf::mul(c, shard(j, b)));
+                        }
+                    }
+                }
+                Fragment::new(i as u8, generation, out)
+            })
+            .collect()
+    }
+
+    /// Reconstructs the original `len`-byte block from any `k` usable
+    /// fragments.
+    ///
+    /// Every supplied fragment is checksum-verified and checked for a
+    /// consistent generation before any arithmetic; duplicates by index
+    /// are ignored. Returns a typed [`EcError`] on any defect — this
+    /// function never panics on untrusted input.
+    pub fn decode(&self, fragments: &[Fragment], len: usize) -> Result<Vec<u8>, EcError> {
+        let flen = self.fragment_len(len);
+        let mut chosen: Vec<&Fragment> = Vec::with_capacity(self.k);
+        let mut seen = [false; 256];
+        let mut generation: Option<u64> = None;
+        for f in fragments {
+            if f.index as usize >= self.n {
+                return Err(EcError::BadIndex { index: f.index });
+            }
+            if !f.verify() {
+                return Err(EcError::Corrupt { index: f.index });
+            }
+            match generation {
+                None => generation = Some(f.generation),
+                Some(g) if g != f.generation => {
+                    return Err(EcError::GenerationMismatch {
+                        expected: g,
+                        found: f.generation,
+                    })
+                }
+                Some(_) => {}
+            }
+            if f.data.len() != flen {
+                return Err(EcError::LengthMismatch { index: f.index });
+            }
+            if !seen[f.index as usize] {
+                seen[f.index as usize] = true;
+                if chosen.len() < self.k {
+                    chosen.push(f);
+                }
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(EcError::NotEnoughFragments {
+                have: chosen.len(),
+                need: self.k,
+            });
+        }
+        chosen.sort_by_key(|f| f.index);
+        let mut out = vec![0u8; self.k * flen];
+        if chosen
+            .iter()
+            .enumerate()
+            .all(|(j, f)| f.index as usize == j)
+        {
+            // Fast path: the systematic prefix survived intact.
+            for (j, f) in chosen.iter().enumerate() {
+                out[j * flen..(j + 1) * flen].copy_from_slice(&f.data);
+            }
+        } else {
+            let sub: Vec<Vec<u8>> = chosen
+                .iter()
+                .map(|f| self.matrix[f.index as usize].clone())
+                .collect();
+            let inv = invert(sub).ok_or(EcError::BadParams {
+                k: self.k,
+                n: self.n,
+            })?;
+            for (j, row) in inv.iter().enumerate() {
+                let dst = &mut out[j * flen..(j + 1) * flen];
+                for (c, f) in row.iter().zip(chosen.iter()) {
+                    if *c == 0 {
+                        continue;
+                    }
+                    for (o, &s) in dst.iter_mut().zip(f.data.iter()) {
+                        *o = gf::add(*o, gf::mul(*c, s));
+                    }
+                }
+            }
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+/// Inverts a square matrix over GF(2^8) by Gauss–Jordan elimination.
+/// Returns `None` for a singular matrix.
+fn invert(mut m: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    let k = m.len();
+    let mut inv: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..k).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..k {
+        let pivot = (col..k).find(|&r| m[r][col] != 0)?;
+        m.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = gf::inv(m[col][col]);
+        for j in 0..k {
+            m[col][j] = gf::mul(m[col][j], p);
+            inv[col][j] = gf::mul(inv[col][j], p);
+        }
+        for r in 0..k {
+            if r == col || m[r][col] == 0 {
+                continue;
+            }
+            let f = m[r][col];
+            for j in 0..k {
+                m[r][j] = gf::add(m[r][j], gf::mul(f, m[col][j]));
+                inv[r][j] = gf::add(inv[r][j], gf::mul(f, inv[col][j]));
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_derivations() {
+        let rep = RedundancyPolicy::Replicate { r: 3 };
+        assert_eq!(rep.group_size(), 3);
+        assert_eq!(rep.min_fragments(), 1);
+        assert_eq!(rep.stored_len(8192), 8192);
+        assert_eq!(rep.storage_factor(), 3.0);
+        assert_eq!(rep.default_repair_threshold(), 3);
+        assert!(!rep.is_erasure());
+        assert_eq!(rep.label(), "r=3");
+
+        let ec = RedundancyPolicy::ErasureCode { k: 4, n: 8 };
+        assert_eq!(ec.group_size(), 8);
+        assert_eq!(ec.min_fragments(), 4);
+        assert_eq!(ec.stored_len(8192), 2048);
+        assert_eq!(ec.stored_len(8193), 2049);
+        assert_eq!(ec.storage_factor(), 2.0);
+        assert_eq!(ec.default_repair_threshold(), 6);
+        assert!(ec.is_erasure());
+        assert_eq!(ec.label(), "ec(4,8)");
+
+        assert_eq!(
+            RedundancyPolicy::ErasureCode { k: 2, n: 4 }.default_repair_threshold(),
+            3
+        );
+        assert_eq!(
+            RedundancyPolicy::ErasureCode { k: 8, n: 12 }.default_repair_threshold(),
+            10
+        );
+        // k = n leaves no parity margin: the clamp keeps m = k... n-1 < k
+        // is impossible, so the threshold pins to k.
+        assert_eq!(
+            RedundancyPolicy::ErasureCode { k: 3, n: 4 }.default_repair_threshold(),
+            3
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(RedundancyPolicy::Replicate { r: 0 }.validate().is_err());
+        assert!(RedundancyPolicy::ErasureCode { k: 0, n: 4 }
+            .validate()
+            .is_err());
+        assert!(RedundancyPolicy::ErasureCode { k: 5, n: 4 }
+            .validate()
+            .is_err());
+        assert!(RedundancyPolicy::ErasureCode { k: 2, n: 999 }
+            .validate()
+            .is_err());
+        assert!(RedundancyPolicy::ErasureCode { k: 2, n: 4 }
+            .validate()
+            .is_ok());
+        assert!(Codec::new(0, 4).is_err());
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let c = Codec::new(3, 5).unwrap();
+        let data: Vec<u8> = (0..30).collect();
+        let frags = c.encode(&data, 7);
+        let flen = c.fragment_len(data.len());
+        for (i, f) in frags.iter().enumerate().take(3) {
+            assert_eq!(&f.data[..], &data[i * flen..(i + 1) * flen]);
+            assert_eq!(f.generation, 7);
+            assert!(f.verify());
+        }
+        assert_eq!(frags.len(), 5);
+    }
+
+    #[test]
+    fn decodes_from_every_k_subset() {
+        let c = Codec::new(3, 6).unwrap();
+        let data: Vec<u8> = (0..=255u8).cycle().take(100).collect();
+        let frags = c.encode(&data, 1);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for d in (b + 1)..6 {
+                    let subset = vec![frags[a].clone(), frags[d].clone(), frags[b].clone()];
+                    assert_eq!(
+                        c.decode(&subset, data.len()).unwrap(),
+                        data,
+                        "subset {a},{b},{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_indices_do_not_count_twice() {
+        let c = Codec::new(2, 4).unwrap();
+        let data = b"hello world".to_vec();
+        let frags = c.encode(&data, 0);
+        let dup = vec![frags[3].clone(), frags[3].clone()];
+        assert_eq!(
+            c.decode(&dup, data.len()),
+            Err(EcError::NotEnoughFragments { have: 1, need: 2 })
+        );
+        let ok = vec![frags[3].clone(), frags[3].clone(), frags[1].clone()];
+        assert_eq!(c.decode(&ok, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let c = Codec::new(4, 8).unwrap();
+        let frags = c.encode(&[], 9);
+        assert!(frags.iter().all(|f| f.data.is_empty()));
+        assert_eq!(c.decode(&frags[4..], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corruption_and_generation_mix_are_typed_errors() {
+        let c = Codec::new(2, 4).unwrap();
+        let data = vec![42u8; 64];
+        let mut frags = c.encode(&data, 3);
+        frags[1].data[5] ^= 0xff;
+        assert_eq!(
+            c.decode(&frags[..2], data.len()),
+            Err(EcError::Corrupt { index: 1 })
+        );
+        let old = c.encode(&data, 2);
+        let mixed = vec![frags[0].clone(), old[3].clone()];
+        assert_eq!(
+            c.decode(&mixed, data.len()),
+            Err(EcError::GenerationMismatch {
+                expected: 3,
+                found: 2
+            })
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! experiments:
 //!   fig3 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14-15
-//!   table3 table4 fig16 fig17 churn all
+//!   table3 table4 fig16 fig17 churn redundancy all
 //! ```
 //!
 //! `--jobs` sets the worker-thread count (default: available
@@ -28,7 +28,7 @@ use d2_experiments::fig16_17::ALL_SYSTEMS;
 use d2_experiments::perf_suite::{self, SuiteConfig};
 use d2_experiments::{
     churn, exec, fig10, fig11, fig12, fig13, fig14_15, fig16_17, fig3, fig7, fig8, fig9,
-    obs_summary, table2, table3, table4, Scale,
+    obs_summary, redundancy, table2, table3, table4, Scale,
 };
 use d2_obs::{to_jsonl, SharedSink, TraceEvent};
 use d2_sim::{FailureModel, SimTime};
@@ -239,6 +239,7 @@ fn run_one(name: &str, ctx: &Ctx, trace: bool, jobs: usize) -> Option<(String, V
         }
         "table3" => table3::run(ctx.harvard(), ctx.web()).render(),
         "churn" => churn::run_traced(ctx.scale, ctx.seed, jobs, &sink).render(),
+        "redundancy" => redundancy::run_traced(ctx.scale, ctx.seed, jobs, &sink).render(),
         "table4" => table4::run_traced(
             ctx.harvard(),
             ctx.web(),
@@ -271,9 +272,23 @@ fn run_one(name: &str, ctx: &Ctx, trace: bool, jobs: usize) -> Option<(String, V
     Some((out, sink.drain()))
 }
 
-const ALL: [&str; 15] = [
-    "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14-15",
-    "table3", "table4", "fig16", "fig17", "churn",
+const ALL: [&str; 16] = [
+    "fig3",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14-15",
+    "table3",
+    "table4",
+    "fig16",
+    "fig17",
+    "churn",
+    "redundancy",
 ];
 
 fn main() {

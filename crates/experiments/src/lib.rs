@@ -29,7 +29,11 @@
 //! assumption*: that lookups keep succeeding (Section 8's simulators
 //! take this for granted) while the failure trace crashes and rejoins
 //! nodes, by driving fault-injected lookups with retries against a ring
-//! whose routing tables decay and self-stabilize.
+//! whose routing tables decay and self-stabilize. [`redundancy`] is the
+//! PR 9 ablation of the paper's Section 3 redundancy choice: replication
+//! at r = 3/4 vs erasure coding at several (k, n) shapes, all paired on
+//! one churn trace, reporting availability vs storage overhead vs lazy
+//! repair bandwidth.
 //!
 //! Every driver returns plain data structures *and* renders the
 //! paper-style text table via its `render` function, so the binaries and
@@ -51,6 +55,7 @@ pub mod fig9;
 pub mod obs_summary;
 pub mod params;
 pub mod perf_suite;
+pub mod redundancy;
 pub mod report;
 pub mod table2;
 pub mod table3;

@@ -1,8 +1,8 @@
 //! One D2 node (or client operation) per OS process, over TCP.
 //!
 //! ```text
-//! d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]
-//! d2-node serve-many --nodes N [--port P] [--replicas R] [--tick-ms T] [--join-batch B] [--obs-out PATH]
+//! d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--ec K/N] [--repair-threshold M] [--repair-budget BPS] [--obs-out PATH]
+//! d2-node serve-many --nodes N [--port P] [--replicas R] [--ec K/N] [--repair-threshold M] [--repair-budget BPS] [--tick-ms T] [--join-batch B] [--obs-out PATH]
 //! d2-node lookup     --node IP:PORT (--key-frac F | --key-u64 N)
 //! d2-node put        --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]
 //! d2-node get        --node IP:PORT (--key-frac F | --key-u64 N)
@@ -19,6 +19,13 @@
 //! joins through that address. With `--obs-out` it appends a JSONL
 //! metric snapshot (`net.bytes_{in,out}`, `net.msgs`, `net.reconnects`,
 //! RTT histograms) every second and once more on exit.
+//!
+//! `--ec K/N` switches the node to erasure-coded redundancy: puts are
+//! encoded into N fragments (any K reconstruct), gets gather-and-decode,
+//! and background repair becomes lazy — regenerating only keys whose
+//! survivors drop below `--repair-threshold M` (default: the midpoint
+//! between K and N), within `--repair-budget BPS` bytes/second per node
+//! (0 = unlimited). Every node in a ring must agree on the policy.
 //!
 //! `serve-many` hosts a whole N-node cluster in this one process: one
 //! reactor, one multiplexer thread, node `i` at virtual address
@@ -61,8 +68,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--obs-out PATH]\n\
-         \x20      d2-node serve-many --nodes N [--port P] [--replicas R] [--tick-ms T] [--join-batch B] [--obs-out PATH]\n\
+        "usage: d2-node serve      --listen IP:PORT [--seed IP:PORT] --pos F [--replicas N] [--ec K/N] [--repair-threshold M] [--repair-budget BPS] [--obs-out PATH]\n\
+         \x20      d2-node serve-many --nodes N [--port P] [--replicas R] [--ec K/N] [--repair-threshold M] [--repair-budget BPS] [--tick-ms T] [--join-batch B] [--obs-out PATH]\n\
          \x20      d2-node lookup     --node IP:PORT (--key-frac F | --key-u64 N)\n\
          \x20      d2-node put        --node IP:PORT (--key-frac F | --key-u64 N) --data S [--replicas N]\n\
          \x20      d2-node get        --node IP:PORT (--key-frac F | --key-u64 N)\n\
@@ -94,6 +101,26 @@ struct Args {
     join_batch: Option<usize>,
     expect: Option<usize>,
     all: bool,
+    ec: Option<(usize, usize)>,
+    repair_threshold: Option<usize>,
+    repair_budget: u64,
+}
+
+/// Parses `--ec K/N` (e.g. `4/8`): K data fragments, N total, K < N.
+fn parse_ec(s: &str) -> (usize, usize) {
+    let parts: Vec<&str> = s.split('/').collect();
+    if let [k, n] = parts[..] {
+        if let (Ok(k), Ok(n)) = (k.parse::<usize>(), n.parse::<usize>()) {
+            if (d2_net::RedundancyPolicy::ErasureCode { k, n })
+                .validate()
+                .is_ok()
+            {
+                return (k, n);
+            }
+        }
+    }
+    eprintln!("--ec wants K/N with 1 <= K < N <= 255 (e.g. --ec 4/8), got {s:?}");
+    std::process::exit(2);
 }
 
 fn parse_sock(s: &str, flag: &str) -> SocketAddrV4 {
@@ -202,6 +229,21 @@ fn parse_args(args: &[String]) -> Args {
                 }
             },
             "--all" => out.all = true,
+            "--ec" => out.ec = Some(parse_ec(&val("--ec"))),
+            "--repair-threshold" => match val("--repair-threshold").parse::<usize>() {
+                Ok(m) if m >= 1 => out.repair_threshold = Some(m),
+                _ => {
+                    eprintln!("--repair-threshold wants a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--repair-budget" => match val("--repair-budget").parse::<u64>() {
+                Ok(b) => out.repair_budget = b,
+                Err(_) => {
+                    eprintln!("--repair-budget wants bytes/second (0 = unlimited)");
+                    std::process::exit(2);
+                }
+            },
             _ => usage(),
         }
     }
@@ -232,13 +274,24 @@ fn serve(args: Args) {
         .obs_out
         .map(|path| spawn_obs(path, Arc::clone(&metrics), Arc::clone(&stop)));
 
-    let cfg = NodeConfig::default();
+    let mut cfg = NodeConfig::default();
+    if let Some((_, n)) = args.ec {
+        // A fragment group of n members needs n - 1 successors.
+        cfg.successors = cfg.successors.max(n.saturating_sub(1));
+    }
     let id = Key::from_fraction(pos);
     let mut rt = match args.seed {
         None => NodeRuntime::bootstrap(id, cfg, transport),
         Some(seed) => NodeRuntime::join(id, cfg, transport, pack_addr(seed)),
     };
     rt.set_replication(args.replicas as u32);
+    if let Some((k, n)) = args.ec {
+        rt.set_redundancy(
+            d2_net::RedundancyPolicy::ErasureCode { k, n },
+            args.repair_threshold,
+            args.repair_budget,
+        );
+    }
     // Fold this process's transport counters into MetricsDump replies,
     // so a remote `d2-node top` sees net.* alongside the node metrics.
     rt.set_net_metrics(metrics.clone());
@@ -292,6 +345,11 @@ fn serve_many(args: Args) {
     }
     if let Some(b) = args.join_batch {
         cfg.join_batch = b;
+    }
+    if let Some((k, n)) = args.ec {
+        cfg.redundancy = Some(d2_net::RedundancyPolicy::ErasureCode { k, n });
+        cfg.repair_threshold = args.repair_threshold;
+        cfg.repair_budget_bps = args.repair_budget;
     }
     let metrics = Arc::new(NetMetrics::new());
     let cluster = ManyCluster::launch(cfg, Arc::clone(&metrics)).unwrap_or_else(|e| {

@@ -11,6 +11,7 @@
 
 use crate::ops::{ClusterOps, NodeStatus};
 use crate::runtime::NodeRuntime;
+use d2_ec::RedundancyPolicy;
 use d2_obs::Registry;
 use d2_ring::messages::Addr;
 use d2_ring::node::NodeConfig;
@@ -32,6 +33,15 @@ struct NodeSlot {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Redundancy settings applied to every node of a deployment (the
+/// whole cluster must agree on the policy).
+#[derive(Clone, Copy)]
+struct EcSettings {
+    policy: RedundancyPolicy,
+    repair_threshold: Option<usize>,
+    repair_budget_bps: u64,
+}
+
 /// Builds a joiner's transport plus, for TCP, its private [`NetMetrics`]
 /// sheet (channel nodes share the hub sheet and return `None`).
 type TransportFactory<T> = Box<dyn FnMut() -> (T, Option<Arc<NetMetrics>>) + Send>;
@@ -49,6 +59,8 @@ pub struct Deployment<T: Transport = ChannelTransport> {
     /// Transport-specific crash-stop hook (cuts a node off from peers).
     /// Returns whether the cut alone guarantees the node thread exits.
     crash: Box<dyn Fn(Addr) -> bool + Send + Sync>,
+    /// Erasure-coding settings, applied to joiners too.
+    ec: Option<EcSettings>,
 }
 
 impl Deployment<ChannelTransport> {
@@ -64,9 +76,32 @@ impl Deployment<ChannelTransport> {
         Self::launch_at(&ids, replicas)
     }
 
+    /// Launches `n` nodes storing blocks as erasure-coded fragments
+    /// (`k` of `group` reconstruct) instead of whole-block replicas,
+    /// with lazy repair throttled to `repair_budget_bps` bytes/second
+    /// per node (0 = unlimited). Placement is the same evenly spaced
+    /// ring as [`Deployment::launch`].
+    pub fn launch_ec(n: usize, k: usize, group: usize, repair_budget_bps: u64) -> Deployment {
+        let ids: Vec<Key> = (0..n)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
+            .collect();
+        let ec = EcSettings {
+            policy: RedundancyPolicy::ErasureCode { k, n: group },
+            repair_threshold: None,
+            repair_budget_bps,
+        };
+        // `replicas` doubles as the client-side read-probe depth, so
+        // cover the whole fragment group when the owner is down.
+        Self::launch_at_inner(&ids, group, Some(ec))
+    }
+
     /// Launches one channel-transport node per ring position in `ids`.
     /// Nodes get addresses `0..n`; the client endpoint gets `n`.
     pub fn launch_at(ids: &[Key], replicas: usize) -> Deployment {
+        Self::launch_at_inner(ids, replicas, None)
+    }
+
+    fn launch_at_inner(ids: &[Key], replicas: usize, ec: Option<EcSettings>) -> Deployment {
         assert!(!ids.is_empty(), "need at least one node");
         let metrics = Arc::new(NetMetrics::new());
         let hub = ChannelHub::new(Arc::clone(&metrics));
@@ -77,7 +112,7 @@ impl Deployment<ChannelTransport> {
         // totals into its MetricsDump would multiply them by n in the
         // merged cluster view.
         let node_metrics = ids.iter().map(|_| None).collect();
-        let nodes = spawn_nodes(ids, transports, node_metrics, seed, replicas);
+        let nodes = spawn_nodes(ids, transports, node_metrics, seed, replicas, ec);
         let client = WireClient::new(hub.open(), Arc::clone(&metrics));
         let entries: Vec<Addr> = nodes.iter().map(|s| s.addr).collect();
         let factory_hub = hub.clone();
@@ -95,6 +130,7 @@ impl Deployment<ChannelTransport> {
                 hub.close(addr);
                 true
             }),
+            ec,
         }
     }
 }
@@ -130,7 +166,7 @@ impl Deployment<TcpTransport> {
             node_metrics.push(Some(nm));
         }
         let seed = transports[0].local_addr();
-        let nodes = spawn_nodes(&ids, transports, node_metrics, seed, replicas);
+        let nodes = spawn_nodes(&ids, transports, node_metrics, seed, replicas, None);
         let client = WireClient::new(
             TcpTransport::bind(Ipv4Addr::LOCALHOST, 0, cfg, Arc::clone(&metrics))?,
             Arc::clone(&metrics),
@@ -151,8 +187,21 @@ impl Deployment<TcpTransport> {
             // A TCP node cannot be cut off externally; killing relies on
             // the shutdown request reaching it.
             crash: Box::new(|_| false),
+            ec: None,
         })
     }
+}
+
+/// Ring config sized for the redundancy group: an erasure group of `n`
+/// members needs `n - 1` successors, which can exceed the default
+/// successor-list length (a replica chain of the same size would too,
+/// but `r` that large is never configured).
+fn node_config(ec: Option<EcSettings>) -> NodeConfig {
+    let mut cfg = NodeConfig::default();
+    if let Some(ec) = ec {
+        cfg.successors = cfg.successors.max(ec.policy.group_size().saturating_sub(1));
+    }
+    cfg
 }
 
 fn spawn_nodes<T: Transport>(
@@ -161,16 +210,20 @@ fn spawn_nodes<T: Transport>(
     node_metrics: Vec<Option<Arc<NetMetrics>>>,
     seed: Addr,
     replicas: usize,
+    ec: Option<EcSettings>,
 ) -> Vec<NodeSlot> {
     let mut nodes = Vec::with_capacity(ids.len());
     for (i, (transport, nm)) in transports.into_iter().zip(node_metrics).enumerate() {
-        let cfg = NodeConfig::default();
+        let cfg = node_config(ec);
         let mut rt = if transport.local_addr() == seed {
             NodeRuntime::bootstrap(ids[i], cfg, transport)
         } else {
             NodeRuntime::join(ids[i], cfg, transport, seed)
         };
         rt.set_replication(replicas as u32);
+        if let Some(ec) = ec {
+            rt.set_redundancy(ec.policy, ec.repair_threshold, ec.repair_budget_bps);
+        }
         if let Some(nm) = nm {
             rt.set_net_metrics(nm);
         }
@@ -190,8 +243,11 @@ impl<T: Transport> Deployment<T> {
     /// then).
     pub fn join_node(&self, id: Key) -> Addr {
         let (transport, nm) = (self.factory.lock())();
-        let mut rt = NodeRuntime::join(id, NodeConfig::default(), transport, self.seed);
+        let mut rt = NodeRuntime::join(id, node_config(self.ec), transport, self.seed);
         rt.set_replication(self.replicas as u32);
+        if let Some(ec) = self.ec {
+            rt.set_redundancy(ec.policy, ec.repair_threshold, ec.repair_budget_bps);
+        }
         if let Some(nm) = nm {
             rt.set_net_metrics(nm);
         }

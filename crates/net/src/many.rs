@@ -72,6 +72,14 @@ pub struct ManyConfig {
     pub tick: Duration,
     /// How many nodes join concurrently during boot.
     pub join_batch: usize,
+    /// Redundancy policy passed to every node. `None` keeps classic
+    /// replica chains at [`ManyConfig::replicas`]; an erasure policy
+    /// switches the whole cluster to k-of-n fragment storage.
+    pub redundancy: Option<d2_ec::RedundancyPolicy>,
+    /// Lazy-repair threshold for erasure mode (`None` = policy default).
+    pub repair_threshold: Option<usize>,
+    /// Per-node repair budget in bytes/second (`0` = unlimited).
+    pub repair_budget_bps: u64,
     /// Ring configuration for every node.
     pub node: NodeConfig,
     /// Transport tuning.
@@ -89,6 +97,9 @@ impl ManyConfig {
             port: 0,
             tick: Duration::from_micros((n as u64 * 250).max(20_000)),
             join_batch: 64,
+            redundancy: None,
+            repair_threshold: None,
+            repair_budget_bps: 0,
             node: NodeConfig::default(),
             tcp: TcpConfig::default(),
         }
@@ -114,7 +125,15 @@ impl ManyCluster {
     /// and starts the staged join choreography. Returns immediately —
     /// poll [`ManyCluster::joined`] or [`ManyCluster::wait_joined`]
     /// for boot progress.
-    pub fn launch(cfg: ManyConfig, metrics: Arc<NetMetrics>) -> io::Result<ManyCluster> {
+    pub fn launch(mut cfg: ManyConfig, metrics: Arc<NetMetrics>) -> io::Result<ManyCluster> {
+        // An erasure group of `n` members needs `n - 1` successors —
+        // more than the default list holds for wide codes.
+        if let Some(policy) = cfg.redundancy {
+            cfg.node.successors = cfg
+                .node
+                .successors
+                .max(policy.group_size().saturating_sub(1));
+        }
         let n = cfg.nodes.max(1);
         let reactor = Arc::new(TcpReactor::bind(
             Ipv4Addr::UNSPECIFIED,
@@ -300,6 +319,9 @@ fn mux_loop(
             NodeRuntime::join(plan.id, cfg.node, ep, seed)
         };
         rt.set_replication(cfg.replicas);
+        if let Some(policy) = cfg.redundancy {
+            rt.set_redundancy(policy, cfg.repair_threshold, cfg.repair_budget_bps);
+        }
         // Stagger this node's tick phase across the interval.
         let due = clock.now_us() + (plan.index as u64 * tick_us) / n as u64;
         timers.push(Reverse((due, plan.addr)));

@@ -20,6 +20,7 @@
 //! of the schedule.
 
 use crate::clock::{Clock, SystemClock};
+use d2_ec::{Codec as EcCodec, Fragment, RedundancyPolicy};
 use d2_obs::flight::{FLIGHT_CAPACITY, SLOW_THRESHOLD_US};
 use d2_obs::{FlightRecorder, Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, RingMsg};
@@ -28,7 +29,7 @@ use d2_types::Key;
 use d2_wire::codec::{Request, Response, WireMetrics, WireMsg, WireStatus};
 use d2_wire::metrics::NetMetrics;
 use d2_wire::transport::{RecvError, Transport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +53,100 @@ const REROUTE_BUDGET: u32 = 64;
 /// replica count converges back to the configured factor after churn.
 const REPAIR_EVERY_TICKS: u64 = 64;
 
+/// How long an in-flight erasure-coded operation (fragment distribution,
+/// gather, presence probe, regeneration) waits for member replies before
+/// it completes with whatever arrived. A crashed member simply counts as
+/// a missing fragment; no op hangs on it.
+const EC_OP_TIMEOUT_US: u64 = 400_000;
+
+/// Internal request-id space for owner-originated fragment traffic.
+/// Client req ids are allocated client-side and only need uniqueness per
+/// connection, so the top-bit space never collides with them in
+/// practice; the map lookup (not the id itself) is what routes replies.
+const EC_REQ_BASE: u64 = 1 << 63;
+
+/// Token-bucket burst cap for the repair budget, in seconds of accrual:
+/// a node idle for an hour may spend that hour's budget at once, but no
+/// more — the same cap the simulation-level repair budget uses.
+const EC_BURST_SECS: u64 = 3600;
+
+/// One locally held erasure-coded fragment plus the original block
+/// length needed to trim decode padding.
+pub struct StoredFragment {
+    /// The pre-encoding block length.
+    pub block_len: u32,
+    /// The fragment itself (index, generation, payload, checksum).
+    pub frag: Fragment,
+}
+
+/// Erasure-coding configuration and repair-budget state, present only
+/// when [`NodeRuntime::set_redundancy`] selected an
+/// [`RedundancyPolicy::ErasureCode`] policy.
+struct EcState {
+    codec: EcCodec,
+    /// Lazy-repair threshold `m`: a key regenerates only when its
+    /// surviving fragment count drops below this (k ≤ m < n).
+    repair_threshold: usize,
+    /// Repair budget in bytes/second; `0` means unlimited.
+    repair_budget_bps: u64,
+    /// Accrued budget tokens (bytes), refilled per repair round.
+    repair_tokens: u64,
+    last_refill_us: u64,
+}
+
+/// Why a fragment gather was started: to answer a client get, or to
+/// regenerate missing fragments under the repair budget.
+enum GatherPurpose {
+    /// Decode and answer this client.
+    Client {
+        /// The requesting client's transport address.
+        client: Addr,
+        /// Its request id.
+        req_id: u64,
+    },
+    /// Decode, re-encode, and re-push missing fragments.
+    Repair,
+}
+
+/// One in-flight erasure-coded operation. Every per-member message of
+/// the op shares one internal request id, so replies route back to the
+/// op without carrying a sender identity: a [`Response::Fragment`]'s
+/// `index` already names the group position that held it.
+enum EcOp {
+    /// Owner-side fragment distribution for one client put.
+    Put {
+        client: Addr,
+        req_id: u64,
+        /// Member acks still outstanding.
+        pending: u32,
+        /// Fragments confirmed stored (including the owner's own).
+        stored: u32,
+        started_us: u64,
+    },
+    /// Owner-side gather of any `k` fragments (client get or repair).
+    Gather {
+        key: Key,
+        purpose: GatherPurpose,
+        /// Largest original block length reported by any fragment.
+        block_len: u32,
+        /// Verified fragments at the highest generation seen so far,
+        /// deduplicated by index.
+        frags: Vec<Fragment>,
+        pending: u32,
+        started_us: u64,
+    },
+    /// Lazy-repair presence probe across the fragment group.
+    Probe {
+        key: Key,
+        /// Estimated regeneration cost basis (the block length).
+        block_len: u32,
+        /// Which group positions reported a live fragment.
+        present: Vec<bool>,
+        pending: u32,
+        started_us: u64,
+    },
+}
+
 /// A client lookup in flight: who asked, plus the trace context and
 /// start time so the completion can be recorded as a causally-linked
 /// span with a real duration.
@@ -66,6 +161,16 @@ struct PendingLookup {
 pub struct NodeRuntime<T: Transport, C: Clock = SystemClock> {
     node: ProtocolNode,
     store: HashMap<Key, Vec<u8>>,
+    /// Locally held erasure-coded fragments, one per key.
+    fragments: HashMap<Key, StoredFragment>,
+    /// Erasure-coding mode; `None` runs the classic replica chains.
+    ec: Option<EcState>,
+    /// In-flight erasure-coded ops by internal request id.
+    ec_ops: HashMap<u64, EcOp>,
+    /// Keys awaiting budgeted regeneration, with the estimated repair
+    /// cost in bytes. Ordered, so the drain is deterministic.
+    ec_repair_queue: BTreeMap<Key, u64>,
+    next_ec_req: u64,
     transport: T,
     clock: C,
     /// Ring lookup id → in-flight client lookup awaiting the owner.
@@ -126,6 +231,11 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         NodeRuntime {
             node,
             store: HashMap::new(),
+            fragments: HashMap::new(),
+            ec: None,
+            ec_ops: HashMap::new(),
+            ec_repair_queue: BTreeMap::new(),
+            next_ec_req: EC_REQ_BASE,
             transport,
             clock,
             pending_lookups: HashMap::new(),
@@ -150,6 +260,11 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         let mut rt = NodeRuntime {
             node,
             store: HashMap::new(),
+            fragments: HashMap::new(),
+            ec: None,
+            ec_ops: HashMap::new(),
+            ec_repair_queue: BTreeMap::new(),
+            next_ec_req: EC_REQ_BASE,
             transport,
             clock,
             pending_lookups: HashMap::new(),
@@ -195,6 +310,48 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
     /// `0` (the default) disables repair.
     pub fn set_replication(&mut self, replicas: u32) {
         self.replication = replicas;
+    }
+
+    /// Selects the redundancy policy. [`RedundancyPolicy::Replicate`]
+    /// reduces to [`NodeRuntime::set_replication`]; an erasure policy
+    /// switches puts to owner-side encoding into `n` fragments, gets to
+    /// any-`k` gather-and-decode, and background repair to the lazy,
+    /// budgeted fragment regenerator.
+    ///
+    /// `repair_threshold` is the lazy-repair trigger `m` (defaulting to
+    /// the policy's midpoint, clamped to `k..n`): a key regenerates only
+    /// once its surviving fragments drop below `m`.
+    /// `repair_budget_bps` caps regeneration traffic in bytes/second per
+    /// node (`0` = unlimited).
+    pub fn set_redundancy(
+        &mut self,
+        policy: RedundancyPolicy,
+        repair_threshold: Option<usize>,
+        repair_budget_bps: u64,
+    ) {
+        match EcCodec::for_policy(policy) {
+            None => {
+                self.ec = None;
+                if let RedundancyPolicy::Replicate { r } = policy {
+                    self.replication = r as u32;
+                }
+            }
+            Some(codec) => {
+                let lo = policy.min_fragments();
+                let hi = policy.group_size().saturating_sub(1).max(1);
+                let m = match repair_threshold {
+                    Some(m) => m.clamp(lo, hi),
+                    None => policy.default_repair_threshold(),
+                };
+                self.ec = Some(EcState {
+                    codec,
+                    repair_threshold: m,
+                    repair_budget_bps,
+                    repair_tokens: 0,
+                    last_refill_us: self.clock.now_us(),
+                });
+            }
+        }
     }
 
     /// Attaches a transport-metrics handle whose counters are folded
@@ -284,11 +441,34 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         &self.store
     }
 
+    /// Read-only view of the locally held erasure-coded fragments, used
+    /// by the simulation harness's reconstructability invariant.
+    pub fn fragments(&self) -> &HashMap<Key, StoredFragment> {
+        &self.fragments
+    }
+
+    /// Keys currently queued for budgeted fragment regeneration.
+    pub fn ec_repair_queue_len(&self) -> usize {
+        self.ec_repair_queue.len()
+    }
+
     /// Runs the event loop until shutdown, then closes the transport.
+    ///
+    /// Maintenance ticks are deadline-scheduled, not idle-gated: a node
+    /// under constant message load still stabilizes and repairs on the
+    /// [`TICK`] cadence instead of waiting for a quiet [`TICK`]-long
+    /// gap that a busy cluster may never grant it.
     pub fn run(mut self) {
+        let tick_us = TICK.as_micros() as u64;
+        let mut next_tick_us = self.clock.now_us().saturating_add(tick_us);
         loop {
-            match self.transport.recv_timeout(TICK) {
-                Err(RecvError::Timeout) => self.on_tick(),
+            if self.clock.now_us() >= next_tick_us {
+                self.on_tick();
+                next_tick_us = self.clock.now_us().saturating_add(tick_us);
+            }
+            let wait_us = next_tick_us.saturating_sub(self.clock.now_us()).max(1);
+            match self.transport.recv_timeout(Duration::from_micros(wait_us)) {
+                Err(RecvError::Timeout) => {} // deadline reached; tick above
                 Err(RecvError::Closed) => break,
                 Ok((msg, trace)) => {
                     if !self.on_message(msg, trace) {
@@ -351,10 +531,15 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 true
             }
             WireMsg::Request { req_id, from, body } => self.handle_request(req_id, from, body),
-            // Nodes only issue fire-and-forget repair puts, so responses
-            // (e.g. a repair chain's PutAck, or a late client PutAck
-            // racing a chain we forwarded) are dropped.
-            WireMsg::Response { .. } => true,
+            // Responses route to the erasure-coded op that issued them;
+            // anything else (a repair chain's PutAck, or a late client
+            // PutAck racing a chain we forwarded) is dropped.
+            WireMsg::Response { req_id, body } => {
+                if self.ec_ops.contains_key(&req_id) {
+                    self.handle_ec_response(req_id, body);
+                }
+                true
+            }
         };
         let ok = self.cur_ok;
         self.push_span(trace, span, start_us, ok, op, detail);
@@ -370,9 +555,14 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         self.send_all(out);
         self.retry_join_if_unjoined();
         self.ticks += 1;
-        if self.replication > 0 && self.ticks.is_multiple_of(REPAIR_EVERY_TICKS) {
-            self.repair_round();
+        if self.ticks.is_multiple_of(REPAIR_EVERY_TICKS) {
+            if self.ec.is_some() {
+                self.ec_repair_round();
+            } else if self.replication > 0 {
+                self.repair_round();
+            }
         }
+        self.expire_ec_ops();
         self.drain_completed();
     }
 
@@ -399,15 +589,91 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 fanout,
                 stored,
                 data,
-            } => self.handle_put(req_id, from, key, fanout, stored, data),
+            } => {
+                if self.ec.is_some() {
+                    self.handle_put_ec(req_id, from, key, data);
+                } else {
+                    self.handle_put(req_id, from, key, fanout, stored, data);
+                }
+            }
             Request::Get { key } => {
                 self.registry.inc("node.gets");
-                let data = self.store.get(&key).cloned();
-                if data.is_none() {
-                    self.registry.inc("node.get_misses");
-                    self.cur_ok = false;
+                match self.store.get(&key).cloned() {
+                    Some(data) => self.respond(from, req_id, Response::Block { data: Some(data) }),
+                    // In erasure mode a whole block lives nowhere; gather
+                    // any k fragments from the group and decode.
+                    None if self.ec.is_some() => self.start_ec_gather(
+                        key,
+                        GatherPurpose::Client {
+                            client: from,
+                            req_id,
+                        },
+                    ),
+                    None => {
+                        self.registry.inc("node.get_misses");
+                        self.cur_ok = false;
+                        self.respond(from, req_id, Response::Block { data: None });
+                    }
                 }
-                self.respond(from, req_id, Response::Block { data });
+            }
+            Request::PutFragment {
+                key,
+                index,
+                total: _,
+                generation,
+                check,
+                block_len,
+                data,
+            } => {
+                let frag = Fragment {
+                    index,
+                    generation,
+                    data,
+                    check,
+                };
+                // End-to-end integrity: a fragment corrupted in transit
+                // (or by a hostile peer) is rejected, never stored.
+                if !frag.verify() {
+                    self.registry.inc("ec.corrupt_fragments");
+                    self.cur_ok = false;
+                    self.respond(from, req_id, Response::PutAck { replicas: 0 });
+                    return true;
+                }
+                let stale = self
+                    .fragments
+                    .get(&key)
+                    .is_some_and(|held| held.frag.generation > generation);
+                if !stale {
+                    self.fragments
+                        .insert(key, StoredFragment { block_len, frag });
+                    self.store.remove(&key);
+                }
+                self.respond(from, req_id, Response::PutAck { replicas: 1 });
+            }
+            Request::GetFragment { key, want_data } => {
+                let body = match self.fragments.get(&key) {
+                    Some(held) => Response::Fragment {
+                        has: true,
+                        index: held.frag.index,
+                        generation: held.frag.generation,
+                        check: held.frag.check,
+                        block_len: held.block_len,
+                        data: if want_data {
+                            held.frag.data.clone()
+                        } else {
+                            Vec::new()
+                        },
+                    },
+                    None => Response::Fragment {
+                        has: false,
+                        index: 0,
+                        generation: 0,
+                        check: 0,
+                        block_len: 0,
+                        data: Vec::new(),
+                    },
+                };
+                self.respond(from, req_id, body);
             }
             Request::Status => {
                 let status = WireStatus {
@@ -422,6 +688,10 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 let mut reg = self.registry.clone();
                 reg.set_gauge("node.blocks", self.store.len() as f64);
                 reg.set_gauge("node.ring_position", self.node.me().id.to_fraction());
+                if self.ec.is_some() || !self.fragments.is_empty() {
+                    reg.set_gauge("ec.fragments", self.fragments.len() as f64);
+                    reg.set_gauge("ec.repair_queue", self.ec_repair_queue.len() as f64);
+                }
                 reg.add("node.spans_dropped", self.recorder.dropped());
                 if let Some(nm) = &self.net_metrics {
                     nm.snapshot_into(&mut reg);
@@ -684,6 +954,529 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
             // nothing to repair.
         }
     }
+
+    // -----------------------------------------------------------------
+    // Erasure-coded redundancy (see `d2_ec`)
+    // -----------------------------------------------------------------
+
+    /// A fresh internal request id for one erasure-coded op.
+    fn alloc_ec_req(&mut self) -> u64 {
+        self.next_ec_req += 1;
+        self.next_ec_req
+    }
+
+    /// The fragment group as currently placed: this node (position 0)
+    /// followed by its successor list, deduplicated, truncated to `n`.
+    /// Position `p` canonically holds fragment index `p`; after churn
+    /// the mapping can be off, but every repair round regenerates
+    /// toward it, so placement converges back to canonical.
+    fn ec_group(&self, n: usize) -> Vec<Addr> {
+        let me = self.node.me().addr;
+        let mut group = vec![me];
+        for p in self.node.successors() {
+            if group.len() >= n {
+                break;
+            }
+            if !group.contains(&p.addr) {
+                group.push(p.addr);
+            }
+        }
+        group
+    }
+
+    /// Owner-side erasure-coded put: encode the block into `n`
+    /// fragments, keep fragment 0 locally, distribute the rest to the
+    /// next `n - 1` successors, and ack the client once every reachable
+    /// member confirmed — the fragment-mode analogue of the replica
+    /// chain's end-of-chain ack. The client's requested fanout is
+    /// ignored; the policy decides the group size.
+    fn handle_put_ec(&mut self, req_id: u64, from: Addr, key: Key, data: Vec<u8>) {
+        self.registry.inc("node.puts");
+        // Generations come from the injected clock: monotonic across
+        // crash-restarts (a fresh counter would not be), deterministic
+        // under the simulation clock.
+        let generation = self.clock.now_us().max(1);
+        let block_len = data.len() as u32;
+        let (n, frags) = {
+            let ec = self.ec.as_ref().expect("ec mode");
+            (ec.codec.n(), ec.codec.encode(&data, generation))
+        };
+        // A whole-block copy under this key would shadow the fragments.
+        self.store.remove(&key);
+        let group = self.ec_group(n);
+        let mut iter = frags.into_iter();
+        let own = iter.next().expect("encode yields n >= 1 fragments");
+        self.fragments.insert(
+            key,
+            StoredFragment {
+                block_len,
+                frag: own,
+            },
+        );
+        let op_id = self.alloc_ec_req();
+        let mut pending = 0u32;
+        for (i, frag) in iter.enumerate() {
+            let Some(&to) = group.get(i + 1) else { break };
+            if self.send_fragment(op_id, to, key, n as u8, block_len, frag) {
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            self.registry.observe("node.put_replicas", 1);
+            self.respond(from, req_id, Response::PutAck { replicas: 1 });
+            return;
+        }
+        let started_us = self.clock.now_us();
+        self.ec_ops.insert(
+            op_id,
+            EcOp::Put {
+                client: from,
+                req_id,
+                pending,
+                stored: 1,
+                started_us,
+            },
+        );
+    }
+
+    /// Sends one fragment as a [`Request::PutFragment`], returning
+    /// whether the transport accepted it.
+    fn send_fragment(
+        &mut self,
+        op_id: u64,
+        to: Addr,
+        key: Key,
+        total: u8,
+        block_len: u32,
+        frag: Fragment,
+    ) -> bool {
+        let me = self.node.me().addr;
+        let msg = WireMsg::Request {
+            req_id: op_id,
+            from: me,
+            body: Request::PutFragment {
+                key,
+                index: frag.index,
+                total,
+                generation: frag.generation,
+                check: frag.check,
+                block_len,
+                data: frag.data,
+            },
+        };
+        if self.transport.send_traced(to, &msg, self.cur_ctx).is_ok() {
+            true
+        } else {
+            self.record_send_failure(to);
+            self.node.forget(to);
+            false
+        }
+    }
+
+    /// Starts a gather: ask every other group member for its fragment,
+    /// then decode once all replied (or the op timed out). The whole
+    /// group is asked up front rather than k-first — one round trip and
+    /// no second round on a miss, at the cost of `(n-k)/k` extra
+    /// fragment bandwidth per read.
+    fn start_ec_gather(&mut self, key: Key, purpose: GatherPurpose) {
+        let n = self.ec.as_ref().expect("ec mode").codec.n();
+        let group = self.ec_group(n);
+        let me = self.node.me().addr;
+        let mut frags = Vec::new();
+        let mut block_len = 0u32;
+        if let Some(held) = self.fragments.get(&key) {
+            block_len = held.block_len;
+            frags.push(held.frag.clone());
+        }
+        let op_id = self.alloc_ec_req();
+        let mut pending = 0u32;
+        for &to in group.iter().skip(1) {
+            let msg = WireMsg::Request {
+                req_id: op_id,
+                from: me,
+                body: Request::GetFragment {
+                    key,
+                    want_data: true,
+                },
+            };
+            if self.transport.send_traced(to, &msg, self.cur_ctx).is_ok() {
+                pending += 1;
+            } else {
+                self.record_send_failure(to);
+                self.node.forget(to);
+            }
+        }
+        let started_us = self.clock.now_us();
+        let op = EcOp::Gather {
+            key,
+            purpose,
+            block_len,
+            frags,
+            pending,
+            started_us,
+        };
+        if pending == 0 {
+            self.finish_ec_op(op);
+        } else {
+            self.ec_ops.insert(op_id, op);
+        }
+    }
+
+    /// Starts a presence probe for one owned key: empty
+    /// [`Request::GetFragment`] frames to every other group member; the
+    /// locally held fragment counts immediately.
+    fn start_ec_probe(&mut self, key: Key) {
+        let n = self.ec.as_ref().expect("ec mode").codec.n();
+        let Some(held) = self.fragments.get(&key) else {
+            return;
+        };
+        let block_len = held.block_len;
+        let own_index = held.frag.index as usize;
+        let group = self.ec_group(n);
+        let me = self.node.me().addr;
+        let mut present = vec![false; n];
+        if let Some(slot) = present.get_mut(own_index) {
+            *slot = true;
+        }
+        let op_id = self.alloc_ec_req();
+        let mut pending = 0u32;
+        for &to in group.iter().skip(1) {
+            let msg = WireMsg::Request {
+                req_id: op_id,
+                from: me,
+                body: Request::GetFragment {
+                    key,
+                    want_data: false,
+                },
+            };
+            if self.transport.send_traced(to, &msg, self.cur_ctx).is_ok() {
+                pending += 1;
+            } else {
+                self.record_send_failure(to);
+                self.node.forget(to);
+            }
+        }
+        let started_us = self.clock.now_us();
+        let op = EcOp::Probe {
+            key,
+            block_len,
+            present,
+            pending,
+            started_us,
+        };
+        if pending == 0 {
+            self.finish_ec_op(op);
+        } else {
+            self.ec_ops.insert(op_id, op);
+        }
+    }
+
+    /// Routes one response into its erasure-coded op, completing the op
+    /// when its last outstanding reply lands.
+    fn handle_ec_response(&mut self, op_id: u64, body: Response) {
+        let Some(mut op) = self.ec_ops.remove(&op_id) else {
+            return;
+        };
+        let done = match (&mut op, body) {
+            (
+                EcOp::Put {
+                    pending, stored, ..
+                },
+                Response::PutAck { replicas },
+            ) => {
+                *stored += replicas.min(1);
+                *pending = pending.saturating_sub(1);
+                *pending == 0
+            }
+            (
+                EcOp::Gather {
+                    frags,
+                    block_len,
+                    pending,
+                    ..
+                },
+                Response::Fragment {
+                    has,
+                    index,
+                    generation,
+                    check,
+                    block_len: bl,
+                    data,
+                },
+            ) => {
+                if has {
+                    let frag = Fragment {
+                        index,
+                        generation,
+                        data,
+                        check,
+                    };
+                    add_gathered(frags, block_len, frag, bl, &mut self.registry);
+                }
+                *pending = pending.saturating_sub(1);
+                *pending == 0
+            }
+            (
+                EcOp::Probe {
+                    present, pending, ..
+                },
+                Response::Fragment { has, index, .. },
+            ) => {
+                if has {
+                    if let Some(slot) = present.get_mut(index as usize) {
+                        *slot = true;
+                    }
+                }
+                *pending = pending.saturating_sub(1);
+                *pending == 0
+            }
+            // A mismatched body (hostile or confused peer) neither
+            // advances nor completes the op; the timeout reaps it.
+            _ => false,
+        };
+        if done {
+            self.finish_ec_op(op);
+        } else {
+            self.ec_ops.insert(op_id, op);
+        }
+    }
+
+    /// Completes one erasure-coded op with whatever replies arrived.
+    fn finish_ec_op(&mut self, op: EcOp) {
+        match op {
+            EcOp::Put {
+                client,
+                req_id,
+                stored,
+                ..
+            } => {
+                self.registry.observe("node.put_replicas", stored as u64);
+                self.respond(client, req_id, Response::PutAck { replicas: stored });
+            }
+            EcOp::Gather {
+                key,
+                purpose,
+                block_len,
+                frags,
+                ..
+            } => {
+                let Some((k, n)) = self.ec.as_ref().map(|e| (e.codec.k(), e.codec.n())) else {
+                    return; // EC mode switched off while in flight
+                };
+                let decoded = if frags.len() >= k {
+                    // Needing any parity fragment means a data shard was
+                    // lost: count the degraded read.
+                    if !(0..k).all(|i| frags.iter().any(|f| f.index as usize == i)) {
+                        self.registry.inc("ec.decode_fallbacks");
+                    }
+                    let ec = self.ec.as_ref().expect("checked above");
+                    ec.codec.decode(&frags, block_len as usize).ok()
+                } else {
+                    None
+                };
+                match purpose {
+                    GatherPurpose::Client { client, req_id } => {
+                        if decoded.is_none() {
+                            self.registry.inc("node.get_misses");
+                            self.cur_ok = false;
+                        }
+                        self.respond(client, req_id, Response::Block { data: decoded });
+                    }
+                    GatherPurpose::Repair => {
+                        let Some(data) = decoded else {
+                            // Fewer than k survivors right now: nothing
+                            // to regenerate from. The key stays queued
+                            // until a holder returns.
+                            self.ec_repair_queue
+                                .entry(key)
+                                .or_insert((block_len as u64).max(1));
+                            return;
+                        };
+                        let generation = frags.first().map_or(1, |f| f.generation);
+                        let ec = self.ec.as_ref().expect("checked above");
+                        let all = ec.codec.encode(&data, generation);
+                        let group = self.ec_group(n);
+                        let mut repaired = 0u64;
+                        for frag in all {
+                            let pos = frag.index as usize;
+                            if frags.iter().any(|f| f.index == frag.index) {
+                                continue; // a member still holds it
+                            }
+                            if pos == 0 {
+                                self.fragments
+                                    .insert(key, StoredFragment { block_len, frag });
+                                repaired += 1;
+                            } else if let Some(&to) = group.get(pos) {
+                                // Fire-and-forget: the ack comes back
+                                // under a req id no op owns, and drops.
+                                if self.send_fragment(0, to, key, n as u8, block_len, frag) {
+                                    repaired += 1;
+                                }
+                            }
+                        }
+                        self.registry.add("ec.repaired_fragments", repaired);
+                    }
+                }
+            }
+            EcOp::Probe {
+                key,
+                block_len,
+                present,
+                ..
+            } => {
+                let Some(ec) = self.ec.as_ref() else { return };
+                let m = ec.repair_threshold;
+                let frag_len = ec.codec.fragment_len(block_len as usize) as u64;
+                let have = present.iter().filter(|&&p| p).count();
+                if have >= m {
+                    // Lazy: losses above the threshold wait for the
+                    // transient failure to heal itself.
+                    self.registry.inc("ec.repairs_skipped_lazy");
+                    return;
+                }
+                let missing = (present.len() - have) as u64;
+                // Cost model: gather k fragments (≈ the block) plus
+                // push the regenerated fragments.
+                let cost = (block_len as u64 + missing * frag_len).max(1);
+                self.ec_repair_queue.insert(key, cost);
+            }
+        }
+    }
+
+    /// One lazy-repair round: refill the token bucket, probe owned keys
+    /// for surviving fragments, and drain the repair queue in key order
+    /// within the budget. Probes are cheap (empty fragment frames);
+    /// only keys below the repair threshold cost real bytes.
+    fn ec_repair_round(&mut self) {
+        if !self.node.is_joined() {
+            return;
+        }
+        let now = self.clock.now_us();
+        let bps = {
+            let ec = self.ec.as_mut().expect("ec mode");
+            let dt = now.saturating_sub(ec.last_refill_us);
+            ec.last_refill_us = now;
+            if ec.repair_budget_bps > 0 {
+                let add = (ec.repair_budget_bps as u128 * dt as u128 / 1_000_000) as u64;
+                ec.repair_tokens = ec
+                    .repair_tokens
+                    .saturating_add(add)
+                    .min(ec.repair_budget_bps.saturating_mul(EC_BURST_SECS));
+            }
+            ec.repair_budget_bps
+        };
+        // Probe every owned key not already queued or in flight.
+        let owned_range = self.node.owned_range();
+        let mut owned: Vec<Key> = self
+            .fragments
+            .keys()
+            .filter(|k| owned_range.as_ref().is_some_and(|r| r.contains(k)))
+            .copied()
+            .collect();
+        owned.sort_unstable();
+        for key in owned {
+            if self.ec_repair_queue.contains_key(&key) || self.ec_op_in_flight(key) {
+                continue;
+            }
+            self.start_ec_probe(key);
+        }
+        // Drain the queue within budget, in key order. Throttled keys
+        // stay queued for a later, refilled round.
+        let queued: Vec<(Key, u64)> = self.ec_repair_queue.iter().map(|(k, c)| (*k, *c)).collect();
+        for (key, cost) in queued {
+            if self.ec_op_in_flight(key) {
+                continue;
+            }
+            let affordable = {
+                let ec = self.ec.as_mut().expect("ec mode");
+                if bps == 0 || ec.repair_tokens >= cost {
+                    if bps > 0 {
+                        ec.repair_tokens -= cost;
+                    }
+                    true
+                } else {
+                    false
+                }
+            };
+            if !affordable {
+                self.registry.add("ec.repair_throttled_bytes", cost);
+                continue;
+            }
+            self.registry.add("ec.repair_bytes", cost);
+            self.ec_repair_queue.remove(&key);
+            self.start_ec_gather(key, GatherPurpose::Repair);
+        }
+    }
+
+    /// Whether a repair-path op for `key` is already in flight.
+    fn ec_op_in_flight(&self, key: Key) -> bool {
+        self.ec_ops.values().any(|op| match op {
+            EcOp::Gather {
+                key: k,
+                purpose: GatherPurpose::Repair,
+                ..
+            }
+            | EcOp::Probe { key: k, .. } => *k == key,
+            _ => false,
+        })
+    }
+
+    /// Completes erasure-coded ops whose members stopped answering:
+    /// after [`EC_OP_TIMEOUT_US`] a non-reply counts as a missing
+    /// fragment and the op resolves with what it has.
+    fn expire_ec_ops(&mut self) {
+        if self.ec_ops.is_empty() {
+            return;
+        }
+        let now = self.clock.now_us();
+        let mut expired: Vec<u64> = self
+            .ec_ops
+            .iter()
+            .filter(|(_, op)| {
+                let started = match op {
+                    EcOp::Put { started_us, .. }
+                    | EcOp::Gather { started_us, .. }
+                    | EcOp::Probe { started_us, .. } => *started_us,
+                };
+                now.saturating_sub(started) >= EC_OP_TIMEOUT_US
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        expired.sort_unstable();
+        for id in expired {
+            if let Some(op) = self.ec_ops.remove(&id) {
+                self.finish_ec_op(op);
+            }
+        }
+    }
+}
+
+/// Folds one arriving fragment into a gather: verified fragments only,
+/// deduplicated by index, and only the highest write generation seen —
+/// a newer put's fragments discard an older put's survivors.
+fn add_gathered(
+    frags: &mut Vec<Fragment>,
+    block_len: &mut u32,
+    frag: Fragment,
+    bl: u32,
+    reg: &mut Registry,
+) {
+    if !frag.verify() {
+        reg.inc("ec.corrupt_fragments");
+        return;
+    }
+    let newest = frags.first().map_or(0, |f| f.generation);
+    if frag.generation < newest {
+        return;
+    }
+    if frag.generation > newest {
+        frags.clear();
+    }
+    if frags.iter().any(|f| f.index == frag.index) {
+        return;
+    }
+    *block_len = bl;
+    frags.push(frag);
 }
 
 /// Maps [`WireMsg::type_name`] to a static `node.msgs_in.*` counter
@@ -700,12 +1493,15 @@ fn msgs_in_counter(op: &str) -> &'static str {
         "lookup" => "node.msgs_in.lookup",
         "put" => "node.msgs_in.put",
         "get" => "node.msgs_in.get",
+        "put_fragment" => "node.msgs_in.put_fragment",
+        "get_fragment" => "node.msgs_in.get_fragment",
         "status" => "node.msgs_in.status",
         "metrics_dump" => "node.msgs_in.metrics_dump",
         "shutdown" => "node.msgs_in.shutdown",
         "owner" => "node.msgs_in.owner",
         "put_ack" => "node.msgs_in.put_ack",
         "block" => "node.msgs_in.block",
+        "fragment" => "node.msgs_in.fragment",
         "metrics" => "node.msgs_in.metrics",
         "shutdown_ack" => "node.msgs_in.shutdown_ack",
         _ => "node.msgs_in.other",

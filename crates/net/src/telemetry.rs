@@ -108,6 +108,46 @@ pub fn render_top(scrape: &ClusterScrape, fmt_addr: &dyn Fn(Addr) -> String) -> 
         &rows,
     ));
 
+    // ---- erasure-coding table (only when any node runs EC) ---------
+    let ec_active = scrape.nodes.iter().any(|n| {
+        n.registry.gauge("ec.fragments").is_some()
+            || n.registry
+                .counters()
+                .any(|(name, _)| name.starts_with("ec."))
+    });
+    if ec_active {
+        let mut ec_rows: Vec<Vec<String>> = Vec::new();
+        for n in &scrape.nodes {
+            let reg = &n.registry;
+            ec_rows.push(vec![
+                fmt_addr(n.addr),
+                (reg.gauge("ec.fragments").unwrap_or(0.0) as u64).to_string(),
+                (reg.gauge("ec.repair_queue").unwrap_or(0.0) as u64).to_string(),
+                reg.counter("ec.decode_fallbacks").to_string(),
+                reg.counter("ec.repaired_fragments").to_string(),
+                reg.counter("ec.repair_bytes").to_string(),
+                reg.counter("ec.repair_throttled_bytes").to_string(),
+                reg.counter("ec.repairs_skipped_lazy").to_string(),
+                reg.counter("ec.corrupt_fragments").to_string(),
+            ]);
+        }
+        out.push_str("\nerasure coding\n");
+        out.push_str(&render_rows(
+            &[
+                "node",
+                "frags",
+                "rq",
+                "dec_fb",
+                "repaired",
+                "rep_B",
+                "throttled_B",
+                "lazy_skip",
+                "corrupt",
+            ],
+            &ec_rows,
+        ));
+    }
+
     // ---- merged cluster distributions ------------------------------
     let mut dist_rows: Vec<Vec<String>> = Vec::new();
     for (name, h) in scrape.merged.histograms() {
@@ -234,6 +274,26 @@ mod tests {
         assert!(top.contains("slowest recent ops"));
         assert!(top.contains("0x00000000000000ab"));
         assert!(top.contains("FAIL"));
+        // No node reports ec.* — the erasure-coding table is omitted.
+        assert!(!top.contains("erasure coding"));
+    }
+
+    #[test]
+    fn top_view_shows_ec_table_when_a_node_runs_ec() {
+        let mut scrape = scrape_with_two_nodes();
+        let reg = &mut scrape.nodes[0].registry;
+        reg.set_gauge("ec.fragments", 12.0);
+        reg.set_gauge("ec.repair_queue", 2.0);
+        reg.add("ec.decode_fallbacks", 3);
+        reg.add("ec.repair_bytes", 4096);
+        reg.add("ec.repair_throttled_bytes", 512);
+        let top = render_top(&scrape, &|a| format!("n{a}"));
+        assert!(top.contains("erasure coding"));
+        assert!(top.contains("throttled_B"));
+        assert!(top.contains("12"));
+        assert!(top.contains("4096"));
+        // The node without ec.* still gets a (zeroed) row.
+        assert!(top.lines().any(|l| l.starts_with("n1") && l.contains('0')));
     }
 
     #[test]

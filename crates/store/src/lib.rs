@@ -24,4 +24,4 @@ pub mod node_store;
 
 pub use block_cache::BlockCache;
 pub use lookup_cache::{CacheOutcome, LookupCache};
-pub use node_store::{NodeStore, Payload, StoredBlock};
+pub use node_store::{GcReport, NodeStore, Payload, StoredBlock};

@@ -1,5 +1,6 @@
 //! Per-node block storage.
 
+use d2_obs::Registry;
 use d2_sim::SimTime;
 use d2_types::{Key, KeyRange};
 use serde::{Deserialize, Serialize};
@@ -13,6 +14,20 @@ pub enum Payload {
     /// Size-only placeholder for large-scale simulation, where block
     /// contents are irrelevant but byte accounting matters.
     Size(u32),
+    /// One erasure-coded fragment of a block (`d2-ec`): `ceil(len / k)`
+    /// bytes of a `(k, n)` code word. Like [`Payload::Size`] this is a
+    /// size-only placeholder at simulation scale, but it carries the
+    /// fragment's code-word position and write generation so repair and
+    /// decode logic can reason about which fragments survive.
+    Fragment {
+        /// Position in the code word (`0..n`).
+        index: u8,
+        /// Write generation; fragments of different generations of the
+        /// same key never combine.
+        generation: u64,
+        /// Fragment payload size in bytes.
+        len: u32,
+    },
     /// A block *pointer* (Section 6): the data still lives on `holder`;
     /// this node will fetch it once the pointer is older than the pointer
     /// stabilization time.
@@ -33,6 +48,7 @@ impl Payload {
         match self {
             Payload::Data(d) => d.len() as u32,
             Payload::Size(n) => *n,
+            Payload::Fragment { len, .. } => *len,
             Payload::Pointer { len, .. } => *len,
         }
     }
@@ -40,6 +56,11 @@ impl Payload {
     /// Whether this entry is a pointer rather than real data.
     pub fn is_pointer(&self) -> bool {
         matches!(self, Payload::Pointer { .. })
+    }
+
+    /// Whether this entry is an erasure-coded fragment.
+    pub fn is_fragment(&self) -> bool {
+        matches!(self, Payload::Fragment { .. })
     }
 
     /// Whether the payload holds no bytes.
@@ -90,9 +111,33 @@ pub struct NodeStore {
     blocks: BTreeMap<Key, StoredBlock>,
     bytes: u64,
     pointer_bytes: u64,
+    fragment_bytes: u64,
     /// Keys currently stored as pointers (kept indexed so pointer scans
     /// cost O(#pointers), not O(#blocks)).
     pointers: std::collections::BTreeSet<Key>,
+}
+
+/// What one [`NodeStore::gc`] pass reclaimed, broken down by payload
+/// kind so the `store.*` metrics can report fragment bytes separately
+/// from whole blocks (lazy erasure repair budgets are denominated in
+/// bytes, so "how many bytes did GC free" must be answerable per kind).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Keys removed, in key order.
+    pub keys: Vec<Key>,
+    /// Bytes reclaimed from whole blocks (`Data` / `Size`).
+    pub block_bytes: u64,
+    /// Bytes reclaimed from erasure-coded fragments.
+    pub fragment_bytes: u64,
+    /// Logical bytes released by dropping pointers.
+    pub pointer_bytes: u64,
+}
+
+impl GcReport {
+    /// Whether the pass removed anything.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
 }
 
 impl NodeStore {
@@ -124,8 +169,16 @@ impl NodeStore {
         self.bytes - self.pointer_bytes
     }
 
-    /// Inserts or replaces a block. Returns the previous entry, if any.
-    pub fn put(&mut self, key: Key, payload: Payload, now: SimTime) -> Option<StoredBlock> {
+    /// Bytes held as erasure-coded fragments (a subset of
+    /// [`NodeStore::data_bytes`]: fragments are physically stored, but
+    /// repair and ablation accounting track them separately from whole
+    /// blocks).
+    pub fn fragment_bytes(&self) -> u64 {
+        self.fragment_bytes
+    }
+
+    /// Adds `payload`'s bytes to the per-kind accounting and indexes.
+    fn account_add(&mut self, key: Key, payload: &Payload) {
         self.bytes += payload.len() as u64;
         if payload.is_pointer() {
             self.pointer_bytes += payload.len() as u64;
@@ -133,6 +186,27 @@ impl NodeStore {
         } else {
             self.pointers.remove(&key);
         }
+        if payload.is_fragment() {
+            self.fragment_bytes += payload.len() as u64;
+        }
+    }
+
+    /// Removes a displaced `payload`'s bytes from the accounting (the
+    /// pointer index is maintained by [`NodeStore::account_add`] /
+    /// the removal paths, which know whether the key goes away).
+    fn account_sub(&mut self, payload: &Payload) {
+        self.bytes -= payload.len() as u64;
+        if payload.is_pointer() {
+            self.pointer_bytes -= payload.len() as u64;
+        }
+        if payload.is_fragment() {
+            self.fragment_bytes -= payload.len() as u64;
+        }
+    }
+
+    /// Inserts or replaces a block. Returns the previous entry, if any.
+    pub fn put(&mut self, key: Key, payload: Payload, now: SimTime) -> Option<StoredBlock> {
+        self.account_add(key, &payload);
         let old = self.blocks.insert(
             key,
             StoredBlock {
@@ -143,10 +217,7 @@ impl NodeStore {
             },
         );
         if let Some(ref o) = old {
-            self.bytes -= o.payload.len() as u64;
-            if o.payload.is_pointer() {
-                self.pointer_bytes -= o.payload.len() as u64;
-            }
+            self.account_sub(&o.payload);
         }
         old
     }
@@ -173,9 +244,8 @@ impl NodeStore {
     pub fn remove_now(&mut self, key: &Key) -> Option<StoredBlock> {
         let old = self.blocks.remove(key);
         if let Some(ref o) = old {
-            self.bytes -= o.payload.len() as u64;
+            self.account_sub(&o.payload);
             if o.payload.is_pointer() {
-                self.pointer_bytes -= o.payload.len() as u64;
                 self.pointers.remove(key);
             }
         }
@@ -207,19 +277,48 @@ impl NodeStore {
     }
 
     /// Garbage-collects blocks whose delayed removal or TTL deadline has
-    /// passed. Returns the removed keys. Quick removal matters for
-    /// locality: dead blocks fragment live data (Section 3).
-    pub fn gc(&mut self, now: SimTime) -> Vec<Key> {
+    /// passed. Returns the removed keys *and* the reclaimed bytes broken
+    /// down by payload kind — fragment bytes used to vanish invisibly
+    /// here, which made erasure-coded space accounting unauditable.
+    /// Quick removal matters for locality: dead blocks fragment live
+    /// data (Section 3).
+    pub fn gc(&mut self, now: SimTime) -> GcReport {
         let dead: Vec<Key> = self
             .blocks
             .iter()
             .filter(|(_, b)| b.is_dead(now))
             .map(|(k, _)| *k)
             .collect();
-        for k in &dead {
-            self.remove_now(k);
+        let mut report = GcReport::default();
+        for k in dead {
+            let Some(old) = self.remove_now(&k) else {
+                continue;
+            };
+            match old.payload {
+                Payload::Data(_) | Payload::Size(_) => {
+                    report.block_bytes += old.payload.len() as u64
+                }
+                Payload::Fragment { .. } => report.fragment_bytes += old.payload.len() as u64,
+                Payload::Pointer { .. } => report.pointer_bytes += old.payload.len() as u64,
+            }
+            report.keys.push(k);
         }
-        dead
+        report
+    }
+
+    /// Runs [`NodeStore::gc`] and publishes what it reclaimed to the
+    /// `store.*` metrics: `store.gc_blocks` counts removed entries,
+    /// `store.gc_block_bytes` / `store.gc_fragment_bytes` /
+    /// `store.gc_pointer_bytes` the reclaimed bytes per payload kind.
+    pub fn gc_observed(&mut self, now: SimTime, reg: &mut Registry) -> GcReport {
+        let report = self.gc(now);
+        if !report.is_empty() {
+            reg.add("store.gc_blocks", report.keys.len() as u64);
+            reg.add("store.gc_block_bytes", report.block_bytes);
+            reg.add("store.gc_fragment_bytes", report.fragment_bytes);
+            reg.add("store.gc_pointer_bytes", report.pointer_bytes);
+        }
+        report
     }
 
     /// Iterates keys inside `range` (which may wrap).
@@ -302,18 +401,9 @@ impl NodeStore {
     /// Inserts pre-built blocks (migration receive).
     pub fn absorb(&mut self, blocks: Vec<(Key, StoredBlock)>) {
         for (k, b) in blocks {
-            self.bytes += b.payload.len() as u64;
-            if b.payload.is_pointer() {
-                self.pointer_bytes += b.payload.len() as u64;
-                self.pointers.insert(k);
-            } else {
-                self.pointers.remove(&k);
-            }
+            self.account_add(k, &b.payload);
             if let Some(old) = self.blocks.insert(k, b) {
-                self.bytes -= old.payload.len() as u64;
-                if old.payload.is_pointer() {
-                    self.pointer_bytes -= old.payload.len() as u64;
-                }
+                self.account_sub(&old.payload);
             }
         }
     }
@@ -384,10 +474,10 @@ mod tests {
         s.put(k(1), Payload::Size(10), SimTime::ZERO);
         assert!(s.remove_after(&k(1), SimTime::ZERO, SimTime::from_secs(30)));
         // Still readable before the deadline (stale readers succeed).
-        assert_eq!(s.gc(SimTime::from_secs(29)), vec![]);
+        assert!(s.gc(SimTime::from_secs(29)).is_empty());
         assert!(s.contains(&k(1)));
         // Gone at the deadline.
-        assert_eq!(s.gc(SimTime::from_secs(30)), vec![k(1)]);
+        assert_eq!(s.gc(SimTime::from_secs(30)).keys, vec![k(1)]);
         assert!(!s.contains(&k(1)));
     }
 
@@ -404,7 +494,7 @@ mod tests {
         // Refresh extends life.
         assert!(s.refresh_ttl(&k(2), SimTime::from_secs(59), SimTime::from_secs(60)));
         assert!(s.gc(SimTime::from_secs(100)).is_empty());
-        assert_eq!(s.gc(SimTime::from_secs(119)), vec![k(2)]);
+        assert_eq!(s.gc(SimTime::from_secs(119)).keys, vec![k(2)]);
     }
 
     #[test]
@@ -515,6 +605,102 @@ mod tests {
         );
         assert!(Payload::Data(vec![]).is_empty());
         assert!(!Payload::Size(1).is_empty());
+    }
+
+    #[test]
+    fn fragment_bytes_tracked_separately() {
+        let mut s = NodeStore::new();
+        s.put(k(1), Payload::Size(100), SimTime::ZERO);
+        s.put(
+            k(2),
+            Payload::Fragment {
+                index: 3,
+                generation: 1,
+                len: 40,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(s.bytes(), 140);
+        assert_eq!(s.data_bytes(), 140); // fragments are physical bytes
+        assert_eq!(s.fragment_bytes(), 40);
+        // Overwriting a fragment with a whole block releases its share.
+        s.put(k(2), Payload::Size(60), SimTime::ZERO);
+        assert_eq!(s.fragment_bytes(), 0);
+        assert_eq!(s.bytes(), 160);
+        // ... and the reverse direction claims it back.
+        s.put(
+            k(1),
+            Payload::Fragment {
+                index: 0,
+                generation: 2,
+                len: 25,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(s.fragment_bytes(), 25);
+        s.remove_now(&k(1));
+        assert_eq!(s.fragment_bytes(), 0);
+        assert_eq!(s.bytes(), 60);
+    }
+
+    #[test]
+    fn gc_reports_reclaimed_fragment_bytes_in_store_metrics() {
+        // Regression: gc used to return only the removed keys, so
+        // reclaimed fragment bytes never reached the store.* metrics.
+        let mut s = NodeStore::new();
+        let mut reg = Registry::new();
+        s.put(k(1), Payload::Size(100), SimTime::ZERO);
+        s.put(
+            k(2),
+            Payload::Fragment {
+                index: 1,
+                generation: 0,
+                len: 30,
+            },
+            SimTime::ZERO,
+        );
+        s.put(
+            k(3),
+            Payload::Fragment {
+                index: 2,
+                generation: 0,
+                len: 30,
+            },
+            SimTime::ZERO,
+        );
+        s.put(
+            k(4),
+            Payload::Pointer {
+                holder: 7,
+                since: SimTime::ZERO,
+                len: 500,
+            },
+            SimTime::ZERO,
+        );
+        for v in 1..=4 {
+            s.remove_after(&k(v), SimTime::ZERO, SimTime::from_secs(10));
+        }
+        // Nothing due yet: no counter movement.
+        let early = s.gc_observed(SimTime::from_secs(5), &mut reg);
+        assert!(early.is_empty());
+        assert_eq!(reg.counter("store.gc_blocks"), 0);
+
+        let report = s.gc_observed(SimTime::from_secs(10), &mut reg);
+        assert_eq!(report.keys.len(), 4);
+        assert_eq!(report.block_bytes, 100);
+        assert_eq!(report.fragment_bytes, 60);
+        assert_eq!(report.pointer_bytes, 500);
+        assert_eq!(reg.counter("store.gc_blocks"), 4);
+        assert_eq!(reg.counter("store.gc_block_bytes"), 100);
+        assert_eq!(reg.counter("store.gc_fragment_bytes"), 60);
+        assert_eq!(reg.counter("store.gc_pointer_bytes"), 500);
+        assert_eq!(s.bytes(), 0);
+        assert_eq!(s.fragment_bytes(), 0);
+
+        // A second pass is a no-op: deltas, not re-counts.
+        s.gc_observed(SimTime::from_secs(11), &mut reg);
+        assert_eq!(reg.counter("store.gc_blocks"), 4);
+        assert_eq!(reg.counter("store.gc_fragment_bytes"), 60);
     }
 
     #[test]

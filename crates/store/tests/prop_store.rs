@@ -82,7 +82,7 @@ proptest! {
                     }
                 }
                 Op::Gc => {
-                    let dead = store.gc(now);
+                    let dead = store.gc(now).keys;
                     for k in &dead {
                         let e = model.remove(k);
                         prop_assert!(e.is_some(), "gc removed an untracked key");

@@ -33,6 +33,16 @@
 //! variant) means no message body changed shape between v1 and v2, so
 //! decoders accept both versions: a v1 payload is exactly a v2 payload
 //! minus the trace block, and decodes with [`TraceCtx::NONE`].
+//!
+//! # Version 3: erasure-coded fragments
+//!
+//! Version 3 adds three message variants for the erasure-coded
+//! redundancy backend — [`Request::PutFragment`],
+//! [`Request::GetFragment`], and [`Response::Fragment`] — and changes
+//! nothing else: the payload layout (trace block + tagged body) is
+//! identical to v2, and every v1/v2 frame decodes exactly as before.
+//! The bump only signals that this peer may emit the new tags; a v2
+//! peer that never sees a fragment frame interoperates untouched.
 
 use d2_obs::{Histogram, Registry, SpanRecord, TraceCtx};
 use d2_ring::messages::{Addr, PeerInfo, RingMsg};
@@ -43,9 +53,9 @@ use std::fmt;
 pub const MAGIC: [u8; 2] = [0x44, 0x32];
 
 /// Current protocol version. Bump on any incompatible payload change.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
-/// Oldest version this decoder still accepts. v1 frames are v2 frames
+/// Oldest version this decoder still accepts. v1 frames are v2+ frames
 /// without the leading trace block; they decode with [`TraceCtx::NONE`].
 pub const MIN_VERSION: u8 = 1;
 
@@ -152,6 +162,40 @@ pub enum Request {
         /// The block's key.
         key: Key,
     },
+    /// Store one erasure-coded fragment of a block here (v3). Sent by
+    /// the key's owner to the other members of the fragment group; the
+    /// receiver stores exactly this fragment (no chaining) and acks
+    /// with [`Response::PutAck`]`{ replicas: 1 }`.
+    PutFragment {
+        /// The block's key (shared by all fragments of the block).
+        key: Key,
+        /// This fragment's index in `0..total` (systematic: indices
+        /// `< k` are data shards, the rest parity).
+        index: u8,
+        /// Total fragments in the group (the policy's `n`).
+        total: u8,
+        /// Write generation; a receiver drops fragments older than the
+        /// one it already holds.
+        generation: u64,
+        /// Sender-computed fragment checksum, verified end-to-end by
+        /// the receiver before the fragment is stored.
+        check: u64,
+        /// The original (pre-encoding) block length, needed to trim
+        /// zero padding after decode.
+        block_len: u32,
+        /// The fragment payload.
+        data: Vec<u8>,
+    },
+    /// Fetch (or probe for) the fragment stored here under `key` (v3).
+    /// Answered with [`Response::Fragment`].
+    GetFragment {
+        /// The block's key.
+        key: Key,
+        /// `true` fetches the fragment bytes; `false` is a cheap
+        /// presence probe (the reply's `data` stays empty) used by the
+        /// lazy repair scanner.
+        want_data: bool,
+    },
     /// Report ring state (predecessor, successors, block count).
     Status,
     /// Dump this node's metrics registry and flight recorder
@@ -171,6 +215,8 @@ impl Request {
             Request::Lookup { .. } => "lookup",
             Request::Put { .. } => "put",
             Request::Get { .. } => "get",
+            Request::PutFragment { .. } => "put_fragment",
+            Request::GetFragment { .. } => "get_fragment",
             Request::Status => "status",
             Request::MetricsDump => "metrics_dump",
             Request::Shutdown => "shutdown",
@@ -295,6 +341,24 @@ pub enum Response {
         /// The block, or `None` when this node does not hold it.
         data: Option<Vec<u8>>,
     },
+    /// Reply to [`Request::GetFragment`] (v3).
+    Fragment {
+        /// Whether this node holds a fragment of the key.
+        has: bool,
+        /// The held fragment's index (0 when `has` is false).
+        index: u8,
+        /// The held fragment's write generation (0 when `has` is false).
+        generation: u64,
+        /// The fragment checksum, carried so the gatherer can verify
+        /// integrity end-to-end before decoding (0 when `has` is false).
+        check: u64,
+        /// The original block length recorded at put time (0 when
+        /// `has` is false).
+        block_len: u32,
+        /// The fragment bytes; empty on a presence probe
+        /// (`want_data: false`) or when `has` is false.
+        data: Vec<u8>,
+    },
     /// Reply to [`Request::Status`].
     Status(WireStatus),
     /// Reply to [`Request::MetricsDump`]: the node's registry and
@@ -348,6 +412,8 @@ impl WireMsg {
                 Request::Lookup { .. } => TAG_REQ_LOOKUP,
                 Request::Put { .. } => TAG_REQ_PUT,
                 Request::Get { .. } => TAG_REQ_GET,
+                Request::PutFragment { .. } => TAG_REQ_PUT_FRAGMENT,
+                Request::GetFragment { .. } => TAG_REQ_GET_FRAGMENT,
                 Request::Status => TAG_REQ_STATUS,
                 Request::MetricsDump => TAG_REQ_METRICS,
                 Request::Shutdown => TAG_REQ_SHUTDOWN,
@@ -356,6 +422,7 @@ impl WireMsg {
                 Response::Owner { .. } => TAG_RESP_OWNER,
                 Response::PutAck { .. } => TAG_RESP_PUT_ACK,
                 Response::Block { .. } => TAG_RESP_BLOCK,
+                Response::Fragment { .. } => TAG_RESP_FRAGMENT,
                 Response::Status(_) => TAG_RESP_STATUS,
                 Response::Metrics(_) => TAG_RESP_METRICS,
                 Response::ShutdownAck => TAG_RESP_SHUTDOWN_ACK,
@@ -380,6 +447,7 @@ impl WireMsg {
                 Response::Owner { .. } => "owner",
                 Response::PutAck { .. } => "put_ack",
                 Response::Block { .. } => "block",
+                Response::Fragment { .. } => "fragment",
                 Response::Status(_) => "status",
                 Response::Metrics(_) => "metrics",
                 Response::ShutdownAck => "shutdown_ack",
@@ -401,12 +469,15 @@ const TAG_REQ_GET: u8 = 0x12;
 const TAG_REQ_STATUS: u8 = 0x13;
 const TAG_REQ_SHUTDOWN: u8 = 0x14;
 const TAG_REQ_METRICS: u8 = 0x15;
+const TAG_REQ_PUT_FRAGMENT: u8 = 0x16;
+const TAG_REQ_GET_FRAGMENT: u8 = 0x17;
 const TAG_RESP_OWNER: u8 = 0x20;
 const TAG_RESP_PUT_ACK: u8 = 0x21;
 const TAG_RESP_BLOCK: u8 = 0x22;
 const TAG_RESP_STATUS: u8 = 0x23;
 const TAG_RESP_SHUTDOWN_ACK: u8 = 0x24;
 const TAG_RESP_METRICS: u8 = 0x25;
+const TAG_RESP_FRAGMENT: u8 = 0x26;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -577,6 +648,27 @@ pub fn encode_traced_into(buf: &mut Vec<u8>, msg: &WireMsg, trace: TraceCtx) -> 
                     e.bytes(data);
                 }
                 Request::Get { key } => e.key(key),
+                Request::PutFragment {
+                    key,
+                    index,
+                    total,
+                    generation,
+                    check,
+                    block_len,
+                    data,
+                } => {
+                    e.key(key);
+                    e.u8(*index);
+                    e.u8(*total);
+                    e.u64(*generation);
+                    e.u64(*check);
+                    e.u32(*block_len);
+                    e.bytes(data);
+                }
+                Request::GetFragment { key, want_data } => {
+                    e.key(key);
+                    e.u8(*want_data as u8);
+                }
                 Request::Status | Request::MetricsDump | Request::Shutdown => {}
             }
         }
@@ -589,6 +681,21 @@ pub fn encode_traced_into(buf: &mut Vec<u8>, msg: &WireMsg, trace: TraceCtx) -> 
                 }
                 Response::PutAck { replicas } => e.u32(*replicas),
                 Response::Block { data } => e.opt_bytes(data),
+                Response::Fragment {
+                    has,
+                    index,
+                    generation,
+                    check,
+                    block_len,
+                    data,
+                } => {
+                    e.u8(*has as u8);
+                    e.u8(*index);
+                    e.u64(*generation);
+                    e.u64(*check);
+                    e.u32(*block_len);
+                    e.bytes(data);
+                }
                 Response::Status(s) => {
                     e.peer(&s.me);
                     e.opt_peer(&s.predecessor);
@@ -910,8 +1017,8 @@ pub fn decode_payload(
         TAG_NOTIFY => WireMsg::Ring(RingMsg::Notify {
             candidate: d.peer()?,
         }),
-        TAG_REQ_LOOKUP | TAG_REQ_PUT | TAG_REQ_GET | TAG_REQ_STATUS | TAG_REQ_METRICS
-        | TAG_REQ_SHUTDOWN => {
+        TAG_REQ_LOOKUP | TAG_REQ_PUT | TAG_REQ_GET | TAG_REQ_PUT_FRAGMENT
+        | TAG_REQ_GET_FRAGMENT | TAG_REQ_STATUS | TAG_REQ_METRICS | TAG_REQ_SHUTDOWN => {
             let req_id = d.u64()?;
             let from = d.addr()?;
             let body = match tag {
@@ -923,6 +1030,23 @@ pub fn decode_payload(
                     data: d.bytes()?,
                 },
                 TAG_REQ_GET => Request::Get { key: d.key()? },
+                TAG_REQ_PUT_FRAGMENT => Request::PutFragment {
+                    key: d.key()?,
+                    index: d.u8()?,
+                    total: d.u8()?,
+                    generation: d.u64()?,
+                    check: d.u64()?,
+                    block_len: d.u32()?,
+                    data: d.bytes()?,
+                },
+                TAG_REQ_GET_FRAGMENT => Request::GetFragment {
+                    key: d.key()?,
+                    want_data: match d.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(WireError::Malformed("bool flag must be 0 or 1")),
+                    },
+                },
                 TAG_REQ_STATUS => Request::Status,
                 TAG_REQ_METRICS => Request::MetricsDump,
                 _ => Request::Shutdown,
@@ -932,6 +1056,7 @@ pub fn decode_payload(
         TAG_RESP_OWNER
         | TAG_RESP_PUT_ACK
         | TAG_RESP_BLOCK
+        | TAG_RESP_FRAGMENT
         | TAG_RESP_STATUS
         | TAG_RESP_METRICS
         | TAG_RESP_SHUTDOWN_ACK => {
@@ -944,6 +1069,18 @@ pub fn decode_payload(
                 TAG_RESP_PUT_ACK => Response::PutAck { replicas: d.u32()? },
                 TAG_RESP_BLOCK => Response::Block {
                     data: d.opt_bytes()?,
+                },
+                TAG_RESP_FRAGMENT => Response::Fragment {
+                    has: match d.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(WireError::Malformed("bool flag must be 0 or 1")),
+                    },
+                    index: d.u8()?,
+                    generation: d.u64()?,
+                    check: d.u64()?,
+                    block_len: d.u32()?,
+                    data: d.bytes()?,
                 },
                 TAG_RESP_STATUS => Response::Status(WireStatus {
                     me: d.peer()?,
@@ -1219,6 +1356,108 @@ mod tests {
             assert_eq!(got, msg);
             assert_eq!(trace, TraceCtx::NONE);
         }
+    }
+
+    #[test]
+    fn fragment_msgs_round_trip() {
+        let msgs = [
+            WireMsg::Request {
+                req_id: 11,
+                from: 4,
+                body: Request::PutFragment {
+                    key: Key::from_u64(77),
+                    index: 3,
+                    total: 8,
+                    generation: 2,
+                    check: 0xDEAD_BEEF_CAFE_F00D,
+                    block_len: 4096,
+                    data: vec![0x5a; 512],
+                },
+            },
+            WireMsg::Request {
+                req_id: 12,
+                from: 4,
+                body: Request::GetFragment {
+                    key: Key::from_u64(77),
+                    want_data: false,
+                },
+            },
+            WireMsg::Response {
+                req_id: 12,
+                body: Response::Fragment {
+                    has: true,
+                    index: 3,
+                    generation: 2,
+                    check: 0xDEAD_BEEF_CAFE_F00D,
+                    block_len: 4096,
+                    data: vec![],
+                },
+            },
+            WireMsg::Response {
+                req_id: 13,
+                body: Response::Fragment {
+                    has: false,
+                    index: 0,
+                    generation: 0,
+                    check: 0,
+                    block_len: 0,
+                    data: vec![],
+                },
+            },
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            assert_eq!(frame[2], VERSION);
+            assert_eq!(decode(&frame).unwrap(), msg, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn fragment_frames_reject_truncation_and_bad_flags() {
+        let frame = encode(&WireMsg::Request {
+            req_id: 1,
+            from: 0,
+            body: Request::GetFragment {
+                key: Key::from_u64(5),
+                want_data: true,
+            },
+        });
+        for cut in HEADER_LEN..frame.len() {
+            assert!(
+                matches!(decode(&frame[..cut]), Err(WireError::Truncated { .. })),
+                "cut at {cut} must be truncated"
+            );
+        }
+        // A want_data flag of 2 is malformed, not silently truthy.
+        let mut bad = frame.clone();
+        let n = bad.len();
+        bad[n - 1] = 2;
+        assert_eq!(
+            decode(&bad),
+            Err(WireError::Malformed("bool flag must be 0 or 1"))
+        );
+    }
+
+    #[test]
+    fn v2_frames_still_decode_under_v3() {
+        // A v2 peer emits the same classic bodies with version byte 2;
+        // the v3 decoder must accept them unchanged, trace block intact.
+        let msg = WireMsg::Request {
+            req_id: 9,
+            from: 2,
+            body: Request::Put {
+                key: Key::from_u64(5),
+                fanout: 2,
+                stored: 0,
+                data: b"v2 block".to_vec(),
+            },
+        };
+        let trace = TraceCtx::root(0xBEEF).child(0x22);
+        let mut v2 = encode_traced(&msg, trace);
+        v2[2] = 2;
+        let (got, got_trace) = decode_traced(&v2).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(got_trace, trace);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Redundancy-ablation summary for the perf trajectory. On a release
+# build:
+#   1. runs `d2-exp redundancy --scale quick` at --jobs 1 and --jobs N
+#      (default N: nproc) and verifies both tables are byte-identical,
+#   2. parses the per-policy rows (availability, ideal/measured storage
+#      factor, lazy-repair bytes, throttled bytes, skips, backlog),
+#   3. writes rows + wall-clock + speedup to BENCH_redundancy.json.
+# Run from the repository root: ./scripts/bench_redundancy.sh [N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 1)}"
+SEED=42
+
+echo "==> cargo build --release -p d2-experiments"
+cargo build --release -p d2-experiments
+BIN=target/release/d2-exp
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() { date +%s%3N; }
+
+t0=$(now_ms)
+"$BIN" redundancy --scale quick --seed "$SEED" --jobs 1 > "$TMP/j1.txt"
+t1=$(now_ms)
+MS_J1=$((t1 - t0))
+
+t0=$(now_ms)
+"$BIN" redundancy --scale quick --seed "$SEED" --jobs "$JOBS" > "$TMP/jn.txt"
+t1=$(now_ms)
+MS_JN=$((t1 - t0))
+
+echo "==> determinism: --jobs 1 vs --jobs $JOBS"
+if ! cmp -s "$TMP/j1.txt" "$TMP/jn.txt"; then
+    echo "FAIL: redundancy output differs across --jobs" >&2
+    diff "$TMP/j1.txt" "$TMP/jn.txt" >&2 || true
+    exit 1
+fi
+cat "$TMP/j1.txt"
+
+# Table rows: policy ideal-x stored-x node-unavail avail repair-KiB
+# throttled-KiB lazy-skips repaired backlog. Skip title/header/rule.
+ROWS=$(awk '
+    NF == 10 && $1 ~ /^(r=|ec\()/ {
+        gsub(/%/, "", $4); gsub(/%/, "", $5)
+        printf "%s    {\"policy\": \"%s\", \"ideal_storage_x\": %s, \"stored_x\": %s, \"node_unavail_pct\": %s, \"availability_pct\": %s, \"repair_kib\": %s, \"throttled_kib\": %s, \"lazy_skips\": %s, \"repaired\": %s, \"backlog\": %s}", sep, $1, $2, $3, $4, $5, $6, $7, $8, $9, $10
+        sep = ",\n"
+    }
+' "$TMP/j1.txt")
+
+cat > BENCH_redundancy.json <<EOF
+{
+  "experiment": "redundancy",
+  "scale": "quick",
+  "seed": $SEED,
+  "jobs": $JOBS,
+  "wall_ms_jobs1": $MS_J1,
+  "wall_ms_jobsN": $MS_JN,
+  "speedup": $(awk "BEGIN { printf \"%.2f\", $MS_J1 / ($MS_JN + 1) }"),
+  "deterministic_across_jobs": true,
+  "rows": [
+$ROWS
+  ]
+}
+EOF
+
+echo "==> wrote BENCH_redundancy.json"

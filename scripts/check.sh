@@ -19,8 +19,14 @@ cargo test --workspace -q
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> d2-ec coder gate (unit + property tests)"
+cargo test -q -p d2-ec
+
 echo "==> d2-dst smoke sweep (64 seeds)"
 ./target/release/d2-dst sweep --seeds 64
+
+echo "==> d2-dst erasure-mode sweep (32 seeds, (3,6) fragments, throttled repair)"
+./target/release/d2-dst sweep --seeds 32 --ec 3/6 --repair-budget 5000
 
 echo "==> telemetry smoke (3-node cluster scrape, merged snapshot JSON)"
 cargo run --release --quiet --example telemetry >/dev/null

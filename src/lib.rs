@@ -13,6 +13,9 @@
 //!   recursive routing, and Karger–Ruhl active load balancing.
 //! - [`store`] — the replicated block store (D2-Store) with lookup caches
 //!   and block pointers.
+//! - [`ec`] — the erasure-coded redundancy backend: a systematic
+//!   Reed–Solomon coder over GF(2^8) and the `RedundancyPolicy`
+//!   replication-vs-coding abstraction.
 //! - [`fs`] — the CFS-style file-system layer (D2-FS) with root/directory/
 //!   inode/data blocks and a 30-second write-back cache.
 //! - [`sim`] — the discrete-event simulator (network latency, access-link
@@ -52,6 +55,7 @@
 
 pub use d2_core as core;
 pub use d2_dst as dst;
+pub use d2_ec as ec;
 pub use d2_experiments as experiments;
 pub use d2_fs as fs;
 pub use d2_net as net;
