@@ -1,18 +1,35 @@
 //! Command-line front-end for the deterministic simulation harness.
 //!
 //! ```text
-//! d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]
-//!               [--ec K/N] [--repair-budget BPS] [--puts P] [--jobs J]
-//!               [--bug-head-only] [--json PATH] [-v]
-//! d2-dst replay --seed S [--nodes N] [--replicas R] [--ec K/N]
-//!               [--repair-budget BPS] [--puts P] [--bug-head-only]
+//! d2-dst sweep  [--world W] [--seeds N] [--seed0 S] [--nodes N]
+//!               [--replicas R] [--ec K/N] [--repair-budget BPS]
+//!               [--puts P] [--jobs J] [--bug-head-only]
+//!               [--bug-ack-on-send] [--bug-no-anchor] [--json PATH] [-v]
+//! d2-dst replay --seed S [--world W] [--nodes N] [--replicas R]
+//!               [--ec K/N] [--repair-budget BPS] [--puts P]
+//!               [--bug-head-only] [--bug-ack-on-send] [--bug-no-anchor]
 //!               [--trace PATH] [-v]
 //! ```
+//!
+//! `--world` picks the adversarial regime: `classic` (crash / restart /
+//! single-node isolation — the default), `partition` (multi-node
+//! netsplits plus one-way silent link cuts), `gray` (slow-and-lossy
+//! nodes with no crash signal), `wan` (a King-style per-pair latency
+//! matrix, ≈ 90 ms mean RTT), `skew` (per-node clock offset and drift),
+//! or `mixed` (per-seed choice among all of them).
 //!
 //! `--ec K/N` runs every node in erasure-coded fragment mode (any `K`
 //! of `N` fragments reconstruct a block) instead of whole-block
 //! replication; `--repair-budget` caps each node's lazy-repair traffic
 //! in bytes of virtual time per second (`0` = unlimited).
+//!
+//! The `--bug-*` flags re-introduce known seeded bugs to validate that
+//! the right regime catches them: `--bug-head-only` is PR 4's
+//! successor-probing bug (classic worlds catch it),
+//! `--bug-ack-on-send` acks puts on forward *send* instead of on
+//! acknowledgment (only worlds with silent loss — partition cuts —
+//! catch it), and `--bug-no-anchor` disables the seed-anchored ring
+//! remerge (only multi-node netsplits catch it).
 //!
 //! `sweep` runs one deterministic world per seed and exits nonzero if
 //! any fails; the first failing seed is shrunk to a minimal fault plan
@@ -22,7 +39,7 @@
 //! See EXPERIMENTS.md ("Replaying a failing schedule") for a
 //! walkthrough.
 
-use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario};
+use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario, WorldRegime};
 use d2_obs::trace::{to_jsonl, TraceEvent};
 use d2_obs::{render_span_tree, SpanRecord};
 use std::io::Write;
@@ -32,12 +49,15 @@ const SHRINK_BUDGET: usize = 300;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: d2-dst sweep  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]\n\
+        "usage: d2-dst sweep  [--world classic|partition|gray|wan|skew|mixed]\n\
+         \x20                  [--seeds N] [--seed0 S] [--nodes N] [--replicas R]\n\
          \x20                  [--ec K/N] [--repair-budget BPS] [--puts P] [--jobs J]\n\
-         \x20                  [--bug-head-only] [--json PATH] [-v]\n\
-         \x20      d2-dst replay --seed S [--nodes N] [--replicas R] [--ec K/N]\n\
-         \x20                  [--repair-budget BPS] [--puts P]\n\
-         \x20                  [--bug-head-only] [--trace PATH] [-v]"
+         \x20                  [--bug-head-only] [--bug-ack-on-send] [--bug-no-anchor]\n\
+         \x20                  [--json PATH] [-v]\n\
+         \x20      d2-dst replay --seed S [--world W] [--nodes N] [--replicas R]\n\
+         \x20                  [--ec K/N] [--repair-budget BPS] [--puts P]\n\
+         \x20                  [--bug-head-only] [--bug-ack-on-send] [--bug-no-anchor]\n\
+         \x20                  [--trace PATH] [-v]"
     );
     std::process::exit(2);
 }
@@ -107,7 +127,16 @@ fn parse_args(args: &[String]) -> Args {
             }
             "--puts" => out.scenario.puts = parse_num(&val("--puts"), "--puts"),
             "--jobs" => out.jobs = parse_num(&val("--jobs"), "--jobs"),
+            "--world" => {
+                let w = val("--world");
+                out.scenario.regime = WorldRegime::parse(&w).unwrap_or_else(|| {
+                    eprintln!("--world wants classic|partition|gray|wan|skew|mixed, got {w:?}");
+                    std::process::exit(2);
+                });
+            }
             "--bug-head-only" => out.scenario.probe_head_only = true,
+            "--bug-ack-on-send" => out.scenario.ack_on_send = true,
+            "--bug-no-anchor" => out.scenario.no_anchor = true,
             "--json" => out.json = Some(val("--json")),
             "--trace" => out.trace = Some(val("--trace")),
             "-v" | "--verbose" => out.verbose = true,
@@ -152,9 +181,10 @@ fn cmd_sweep(args: Args) {
         }
     }
     println!(
-        "swept seeds {}..{}: {} ok, {} failed",
+        "swept seeds {}..{} in {} worlds: {} ok, {} failed",
         args.seed0,
         args.seed0 + args.seeds,
+        args.scenario.regime.label(),
         results.len() - failed.len(),
         failed.len()
     );
@@ -197,18 +227,25 @@ fn cmd_sweep(args: Args) {
                 min.violation.as_deref().unwrap_or("(none)")
             );
         }
-        let bug = if args.scenario.probe_head_only {
-            " --bug-head-only"
-        } else {
-            ""
-        };
-        let ec = match args.scenario.redundancy {
-            Some(RedundancyPolicy::ErasureCode { k, n }) => format!(" --ec {k}/{n}"),
-            _ => String::new(),
-        };
+        let mut extras = String::new();
+        if args.scenario.regime != WorldRegime::Classic {
+            extras.push_str(&format!(" --world {}", args.scenario.regime.label()));
+        }
+        if let Some(RedundancyPolicy::ErasureCode { k, n }) = args.scenario.redundancy {
+            extras.push_str(&format!(" --ec {k}/{n}"));
+        }
+        if args.scenario.probe_head_only {
+            extras.push_str(" --bug-head-only");
+        }
+        if args.scenario.ack_on_send {
+            extras.push_str(" --bug-ack-on-send");
+        }
+        if args.scenario.no_anchor {
+            extras.push_str(" --bug-no-anchor");
+        }
         println!(
-            "replay: d2-dst replay --seed {} --nodes {} --replicas {} --puts {}{ec}{}",
-            first.seed, sc.nodes, sc.replicas, sc.puts, bug
+            "replay: d2-dst replay --seed {} --nodes {} --replicas {} --puts {}{extras}",
+            first.seed, sc.nodes, sc.replicas, sc.puts
         );
     }
 
@@ -218,14 +255,28 @@ fn cmd_sweep(args: Args) {
             .iter()
             .map(|l| format!("\"{}\"", json_escape(l)))
             .collect();
+        // Kong-style per-seed curve: success rate and hop percentiles
+        // for every world in the sweep, so regimes can be compared
+        // seed-by-seed (e.g. wan vs classic hop inflation).
+        let detail: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"seed\":{},\"ok\":{},\"acked\":{},\"puts\":{},\"lookups\":{},\"hops_p50\":{},\"hops_p99\":{}}}",
+                    r.seed, r.ok, r.acked_puts, r.puts, r.lookups, r.hops_p50, r.hops_p99
+                )
+            })
+            .collect();
         let json = format!(
-            "{{\"seed0\":{},\"seeds\":{},\"ok\":{},\"failed\":[{}],\"shrink_runs\":{},\"shrunk_plan\":[{}]}}\n",
+            "{{\"world\":\"{}\",\"seed0\":{},\"seeds\":{},\"ok\":{},\"failed\":[{}],\"shrink_runs\":{},\"shrunk_plan\":[{}],\"per_seed\":[{}]}}\n",
+            args.scenario.regime.label(),
             args.seed0,
             args.seeds,
             results.len() - failed.len(),
             failed_seeds.join(","),
             shrink_runs,
-            plan.join(",")
+            plan.join(","),
+            detail.join(",")
         );
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("write {path}: {e}");
@@ -244,8 +295,9 @@ fn cmd_replay(args: Args) {
     sc.seed = seed;
     let out = run_one(&sc, &Overrides::default());
     println!(
-        "seed {}: {} at {:.2}s — {} delivered, {} dropped, {} duplicated, {} delayed, {} ticks, {} acked puts",
+        "seed {} ({} world): {} at {:.2}s — {} delivered, {} dropped, {} duplicated, {} delayed, {} ticks, {} acked puts",
         out.seed,
+        sc.regime.label(),
         if out.ok { "ok" } else { "FAIL" },
         out.end_us as f64 / 1e6,
         out.stats.delivered,
@@ -255,6 +307,12 @@ fn cmd_replay(args: Args) {
         out.stats.ticks,
         out.stats.acked_puts
     );
+    if out.stats.lost_partition > 0 || out.stats.lost_cut > 0 || out.stats.gray_dropped > 0 {
+        println!(
+            "silent losses: {} partitioned, {} one-way-cut, {} gray-dropped",
+            out.stats.lost_partition, out.stats.lost_cut, out.stats.gray_dropped
+        );
+    }
     println!("fault plan ({} entries):", out.plan.len());
     for entry in &out.plan {
         println!("  - {entry}");

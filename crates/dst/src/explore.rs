@@ -13,9 +13,15 @@
 //! final plan is sound even when removing an early fault shifts the
 //! schedule downstream.
 
-use crate::world::{Overrides, PlanEntry, RunOutcome, Scenario, SimWorld};
+use crate::world::{NodeEvent, Overrides, PlanEntry, RunOutcome, Scenario, SimWorld};
+use d2_ring::messages::Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Heal-window bisection stops once the window is pinned down to this
+/// resolution — finer than this does not change what a human reads out
+/// of the repro, and every probe costs a full world run.
+const HEAL_TRIM_RESOLUTION_US: u64 = 250_000;
 
 /// Runs one world to completion under `overrides`.
 pub fn run_one(sc: &Scenario, overrides: &Overrides) -> RunOutcome {
@@ -131,13 +137,18 @@ pub struct ShrinkResult {
 /// the scenario does not fail in the first place.
 ///
 /// Node events (few, high-impact) are tried for removal one at a time.
-/// Drawn message faults can number in the hundreds, so they are removed
-/// delta-debugging style: try neutralizing a whole chunk (starting with
-/// *all* of them); if the failure survives, adopt the removal, else
-/// split the chunk and recurse. Every adoption is validated by a full
-/// re-run, so the final plan is sound even though removing an early
-/// fault shifts every later wire seq's meaning. Passes repeat until
-/// nothing more comes out or `budget` runs are spent.
+/// Surviving netsplits then get their membership bisected (un-grouping
+/// chunks of members) and every windowed event (isolation, partition,
+/// cut, gray) gets its heal time binary-searched toward its start, so
+/// the final repro names both *who* had to be split off and *how long*
+/// the outage had to last. Drawn message faults can number in the
+/// hundreds, so they are removed delta-debugging style: try
+/// neutralizing a whole chunk (starting with *all* of them); if the
+/// failure survives, adopt the removal, else split the chunk and
+/// recurse. Every adoption is validated by a full re-run, so the final
+/// plan is sound even though removing an early fault shifts every
+/// later wire seq's meaning. Passes repeat until nothing more comes
+/// out or `budget` runs are spent.
 pub fn shrink(sc: &Scenario, budget: usize) -> Option<ShrinkResult> {
     let mut overrides = Overrides::default();
     let mut last = run_one(sc, &overrides);
@@ -169,6 +180,80 @@ pub fn shrink(sc: &Scenario, budget: usize) -> Option<ShrinkResult> {
                 overrides = trial;
                 last = out;
                 removed = true;
+            }
+        }
+
+        // Partition membership, delta-debugging within each surviving
+        // netsplit: un-grouping a member returns it to the majority, so
+        // a chunk of members that turns out not to be load-bearing
+        // leaves a smaller split behind. (A partition whose groups all
+        // empty out is a no-op — pass 1 usually removes it outright on
+        // the next loop.)
+        let part_members: Vec<(usize, Vec<Addr>)> = last
+            .plan
+            .iter()
+            .filter_map(|e| match e {
+                PlanEntry::Node {
+                    idx,
+                    event: NodeEvent::Partition { groups, .. },
+                } => {
+                    let members: Vec<Addr> = groups.iter().flatten().copied().collect();
+                    (!members.is_empty()).then_some((*idx, members))
+                }
+                _ => None,
+            })
+            .collect();
+        for (idx, members) in part_members {
+            let mut stack: Vec<Vec<Addr>> = vec![members];
+            while let Some(chunk) = stack.pop() {
+                if runs >= budget {
+                    break;
+                }
+                let mut trial = overrides.clone();
+                trial.ungroup.extend(chunk.iter().map(|&a| (idx, a)));
+                let out = run_one(sc, &trial);
+                runs += 1;
+                if !out.ok {
+                    overrides = trial;
+                    last = out;
+                    removed = true;
+                } else if chunk.len() > 1 {
+                    let mid = chunk.len() / 2;
+                    stack.push(chunk[mid..].to_vec());
+                    stack.push(chunk[..mid].to_vec());
+                }
+            }
+        }
+
+        // Fault windows: binary-search each surviving windowed event's
+        // heal time down toward its start, so the repro names the
+        // shortest outage that still breaks the cluster. The plan
+        // reports effective (already-trimmed) events, so each outer
+        // pass resumes from the best window found so far.
+        let windows: Vec<(usize, u64, u64)> = last
+            .plan
+            .iter()
+            .filter_map(|e| match e {
+                PlanEntry::Node { idx, event } => event.heal_us().map(|h| (*idx, event.at_us(), h)),
+                PlanEntry::Fault { .. } => None,
+            })
+            .collect();
+        for (idx, at, heal) in windows {
+            let (mut lo, mut hi) = (at, heal);
+            while hi.saturating_sub(lo) > HEAL_TRIM_RESOLUTION_US && runs < budget {
+                let mid = lo + (hi - lo) / 2;
+                let mut trial = overrides.clone();
+                trial.trim_heal.insert(idx, mid);
+                let out = run_one(sc, &trial);
+                runs += 1;
+                if !out.ok {
+                    overrides = trial;
+                    last = out;
+                    hi = mid;
+                    removed = true;
+                } else {
+                    lo = mid;
+                }
             }
         }
 

@@ -76,6 +76,11 @@ pub enum FateKind {
     Duplicate,
     /// Deliver after an extra multi-second delay (stale message).
     Delay,
+    /// Silently discarded because an endpoint is gray (a per-node lossy
+    /// profile from a [`crate::world::NodeEvent::Gray`] window), not by
+    /// the global fate draw. Tracked as its own kind so shrunk plans
+    /// say *why* the message vanished.
+    GrayDrop,
 }
 
 impl FateKind {
@@ -86,6 +91,7 @@ impl FateKind {
             FateKind::Drop => "drop",
             FateKind::Duplicate => "duplicate",
             FateKind::Delay => "delay",
+            FateKind::GrayDrop => "gray-drop",
         }
     }
 }
@@ -191,6 +197,26 @@ fn exp_us(h: u64) -> u64 {
     // -ln(1-u) * mean; u < 1 so the log argument is positive.
     let u = unit(h);
     (-(1.0 - u).ln() * JITTER_MEAN_US) as u64
+}
+
+/// The gray-link modulation of message `seq`: `(dropped, extra_us)`.
+///
+/// A message touching a gray node (sender or receiver inside an active
+/// [`crate::world::NodeEvent::Gray`] window) is dropped with
+/// probability `drop_p`; a surviving one picks up exponential extra
+/// latency with mean `mean_extra_us`. Like [`FatePolicy::fate`] this is
+/// a pure hash of `(seed, seq)` — independent of the global fate draw
+/// and of how many messages came before — so neutralizing one gray
+/// drop (the shrinker's force-deliver set applies here too) leaves
+/// every other message's gray treatment untouched. A forced delivery
+/// keeps the extra latency: the link is still slow, it just stops
+/// eating this message.
+pub fn gray_fate(seed: u64, seq: u64, drop_p: f64, mean_extra_us: u64) -> (bool, u64) {
+    let h = mix(seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6772_6179_6e6f_6465);
+    let dropped = unit(h) < drop_p;
+    let u = unit(mix(h ^ 0x3c6e_f372_fe94_f82b));
+    let extra = (-(1.0 - u).ln() * mean_extra_us as f64) as u64;
+    (dropped, extra)
 }
 
 #[cfg(test)]

@@ -15,6 +15,16 @@
 //! jitter), node crashes and restarts, network isolations, and the
 //! client workload. Same seed, same run, byte-identical trace.
 //!
+//! Worlds come in [`world::WorldRegime`]s that change *what kind* of
+//! adversity the seed buys: `classic` (crash / restart / single-node
+//! isolation), `partition` (multi-node netsplits plus one-way silent
+//! link cuts), `gray` (nodes that get slow and lossy without a clean
+//! crash signal), `wan` (a King-style per-pair latency matrix from
+//! [`d2_sim::Topology`] replaces the flat 1 ms LAN), `skew` (per-node
+//! clock offset and drift via [`d2_net::SkewClock`]), and `mixed`
+//! (per-seed choice among the above). Every regime shares the same
+//! invariants, replay determinism, and shrinker.
+//!
 //! On top of the world sit:
 //!
 //! - [`invariants`] — Zave-style ring invariants (one ring covering all
@@ -46,8 +56,8 @@ pub mod world;
 
 pub use d2_net::RedundancyPolicy;
 pub use explore::{run_one, shrink, sweep, SeedResult, ShrinkResult};
-pub use fate::{Fate, FateKind, FatePolicy, FaultProbs, SplitMix};
+pub use fate::{gray_fate, Fate, FateKind, FatePolicy, FaultProbs, SplitMix};
 pub use world::{
-    generate_node_events, NodeEvent, Overrides, PlanEntry, RunOutcome, RunStats, Scenario,
-    SimTransport, SimWorld,
+    generate_node_events, NodeEndState, NodeEvent, Overrides, PlanEntry, RunOutcome, RunStats,
+    Scenario, SimTransport, SimWorld, WorldClock, WorldRegime,
 };

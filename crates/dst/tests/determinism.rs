@@ -3,7 +3,7 @@
 //! re-introduced, a short sweep must catch it and shrink the repro to a
 //! handful of faults.
 
-use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario};
+use d2_dst::{run_one, shrink, sweep, Overrides, RedundancyPolicy, Scenario, WorldRegime};
 use d2_obs::trace::to_jsonl;
 
 /// Same seed, same scenario — byte-identical trace and identical
@@ -70,6 +70,62 @@ fn ec_default_scenarios_converge() {
     for r in &results {
         assert!(r.ok, "seed {} failed: {:?}", r.seed, r.violation);
         assert_eq!(r.acked_puts as usize, sc.puts, "seed {}", r.seed);
+    }
+}
+
+/// Byte-identical replay holds in every adversarial regime, not just
+/// the classic one. Partitions, cuts, and gray windows mutate shared
+/// network state mid-run; the WAN topology re-samples per scenario;
+/// skewed clocks scale every node's tick cadence — all of it must
+/// still be a pure function of the seed. One seed per regime keeps
+/// the debug-mode cost at a few seconds.
+#[test]
+fn adversarial_regimes_replay_byte_identically() {
+    for regime in [
+        WorldRegime::Partition,
+        WorldRegime::Gray,
+        WorldRegime::Wan,
+        WorldRegime::Skew,
+        WorldRegime::Mixed,
+    ] {
+        let mut sc = Scenario::small(211);
+        sc.regime = regime;
+        let a = run_one(&sc, &Overrides::default());
+        let b = run_one(&sc, &Overrides::default());
+        assert_eq!(a.ok, b.ok, "{} flapped", regime.label());
+        assert_eq!(a.end_us, b.end_us, "{}", regime.label());
+        assert_eq!(a.stats, b.stats, "{}", regime.label());
+        assert_eq!(a.plan, b.plan, "{}", regime.label());
+        assert_eq!(
+            to_jsonl(&a.trace),
+            to_jsonl(&b.trace),
+            "{} trace diverged across replays",
+            regime.label()
+        );
+    }
+}
+
+/// Every regime's healthy small worlds converge on a short seed
+/// spread — the tier-1 slice of check.sh's 64-seed mixed sweep and
+/// dst.sh's per-regime 1000-seed sweeps.
+#[test]
+fn adversarial_regimes_converge() {
+    for regime in [
+        WorldRegime::Partition,
+        WorldRegime::Gray,
+        WorldRegime::Mixed,
+    ] {
+        let mut sc = Scenario::small(0);
+        sc.regime = regime;
+        for r in sweep(&sc, 0, 8, 4) {
+            assert!(
+                r.ok,
+                "{} seed {} failed: {:?}",
+                regime.label(),
+                r.seed,
+                r.violation
+            );
+        }
     }
 }
 

@@ -1,0 +1,186 @@
+//! Properties of the seeded fault-plan generator, across every world
+//! regime. These run at the plan level only — no worlds are executed —
+//! so hundreds of cases stay cheap in debug mode.
+//!
+//! The load-bearing guarantee is the *dark budget*: at no instant may
+//! the set of nodes that are crashed, seceded into a partition group,
+//! or gray exceed [`Scenario::failure_budget`] (`r - 1` replicated,
+//! `n - k` erasure-coded). An acked put has all its copies on distinct
+//! nodes, so a plan within the budget can never destroy every copy by
+//! itself — any durability violation a sweep reports is the protocol's
+//! fault, not the generator's. (Symmetric isolations do not count:
+//! they evict no state and always heal.)
+
+use d2_dst::{generate_node_events, NodeEvent, Scenario, WorldRegime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// `[start, end)` windows during which a node is dark (crashed,
+/// seceded, or gray). A permanent crash is open-ended.
+fn dark_windows(events: &[NodeEvent]) -> Vec<(usize, u64, u64)> {
+    let mut out = Vec::new();
+    for ev in events {
+        match ev {
+            NodeEvent::Crash {
+                node,
+                at_us,
+                restart_us,
+            } => out.push((*node, *at_us, restart_us.unwrap_or(u64::MAX))),
+            NodeEvent::Partition {
+                groups,
+                at_us,
+                heal_us,
+            } => {
+                for member in groups.iter().flatten() {
+                    out.push((*member, *at_us, *heal_us));
+                }
+            }
+            NodeEvent::Gray {
+                node,
+                at_us,
+                heal_us,
+            } => out.push((*node, *at_us, *heal_us)),
+            NodeEvent::Isolate { .. } | NodeEvent::Cut { .. } => {}
+        }
+    }
+    out
+}
+
+/// Largest number of *distinct* nodes dark at any instant.
+fn max_concurrent_dark(events: &[NodeEvent]) -> usize {
+    let windows = dark_windows(events);
+    let mut worst = 0;
+    for &(_, t, _) in &windows {
+        let dark: BTreeSet<usize> = windows
+            .iter()
+            .filter(|&&(_, s, e)| s <= t && t < e)
+            .map(|&(n, _, _)| n)
+            .collect();
+        worst = worst.max(dark.len());
+    }
+    worst
+}
+
+/// Every node an event names, for the "node 0 is sacred" check.
+fn named_nodes(ev: &NodeEvent) -> Vec<usize> {
+    match ev {
+        NodeEvent::Crash { node, .. }
+        | NodeEvent::Isolate { node, .. }
+        | NodeEvent::Gray { node, .. } => vec![*node],
+        NodeEvent::Partition { groups, .. } => groups.iter().flatten().copied().collect(),
+        NodeEvent::Cut { from, to, .. } => vec![*from, *to],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator's contract, for every regime at once: budget,
+    /// node-0 safety, window bounds, and determinism.
+    #[test]
+    fn generated_plans_respect_the_contract(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..14,
+        replicas in 2u32..5,
+    ) {
+        for regime in WorldRegime::ALL {
+            let sc = Scenario {
+                seed,
+                nodes,
+                replicas,
+                regime,
+                ..Scenario::default()
+            };
+            let events = generate_node_events(&sc);
+
+            // Dark budget: f < r at every instant, counting distinct
+            // nodes (an aligned crash of a partition member is one
+            // dark node, not two).
+            prop_assert!(
+                max_concurrent_dark(&events) <= sc.failure_budget(),
+                "{}: dark budget exceeded (budget {}): {events:?}",
+                regime.label(),
+                sc.failure_budget(),
+            );
+
+            for ev in &events {
+                // Node 0 is the join seed and the remerge anchor: it
+                // is never crashed, isolated, grouped, grayed, or an
+                // endpoint of a cut.
+                prop_assert!(
+                    !named_nodes(ev).contains(&0),
+                    "{}: event names node 0: {ev:?}",
+                    regime.label(),
+                );
+                // Every named node exists.
+                prop_assert!(
+                    named_nodes(ev).iter().all(|&n| n < nodes),
+                    "{}: event names a node outside 0..{nodes}: {ev:?}",
+                    regime.label(),
+                );
+                // Windows open before fault_end and close before it
+                // too — the heal phase starts with no fault active.
+                prop_assert!(ev.at_us() < sc.fault_end_us, "{ev:?}");
+                if let Some(heal) = ev.heal_us() {
+                    prop_assert!(ev.at_us() < heal, "empty window: {ev:?}");
+                    prop_assert!(heal < sc.fault_end_us, "late heal: {ev:?}");
+                }
+                match ev {
+                    NodeEvent::Crash { at_us, restart_us: Some(r), .. } => {
+                        prop_assert!(at_us < r && *r < sc.fault_end_us, "{ev:?}");
+                    }
+                    NodeEvent::Partition { groups, .. } => {
+                        // Groups are non-empty and disjoint.
+                        let all: Vec<usize> =
+                            groups.iter().flatten().copied().collect();
+                        let uniq: BTreeSet<usize> = all.iter().copied().collect();
+                        prop_assert!(groups.iter().all(|g| !g.is_empty()), "{ev:?}");
+                        prop_assert_eq!(all.len(), uniq.len(), "overlapping groups");
+                    }
+                    NodeEvent::Cut { from, to, .. } => {
+                        prop_assert!(from != to, "self-cut: {ev:?}");
+                    }
+                    _ => {}
+                }
+            }
+
+            // Plans are sorted by fire time (the world replays them as
+            // a schedule) and are a pure function of the scenario.
+            prop_assert!(
+                events.windows(2).all(|w| w[0].at_us() <= w[1].at_us()),
+                "{}: plan out of order: {events:?}",
+                regime.label(),
+            );
+            prop_assert_eq!(&events, &generate_node_events(&sc));
+        }
+    }
+
+    /// Erasure-coded scenarios widen the budget to `n - k`, and the
+    /// generator tracks it.
+    #[test]
+    fn ec_plans_use_the_ec_budget(seed in 0u64..1_000_000) {
+        for regime in [WorldRegime::Partition, WorldRegime::Gray, WorldRegime::Mixed] {
+            let mut sc = Scenario::ec(seed, 2, 4);
+            sc.regime = regime;
+            let events = generate_node_events(&sc);
+            prop_assert!(
+                max_concurrent_dark(&events) <= sc.failure_budget(),
+                "{}: EC dark budget exceeded: {events:?}",
+                regime.label(),
+            );
+        }
+    }
+
+    /// A scripted plan round-trips verbatim — regression scripts are
+    /// not re-sorted, budget-clamped, or otherwise edited.
+    #[test]
+    fn scripted_plans_pass_through(at in 1_000_000u64..5_000_000) {
+        let mut sc = Scenario::small(7);
+        let script = vec![
+            NodeEvent::Cut { from: 3, to: 1, at_us: at, heal_us: at + 500_000 },
+            NodeEvent::Crash { node: 2, at_us: at / 2, restart_us: None },
+        ];
+        sc.node_events = Some(script.clone());
+        prop_assert_eq!(generate_node_events(&sc), script);
+    }
+}

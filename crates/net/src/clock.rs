@@ -73,6 +73,63 @@ impl Clock for SimClock {
     }
 }
 
+/// A clock that reads a base clock through a fixed offset and a
+/// constant drift rate — one node's wrong idea of time.
+///
+/// `now_us() = offset + base + base * drift_ppm / 1e6`, so a positive
+/// drift runs fast and a negative one slow. Offsets and drifts are per
+/// node, not per world: the simulation harness wraps every node's
+/// shared [`SimClock`] in its own `SkewClock`, which makes timers
+/// (join retry, repair cadence, stabilization) fire unevenly across
+/// the cluster while the scheduler still owns the one true timeline.
+/// With `offset = 0, drift_ppm = 0` it is the identity.
+///
+/// Monotonicity holds whenever `drift_ppm > -1_000_000` (the
+/// constructor enforces a much tighter bound), so the [`Clock`]
+/// contract survives the warp.
+#[derive(Clone, Debug)]
+pub struct SkewClock<C> {
+    inner: C,
+    offset_us: u64,
+    drift_ppm: i64,
+}
+
+/// Largest drift magnitude [`SkewClock::new`] accepts: ±10% — far past
+/// anything NTP tolerates, and safely clear of the monotonicity bound.
+pub const MAX_DRIFT_PPM: i64 = 100_000;
+
+impl<C: Clock> SkewClock<C> {
+    /// Wraps `inner` with a fixed `offset_us` and `drift_ppm`
+    /// (microseconds gained per second, times a thousand).
+    ///
+    /// # Panics
+    /// If `|drift_ppm|` exceeds [`MAX_DRIFT_PPM`].
+    pub fn new(inner: C, offset_us: u64, drift_ppm: i64) -> Self {
+        assert!(
+            drift_ppm.abs() <= MAX_DRIFT_PPM,
+            "drift {drift_ppm} ppm out of range"
+        );
+        SkewClock {
+            inner,
+            offset_us,
+            drift_ppm,
+        }
+    }
+
+    /// The wrapped clock.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Clock> Clock for SkewClock<C> {
+    fn now_us(&self) -> u64 {
+        let base = self.inner.now_us() as i128;
+        let warped = base + base * self.drift_ppm as i128 / 1_000_000;
+        (warped + self.offset_us as i128).max(0) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +140,35 @@ mod tests {
         let a = c.now_us();
         let b = c.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn skew_clock_warps_and_stays_monotonic() {
+        let base = SimClock::new();
+        let fast = SkewClock::new(base.clone(), 500, 50_000); // +5%
+        let slow = SkewClock::new(base.clone(), 0, -50_000); // -5%
+        assert_eq!(fast.now_us(), 500);
+        assert_eq!(slow.now_us(), 0);
+        base.set(1_000_000);
+        assert_eq!(fast.now_us(), 1_050_500);
+        assert_eq!(slow.now_us(), 950_000);
+        let mut prev = (fast.now_us(), slow.now_us());
+        for t in [1_500_000u64, 2_000_000, 10_000_000] {
+            base.set(t);
+            let cur = (fast.now_us(), slow.now_us());
+            assert!(cur.0 > prev.0 && cur.1 > prev.1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_identity() {
+        let base = SimClock::new();
+        let id = SkewClock::new(base.clone(), 0, 0);
+        for t in [0u64, 1, 999, 123_456_789] {
+            base.set(t);
+            assert_eq!(id.now_us(), t);
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod ops;
 pub mod runtime;
 pub mod telemetry;
 
-pub use clock::{Clock, SimClock, SystemClock};
+pub use clock::{Clock, SimClock, SkewClock, SystemClock};
 pub use d2_ec::RedundancyPolicy;
 pub use deployment::Deployment;
 pub use invariants::{check_ring, RingReport};

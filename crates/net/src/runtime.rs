@@ -555,6 +555,10 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
         self.send_all(out);
         self.retry_join_if_unjoined();
         self.ticks += 1;
+        let anchor_every = self.node.config().anchor_every_ticks;
+        if anchor_every > 0 && self.ticks.is_multiple_of(anchor_every) {
+            self.anchor_round();
+        }
         if self.ticks.is_multiple_of(REPAIR_EVERY_TICKS) {
             if self.ec.is_some() {
                 self.ec_repair_round();
@@ -757,6 +761,16 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 .send_traced(succ, &forward, self.cur_ctx)
                 .is_ok()
             {
+                // Validation knob: count the rest of the chain as
+                // written the moment the forward send succeeds. A dead
+                // peer fails the send fast, so this looks safe — until
+                // a link drops traffic silently and the "replicas" the
+                // ack promises were never stored anywhere.
+                if self.node.config().ack_on_send {
+                    let promised = stored + fanout;
+                    self.registry.observe("node.put_replicas", promised as u64);
+                    self.respond(from, req_id, Response::PutAck { replicas: promised });
+                }
                 return; // the chain continues; its end will ack
             }
             self.record_send_failure(succ);
@@ -844,6 +858,33 @@ impl<T: Transport, C: Clock> NodeRuntime<T, C> {
                 queue.extend(self.node.handle(msg));
             }
         }
+    }
+
+    /// Seed-anchored anti-entropy: a joined node periodically
+    /// re-introduces itself to its join seed (Notify) and pulls the
+    /// seed's neighbor view (GetNeighbors).
+    ///
+    /// Plain Chord stabilization only ever talks to a node's *current*
+    /// pointers, so two complete rings that formed on either side of a
+    /// healed netsplit never find each other again — each side's
+    /// pointers are internally consistent and corpse-free. Anchoring
+    /// breaks the symmetry through the well-known seed: the minority
+    /// side re-learns the seed's successors (and the seed's side learns
+    /// the minority node via Notify), after which ordinary
+    /// stabilization zips the two rings back into one. In a healthy
+    /// ring both messages are no-ops, so the steady-state cost is two
+    /// small messages per node per anchor period.
+    fn anchor_round(&mut self) {
+        let Some(seed) = self.seed else { return };
+        if !self.node.is_joined() || seed == self.node.me().addr {
+            return;
+        }
+        self.registry.inc("node.anchor_rounds");
+        let me = self.node.me();
+        self.send_all(vec![
+            (seed, RingMsg::Notify { candidate: me }),
+            (seed, RingMsg::GetNeighbors { from: me.addr }),
+        ]);
     }
 
     /// Re-sends the join while the node has no ring pointers: either the

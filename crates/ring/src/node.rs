@@ -45,6 +45,22 @@ pub struct NodeConfig {
     /// catches the historical bug; it must stay `false` everywhere else.
     #[doc(hidden)]
     pub probe_head_only: bool,
+    /// Ticks between seed-anchored anti-entropy rounds (`0` disables
+    /// them). A joined node periodically re-introduces itself to its
+    /// join seed (Notify + GetNeighbors), which is what lets two rings
+    /// that formed on either side of a healed multi-node netsplit merge
+    /// back into one — plain Chord stabilization alone never rejoins
+    /// disjoint rings.
+    pub anchor_every_ticks: u64,
+    /// Fault-injection knob for the deterministic simulation harness:
+    /// replica-chain puts ack the client optimistically as soon as the
+    /// forward *send* succeeds, instead of waiting for the end of the
+    /// chain to confirm. Harmless when dead peers fail sends fast, but
+    /// a silent one-way link cut turns the early ack into a durability
+    /// lie — exactly the failure mode the asymmetric-partition worlds
+    /// exist to catch. Must stay `false` everywhere else.
+    #[doc(hidden)]
+    pub ack_on_send: bool,
 }
 
 impl Default for NodeConfig {
@@ -53,6 +69,8 @@ impl Default for NodeConfig {
             successors: 4,
             max_fingers: 32,
             probe_head_only: false,
+            anchor_every_ticks: 64,
+            ack_on_send: false,
         }
     }
 }
@@ -119,6 +137,11 @@ impl ProtocolNode {
     /// This node's identity.
     pub fn me(&self) -> PeerInfo {
         self.me
+    }
+
+    /// The configuration the node was constructed with.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
     }
 
     /// Current predecessor, if known.

@@ -62,6 +62,40 @@ impl Topology {
         }
     }
 
+    /// [`Topology::sample`] without an external RNG: coordinates and
+    /// access delays come from a private splitmix64 stream over `seed`,
+    /// so callers that must stay independent of the `rand` crate's
+    /// stream evolution (the deterministic simulation harness pins
+    /// byte-identical schedules to a seed) get a stable topology per
+    /// seed forever.
+    pub fn sample_seeded(n: usize, target_mean_rtt_ms: f64, seed: u64) -> Topology {
+        let mut state = seed ^ 0x5bf0_3635_16f5_a1c3;
+        let mut next_unit = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let acc_mean = 4.0; // ms, per side (matches `sample`)
+        let scale = (target_mean_rtt_ms - 4.0 * acc_mean) / (2.0 * 0.5214);
+        let coords = (0..n).map(|_| (next_unit(), next_unit())).collect();
+        let access_ms = (0..n).map(|_| acc_mean * (0.5 + next_unit())).collect();
+        Topology {
+            coords,
+            access_ms,
+            ms_per_unit: scale.max(1.0),
+        }
+    }
+
+    /// One-way latency between `a` and `b` in whole microseconds — the
+    /// unit external schedulers (e.g. `d2-dst`'s virtual event queue)
+    /// work in.
+    pub fn one_way_us(&self, a: usize, b: usize) -> u64 {
+        self.one_way(a, b).as_micros()
+    }
+
     /// Number of nodes in the topology.
     pub fn len(&self) -> usize {
         self.coords.len()
@@ -239,6 +273,24 @@ mod tests {
             (60.0..130.0).contains(&mean),
             "mean rtt {mean} ms not near 90"
         );
+    }
+
+    #[test]
+    fn seeded_topology_is_deterministic_and_calibrated() {
+        let a = Topology::sample_seeded(64, 90.0, 7);
+        let b = Topology::sample_seeded(64, 90.0, 7);
+        for x in 0..a.len() {
+            for y in 0..a.len() {
+                assert_eq!(a.one_way_us(x, y), b.one_way_us(x, y));
+            }
+        }
+        let mean = a.mean_rtt().as_secs_f64() * 1e3;
+        assert!(
+            (60.0..130.0).contains(&mean),
+            "seeded mean rtt {mean} ms not near 90"
+        );
+        let c = Topology::sample_seeded(64, 90.0, 8);
+        assert_ne!(a.one_way_us(0, 1), c.one_way_us(0, 1));
     }
 
     #[test]

@@ -28,6 +28,9 @@ echo "==> d2-dst smoke sweep (64 seeds)"
 echo "==> d2-dst erasure-mode sweep (32 seeds, (3,6) fragments, throttled repair)"
 ./target/release/d2-dst sweep --seeds 32 --ec 3/6 --repair-budget 5000
 
+echo "==> d2-dst mixed-world sweep (64 seeds: partitions, gray nodes, WAN, skew)"
+./target/release/d2-dst sweep --seeds 64 --world mixed
+
 echo "==> telemetry smoke (3-node cluster scrape, merged snapshot JSON)"
 cargo run --release --quiet --example telemetry >/dev/null
 

@@ -1,19 +1,39 @@
 #!/usr/bin/env bash
-# The deep deterministic-simulation sweep: 1000 seeds against the full
-# fault mix, writing a machine-readable summary for dashboards.
+# The deep deterministic-simulation sweep: 1000 seeds per world regime
+# against the full fault mix, writing machine-readable summaries for
+# dashboards.
 #
-#   ./scripts/dst.sh                      # seeds 0..1000 -> dst-sweep.json
-#   ./scripts/dst.sh 5000 2000 out.json   # 5000 seeds from 2000 -> out.json
+#   ./scripts/dst.sh                          # all regimes, seeds 0..1000
+#   ./scripts/dst.sh 5000 2000 out.json       # 5000 seeds from 2000, all regimes
+#   ./scripts/dst.sh 1000 0 out.json wan      # one regime only
 #
-# Exits nonzero if any seed fails; the sweep output then contains the
-# failing seed, its shrunk fault plan, and the exact replay command
-# (see EXPERIMENTS.md, "Replaying a failing schedule").
+# With WORLD=all (the default), every regime — classic, partition,
+# gray, wan, skew, mixed — is swept and each writes its own summary
+# next to OUT (dst-sweep.json -> dst-sweep.partition.json, ...).
+# Exits nonzero if any seed in any regime fails; the sweep output then
+# contains the failing seed, its shrunk fault plan, and the exact
+# replay command (see EXPERIMENTS.md, "Replaying a failing schedule").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEEDS="${1:-1000}"
 SEED0="${2:-0}"
 OUT="${3:-dst-sweep.json}"
+WORLD="${4:-all}"
 
 cargo build --release -p d2-dst --quiet
-./target/release/d2-dst sweep --seeds "$SEEDS" --seed0 "$SEED0" --json "$OUT"
+
+if [ "$WORLD" != "all" ]; then
+    ./target/release/d2-dst sweep --seeds "$SEEDS" --seed0 "$SEED0" \
+        --world "$WORLD" --json "$OUT"
+    exit 0
+fi
+
+STATUS=0
+for regime in classic partition gray wan skew mixed; do
+    regime_out="${OUT%.json}.${regime}.json"
+    echo "==> $regime worlds -> $regime_out"
+    ./target/release/d2-dst sweep --seeds "$SEEDS" --seed0 "$SEED0" \
+        --world "$regime" --json "$regime_out" || STATUS=$?
+done
+exit "$STATUS"
